@@ -1,0 +1,31 @@
+// ABL2 — ablation of counter skid (paper §2.2.2): scaling the skid
+// distribution shows why imprecise traps force the apropos backtracking
+// design — with zero skid every counter is precise; with growing skid,
+// validation rejects more candidates.
+#include <cstdio>
+
+#include "analyze/analysis.hpp"
+#include "mcfsim/experiments.hpp"
+
+using namespace dsprof;
+
+int main() {
+  std::puts("== ABL2: counter-skid ablation (skid_scale sweep) ==");
+  std::puts("  scale  ecstall-eff  ecrm-eff  ecref-eff");
+  for (double scale : {0.0, 0.5, 1.0, 2.0, 4.0}) {
+    auto setup = mcfsim::PaperSetup::small();
+    setup.cpu.skid_scale = scale;
+    const auto exps = mcfsim::collect_paper_experiments(setup);
+    analyze::Analysis a({&exps.ex1, &exps.ex2});
+    double eff[analyze::kNumMetrics] = {};
+    for (const auto& r : a.effectiveness()) eff[r.metric] = r.effectiveness();
+    std::printf("  %4.1f    %7.1f%%   %7.1f%%   %7.1f%%\n", scale,
+                100.0 * eff[static_cast<size_t>(machine::HwEvent::EC_stall_cycles)],
+                100.0 * eff[static_cast<size_t>(machine::HwEvent::EC_rd_miss)],
+                100.0 * eff[static_cast<size_t>(machine::HwEvent::EC_ref)]);
+  }
+  std::puts("\nZero skid -> 100% everywhere (a precise-trap chip would not need");
+  std::puts("backtracking); increasing skid degrades E$ refs fastest, matching the");
+  std::puts("paper's observation that refs have the greatest skid.");
+  return 0;
+}

@@ -1,0 +1,37 @@
+// FIG1 — paper Figure 1: performance metrics for the artificial <Total>
+// function, from the two MCF collect runs (§3.2.1).
+//
+// Paper values (550 s run, 900 MHz US-III Cu):
+//   User CPU 549.4 s of 552.7 s LWP (~100% CPU bound)
+//   E$ Stall 297.6 s  = 54% of User CPU
+//   E$ Read Miss rate 6.4% (1.58e9 misses / 24.9e9 refs)
+//   DTLB miss cost (at 100 cycles) ~28 s = ~5% of run
+#include <cstdio>
+
+#include "analyze/reports.hpp"
+#include "mcfsim/experiments.hpp"
+
+using namespace dsprof;
+
+int main() {
+  std::puts("== FIG1: <Total> metrics (paper Figure 1) ==");
+  const auto setup = mcfsim::PaperSetup::standard();
+  const auto exps = mcfsim::collect_paper_experiments(setup);
+  analyze::Analysis a({&exps.ex1, &exps.ex2});
+  std::fputs(analyze::render_overview(a).c_str(), stdout);
+
+  const auto& t = a.total();
+  const double stall = t[static_cast<size_t>(machine::HwEvent::EC_stall_cycles)];
+  const double ucpu = t[analyze::kUserCpuMetric];
+  const double ecrm = t[static_cast<size_t>(machine::HwEvent::EC_rd_miss)];
+  const double ecref = t[static_cast<size_t>(machine::HwEvent::EC_ref)];
+  const double dtlb = t[static_cast<size_t>(machine::HwEvent::DTLB_miss)];
+  std::puts("\n-- paper-vs-measured (shape) --");
+  std::printf("E$ stall / User CPU:    paper 0.54   measured %.2f\n",
+              ucpu > 0 ? stall / ucpu : 0.0);
+  std::printf("E$ read miss rate:      paper 6.4%%   measured %.1f%%\n",
+              ecref > 0 ? 100.0 * ecrm / ecref : 0.0);
+  std::printf("DTLB cost / run:        paper ~5%%    measured %.1f%%\n",
+              100.0 * dtlb * 100.0 / static_cast<double>(a.run_cycles()));
+  return 0;
+}

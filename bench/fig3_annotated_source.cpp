@@ -1,0 +1,19 @@
+// FIG3 — paper Figure 3: annotated source of refresh_potential's critical
+// loop, with User CPU and E$ Stall Cycles per source line (§3.2.3).
+#include <cstdio>
+
+#include "analyze/reports.hpp"
+#include "mcfsim/experiments.hpp"
+
+using namespace dsprof;
+
+int main() {
+  std::puts("== FIG3: annotated source of refresh_potential (paper Figure 3) ==");
+  const auto setup = mcfsim::PaperSetup::standard();
+  const auto exps = mcfsim::collect_paper_experiments(setup);
+  analyze::Analysis a({&exps.ex1, &exps.ex2});
+  std::fputs(analyze::render_annotated_source(a, "refresh_potential").c_str(), stdout);
+  std::puts("\npaper: the potential-update lines (node->potential = "
+            "node->basic_arc->cost ...) carry the bulk of E$ stall time.");
+  return 0;
+}

@@ -1,0 +1,25 @@
+// FIG4 — paper Figure 4: annotated disassembly of refresh_potential's
+// critical loop: per-instruction metrics, compiler-inserted nop padding,
+// `*<branch target>` rows for blocked backtracking, and data descriptors
+// ({structure:node -}.{long orientation}, {structure:arc -}.{cost_t=long
+// cost}) on the memory-referencing instructions (§3.2.3).
+#include <cstdio>
+
+#include "analyze/reports.hpp"
+#include "mcfsim/experiments.hpp"
+
+using namespace dsprof;
+
+int main() {
+  std::puts("== FIG4: annotated disassembly of refresh_potential (paper Figure 4) ==");
+  const auto setup = mcfsim::PaperSetup::standard();
+  const auto exps = mcfsim::collect_paper_experiments(setup);
+  analyze::Analysis a({&exps.ex1, &exps.ex2});
+  std::fputs(analyze::render_annotated_disassembly(a, "refresh_potential").c_str(), stdout);
+  std::puts("\npaper observations reproduced here:");
+  std::puts(" * E$ stall lands on ldx instructions (backtracking found the trigger)");
+  std::puts(" * User CPU appears on unlikely instructions (clock skid, uncorrectable)");
+  std::puts(" * starred <branch target> rows absorb events blocked by control flow");
+  std::puts(" * nop padding separates memory ops from join nodes (-xhwcprof)");
+  return 0;
+}

@@ -1,0 +1,24 @@
+// FIG5 — paper Figure 5: PCs ranked by E$ Read Misses, named as
+// "function + 0xOFFSET" with their data descriptors (§3.2.4).
+//
+// Paper shape: the top PC is in primal_bea_mpp ({structure:arc}.{ident});
+// the next several are refresh_potential's node.orientation and arc.cost
+// loads.
+#include <cstdio>
+
+#include "analyze/reports.hpp"
+#include "mcfsim/experiments.hpp"
+
+using namespace dsprof;
+
+int main() {
+  std::puts("== FIG5: hot PCs by E$ Read Misses (paper Figure 5) ==");
+  const auto setup = mcfsim::PaperSetup::standard();
+  const auto exps = mcfsim::collect_paper_experiments(setup);
+  analyze::Analysis a({&exps.ex1, &exps.ex2});
+  std::fputs(
+      analyze::render_hot_pcs(a, static_cast<size_t>(machine::HwEvent::EC_rd_miss), 17)
+          .c_str(),
+      stdout);
+  return 0;
+}

@@ -1,0 +1,91 @@
+// PERF — google-benchmark microbenchmarks of the simulator substrate itself:
+// cache model throughput, TLB throughput, and interpreter speed.
+#include <benchmark/benchmark.h>
+
+#include "cache/hierarchy.hpp"
+#include "isa/assembler.hpp"
+#include "machine/cpu.hpp"
+#include "support/rng.hpp"
+
+using namespace dsprof;
+
+namespace {
+
+void BM_CacheHit(benchmark::State& state) {
+  cache::Cache c({64 * 1024, 4, 32, true});
+  c.access(0x1000, false);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(c.access(0x1000, false).hit);
+  }
+}
+BENCHMARK(BM_CacheHit);
+
+void BM_CacheRandom(benchmark::State& state) {
+  cache::Cache c({static_cast<u64>(state.range(0)), 4, 64, true});
+  Xoshiro256 rng(1);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(c.access(rng.next() & 0xFFFFFF, false).hit);
+  }
+}
+BENCHMARK(BM_CacheRandom)->Arg(64 * 1024)->Arg(8 * 1024 * 1024);
+
+void BM_TlbLookup(benchmark::State& state) {
+  cache::Tlb t({512, 2, 8192});
+  Xoshiro256 rng(2);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(t.lookup(rng.next() & 0x3FFFFFF));
+  }
+}
+BENCHMARK(BM_TlbLookup);
+
+void BM_HierarchyLoad(benchmark::State& state) {
+  cache::MemoryHierarchy h(cache::HierarchyConfig::ultrasparc3());
+  Xoshiro256 rng(3);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(h.load(rng.next() & 0xFFFFFF).stall_cycles);
+  }
+}
+BENCHMARK(BM_HierarchyLoad);
+
+/// Interpreter speed on a tight ALU loop (reports instructions/second).
+void BM_InterpreterLoop(benchmark::State& state) {
+  mem::Memory m;
+  isa::Assembler a(mem::kTextBase);
+  const auto head = a.new_label();
+  a.emit(isa::mov_ri(isa::O1, 10000));
+  a.bind(head);
+  a.emit(isa::alu_ri(isa::Op::SUB, isa::O1, isa::O1, 1));
+  a.emit(isa::cmp_ri(isa::O1, 0));
+  a.emit_branch(isa::Cond::NE, head);
+  a.emit(isa::nop());
+  a.emit(isa::hcall(0));
+  const auto out = a.finish();
+  m.add_segment({"text", mem::SegKind::Text, mem::kTextBase, round_up(out.words.size() * 4, 8),
+                 false, true});
+  m.write_bytes(mem::kTextBase, out.words.data(), out.words.size() * 4);
+  u64 instructions = 0;
+  for (auto _ : state) {
+    machine::Cpu cpu(m, machine::CpuConfig{});
+    cpu.set_truth_log_enabled(false);
+    cpu.set_pc(mem::kTextBase);
+    const machine::RunResult r = cpu.run();
+    benchmark::DoNotOptimize(r.cycles);
+    instructions += r.instructions;
+  }
+  state.SetItemsProcessed(static_cast<i64>(instructions));
+}
+BENCHMARK(BM_InterpreterLoop);
+
+void BM_MemoryLoad(benchmark::State& state) {
+  mem::Memory m;
+  m.add_segment({"heap", mem::SegKind::Heap, mem::kHeapBase, 1 << 26, true, false});
+  Xoshiro256 rng(5);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(m.load(mem::kHeapBase + (rng.next() & 0x3FFFF8), 8));
+  }
+}
+BENCHMARK(BM_MemoryLoad);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,54 @@
+// OPT — paper §3.3: the two optimizations the data-space analysis suggests,
+// measured as end-to-end runtime change on identical work:
+//   1. reorder node members by reference frequency, pad 120 -> 128 bytes,
+//      align the heap arrays to E$ lines          (paper: 16.2% speedup)
+//   2. large pages for the heap (-xpagesize_heap) (paper:  3.9% speedup)
+//   3. both                                       (paper: 20.7% speedup)
+#include <cstdio>
+
+#include "mcfsim/experiments.hpp"
+
+using namespace dsprof;
+
+int main() {
+  std::puts("== OPT: §3.3 optimization speedups ==");
+  auto base = mcfsim::PaperSetup::standard();
+  // Machine regime for the §3.3 experiment. The 16.2% layout gain on the
+  // US-III is mostly a D$-locality effect: the node's hot members span
+  // three 32-byte D$ lines, so every node visit pays ~3 D$ misses whose
+  // cost is the E$ *hit* latency (the E$ mostly holds mcf's hot nodes).
+  // Packing the hot members into one line cuts that to one. We put the
+  // scaled machine in the same regime: D$ far smaller than the node array
+  // (no D$ reuse across a sweep), E$ large enough to back D$ misses with
+  // hits, and a DTLB whose reach the heap exceeds (for the page-size fix).
+  base.cpu.hierarchy.dcache = {8 * 1024, 4, 32, false};
+  base.cpu.hierarchy.ecache = {1024 * 1024, 2, 512, true};
+  base.cpu.hierarchy.dtlb = {64, 2, 8 * 1024};
+
+  auto run_cfg = [&](bool layout, bool bigpages) {
+    mcfsim::PaperSetup s = base;
+    s.build.optimized_node_layout = layout;
+    s.build.align_heap_arrays = layout;
+    if (bigpages) s.cpu.hierarchy.dtlb.page_size = 512 * 1024;
+    return mcfsim::measure_run(s).cycles;
+  };
+
+  const u64 baseline = run_cfg(false, false);
+  const u64 layout = run_cfg(true, false);
+  const u64 pages = run_cfg(false, true);
+  const u64 both = run_cfg(true, true);
+
+  auto report = [&](const char* name, u64 cycles, double paper_pct) {
+    const double gain = 100.0 * (1.0 - static_cast<double>(cycles) /
+                                           static_cast<double>(baseline));
+    std::printf("  %-34s %12llu cycles   speedup %5.1f%%   (paper %4.1f%%)\n", name,
+                static_cast<unsigned long long>(cycles), gain, paper_pct);
+  };
+  std::printf("  %-34s %12llu cycles\n", "baseline (declaration layout, 8K pages)",
+              static_cast<unsigned long long>(baseline));
+  report("node reorder + pad 128 + align", layout, 16.2);
+  report("512 kB heap pages", pages, 3.9);
+  report("both optimizations", both, 20.7);
+  std::puts("\npaper: 16.2% + 3.9% combine to 20.7% on MCF total execution time.");
+  return 0;
+}

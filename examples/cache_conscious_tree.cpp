@@ -1,0 +1,183 @@
+// Cache-conscious structure layout (the paper's related work [16-18],
+// Chilimbi et al.), driven by dsprof's data-space views: binary search over
+// a pointer-linked BST versus the same tree stored in breadth-first array
+// order (children of slot i at 2i+1/2i+2 — one malloc, no pointers).
+//
+// The pointer tree's nodes are placed in (pseudo-random) allocation order —
+// the usual malloc-per-node situation Chilimbi's work targets — while the
+// array layout packs the hot top levels into a few cache lines. The
+// code-space profiles look similar (compare, descend); the data-space view
+// shows where the pointer layout bleeds.
+#include <cstdio>
+
+#include "analyze/reports.hpp"
+#include "collect/collector.hpp"
+#include "scc/builder.hpp"
+#include "scc/compile.hpp"
+
+using namespace dsprof;
+using scc::FunctionBuilder;
+using scc::Type;
+using scc::Val;
+
+int main() {
+  constexpr i64 kNodes = (1 << 15) - 1;  // complete tree of depth 15
+  constexpr i64 kQueries = 20000;
+
+  scc::Module mod;
+  scc::StructDef* tnode = mod.add_struct("tree_node");
+  tnode->field("key", Type::i64())
+      .field("left", Type::ptr(tnode))
+      .field("right", Type::ptr(tnode))
+      .field("payload", Type::i64());
+  scc::Function* mal = scc::add_runtime(mod);
+
+  // Build a complete BST over keys 0..kNodes-1: node for slot i (heap order)
+  // gets the key that an in-order traversal would assign — computed
+  // iteratively by descending the implicit tree.
+  scc::Function* ptr_search = mod.add_function("pointer_search");
+  {
+    FunctionBuilder fb(mod, *ptr_search);
+    auto root = fb.param("root", Type::ptr(tnode));
+    auto key = fb.param("key", Type::i64());
+    auto cur = fb.local("cur", Type::ptr(tnode));
+    fb.set(cur, root);
+    fb.while_(cur != 0, [&] {
+      fb.if_(cur["key"] == key, [&] { fb.ret(cur["payload"]); });
+      fb.if_else(key < cur["key"], [&] { fb.set(cur, cur["left"]); },
+                 [&] { fb.set(cur, cur["right"]); });
+    });
+    fb.ret(Val(-1));
+  }
+
+  scc::Function* array_search = mod.add_function("array_search");
+  {
+    FunctionBuilder fb(mod, *array_search);
+    auto keys = fb.param("keys", Type::ptr_i64());
+    auto payloads = fb.param("payloads", Type::ptr_i64());
+    auto n = fb.param("n", Type::i64());
+    auto key = fb.param("key", Type::i64());
+    auto i = fb.local("i", Type::i64());
+    fb.set(i, 0);
+    fb.while_(i < n, [&] {
+      fb.if_(keys.idx(i) == key, [&] { fb.ret(payloads.idx(i)); });
+      fb.if_else(key < keys.idx(i), [&] { fb.set(i, i * 2 + 1); },
+                 [&] { fb.set(i, i * 2 + 2); });
+    });
+    fb.ret(Val(-1));
+  }
+
+  scc::Function* main_fn = mod.add_function("main");
+  {
+    FunctionBuilder fb(mod, *main_fn);
+    auto nodes = fb.local("nodes", Type::ptr(tnode));
+    auto keys = fb.local("keys", Type::ptr_i64());
+    auto payloads = fb.local("payloads", Type::ptr_i64());
+    auto i = fb.local("i", Type::i64());
+    auto lo = fb.local("lo", Type::i64());
+    auto hi = fb.local("hi", Type::i64());
+    auto stacksz = fb.local("stacksz", Type::i64());
+    auto work = fb.local("work", Type::ptr_i64());  // (slot, lo, hi) triples
+    auto slot = fb.local("slot", Type::i64());
+    auto mid = fb.local("mid", Type::i64());
+    auto p = fb.local("p", Type::ptr(tnode));
+    auto acc = fb.local("acc", Type::i64());
+    auto q = fb.local("q", Type::i64());
+
+    fb.set(nodes,
+           scc::cast(fb.call(mal, {Val(kNodes * static_cast<i64>(tnode->size()))}),
+                     Type::ptr(tnode)));
+    fb.set(keys, scc::cast(fb.call(mal, {Val(kNodes * 8)}), Type::ptr_i64()));
+    fb.set(payloads, scc::cast(fb.call(mal, {Val(kNodes * 8)}), Type::ptr_i64()));
+    fb.set(work, scc::cast(fb.call(mal, {Val(kNodes * 24 + 64)}), Type::ptr_i64()));
+
+    // Assign in-order keys to heap-ordered slots with an explicit worklist:
+    // push (slot 0, range [0, kNodes)).
+    fb.set(work.idx(Val(0)), 0);
+    fb.set(work.idx(Val(1)), 0);
+    fb.set(work.idx(Val(2)), kNodes);
+    fb.set(stacksz, 1);
+    fb.while_(stacksz > 0, [&] {
+      fb.set(stacksz, stacksz - 1);
+      fb.set(slot, work.idx(stacksz * 3));
+      fb.set(lo, work.idx(stacksz * 3 + 1));
+      fb.set(hi, work.idx(stacksz * 3 + 2));
+      fb.set(mid, (lo + hi) / 2);
+      // Pointer nodes live at a pseudo-random permutation of their slot —
+      // modelling per-node allocation order unrelated to access order.
+      fb.set(p, nodes + (slot * 1997 + 3) % kNodes);
+      fb.set(p["key"], mid);
+      fb.set(p["payload"], mid * 3);
+      fb.set(keys.idx(slot), mid);
+      fb.set(payloads.idx(slot), mid * 3);
+      fb.if_else(slot * 2 + 1 < kNodes,
+                 [&] { fb.set(p["left"], nodes + ((slot * 2 + 1) * 1997 + 3) % kNodes); },
+                 [&] { fb.set(p["left"], 0); });
+      fb.if_else(slot * 2 + 2 < kNodes,
+                 [&] { fb.set(p["right"], nodes + ((slot * 2 + 2) * 1997 + 3) % kNodes); },
+                 [&] { fb.set(p["right"], 0); });
+      fb.if_(lo < mid, [&] {  // push left child range
+        fb.set(work.idx(stacksz * 3), slot * 2 + 1);
+        fb.set(work.idx(stacksz * 3 + 1), lo);
+        fb.set(work.idx(stacksz * 3 + 2), mid);
+        fb.set(stacksz, stacksz + 1);
+      });
+      fb.if_(mid + 1 < hi, [&] {  // push right child range
+        fb.set(work.idx(stacksz * 3), slot * 2 + 2);
+        fb.set(work.idx(stacksz * 3 + 1), mid + 1);
+        fb.set(work.idx(stacksz * 3 + 2), hi);
+        fb.set(stacksz, stacksz + 1);
+      });
+    });
+
+    // Query both structures with the same pseudo-random keys.
+    fb.set(acc, 0);
+    fb.set(q, 0);
+    fb.while_(q < kQueries, [&] {
+      fb.set(i, (q * 48271 + 11) % kNodes);
+      fb.set(acc, acc + fb.call(ptr_search, {nodes + Val(3), i}));  // root at perm(0)=3
+      fb.set(q, q + 1);
+    });
+    fb.set(q, 0);
+    fb.while_(q < kQueries, [&] {
+      fb.set(i, (q * 48271 + 11) % kNodes);
+      fb.set(acc, acc - fb.call(array_search, {keys, payloads, Val(kNodes), i}));
+      fb.set(q, q + 1);
+    });
+    fb.trace(acc);  // both find every key: payload sums cancel to 0
+    fb.ret(Val(0));
+  }
+
+  const sym::Image image = scc::compile(mod);
+  collect::CollectOptions opt;
+  opt.hw = "+ecstall,on,+ecrm,hi";
+  opt.clock = "hi";
+  opt.cpu.hierarchy.dcache = {16 * 1024, 4, 32, false};
+  opt.cpu.hierarchy.ecache = {256 * 1024, 2, 512, true};
+  collect::Collector collector(image, opt);
+  const experiment::Experiment ex = collector.run();
+
+  analyze::Analysis a(ex);
+  std::puts("Pointer BST vs breadth-first array layout, same queries:\n");
+  std::fputs(analyze::render_function_list(a).c_str(), stdout);
+  std::puts("\n-- data objects --");
+  std::fputs(analyze::render_data_objects(
+                 a, static_cast<size_t>(machine::HwEvent::EC_stall_cycles))
+                 .c_str(),
+             stdout);
+  std::puts("\n-- tree_node members --");
+  std::fputs(analyze::render_member_expansion(a, "tree_node").c_str(), stdout);
+
+  const auto stall = static_cast<size_t>(machine::HwEvent::EC_stall_cycles);
+  double ptr_cost = 0, arr_cost = 0;
+  for (const auto& f : a.functions(stall)) {
+    if (f.name == "pointer_search") ptr_cost = f.mv[stall];
+    if (f.name == "array_search") arr_cost = f.mv[stall];
+  }
+  std::printf("\nE$ stall, pointer vs array layout: %.1fx\n",
+              arr_cost > 0 ? ptr_cost / arr_cost : 0.0);
+  std::puts("Both searches do the same comparisons; the pointer layout pays for");
+  std::puts("32-byte nodes scattered in allocation order (Chilimbi et al., the");
+  std::puts("paper's refs [16-18]); the array layout keeps hot levels resident.");
+  return 0;
+}

@@ -1,0 +1,13 @@
+// `collect` with no arguments: list the available hardware counters for
+// this machine (paper §2.2.1).
+#include <cstdio>
+
+#include "collect/collector.hpp"
+
+int main() {
+  std::fputs(dsprof::collect::list_counters().c_str(), stdout);
+  std::puts("\nExamples:");
+  std::puts("  collect -p on  -h +ecstall,on,+ecrm,on a.out   # stalls + read misses");
+  std::puts("  collect -p off -h +ecref,on,+dtlbm,on  a.out   # refs + TLB misses");
+  return 0;
+}

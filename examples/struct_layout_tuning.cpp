@@ -1,0 +1,126 @@
+// The §3.3 methodology as a reusable recipe: profile -> read the member
+// heat from the data-space view -> reorder/pad the struct -> re-measure.
+//
+// The workload walks a large array of `record`s touching only two of eight
+// members; the default layout puts them 40 bytes apart (two D$ lines), the
+// tuned layout packs them into one line and pads the record to a power of
+// two so objects never straddle E$ lines.
+#include <cstdio>
+#include <vector>
+
+#include "analyze/reports.hpp"
+#include "collect/collector.hpp"
+#include "scc/builder.hpp"
+#include "scc/compile.hpp"
+
+using namespace dsprof;
+using scc::FunctionBuilder;
+using scc::Type;
+using scc::Val;
+
+namespace {
+
+struct BuildResult {
+  sym::Image image;
+};
+
+sym::Image build(bool tuned) {
+  scc::Module mod;
+  scc::StructDef* rec = mod.add_struct("record");
+  rec->field("id", Type::i64())
+      .field("hot_a", Type::i64())
+      .field("pad1", Type::i64())
+      .field("pad2", Type::i64())
+      .field("pad3", Type::i64())
+      .field("hot_b", Type::i64())
+      .field("pad4", Type::i64())
+      .field("pad5", Type::i64());
+  if (tuned) {
+    rec->set_layout_order(
+        {"hot_a", "hot_b", "id", "pad1", "pad2", "pad3", "pad4", "pad5"});
+    rec->set_pad_to(64);
+  }
+  scc::Function* mal = scc::add_runtime(mod);
+  scc::Function* churn = mod.add_function("churn");
+  {
+    FunctionBuilder fb(mod, *churn);
+    auto rs = fb.param("rs", Type::ptr(rec));
+    auto n = fb.param("n", Type::i64());
+    auto i = fb.local("i", Type::i64());
+    auto p = fb.local("p", Type::ptr(rec));
+    auto sum = fb.local("sum", Type::i64());
+    fb.set(sum, 0);
+    fb.set(i, 0);
+    fb.while_(i < n, [&] {
+      fb.set(p, rs + (i * 6151) % n);  // prime stride: cache-hostile order
+      fb.set(sum, sum + p["hot_a"] + p["hot_b"]);
+      fb.set(i, i + 1);
+    });
+    fb.ret(sum);
+  }
+  scc::Function* main_fn = mod.add_function("main");
+  {
+    FunctionBuilder fb(mod, *main_fn);
+    auto rs = fb.local("rs", Type::ptr(rec));
+    auto it = fb.local("it", Type::i64());
+    const i64 n = 40000;
+    fb.set(rs, scc::cast(fb.call(mal, {Val(n * static_cast<i64>(rec->size()))}),
+                         Type::ptr(rec)));
+    fb.set(it, 0);
+    fb.while_(it < 12, [&] {
+      fb.call_stmt(churn, {rs, Val(n)});
+      fb.set(it, it + 1);
+    });
+    fb.ret(Val(0));
+  }
+  return scc::compile(mod);
+}
+
+machine::CpuConfig tuned_machine() {
+  // D$ far smaller than the record array (no sweep reuse), E$ large enough
+  // to back D$ misses with hits — the regime where member packing pays.
+  machine::CpuConfig cfg;
+  cfg.hierarchy.dcache = {8 * 1024, 4, 32, false};
+  cfg.hierarchy.ecache = {4 * 1024 * 1024, 2, 512, true};
+  return cfg;
+}
+
+u64 measure(const sym::Image& image) {
+  mem::Memory mem;
+  image.load_into(mem);
+  machine::Cpu cpu(mem, tuned_machine());
+  cpu.set_truth_log_enabled(false);
+  cpu.set_pc(image.entry);
+  return cpu.run().cycles;
+}
+
+}  // namespace
+
+int main() {
+  std::puts("=== struct layout tuning, the §3.3 recipe ===\n");
+  const sym::Image before = build(false);
+
+  // Step 1: profile the untouched binary.
+  collect::CollectOptions opt;
+  opt.hw = "+ecstall,on,+ecrm,hi";
+  opt.cpu = tuned_machine();
+  collect::Collector collector(before, opt);
+  const experiment::Experiment ex = collector.run();
+  analyze::Analysis a(ex);
+  std::puts("-- member heat before tuning --");
+  std::fputs(analyze::render_member_expansion(a, "record").c_str(), stdout);
+
+  // Step 2: the view shows hot_a (+8) and hot_b (+40) in different D$ lines;
+  // reorder them together and pad the struct. Re-measure.
+  const u64 cyc_before = measure(before);
+  const u64 cyc_after = measure(build(true));
+  std::printf("\nbaseline layout: %llu cycles\n",
+              static_cast<unsigned long long>(cyc_before));
+  std::printf("tuned layout:    %llu cycles  (%.1f%% faster)\n",
+              static_cast<unsigned long long>(cyc_after),
+              100.0 * (1.0 - static_cast<double>(cyc_after) /
+                                 static_cast<double>(cyc_before)));
+  std::puts("\nSame loop, same instructions — the speedup is pure data layout,");
+  std::puts("found by the member-level view (paper §3.3: 16.2% on MCF).");
+  return 0;
+}

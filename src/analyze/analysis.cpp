@@ -1,0 +1,449 @@
+#include "analyze/analysis.hpp"
+
+#include <algorithm>
+#include <cstdio>
+
+#include "isa/isa.hpp"
+
+namespace dsprof::analyze {
+
+const char* data_cat_name(DataCat c) {
+  switch (c) {
+    case DataCat::Struct: return "";
+    case DataCat::Scalars: return "<Scalars>";
+    case DataCat::Unspecified: return "(Unspecified)";
+    case DataCat::Unresolvable: return "(Unresolvable)";
+    case DataCat::Unascertainable: return "(Unascertainable)";
+    case DataCat::Unidentified: return "(Unidentified)";
+    case DataCat::Unverifiable: return "(Unverifiable)";
+  }
+  return "?";
+}
+
+bool data_cat_is_unknown(DataCat c) {
+  return c == DataCat::Unspecified || c == DataCat::Unresolvable ||
+         c == DataCat::Unascertainable || c == DataCat::Unidentified ||
+         c == DataCat::Unverifiable;
+}
+
+Analysis::Analysis(std::vector<const experiment::Experiment*> exps) {
+  DSP_CHECK(!exps.empty(), "no experiments to analyze");
+  image_ = &exps[0]->image;
+  clock_hz_ = exps[0]->clock_hz;
+  page_size_ = exps[0]->page_size;
+  ec_line_size_ = exps[0]->ec_line_size;
+  for (const auto* ex : exps) {
+    DSP_CHECK(ex->image.text_words == image_->text_words && ex->image.entry == image_->entry,
+              "experiments must come from the same binary");
+    add_experiment(*ex);
+  }
+}
+
+void Analysis::add_experiment(const experiment::Experiment& ex) {
+  if (run_cycles_ == 0) {
+    run_cycles_ = ex.total_cycles;
+    run_instructions_ = ex.total_instructions;
+  }
+  if (allocations_.empty()) allocations_ = ex.allocations;
+  for (const auto& e : ex.events) add_event(ex, e);
+}
+
+void Analysis::attribute_code(u64 pc, bool artificial, size_t metric, double w,
+                              const std::vector<u64>& callstack) {
+  add_to(pc_map_[{pc, artificial}], metric, w);
+  const sym::FuncInfo* f = image_->symtab.find_function(pc);
+  const std::string leaf = f ? f->name : "<unknown code>";
+  add_to(func_map_[leaf], metric, w);
+  if (auto line = image_->symtab.line_for(pc)) add_to(line_map_[*line], metric, w);
+
+  // Inclusive metrics and caller->callee edges from the recorded callstack.
+  std::vector<std::string> frames;
+  frames.reserve(callstack.size() + 1);
+  for (u64 site : callstack) {
+    const sym::FuncInfo* cf = image_->symtab.find_function(site);
+    frames.push_back(cf ? cf->name : "<unknown code>");
+  }
+  frames.push_back(leaf);
+  // Each function on the stack gets the weight once (recursion-safe).
+  std::vector<const std::string*> seen;
+  for (const auto& name : frames) {
+    bool dup = false;
+    for (const auto* s : seen) dup |= *s == name;
+    if (!dup) {
+      add_to(incl_map_[name], metric, w);
+      seen.push_back(&name);
+    }
+  }
+  for (size_t i = 0; i + 1 < frames.size(); ++i) {
+    add_to(edge_map_[{frames[i], frames[i + 1]}], metric, w);
+  }
+}
+
+void Analysis::add_event(const experiment::Experiment& ex, const experiment::EventRecord& e) {
+  const double w = static_cast<double>(e.weight);
+  if (e.pic == machine::kClockPic) {
+    // Clock-profile sample: code-space only; skid cannot be corrected
+    // (paper §3.2.3 — User CPU shows against unlikely instructions).
+    present_[kUserCpuMetric] = true;
+    add_to(total_, kUserCpuMetric, w);
+    attribute_code(e.delivered_pc, false, kUserCpuMetric, w, e.callstack);
+    return;
+  }
+
+  const size_t metric = static_cast<size_t>(e.event);
+  present_[metric] = true;
+  add_to(total_, metric, w);
+
+  const sym::SymbolTable& st = image_->symtab;
+
+  // Was backtracking requested for this counter?
+  bool backtracked = false;
+  for (const auto& c : ex.counters) {
+    if (c.pic == e.pic) backtracked = c.backtrack;
+  }
+
+  auto data_bucket = [&](DataCat cat, sym::TypeId sid) {
+    add_to(data_map_[{static_cast<u8>(cat), sid}], metric, w);
+    add_to(data_total_, metric, w);
+  };
+
+  if (!backtracked || !e.has_candidate) {
+    // No candidate trigger: attribute code space to the delivered PC; the
+    // data object cannot be determined.
+    attribute_code(e.delivered_pc, false, metric, w, e.callstack);
+    data_bucket(DataCat::Unresolvable, sym::kInvalidType);
+    return;
+  }
+
+  if (!st.has_branch_targets()) {
+    // Cannot validate the candidate (no branch-target info, e.g. STABS).
+    attribute_code(e.candidate_pc, false, metric, w, e.callstack);
+    data_bucket(DataCat::Unverifiable, sym::kInvalidType);
+    return;
+  }
+
+  if (auto target = st.branch_target_in(e.candidate_pc, e.delivered_pc)) {
+    // A branch target between the candidate and the delivered PC: the path
+    // to the interrupt is unknown. Attribute to an artificial branch-target
+    // PC (paper §2.3, the `*<branch target>` rows of Figure 4).
+    attribute_code(*target, true, metric, w, e.callstack);
+    data_bucket(DataCat::Unresolvable, sym::kInvalidType);
+    return;
+  }
+
+  // Validated trigger PC.
+  attribute_code(e.candidate_pc, false, metric, w, e.callstack);
+
+  if (!st.hwcprof()) {
+    data_bucket(DataCat::Unascertainable, sym::kInvalidType);
+    return;
+  }
+  const sym::MemRef* ref = st.memref_for(e.candidate_pc);
+  if (!ref) {
+    data_bucket(DataCat::Unspecified, sym::kInvalidType);
+    return;
+  }
+  switch (ref->kind) {
+    case sym::MemRef::Kind::Unidentified:
+      data_bucket(DataCat::Unidentified, sym::kInvalidType);
+      break;
+    case sym::MemRef::Kind::Scalar:
+      data_bucket(DataCat::Scalars, sym::kInvalidType);
+      break;
+    case sym::MemRef::Kind::StructMember:
+      data_bucket(DataCat::Struct, ref->aggregate);
+      add_to(member_map_[{ref->aggregate, ref->member}], metric, w);
+      break;
+  }
+  if (e.has_ea) ea_samples_.push_back({e.ea, metric, w});
+}
+
+// ---------------------------------------------------------------------------
+// Code-space views
+
+std::vector<Analysis::FunctionRow> Analysis::functions(size_t sort_metric) const {
+  std::vector<FunctionRow> rows;
+  for (const auto& [name, mv] : func_map_) rows.push_back({name, mv});
+  std::sort(rows.begin(), rows.end(), [&](const FunctionRow& a, const FunctionRow& b) {
+    if (a.mv[sort_metric] != b.mv[sort_metric]) return a.mv[sort_metric] > b.mv[sort_metric];
+    return a.name < b.name;
+  });
+  return rows;
+}
+
+std::vector<Analysis::FunctionRow> Analysis::functions_inclusive(size_t sort_metric) const {
+  std::vector<FunctionRow> rows;
+  for (const auto& [name, mv] : incl_map_) rows.push_back({name, mv});
+  std::sort(rows.begin(), rows.end(), [&](const FunctionRow& a, const FunctionRow& b) {
+    if (a.mv[sort_metric] != b.mv[sort_metric]) return a.mv[sort_metric] > b.mv[sort_metric];
+    return a.name < b.name;
+  });
+  return rows;
+}
+
+std::vector<Analysis::EdgeRow> Analysis::callers_of(const std::string& function) const {
+  std::vector<EdgeRow> rows;
+  for (const auto& [edge, mv] : edge_map_) {
+    if (edge.second == function) rows.push_back({edge.first, mv});
+  }
+  std::sort(rows.begin(), rows.end(),
+            [](const EdgeRow& a, const EdgeRow& b) { return a.name < b.name; });
+  return rows;
+}
+
+std::vector<Analysis::EdgeRow> Analysis::callees_of(const std::string& function) const {
+  std::vector<EdgeRow> rows;
+  for (const auto& [edge, mv] : edge_map_) {
+    if (edge.first == function) rows.push_back({edge.second, mv});
+  }
+  std::sort(rows.begin(), rows.end(),
+            [](const EdgeRow& a, const EdgeRow& b) { return a.name < b.name; });
+  return rows;
+}
+
+std::vector<Analysis::PcRow> Analysis::pcs(size_t sort_metric) const {
+  std::vector<PcRow> rows;
+  for (const auto& [key, mv] : pc_map_) rows.push_back({key.first, key.second, mv});
+  std::sort(rows.begin(), rows.end(), [&](const PcRow& a, const PcRow& b) {
+    if (a.mv[sort_metric] != b.mv[sort_metric]) return a.mv[sort_metric] > b.mv[sort_metric];
+    return a.pc < b.pc;
+  });
+  return rows;
+}
+
+std::string Analysis::pc_name(u64 pc) const {
+  const sym::FuncInfo* f = image_->symtab.find_function(pc);
+  char buf[64];
+  if (f) {
+    std::snprintf(buf, sizeof buf, "%s + 0x%08llX", f->name.c_str(),
+                  static_cast<unsigned long long>(pc - f->lo));
+    return buf;
+  }
+  std::snprintf(buf, sizeof buf, "0x%llx", static_cast<unsigned long long>(pc));
+  return buf;
+}
+
+std::vector<Analysis::LineRow> Analysis::annotated_source(const std::string& function) const {
+  const sym::SymbolTable& st = image_->symtab;
+  const sym::FuncInfo* fi = nullptr;
+  for (const auto& f : st.functions()) {
+    if (f.name == function) fi = &f;
+  }
+  DSP_CHECK(fi != nullptr, "no such function: " + function);
+
+  // Line range covered by the function's instructions.
+  u32 lo = ~u32{0}, hi = 0;
+  for (u64 pc = fi->lo; pc < fi->hi; pc += 4) {
+    if (auto l = st.line_for(pc)) {
+      lo = std::min(lo, *l);
+      hi = std::max(hi, *l);
+    }
+  }
+  std::vector<LineRow> rows;
+  if (hi == 0) return rows;
+  for (u32 line = lo; line <= hi; ++line) {
+    LineRow r;
+    r.line = line;
+    if (const std::string* text = st.source_text(line)) r.text = *text;
+    if (auto it = line_map_.find(line); it != line_map_.end()) r.mv = it->second;
+    rows.push_back(std::move(r));
+  }
+  return rows;
+}
+
+std::vector<Analysis::DisasmRow> Analysis::annotated_disassembly(
+    const std::string& function) const {
+  const sym::SymbolTable& st = image_->symtab;
+  const sym::FuncInfo* fi = nullptr;
+  for (const auto& f : st.functions()) {
+    if (f.name == function) fi = &f;
+  }
+  DSP_CHECK(fi != nullptr, "no such function: " + function);
+
+  std::vector<DisasmRow> rows;
+  for (u64 pc = fi->lo; pc < fi->hi; pc += 4) {
+    // Artificial branch-target row first (paper Figure 4's starred lines).
+    if (auto t = st.branch_target_in(pc - 1, pc)) {
+      if (*t == pc) {
+        DisasmRow r;
+        r.pc = pc;
+        r.artificial = true;
+        r.line = st.line_for(pc).value_or(0);
+        r.text = "<branch target>";
+        if (auto it = pc_map_.find({pc, true}); it != pc_map_.end()) r.mv = it->second;
+        rows.push_back(std::move(r));
+      }
+    }
+    DisasmRow r;
+    r.pc = pc;
+    r.line = st.line_for(pc).value_or(0);
+    const u64 idx = (pc - image_->text_base) / 4;
+    r.text = isa::disassemble(isa::decode(image_->text_words[idx]), pc);
+    r.data_annot = st.memref_string(pc);
+    if (auto it = pc_map_.find({pc, false}); it != pc_map_.end()) r.mv = it->second;
+    rows.push_back(std::move(r));
+  }
+  return rows;
+}
+
+// ---------------------------------------------------------------------------
+// Data-space views
+
+std::vector<Analysis::DataObjectRow> Analysis::data_objects(size_t sort_metric) const {
+  std::vector<DataObjectRow> rows;
+  for (const auto& [key, mv] : data_map_) {
+    DataObjectRow r;
+    r.cat = static_cast<DataCat>(key.first);
+    r.sid = key.second;
+    r.mv = mv;
+    if (r.cat == DataCat::Struct) {
+      r.name = image_->symtab.types().aggregate_string(r.sid);
+    } else {
+      r.name = data_cat_name(r.cat);
+    }
+    rows.push_back(std::move(r));
+  }
+  std::sort(rows.begin(), rows.end(), [&](const DataObjectRow& a, const DataObjectRow& b) {
+    if (a.mv[sort_metric] != b.mv[sort_metric]) return a.mv[sort_metric] > b.mv[sort_metric];
+    return a.name < b.name;
+  });
+  return rows;
+}
+
+std::vector<Analysis::MemberRow> Analysis::members(const std::string& struct_name) const {
+  const sym::TypeTable& tt = image_->symtab.types();
+  const sym::TypeId sid = tt.find_struct(struct_name);
+  DSP_CHECK(sid != sym::kInvalidType, "no such struct: " + struct_name);
+  const sym::Type& t = tt.get(sid);
+
+  std::vector<MemberRow> rows;
+  for (u32 m = 0; m < t.members.size(); ++m) {
+    const sym::Member& mem = t.members[m];
+    MemberRow r;
+    r.member = m;
+    r.offset = mem.offset;
+    r.name = "+" + std::to_string(mem.offset) + ". {" + tt.type_string(mem.type) + " " +
+             mem.name + "}";
+    if (auto it = member_map_.find({sid, m}); it != member_map_.end()) r.mv = it->second;
+    rows.push_back(std::move(r));
+  }
+  std::sort(rows.begin(), rows.end(),
+            [](const MemberRow& a, const MemberRow& b) { return a.offset < b.offset; });
+  return rows;
+}
+
+std::vector<Analysis::EffectivenessRow> Analysis::effectiveness() const {
+  std::vector<EffectivenessRow> rows;
+  for (size_t metric = 0; metric < machine::kNumHwEvents; ++metric) {
+    if (!present_[metric]) continue;
+    EffectivenessRow r;
+    r.metric = metric;
+    for (const auto& [key, mv] : data_map_) {
+      const auto cat = static_cast<DataCat>(key.first);
+      r.total += mv[metric];
+      if (cat == DataCat::Unresolvable || cat == DataCat::Unascertainable ||
+          cat == DataCat::Unverifiable) {
+        r.unresolved += mv[metric];
+      }
+    }
+    if (r.total > 0) rows.push_back(r);
+  }
+  return rows;
+}
+
+// ---------------------------------------------------------------------------
+// Address-space views
+
+namespace {
+
+const char* classify_segment(const sym::Image& img, u64 ea) {
+  if (ea >= img.text_base && ea < img.text_base + img.text_size()) return "text";
+  if (ea >= img.data_base && ea < img.data_base + std::max(img.data_size, u64{8})) return "data";
+  if (ea >= img.heap_base && ea < img.heap_base + img.heap_size) return "heap";
+  if (ea >= mem::kStackTop - mem::kStackSize && ea < mem::kStackTop + 0x4000) return "stack";
+  return "other";
+}
+
+}  // namespace
+
+std::vector<Analysis::AddrRow> Analysis::segments() const {
+  std::map<std::string, MetricVector> acc;
+  for (const auto& s : ea_samples_) {
+    add_to(acc[classify_segment(*image_, s.ea)], s.metric, s.w);
+  }
+  std::vector<AddrRow> rows;
+  for (const auto& [name, mv] : acc) rows.push_back({name, 0, mv});
+  return rows;
+}
+
+std::vector<Analysis::AddrRow> Analysis::pages(size_t sort_metric, size_t top_n) const {
+  std::map<u64, MetricVector> acc;
+  for (const auto& s : ea_samples_) add_to(acc[s.ea / page_size_ * page_size_], s.metric, s.w);
+  std::vector<AddrRow> rows;
+  for (const auto& [page, mv] : acc) {
+    char buf[32];
+    std::snprintf(buf, sizeof buf, "0x%llx", static_cast<unsigned long long>(page));
+    rows.push_back({buf, page, mv});
+  }
+  std::sort(rows.begin(), rows.end(), [&](const AddrRow& a, const AddrRow& b) {
+    return a.mv[sort_metric] > b.mv[sort_metric];
+  });
+  if (rows.size() > top_n) rows.resize(top_n);
+  return rows;
+}
+
+std::vector<Analysis::AddrRow> Analysis::cache_lines(size_t sort_metric, size_t top_n) const {
+  std::map<u64, MetricVector> acc;
+  for (const auto& s : ea_samples_) {
+    add_to(acc[s.ea / ec_line_size_ * ec_line_size_], s.metric, s.w);
+  }
+  std::vector<AddrRow> rows;
+  for (const auto& [line, mv] : acc) {
+    char buf[32];
+    std::snprintf(buf, sizeof buf, "0x%llx", static_cast<unsigned long long>(line));
+    rows.push_back({buf, line, mv});
+  }
+  std::sort(rows.begin(), rows.end(), [&](const AddrRow& a, const AddrRow& b) {
+    return a.mv[sort_metric] > b.mv[sort_metric];
+  });
+  if (rows.size() > top_n) rows.resize(top_n);
+  return rows;
+}
+
+std::vector<Analysis::InstanceRow> Analysis::instances(size_t sort_metric, size_t top_n) const {
+  if (allocations_.empty()) return {};
+  // Allocations from a bump allocator are address-sorted; be safe anyway.
+  std::vector<std::pair<u64, u64>> allocs = allocations_;
+  std::sort(allocs.begin(), allocs.end());
+  std::map<size_t, MetricVector> acc;
+  for (const auto& s : ea_samples_) {
+    auto it = std::upper_bound(allocs.begin(), allocs.end(), std::make_pair(s.ea, ~u64{0}));
+    if (it == allocs.begin()) continue;
+    --it;
+    if (s.ea >= it->first && s.ea < it->first + it->second) {
+      add_to(acc[static_cast<size_t>(it - allocs.begin())], s.metric, s.w);
+    }
+  }
+  std::vector<InstanceRow> rows;
+  for (const auto& [idx, mv] : acc) {
+    rows.push_back({allocs[idx].first, allocs[idx].second, idx, mv});
+  }
+  std::sort(rows.begin(), rows.end(), [&](const InstanceRow& a, const InstanceRow& b) {
+    return a.mv[sort_metric] > b.mv[sort_metric];
+  });
+  if (rows.size() > top_n) rows.resize(top_n);
+  return rows;
+}
+
+double Analysis::split_fraction(u64 base, u64 obj_size, u64 count, u64 line_size) {
+  DSP_CHECK(obj_size > 0 && count > 0 && is_pow2(line_size), "bad split_fraction args");
+  u64 split = 0;
+  for (u64 i = 0; i < count; ++i) {
+    const u64 start = base + i * obj_size;
+    const u64 end = start + obj_size - 1;
+    if ((start / line_size) != (end / line_size)) ++split;
+  }
+  return static_cast<double>(split) / static_cast<double>(count);
+}
+
+}  // namespace dsprof::analyze

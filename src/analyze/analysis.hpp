@@ -1,0 +1,204 @@
+// The analyzer's data-reduction core (paper §2.3): validate candidate
+// trigger PCs against the branch-target table, attribute metrics to PCs /
+// functions / source lines (code space) and to data-object types and members
+// (data space), with the <Unknown> breakdown of §3.2.5:
+//   (Unspecified)     compiler gave no symbolic reference for the trigger PC
+//   (Unresolvable)    backtracking could not determine the trigger PC
+//                     (blocked by an intervening branch target, or no memory
+//                     op within the search window)
+//   (Unascertainable) module not compiled with -xhwcprof
+//   (Unidentified)    compiler did not identify the object (temporary)
+//   (Unverifiable)    branch-target info inadequate to validate the trigger
+#pragma once
+
+#include <map>
+#include <vector>
+
+#include "analyze/metrics.hpp"
+#include "experiment/experiment.hpp"
+
+namespace dsprof::analyze {
+
+/// Data-object categories (the <Unknown> children plus real objects).
+enum class DataCat : u8 {
+  Struct,
+  Scalars,
+  Unspecified,
+  Unresolvable,
+  Unascertainable,
+  Unidentified,
+  Unverifiable,
+};
+
+const char* data_cat_name(DataCat c);
+bool data_cat_is_unknown(DataCat c);  // true for the five <Unknown> children
+
+class Analysis {
+ public:
+  /// Analyze one or more experiments from the *same binary* together (the
+  /// paper's MCF study combines two collect runs).
+  explicit Analysis(std::vector<const experiment::Experiment*> exps);
+  explicit Analysis(const experiment::Experiment& ex)
+      : Analysis(std::vector<const experiment::Experiment*>{&ex}) {}
+
+  const sym::SymbolTable& symtab() const { return image_->symtab; }
+  const sym::Image& image() const { return *image_; }
+  u64 clock_hz() const { return clock_hz_; }
+  /// Cycles/instructions of the (first) profiled run.
+  u64 run_cycles() const { return run_cycles_; }
+  u64 run_instructions() const { return run_instructions_; }
+  const std::vector<std::pair<u64, u64>>& allocations() const { return allocations_; }
+  u64 page_size() const { return page_size_; }
+  u64 ec_line_size() const { return ec_line_size_; }
+
+  /// Which metrics have any data.
+  const std::array<bool, kNumMetrics>& present() const { return present_; }
+
+  /// Grand totals per metric (the <Total> pseudo-function).
+  const MetricVector& total() const { return total_; }
+  /// Data-space grand totals (clock samples carry no data metrics).
+  const MetricVector& data_total() const { return data_total_; }
+
+  double seconds(double cycles) const { return cycles / static_cast<double>(clock_hz_); }
+
+  // --- code-space views -----------------------------------------------------
+  struct FunctionRow {
+    std::string name;
+    MetricVector mv{};
+  };
+  /// Exclusive metrics per function, descending by `sort_metric`.
+  std::vector<FunctionRow> functions(size_t sort_metric) const;
+
+  /// Inclusive metrics (exclusive + everything called from the function,
+  /// via the recorded callstacks), descending by `sort_metric`.
+  std::vector<FunctionRow> functions_inclusive(size_t sort_metric) const;
+
+  /// Callers-callees view (paper §2.3: "to show callers and callees of a
+  /// function, with information about how the performance metrics are
+  /// attributed"). `attributed` is the weight flowing through that edge.
+  struct EdgeRow {
+    std::string name;
+    MetricVector attributed{};
+  };
+  std::vector<EdgeRow> callers_of(const std::string& function) const;
+  std::vector<EdgeRow> callees_of(const std::string& function) const;
+
+  struct PcRow {
+    u64 pc = 0;
+    bool artificial = false;  // an inserted <branch target> PC
+    MetricVector mv{};
+  };
+  std::vector<PcRow> pcs(size_t sort_metric) const;
+  /// "refresh_potential + 0x000000D0" (paper Figure 5 naming).
+  std::string pc_name(u64 pc) const;
+
+  struct LineRow {
+    u32 line = 0;
+    std::string text;
+    MetricVector mv{};
+  };
+  /// Annotated source of a function (paper Figure 3).
+  std::vector<LineRow> annotated_source(const std::string& function) const;
+
+  struct DisasmRow {
+    u64 pc = 0;
+    bool artificial = false;  // "<branch target>" marker row
+    u32 line = 0;
+    std::string text;        // disassembly, or "<branch target>"
+    std::string data_annot;  // "{structure:node -}.{long orientation}"
+    MetricVector mv{};
+  };
+  /// Annotated disassembly of a function (paper Figure 4).
+  std::vector<DisasmRow> annotated_disassembly(const std::string& function) const;
+
+  // --- data-space views -------------------------------------------------------
+  struct DataObjectRow {
+    DataCat cat = DataCat::Struct;
+    sym::TypeId sid = sym::kInvalidType;
+    std::string name;  // "{structure:arc -}", "(Unresolvable)", "<Scalars>"
+    MetricVector mv{};
+  };
+  /// All data objects, descending by `sort_metric`. The <Unknown> aggregate
+  /// is not included (it is the sum of the rows whose cat is an unknown).
+  std::vector<DataObjectRow> data_objects(size_t sort_metric) const;
+
+  struct MemberRow {
+    u32 member = 0;
+    u64 offset = 0;
+    std::string name;  // "+56 {long orientation}"
+    MetricVector mv{};
+  };
+  /// Member expansion of a struct data object (paper Figure 7), in layout
+  /// (offset) order, including zero-metric members.
+  std::vector<MemberRow> members(const std::string& struct_name) const;
+
+  /// Backtracking effectiveness per hardware metric (§3.2.5): fraction of
+  /// the metric's data-space total attributed to real objects, i.e.
+  /// 1 - (Unresolvable + Unascertainable [+ Unverifiable]).
+  struct EffectivenessRow {
+    size_t metric = 0;
+    double total = 0;
+    double unresolved = 0;  // Unresolvable + Unascertainable + Unverifiable
+    double effectiveness() const { return total == 0 ? 1.0 : 1.0 - unresolved / total; }
+  };
+  std::vector<EffectivenessRow> effectiveness() const;
+
+  // --- address-space views (paper §4 future work) ----------------------------
+  struct AddrRow {
+    std::string name;
+    u64 key = 0;
+    MetricVector mv{};
+  };
+  /// Metrics by memory segment (text/data/heap/stack).
+  std::vector<AddrRow> segments() const;
+  /// Hottest pages / E$ lines by `sort_metric`.
+  std::vector<AddrRow> pages(size_t sort_metric, size_t top_n) const;
+  std::vector<AddrRow> cache_lines(size_t sort_metric, size_t top_n) const;
+  /// Hottest allocated object instances (via the allocation log).
+  struct InstanceRow {
+    u64 base = 0, size = 0;
+    u64 alloc_index = 0;
+    MetricVector mv{};
+  };
+  std::vector<InstanceRow> instances(size_t sort_metric, size_t top_n) const;
+
+  /// Fraction of `count` objects of `obj_size` bytes starting at `base` that
+  /// straddle an `line_size`-byte cache-line boundary (the paper's "28% of
+  /// these 120-byte data objects end up split" statistic).
+  static double split_fraction(u64 base, u64 obj_size, u64 count, u64 line_size);
+
+ private:
+  void add_experiment(const experiment::Experiment& ex);
+  void add_event(const experiment::Experiment& ex, const experiment::EventRecord& e);
+  void attribute_code(u64 pc, bool artificial, size_t metric, double w,
+                      const std::vector<u64>& callstack);
+
+  const sym::Image* image_ = nullptr;
+  u64 run_cycles_ = 0;
+  u64 run_instructions_ = 0;
+  u64 clock_hz_ = 900'000'000;
+  u64 page_size_ = 8192;
+  u64 ec_line_size_ = 512;
+  std::vector<std::pair<u64, u64>> allocations_;
+
+  std::array<bool, kNumMetrics> present_{};
+  MetricVector total_{};
+  MetricVector data_total_{};
+
+  std::map<std::pair<u64, bool>, MetricVector> pc_map_;
+  std::map<std::string, MetricVector> func_map_;
+  std::map<std::string, MetricVector> incl_map_;
+  std::map<std::pair<std::string, std::string>, MetricVector> edge_map_;  // caller -> callee
+  std::map<u32, MetricVector> line_map_;
+  std::map<std::pair<u8, u32>, MetricVector> data_map_;  // (cat, sid)
+  std::map<std::pair<u32, u32>, MetricVector> member_map_;  // (sid, member)
+
+  struct EaSample {
+    u64 ea;
+    size_t metric;
+    double w;
+  };
+  std::vector<EaSample> ea_samples_;
+};
+
+}  // namespace dsprof::analyze

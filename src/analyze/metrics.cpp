@@ -1,0 +1,25 @@
+#include "analyze/metrics.hpp"
+
+namespace dsprof::analyze {
+
+std::string metric_name(size_t metric) {
+  if (metric == kUserCpuMetric) return "User CPU";
+  return machine::hw_event_info(static_cast<machine::HwEvent>(metric)).description;
+}
+
+std::string metric_short_name(size_t metric) {
+  if (metric == kUserCpuMetric) return "ucpu";
+  return machine::hw_event_info(static_cast<machine::HwEvent>(metric)).name;
+}
+
+bool metric_in_cycles(size_t metric) {
+  if (metric == kUserCpuMetric) return true;
+  return machine::hw_event_info(static_cast<machine::HwEvent>(metric)).counts_cycles;
+}
+
+size_t metric_by_short_name(const std::string& name) {
+  if (name == "ucpu") return kUserCpuMetric;
+  return static_cast<size_t>(machine::hw_event_by_name(name));
+}
+
+}  // namespace dsprof::analyze

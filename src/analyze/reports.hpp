@@ -1,0 +1,47 @@
+// er_print-style text renderers producing the listings of the paper's
+// Figures 1-7, plus the §4 future-work views (effectiveness, segments,
+// pages, cache lines, instances).
+#pragma once
+
+#include <string>
+
+#include "analyze/analysis.hpp"
+
+namespace dsprof::analyze {
+
+/// Figure 1: metrics for the artificial <Total> function.
+std::string render_overview(const Analysis& a);
+
+/// Figure 2: the function list with exclusive metrics.
+std::string render_function_list(const Analysis& a);
+
+/// Callers-callees of one function (paper §2.3): attributed metrics for the
+/// callers above and the callees below the function's own row.
+std::string render_callers_callees(const Analysis& a, const std::string& function);
+
+/// Figure 3: annotated source of a function.
+std::string render_annotated_source(const Analysis& a, const std::string& function);
+
+/// Figure 4: annotated disassembly of a function (with <branch target> rows
+/// and data-object descriptors).
+std::string render_annotated_disassembly(const Analysis& a, const std::string& function);
+
+/// Figure 5: PCs ranked by a metric, with data-object annotations.
+std::string render_hot_pcs(const Analysis& a, size_t sort_metric, size_t top_n = 20);
+
+/// Figure 6: data objects ranked by a metric, with the <Unknown> breakdown.
+std::string render_data_objects(const Analysis& a, size_t sort_metric);
+
+/// Figure 7: member expansion of one structure.
+std::string render_member_expansion(const Analysis& a, const std::string& struct_name);
+
+/// §3.2.5: apropos backtracking effectiveness per counter.
+std::string render_effectiveness(const Analysis& a);
+
+/// §4 future work: metrics by memory segment / page / E$ line / instance.
+std::string render_segments(const Analysis& a);
+std::string render_pages(const Analysis& a, size_t sort_metric, size_t top_n = 10);
+std::string render_cache_lines(const Analysis& a, size_t sort_metric, size_t top_n = 10);
+std::string render_instances(const Analysis& a, size_t sort_metric, size_t top_n = 10);
+
+}  // namespace dsprof::analyze

@@ -1,0 +1,82 @@
+#include "cache/hierarchy.hpp"
+
+namespace dsprof::cache {
+
+HierarchyConfig HierarchyConfig::ultrasparc3() { return HierarchyConfig{}; }
+
+MemoryHierarchy::MemoryHierarchy(const HierarchyConfig& cfg)
+    : cfg_(cfg), dc_(cfg.dcache), ic_(cfg.icache), ec_(cfg.ecache), dtlb_(cfg.dtlb) {}
+
+AccessOutcome MemoryHierarchy::data_access(u64 addr, bool write) {
+  AccessOutcome out;
+  if (!dtlb_.lookup(addr)) {
+    out.dtlb_miss = true;
+    out.stall_cycles += cfg_.dtlb_miss_cycles;
+  }
+  const CacheAccess dc = dc_.access(addr, write);
+  if (write) {
+    // Write-through: the store always reaches the E$ via the store buffer.
+    out.dc_wr_miss = !dc.hit;
+    out.ec_ref = true;
+    const CacheAccess ec = ec_.access(addr, /*write=*/true);
+    out.ec_wr_miss = !ec.hit;
+    // Store-buffer latency is hidden; no stall charged.
+    return out;
+  }
+  if (dc.hit) {
+    out.stall_cycles += cfg_.dc_hit_cycles;
+    return out;
+  }
+  out.dc_rd_miss = true;
+  out.ec_ref = true;
+  const CacheAccess ec = ec_.access(addr, /*write=*/false);
+  const u64 line = ec_.line_addr(addr);
+  if (ec.hit) {
+    out.stall_cycles += cfg_.ec_hit_cycles;
+    // Keep a detected stream running: a hit on the line we last prefetched
+    // triggers the next-line fill.
+    if (cfg_.ec_stream_prefetch && line == stream_next_line_) {
+      ec_.fill_line(line + cfg_.ecache.line_size);
+      stream_next_line_ = line + cfg_.ecache.line_size;
+    }
+  } else {
+    out.ec_rd_miss = true;
+    out.ec_stall_cycles = cfg_.ec_miss_cycles;
+    out.stall_cycles += cfg_.ec_miss_cycles;
+    if (cfg_.ec_stream_prefetch) {
+      ec_.fill_line(line + cfg_.ecache.line_size);
+      stream_next_line_ = line + cfg_.ecache.line_size;
+    }
+  }
+  return out;
+}
+
+AccessOutcome MemoryHierarchy::load(u64 addr) { return data_access(addr, /*write=*/false); }
+
+AccessOutcome MemoryHierarchy::store(u64 addr) { return data_access(addr, /*write=*/true); }
+
+AccessOutcome MemoryHierarchy::prefetch(u64 addr) {
+  // Non-faulting, non-blocking: fills E$ (and D$) in the background. A TLB
+  // miss aborts a real prefetch, so we only proceed on a resident page.
+  AccessOutcome out;
+  if (!dtlb_.probe(addr)) return out;
+  const CacheAccess ec = ec_.fill_line(addr);
+  out.ec_ref = !ec.hit;
+  dc_.fill_line(addr);
+  return out;
+}
+
+AccessOutcome MemoryHierarchy::fetch(u64 pc) {
+  AccessOutcome out;
+  const u64 line = ic_.line_addr(pc);
+  if (line == last_fetch_line_) return out;  // sequential fetch within a line
+  last_fetch_line_ = line;
+  const CacheAccess ic = ic_.access(pc, /*write=*/false);
+  if (!ic.hit) {
+    out.ic_miss = true;
+    out.stall_cycles += cfg_.ic_miss_cycles;
+  }
+  return out;
+}
+
+}  // namespace dsprof::cache

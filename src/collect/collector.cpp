@@ -1,0 +1,241 @@
+#include "collect/collector.hpp"
+
+#include <sstream>
+
+#include "support/rng.hpp"
+
+namespace dsprof::collect {
+
+using machine::HwEvent;
+using machine::HwEventInfo;
+using machine::TriggerKind;
+
+u64 overflow_interval(HwEvent ev, const std::string& rate) {
+  // Base "on" intervals tuned for simulator-scale runs (10^8-10^9 cycles):
+  // enough samples for stable profiles, sparse enough not to distort them.
+  u64 base = 0;
+  switch (ev) {
+    case HwEvent::Cycle_cnt: base = 900'000; break;  // ~1 ms at 900 MHz
+    case HwEvent::Instr_cnt: base = 1'000'000; break;
+    case HwEvent::IC_miss: base = 1'000; break;
+    case HwEvent::DC_rd_miss: base = 10'000; break;
+    case HwEvent::DC_wr_miss: base = 10'000; break;
+    case HwEvent::EC_ref: base = 20'000; break;
+    case HwEvent::EC_rd_miss: base = 1'000; break;
+    case HwEvent::EC_stall_cycles: base = 100'000; break;
+    case HwEvent::DTLB_miss: base = 500; break;
+    default: fail("bad event");
+  }
+  if (rate == "on") return next_prime(base);
+  if (rate == "hi") return next_prime(std::max<u64>(base / 10, 13));
+  if (rate == "lo") return next_prime(base * 10);
+  // Numeric interval.
+  u64 v = 0;
+  for (char c : rate) {
+    DSP_CHECK(c >= '0' && c <= '9', "bad counter rate: " + rate);
+    v = v * 10 + static_cast<u64>(c - '0');
+  }
+  DSP_CHECK(v > 0, "counter interval must be positive");
+  return v;
+}
+
+std::vector<experiment::CounterSpec> parse_counter_spec(const std::string& spec) {
+  std::vector<experiment::CounterSpec> out;
+  if (spec.empty()) return out;
+  // Tokenize on commas: name,rate pairs.
+  std::vector<std::string> tok;
+  std::string cur;
+  for (char c : spec) {
+    if (c == ',') {
+      tok.push_back(cur);
+      cur.clear();
+    } else {
+      cur.push_back(c);
+    }
+  }
+  tok.push_back(cur);
+  DSP_CHECK(tok.size() % 2 == 0, "counter spec must be name,rate pairs: " + spec);
+
+  bool pic_used[machine::kNumPics] = {};
+  for (size_t i = 0; i < tok.size(); i += 2) {
+    std::string name = tok[i];
+    experiment::CounterSpec c;
+    if (!name.empty() && name[0] == '+') {
+      c.backtrack = true;
+      name = name.substr(1);
+    }
+    c.event = machine::hw_event_by_name(name);
+    c.interval = overflow_interval(c.event, tok[i + 1]);
+    const HwEventInfo& info = machine::hw_event_info(c.event);
+    bool placed = false;
+    for (unsigned pic = 0; pic < machine::kNumPics; ++pic) {
+      if ((info.pic_mask & (1u << pic)) && !pic_used[pic]) {
+        pic_used[pic] = true;
+        c.pic = pic;
+        placed = true;
+        break;
+      }
+    }
+    DSP_CHECK(placed, "counter " + name +
+                          " cannot be scheduled: its register is already in use "
+                          "(two counters must be on different registers)");
+    out.push_back(c);
+  }
+  DSP_CHECK(out.size() <= machine::kNumPics, "at most two hardware counters");
+  return out;
+}
+
+std::string list_counters() {
+  std::ostringstream os;
+  os << "Available hardware counters (UltraSPARC-III-like):\n";
+  for (size_t i = 0; i < machine::kNumHwEvents; ++i) {
+    const HwEventInfo& e = machine::hw_event_info(static_cast<HwEvent>(i));
+    os << "  " << e.name;
+    for (size_t pad = std::string(e.name).size(); pad < 10; ++pad) os << ' ';
+    os << e.description << (e.counts_cycles ? " (cycles)" : " (events)") << ", PIC";
+    if (e.pic_mask & 1) os << "0";
+    if (e.pic_mask & 2) os << (e.pic_mask & 1 ? "/1" : "1");
+    os << ", skid " << e.skid_min << "-" << e.skid_max << " instructions\n";
+  }
+  os << "Prefix a name with '+' to enable apropos backtracking search.\n";
+  return os.str();
+}
+
+Collector::Collector(const sym::Image& image, CollectOptions opt)
+    : image_(image), opt_(std::move(opt)) {
+  counters_ = parse_counter_spec(opt_.hw);
+  if (opt_.clock != "off" && !opt_.clock.empty()) {
+    clock_interval_ = overflow_interval(HwEvent::Cycle_cnt, opt_.clock);
+  }
+}
+
+Collector::BacktrackResult Collector::backtrack(const machine::OverflowDelivery& d) {
+  BacktrackResult r;
+  const TriggerKind kind = machine::hw_event_info(d.event).trigger;
+  if (kind == TriggerKind::Any) return r;  // nothing to search for
+
+  const u64 text_lo = image_.text_base;
+  const u64 text_hi = image_.text_base + image_.text_size();
+
+  // Walk back in address order from the instruction before the delivered PC
+  // (the delivered PC is the *next* instruction to issue, §2.2.2).
+  u64 pc = d.delivered_pc;
+  for (u32 step = 0; step < opt_.backtrack_window; ++step) {
+    if (pc < text_lo + 4 || pc > text_hi) break;
+    pc -= 4;
+    const isa::Instr ins = isa::decode(mem_->fetch_word(pc));
+    const isa::OpInfo& info = isa::op_info(ins.op);
+    const bool matches = kind == TriggerKind::Load
+                             ? info.is_load
+                             : (info.is_load || info.is_store || info.is_prefetch);
+    if (!matches) continue;
+
+    r.found = true;
+    r.candidate_pc = pc;
+
+    // Effective-address recomputation: usable only if neither the candidate
+    // itself (a load overwriting its own base register) nor any instruction
+    // between it and the delivered PC wrote the address registers
+    // (registers may have been changed while the counter was skidding).
+    const auto ea = isa::ea_expr(ins);
+    DSP_CHECK(ea.has_value(), "memory op without EA expression");
+    bool clobbered = false;
+    if (info.is_load && ins.rd != 0 &&
+        (ins.rd == ea->rs1 || (!ea->has_imm && ins.rd == ea->rs2))) {
+      clobbered = true;
+    }
+    for (u64 q = pc + 4; q < d.delivered_pc; q += 4) {
+      const isa::Instr between = isa::decode(mem_->fetch_word(q));
+      const isa::OpInfo& binfo = isa::op_info(between.op);
+      u8 written = 32;  // none
+      if (binfo.is_load || (!binfo.is_store && !binfo.is_branch && !binfo.is_call &&
+                            !binfo.is_prefetch && between.op != isa::Op::ILLEGAL &&
+                            between.op != isa::Op::HCALL)) {
+        written = between.rd;
+      }
+      if (binfo.is_call) written = isa::kLink;
+      if (written != 32 && written != 0) {
+        if (written == ea->rs1 || (!ea->has_imm && written == ea->rs2)) {
+          clobbered = true;
+          break;
+        }
+      }
+    }
+    if (!clobbered) {
+      const u64 base = d.regs[ea->rs1];
+      const u64 off = ea->has_imm ? static_cast<u64>(ea->imm) : d.regs[ea->rs2];
+      r.ea_known = true;
+      r.ea = base + off;
+    }
+    return r;
+  }
+  return r;  // nothing found within the window: (Unresolvable)
+}
+
+void Collector::on_overflow(const machine::OverflowDelivery& d) {
+  experiment::EventRecord e;
+  e.pic = static_cast<u8>(d.pic);
+  e.event = d.event;
+  e.weight = d.interval;
+  e.delivered_pc = d.delivered_pc;
+  e.callstack = d.callstack;
+  e.seq = d.seq;
+
+  if (d.pic != machine::kClockPic) {
+    // Apropos backtracking only if requested for this counter.
+    bool want_backtrack = false;
+    for (const auto& c : counters_) {
+      if (c.pic == d.pic) want_backtrack = c.backtrack;
+    }
+    if (want_backtrack) {
+      const BacktrackResult r = backtrack(d);
+      e.has_candidate = r.found;
+      e.candidate_pc = r.candidate_pc;
+      e.has_ea = r.ea_known;
+      e.ea = r.ea;
+    }
+  }
+  events_.push_back(e);
+}
+
+experiment::Experiment Collector::run(const std::function<void(machine::Cpu&)>& setup) {
+  mem_ = std::make_unique<mem::Memory>();
+  image_.load_into(*mem_);
+  cpu_ = std::make_unique<machine::Cpu>(*mem_, opt_.cpu);
+  cpu_->set_pc(image_.entry);
+
+  for (const auto& c : counters_) cpu_->configure_pic(c.pic, c.event, c.interval);
+  if (clock_interval_ != 0) cpu_->configure_clock_profiling(clock_interval_);
+  cpu_->on_overflow = [this](const machine::OverflowDelivery& d) { on_overflow(d); };
+
+  if (setup) setup(*cpu_);
+
+  events_.clear();
+  const machine::RunResult rr = cpu_->run(opt_.max_instructions);
+
+  experiment::Experiment ex;
+  ex.image = image_;
+  ex.counters = counters_;
+  ex.clock_interval = clock_interval_;
+  ex.clock_hz = opt_.cpu.clock_hz;
+  ex.page_size = opt_.cpu.hierarchy.dtlb.page_size;
+  ex.ec_line_size = opt_.cpu.hierarchy.ecache.line_size;
+  ex.events = std::move(events_);
+  ex.allocations = cpu_->allocations();
+  ex.total_cycles = rr.cycles;
+  ex.total_instructions = rr.instructions;
+  ex.truth = cpu_->truth_log();
+
+  std::ostringstream log;
+  log << "collect: hw='" << opt_.hw << "' clock='" << opt_.clock << "'\n";
+  log << "target: " << image_.text_size() / 4 << " instructions of text, entry 0x" << std::hex
+      << image_.entry << std::dec << "\n";
+  log << "run: " << (rr.halted ? "exited" : "stopped") << ", exit code " << rr.exit_code
+      << ", " << rr.instructions << " instructions, " << rr.cycles << " cycles ("
+      << ex.seconds(rr.cycles) << " s at " << ex.clock_hz / 1'000'000 << " MHz)\n";
+  log << "events recorded: " << ex.events.size() << "\n";
+  ex.log = log.str();
+  return ex;
+}
+
+}  // namespace dsprof::collect

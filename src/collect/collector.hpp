@@ -1,0 +1,77 @@
+// The collect command (paper §2.2): run a target under hardware-counter and
+// clock profiling, handle (skidded) overflow signals, perform the apropos
+// backtracking search and effective-address recomputation at collection
+// time, and produce an Experiment.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "experiment/experiment.hpp"
+#include "machine/cpu.hpp"
+
+namespace dsprof::collect {
+
+/// Preset overflow intervals ("hi" / "on" / "lo"), per event, chosen as
+/// primes to avoid correlation with loop periods (paper §2.2).
+u64 overflow_interval(machine::HwEvent ev, const std::string& rate);
+
+/// Parse a collect -h specification: "+ecstall,on,+ecrm,hi" or "+dtlbm,9973".
+/// A leading '+' requests apropos backtracking for that counter. Counters are
+/// assigned to PIC registers per event constraints; requesting two events
+/// that need the same register is an error (as on real hardware).
+std::vector<experiment::CounterSpec> parse_counter_spec(const std::string& spec);
+
+/// Render the list of available counters (collect with no arguments).
+std::string list_counters();
+
+struct CollectOptions {
+  /// -h: hardware counter spec; empty = no HW profiling.
+  std::string hw = "";
+  /// -p: clock profiling rate ("off", "hi", "on", "lo").
+  std::string clock = "on";
+  machine::CpuConfig cpu;
+  u64 max_instructions = 0;  // safety stop; 0 = run to exit
+  /// Instructions to search when backtracking from the delivered PC.
+  u32 backtrack_window = 16;
+};
+
+class Collector {
+ public:
+  Collector(const sym::Image& image, CollectOptions opt);
+
+  /// Run the target to completion and return the experiment.
+  /// `setup` (optional) runs after loading, before execution — e.g. to poke
+  /// input data into simulated memory.
+  experiment::Experiment run(const std::function<void(machine::Cpu&)>& setup = {});
+
+  /// The CPU of the last run (valid after run()); exposes program output
+  /// and the ground-truth log for validation.
+  machine::Cpu& cpu() {
+    DSP_CHECK(cpu_ != nullptr, "run() has not been called");
+    return *cpu_;
+  }
+
+ private:
+  struct BacktrackResult {
+    bool found = false;
+    u64 candidate_pc = 0;
+    bool ea_known = false;
+    u64 ea = 0;
+  };
+  BacktrackResult backtrack(const machine::OverflowDelivery& d);
+  void on_overflow(const machine::OverflowDelivery& d);
+
+  const sym::Image& image_;
+  CollectOptions opt_;
+  std::vector<experiment::CounterSpec> counters_;
+  u64 clock_interval_ = 0;
+
+  std::unique_ptr<mem::Memory> mem_;
+  std::unique_ptr<machine::Cpu> cpu_;
+  std::vector<experiment::EventRecord> events_;
+};
+
+}  // namespace dsprof::collect

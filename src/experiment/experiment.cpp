@@ -1,0 +1,137 @@
+#include "experiment/experiment.hpp"
+
+#include <filesystem>
+
+namespace dsprof::experiment {
+
+namespace {
+
+void put_counter(ByteWriter& w, const CounterSpec& c) {
+  w.put_u8(static_cast<u8>(c.event));
+  w.put_u64(c.interval);
+  w.put_u8(c.backtrack ? 1 : 0);
+  w.put_u8(static_cast<u8>(c.pic));
+}
+
+CounterSpec get_counter(ByteReader& r) {
+  CounterSpec c;
+  c.event = static_cast<machine::HwEvent>(r.get_u8());
+  c.interval = r.get_u64();
+  c.backtrack = r.get_u8() != 0;
+  c.pic = r.get_u8();
+  return c;
+}
+
+}  // namespace
+
+void Experiment::save(const std::string& dir) const {
+  std::filesystem::create_directories(dir);
+
+  write_file(dir + "/log.txt", std::vector<u8>(log.begin(), log.end()));
+
+  ByteWriter lo;
+  image.serialize(lo);
+  write_file(dir + "/loadobjects.bin", lo.bytes());
+
+  ByteWriter w;
+  w.put_u32(0x44535045);  // 'DSPE'
+  w.put_u32(static_cast<u32>(counters.size()));
+  for (const auto& c : counters) put_counter(w, c);
+  w.put_u64(clock_interval);
+  w.put_u64(clock_hz);
+  w.put_u64(page_size);
+  w.put_u64(ec_line_size);
+  w.put_u64(total_cycles);
+  w.put_u64(total_instructions);
+  w.put_u32(static_cast<u32>(events.size()));
+  for (const auto& e : events) {
+    w.put_u8(e.pic);
+    w.put_u8(static_cast<u8>(e.event));
+    w.put_u64(e.weight);
+    w.put_u64(e.delivered_pc);
+    w.put_u8(static_cast<u8>((e.has_candidate ? 1 : 0) | (e.has_ea ? 2 : 0)));
+    w.put_u64(e.candidate_pc);
+    w.put_u64(e.ea);
+    w.put_u32(static_cast<u32>(e.callstack.size()));
+    for (u64 pc : e.callstack) w.put_u64(pc);
+    w.put_u64(e.seq);
+  }
+  w.put_u32(static_cast<u32>(allocations.size()));
+  for (const auto& [addr, size] : allocations) {
+    w.put_u64(addr);
+    w.put_u64(size);
+  }
+  w.put_u32(static_cast<u32>(truth.size()));
+  for (const auto& t : truth) {
+    w.put_u64(t.seq);
+    w.put_u8(static_cast<u8>(t.pic));
+    w.put_u8(static_cast<u8>(t.event));
+    w.put_u64(t.trigger_pc);
+    w.put_u8(t.ea_valid ? 1 : 0);
+    w.put_u64(t.ea);
+    w.put_u32(t.skid);
+  }
+  write_file(dir + "/events.bin", w.bytes());
+}
+
+Experiment Experiment::load(const std::string& dir) {
+  Experiment ex;
+
+  const auto logbytes = read_file(dir + "/log.txt");
+  ex.log.assign(logbytes.begin(), logbytes.end());
+
+  const auto lobytes = read_file(dir + "/loadobjects.bin");
+  ByteReader lr(lobytes);
+  ex.image = sym::Image::deserialize(lr);
+
+  const auto evbytes = read_file(dir + "/events.bin");
+  ByteReader r(evbytes);
+  DSP_CHECK(r.get_u32() == 0x44535045, "bad experiment magic in " + dir);
+  const u32 nc = r.get_u32();
+  for (u32 i = 0; i < nc; ++i) ex.counters.push_back(get_counter(r));
+  ex.clock_interval = r.get_u64();
+  ex.clock_hz = r.get_u64();
+  ex.page_size = r.get_u64();
+  ex.ec_line_size = r.get_u64();
+  ex.total_cycles = r.get_u64();
+  ex.total_instructions = r.get_u64();
+  const u32 ne = r.get_u32();
+  for (u32 i = 0; i < ne; ++i) {
+    EventRecord e;
+    e.pic = r.get_u8();
+    e.event = static_cast<machine::HwEvent>(r.get_u8());
+    e.weight = r.get_u64();
+    e.delivered_pc = r.get_u64();
+    const u8 flags = r.get_u8();
+    e.has_candidate = flags & 1;
+    e.has_ea = flags & 2;
+    e.candidate_pc = r.get_u64();
+    e.ea = r.get_u64();
+    const u32 depth = r.get_u32();
+    e.callstack.reserve(depth);
+    for (u32 d = 0; d < depth; ++d) e.callstack.push_back(r.get_u64());
+    e.seq = r.get_u64();
+    ex.events.push_back(std::move(e));
+  }
+  const u32 na = r.get_u32();
+  for (u32 i = 0; i < na; ++i) {
+    const u64 addr = r.get_u64();
+    const u64 size = r.get_u64();
+    ex.allocations.emplace_back(addr, size);
+  }
+  const u32 nt = r.get_u32();
+  for (u32 i = 0; i < nt; ++i) {
+    machine::TruthRecord t;
+    t.seq = r.get_u64();
+    t.pic = r.get_u8();
+    t.event = static_cast<machine::HwEvent>(r.get_u8());
+    t.trigger_pc = r.get_u64();
+    t.ea_valid = r.get_u8() != 0;
+    t.ea = r.get_u64();
+    t.skid = r.get_u32();
+    ex.truth.push_back(t);
+  }
+  return ex;
+}
+
+}  // namespace dsprof::experiment

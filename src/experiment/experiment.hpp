@@ -1,0 +1,75 @@
+// The experiment: result of a `collect` run (paper §2.2) — a directory with
+// a log, the loadobjects description (the executable image + symbol tables),
+// and the recorded profile events. We keep experiments primarily in memory;
+// save()/load() provide the on-disk directory form.
+#pragma once
+
+#include <array>
+#include <string>
+#include <vector>
+
+#include "machine/counters.hpp"
+#include "sym/image.hpp"
+
+namespace dsprof::experiment {
+
+/// One requested hardware counter, e.g. "+ecstall,on":
+/// leading '+' requests apropos backtracking (paper §2.2.3).
+struct CounterSpec {
+  machine::HwEvent event = machine::HwEvent::Cycle_cnt;
+  u64 interval = 0;   // overflow interval (prime)
+  bool backtrack = false;
+  unsigned pic = 0;   // assigned counter register
+};
+
+/// One recorded profile event, as written by the collection system. Contains
+/// only information available at collection time on real hardware: the
+/// skidded delivered PC, the backtracked candidate trigger PC (if any), and
+/// the recomputed effective address (if the address registers survived the
+/// skid).
+struct EventRecord {
+  u8 pic = 0;  // 0/1, or machine::kClockPic for clock-profile samples
+  machine::HwEvent event = machine::HwEvent::Cycle_cnt;
+  u64 weight = 0;  // overflow interval: estimated events per sample
+  u64 delivered_pc = 0;
+  bool has_candidate = false;
+  u64 candidate_pc = 0;
+  bool has_ea = false;
+  u64 ea = 0;
+  /// Call-site PCs at delivery, outermost first (for callers/callees and
+  /// inclusive metrics).
+  std::vector<u64> callstack;
+  u64 seq = 0;  // joins with the machine's ground-truth log (tests only)
+};
+
+struct Experiment {
+  std::string log;  // human-readable collection log
+  sym::Image image;
+  std::vector<CounterSpec> counters;
+  u64 clock_interval = 0;  // cycles between clock-profile samples (0 = off)
+  u64 clock_hz = 900'000'000;
+  u64 page_size = 8 * 1024;
+  u64 ec_line_size = 512;
+
+  std::vector<EventRecord> events;
+  /// Heap allocations in order (address, size) — for the instance view.
+  std::vector<std::pair<u64, u64>> allocations;
+
+  // Run totals (from the run, not estimated from samples).
+  u64 total_cycles = 0;
+  u64 total_instructions = 0;
+
+  /// Ground truth per overflow event, recorded by the simulator for
+  /// validation benches/tests only — the analyzer must not consult it.
+  std::vector<machine::TruthRecord> truth;
+
+  double seconds(u64 cycles) const {
+    return static_cast<double>(cycles) / static_cast<double>(clock_hz);
+  }
+
+  /// Write the experiment directory (log.txt, loadobjects.bin, events.bin).
+  void save(const std::string& dir) const;
+  static Experiment load(const std::string& dir);
+};
+
+}  // namespace dsprof::experiment

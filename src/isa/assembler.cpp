@@ -1,0 +1,128 @@
+#include "isa/assembler.hpp"
+
+#include <algorithm>
+
+namespace dsprof::isa {
+
+LabelId Assembler::new_label(std::string name) {
+  const LabelId id = static_cast<LabelId>(label_pos_.size());
+  label_pos_.push_back(-1);
+  label_names_.push_back(std::move(name));
+  return id;
+}
+
+void Assembler::bind(LabelId label) {
+  DSP_CHECK(label < label_pos_.size(), "bind: unknown label");
+  DSP_CHECK(label_pos_[label] < 0, "bind: label bound twice: " + label_names_[label]);
+  label_pos_[label] = static_cast<i64>(items_.size());
+}
+
+void Assembler::emit(const Instr& ins, u64 tag) { items_.push_back({ins, tag, -1}); }
+
+void Assembler::emit_branch(Cond c, LabelId target, bool annul, bool pred_taken, u64 tag) {
+  DSP_CHECK(target < label_pos_.size(), "branch: unknown label");
+  Item it{branch(c, 0, annul, pred_taken), tag, static_cast<i64>(target)};
+  items_.push_back(it);
+  referenced_labels_.push_back(target);
+}
+
+void Assembler::emit_call(LabelId target, u64 tag) {
+  DSP_CHECK(target < label_pos_.size(), "call: unknown label");
+  Item it{call(0), tag, static_cast<i64>(target)};
+  call_sites_.push_back(items_.size());
+  items_.push_back(it);
+  referenced_labels_.push_back(target);
+}
+
+void Assembler::set64(Reg rd, i64 value, Reg scratch, u64 tag) {
+  DSP_CHECK(rd != G0, "set64 into %g0");
+  if (fits_signed(value, 15)) {
+    emit(mov_ri(rd, value), tag);
+    return;
+  }
+  auto emit_u35 = [&](Reg r, u64 v) {
+    // v in [0, 2^35): sethi covers bits [34:14], or-immediate bits [13:0].
+    DSP_CHECK(v < (u64{1} << 35), "set64: value exceeds 35-bit sethi reach");
+    emit(sethi(r, v >> 14), tag);
+    const u64 lo = v & 0x3FFF;
+    if (lo != 0) emit(alu_ri(Op::OR, r, r, static_cast<i64>(lo)), tag);
+  };
+  if (value > 0 && static_cast<u64>(value) < (u64{1} << 35)) {
+    emit_u35(rd, static_cast<u64>(value));
+    return;
+  }
+  if (value < 0 && -value > 0 && static_cast<u64>(-value) < (u64{1} << 35)) {
+    emit_u35(rd, static_cast<u64>(-value));
+    emit(alu_rr(Op::SUB, rd, G0, rd), tag);
+    return;
+  }
+  // Full 64-bit build: upper half shifted, lower half OR-ed in via scratch.
+  DSP_CHECK(scratch != G0 && scratch != rd, "set64: need a distinct scratch register");
+  const u64 v = static_cast<u64>(value);
+  emit_u35(rd, v >> 32);
+  emit(alu_ri(Op::SLL, rd, rd, 32), tag);
+  const u64 lo32 = v & 0xFFFFFFFFull;
+  if (lo32 != 0) {
+    emit_u35(scratch, lo32);
+    emit(alu_rr(Op::OR, rd, rd, scratch), tag);
+  }
+}
+
+std::optional<std::pair<Instr, u64>> Assembler::pop_last_plain() {
+  if (items_.empty()) return std::nullopt;
+  const Item& last = items_.back();
+  if (last.fixup_label >= 0) return std::nullopt;
+  const isa::OpInfo& info = op_info(last.ins.op);
+  if (info.delayed || info.sets_cc || last.ins.op == Op::HCALL) return std::nullopt;
+  // Never steal an instruction that is itself sitting in the delay slot of a
+  // preceding transfer.
+  if (items_.size() >= 2 && op_info(items_[items_.size() - 2].ins.op).delayed) {
+    return std::nullopt;
+  }
+  const i64 last_idx = static_cast<i64>(items_.size()) - 1;
+  for (i64 pos : label_pos_) {
+    if (pos >= last_idx) return std::nullopt;
+  }
+  auto result = std::make_pair(last.ins, last.tag);
+  items_.pop_back();
+  return result;
+}
+
+Assembler::Output Assembler::finish() {
+  Output out;
+  out.base = base_;
+  out.words.reserve(items_.size());
+  out.tags.reserve(items_.size());
+
+  auto label_addr = [&](LabelId l) -> u64 {
+    DSP_CHECK(label_pos_[l] >= 0, "unbound label: " + label_names_[l]);
+    return base_ + 4 * static_cast<u64>(label_pos_[l]);
+  };
+
+  for (size_t i = 0; i < items_.size(); ++i) {
+    Item it = items_[i];
+    if (it.fixup_label >= 0) {
+      const u64 pc = base_ + 4 * i;
+      it.ins.disp = static_cast<i64>(label_addr(static_cast<LabelId>(it.fixup_label))) -
+                    static_cast<i64>(pc);
+    }
+    out.words.push_back(encode(it.ins));
+    out.tags.push_back(it.tag);
+  }
+
+  // Branch-target table: every referenced label address, plus every call
+  // return join (the instruction after a call's delay slot).
+  for (LabelId l : referenced_labels_) out.branch_targets.push_back(label_addr(l));
+  for (size_t site : call_sites_) out.branch_targets.push_back(base_ + 4 * site + 8);
+  std::sort(out.branch_targets.begin(), out.branch_targets.end());
+  out.branch_targets.erase(std::unique(out.branch_targets.begin(), out.branch_targets.end()),
+                           out.branch_targets.end());
+
+  out.label_addrs.resize(label_pos_.size(), 0);
+  for (size_t l = 0; l < label_pos_.size(); ++l) {
+    if (label_pos_[l] >= 0) out.label_addrs[l] = base_ + 4 * static_cast<u64>(label_pos_[l]);
+  }
+  return out;
+}
+
+}  // namespace dsprof::isa

@@ -1,0 +1,86 @@
+// Two-pass assembler for s3 text sections: emit decoded instructions with
+// symbolic labels, then resolve branch/call displacements. Produces the word
+// stream plus the branch-target address table that -xhwcprof-style symbol
+// information requires (the analyzer validates apropos backtracking against
+// this table, paper §2.3).
+#pragma once
+
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "isa/isa.hpp"
+
+namespace dsprof::isa {
+
+using LabelId = u32;
+
+class Assembler {
+ public:
+  /// `base` is the virtual address of the first emitted instruction.
+  explicit Assembler(u64 base) : base_(base) {}
+
+  /// Create a label. `name` is only for diagnostics.
+  LabelId new_label(std::string name = "");
+
+  /// Bind `label` to the current position. A label may be bound only once.
+  void bind(LabelId label);
+
+  /// Append one instruction. `tag` is an opaque caller-owned annotation
+  /// (the scc compiler stores indices into its line/memref side tables).
+  void emit(const Instr& ins, u64 tag = 0);
+
+  /// Append a conditional branch to `target` (resolved at finish()).
+  void emit_branch(Cond c, LabelId target, bool annul = false, bool pred_taken = true,
+                   u64 tag = 0);
+
+  /// Append a call to `target` (resolved at finish()).
+  void emit_call(LabelId target, u64 tag = 0);
+
+  /// Materialize a 64-bit constant into rd. Emits 1-6 instructions; uses
+  /// `scratch` only for constants needing a full 64-bit build. rd and scratch
+  /// must differ and neither may be %g0.
+  void set64(Reg rd, i64 value, Reg scratch, u64 tag = 0);
+
+  /// Current instruction index (word offset from base).
+  size_t position() const { return items_.size(); }
+
+  /// Delay-slot filler support: if the most recent item is a plain
+  /// instruction (no pending fixup, no label bound at or after it, not a
+  /// delayed transfer, not a condition-code setter, not an HCALL), remove
+  /// and return it so the caller can re-emit it inside a delay slot.
+  /// The caller applies additional policy (e.g. -xhwcprof forbids memory
+  /// operations in delay slots).
+  std::optional<std::pair<Instr, u64>> pop_last_plain();
+
+  u64 addr_of_position(size_t index) const { return base_ + 4 * index; }
+
+  struct Output {
+    u64 base = 0;
+    std::vector<u32> words;
+    std::vector<u64> tags;             // parallel to words
+    std::vector<u64> branch_targets;   // sorted, deduplicated addresses
+    std::vector<u64> label_addrs;      // indexed by LabelId (bound labels)
+  };
+
+  /// Resolve all fixups and return the final image. Throws Error on unbound
+  /// labels or out-of-range displacements.
+  Output finish();
+
+ private:
+  struct Item {
+    Instr ins;
+    u64 tag;
+    // If >= 0, this instruction's displacement targets this label.
+    i64 fixup_label = -1;
+  };
+
+  u64 base_;
+  std::vector<Item> items_;
+  std::vector<i64> label_pos_;          // per label: item index or -1
+  std::vector<std::string> label_names_;
+  std::vector<LabelId> referenced_labels_;
+  std::vector<size_t> call_sites_;      // item indices of CALL instructions
+};
+
+}  // namespace dsprof::isa

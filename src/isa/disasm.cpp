@@ -1,0 +1,89 @@
+// Disassembler producing listings in the style of the paper's Figure 4.
+#include <cstdio>
+
+#include "isa/isa.hpp"
+
+namespace dsprof::isa {
+
+namespace {
+
+std::string hex_addr(u64 a) {
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "0x%llx", static_cast<unsigned long long>(a));
+  return buf;
+}
+
+std::string mem_operand(const Instr& ins) {
+  std::string s = "[";
+  s += reg_name(ins.rs1);
+  if (ins.has_imm) {
+    if (ins.imm >= 0) {
+      s += " + " + std::to_string(ins.imm);
+    } else {
+      s += " - " + std::to_string(-ins.imm);
+    }
+  } else if (ins.rs2 != G0) {
+    s += std::string(" + ") + reg_name(ins.rs2);
+  }
+  s += "]";
+  return s;
+}
+
+std::string src2(const Instr& ins) {
+  return ins.has_imm ? std::to_string(ins.imm) : reg_name(ins.rs2);
+}
+
+}  // namespace
+
+std::string disassemble(const Instr& ins, u64 pc) {
+  const OpInfo& info = op_info(ins.op);
+  switch (ins.op) {
+    case Op::ILLEGAL:
+      return "illegal";
+    case Op::SETHI:
+      if (ins.rd == G0 && ins.imm == 0) return "nop";
+      return std::string("sethi %hi(") + hex_addr(static_cast<u64>(ins.imm) << 14) + "), " +
+             reg_name(ins.rd);
+    case Op::BR: {
+      std::string s = "b";
+      s += cond_name(ins.cond);
+      if (ins.annul) s += ",a";
+      if (ins.cond != Cond::A) s += ins.pred_taken ? ",pt" : ",pn";
+      if (ins.cond != Cond::A) s += " %xcc,";
+      s += " " + hex_addr(pc + static_cast<u64>(ins.disp));
+      return s;
+    }
+    case Op::CALL:
+      return "call " + hex_addr(pc + static_cast<u64>(ins.disp));
+    case Op::JMPL:
+      if (ins.rd == G0 && ins.rs1 == kLink && ins.has_imm && ins.imm == 8) return "ret";
+      return std::string("jmpl ") + reg_name(ins.rs1) + " + " + src2(ins) + ", " +
+             reg_name(ins.rd);
+    case Op::HCALL:
+      return "hcall " + std::to_string(ins.imm);
+    case Op::PREFETCH:
+      return "prefetch " + mem_operand(ins);
+    default:
+      break;
+  }
+  if (info.is_load) {
+    return std::string(info.mnemonic) + " " + mem_operand(ins) + ", " + reg_name(ins.rd);
+  }
+  if (info.is_store) {
+    return std::string(info.mnemonic) + " " + reg_name(ins.rd) + ", " + mem_operand(ins);
+  }
+  // ALU. Recognize the common pseudo-ops the paper's listings use.
+  if (ins.op == Op::SUBCC && ins.rd == G0) {
+    return std::string("cmp ") + reg_name(ins.rs1) + ", " + src2(ins);
+  }
+  if (ins.op == Op::OR && ins.rs1 == G0) {
+    return std::string("mov ") + src2(ins) + ", " + reg_name(ins.rd);
+  }
+  if (ins.op == Op::ADD && ins.has_imm && ins.imm == 1 && ins.rd == ins.rs1) {
+    return std::string("inc ") + reg_name(ins.rd);
+  }
+  return std::string(info.mnemonic) + " " + reg_name(ins.rs1) + ", " + src2(ins) + ", " +
+         reg_name(ins.rd);
+}
+
+}  // namespace dsprof::isa

@@ -1,0 +1,305 @@
+#include "isa/isa.hpp"
+
+#include <array>
+
+namespace dsprof::isa {
+
+namespace {
+
+constexpr unsigned kOpShift = 26;
+constexpr unsigned kRdShift = 21;
+constexpr unsigned kRs1Shift = 16;
+constexpr u32 kImmBit = 1u << 15;
+constexpr u32 kFmtAMbzMask = 0x7FE0;  // bits [14:5] when i=0
+
+const std::array<const char*, kNumRegs> kRegNames = {
+    "%g0", "%g1", "%g2", "%g3", "%g4", "%g5", "%g6", "%g7",
+    "%o0", "%o1", "%o2", "%o3", "%o4", "%o5", "%o6", "%o7",
+    "%l0", "%l1", "%l2", "%l3", "%l4", "%l5", "%l6", "%l7",
+    "%i0", "%i1", "%i2", "%i3", "%i4", "%i5", "%i6", "%i7",
+};
+
+struct OpTableEntry {
+  Op op;
+  OpInfo info;
+};
+
+constexpr OpInfo alu(const char* m, bool cc = false) {
+  OpInfo i{};
+  i.mnemonic = m;
+  i.sets_cc = cc;
+  return i;
+}
+constexpr OpInfo ld(const char* m, unsigned size) {
+  OpInfo i{};
+  i.mnemonic = m;
+  i.is_load = true;
+  i.mem_size = size;
+  return i;
+}
+constexpr OpInfo st(const char* m, unsigned size) {
+  OpInfo i{};
+  i.mnemonic = m;
+  i.is_store = true;
+  i.mem_size = size;
+  return i;
+}
+
+const std::array<OpTableEntry, static_cast<size_t>(Op::kCount)> kOps = [] {
+  std::array<OpTableEntry, static_cast<size_t>(Op::kCount)> t{};
+  auto set = [&](Op op, OpInfo info) { t[static_cast<size_t>(op)] = {op, info}; };
+  set(Op::ILLEGAL, alu("illegal"));
+  set(Op::SETHI, alu("sethi"));
+  set(Op::ADD, alu("add"));
+  set(Op::SUB, alu("sub"));
+  set(Op::ADDCC, alu("addcc", true));
+  set(Op::SUBCC, alu("subcc", true));
+  set(Op::MULX, alu("mulx"));
+  set(Op::SDIVX, alu("sdivx"));
+  set(Op::UDIVX, alu("udivx"));
+  set(Op::AND, alu("and"));
+  set(Op::OR, alu("or"));
+  set(Op::XOR, alu("xor"));
+  set(Op::ANDN, alu("andn"));
+  set(Op::SLL, alu("sll"));
+  set(Op::SRL, alu("srl"));
+  set(Op::SRA, alu("sra"));
+  set(Op::LDX, ld("ldx", 8));
+  set(Op::LDUW, ld("lduw", 4));
+  set(Op::LDUB, ld("ldub", 1));
+  set(Op::STX, st("stx", 8));
+  set(Op::STW, st("stw", 4));
+  set(Op::STB, st("stb", 1));
+  {
+    OpInfo i{};
+    i.mnemonic = "prefetch";
+    i.is_prefetch = true;
+    set(Op::PREFETCH, i);
+  }
+  {
+    OpInfo i{};
+    i.mnemonic = "b";  // printed with condition suffix
+    i.is_branch = true;
+    i.delayed = true;
+    set(Op::BR, i);
+  }
+  {
+    OpInfo i{};
+    i.mnemonic = "call";
+    i.is_call = true;
+    i.delayed = true;
+    set(Op::CALL, i);
+  }
+  {
+    OpInfo i{};
+    i.mnemonic = "jmpl";
+    i.is_jmpl = true;
+    i.delayed = true;
+    set(Op::JMPL, i);
+  }
+  set(Op::HCALL, alu("hcall"));
+  return t;
+}();
+
+const char* kCondNames[16] = {
+    "n", "e", "le", "l", "leu", "lu", "?6", "?7",
+    "a", "ne", "g", "ge", "gu", "geu", "?14", "?15",
+};
+
+bool valid_cond(u8 c) {
+  return (c <= 5) || (c >= 8 && c <= 13);
+}
+
+}  // namespace
+
+const char* reg_name(unsigned r) {
+  DSP_CHECK(r < kNumRegs, "register index out of range");
+  return kRegNames[r];
+}
+
+const char* cond_name(Cond c) { return kCondNames[static_cast<u8>(c) & 15]; }
+
+const OpInfo& op_info(Op op) {
+  const auto idx = static_cast<size_t>(op);
+  DSP_CHECK(idx < kOps.size(), "bad opcode");
+  return kOps[idx].info;
+}
+
+u32 encode(const Instr& ins) {
+  const u32 opf = static_cast<u32>(ins.op) << kOpShift;
+  DSP_CHECK(ins.op != Op::ILLEGAL && static_cast<u32>(ins.op) < static_cast<u32>(Op::kCount),
+            "encode: invalid op");
+  switch (ins.op) {
+    case Op::SETHI: {
+      DSP_CHECK(fits_unsigned(static_cast<u64>(ins.imm), 21), "sethi imm out of range");
+      return opf | (u32{ins.rd} << kRdShift) | static_cast<u32>(ins.imm);
+    }
+    case Op::BR: {
+      DSP_CHECK(ins.disp % 4 == 0, "branch displacement not word aligned");
+      const i64 words = ins.disp / 4;
+      DSP_CHECK(fits_signed(words, 20), "branch displacement out of range");
+      return opf | (u32{static_cast<u8>(ins.cond)} << 22) | (ins.annul ? (1u << 21) : 0) |
+             (ins.pred_taken ? (1u << 20) : 0) | (static_cast<u32>(words) & 0xFFFFF);
+    }
+    case Op::CALL: {
+      DSP_CHECK(ins.disp % 4 == 0, "call displacement not word aligned");
+      const i64 words = ins.disp / 4;
+      DSP_CHECK(fits_signed(words, 26), "call displacement out of range");
+      return opf | (static_cast<u32>(words) & 0x3FFFFFF);
+    }
+    default: {
+      // Format A.
+      DSP_CHECK(ins.rd < kNumRegs && ins.rs1 < kNumRegs && ins.rs2 < kNumRegs,
+                "register out of range");
+      u32 w = opf | (u32{ins.rd} << kRdShift) | (u32{ins.rs1} << kRs1Shift);
+      if (ins.has_imm) {
+        DSP_CHECK(fits_signed(ins.imm, 15), "simm15 out of range");
+        w |= kImmBit | (static_cast<u32>(ins.imm) & 0x7FFF);
+      } else {
+        w |= ins.rs2;
+      }
+      return w;
+    }
+  }
+}
+
+Instr decode(u32 word) {
+  Instr ins;
+  const u32 opnum = word >> kOpShift;
+  if (opnum == 0 || opnum >= static_cast<u32>(Op::kCount)) return ins;  // ILLEGAL
+  const Op op = static_cast<Op>(opnum);
+  ins.op = op;
+  switch (op) {
+    case Op::SETHI:
+      ins.rd = (word >> kRdShift) & 31;
+      ins.imm = word & 0x1FFFFF;
+      ins.has_imm = true;
+      return ins;
+    case Op::BR: {
+      const u8 c = (word >> 22) & 15;
+      if (!valid_cond(c)) return Instr{};  // ILLEGAL
+      ins.cond = static_cast<Cond>(c);
+      ins.annul = (word >> 21) & 1;
+      ins.pred_taken = (word >> 20) & 1;
+      ins.disp = sign_extend(word & 0xFFFFF, 20) * 4;
+      return ins;
+    }
+    case Op::CALL:
+      ins.disp = sign_extend(word & 0x3FFFFFF, 26) * 4;
+      return ins;
+    default:
+      ins.rd = (word >> kRdShift) & 31;
+      ins.rs1 = (word >> kRs1Shift) & 31;
+      if (word & kImmBit) {
+        ins.has_imm = true;
+        ins.imm = sign_extend(word & 0x7FFF, 15);
+      } else {
+        if (word & kFmtAMbzMask) return Instr{};  // must-be-zero violated
+        ins.rs2 = word & 31;
+      }
+      return ins;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Construction helpers
+
+namespace {
+Instr fmt_a(Op op, u8 rd, u8 rs1) {
+  Instr i;
+  i.op = op;
+  i.rd = rd;
+  i.rs1 = rs1;
+  return i;
+}
+}  // namespace
+
+Instr alu_rr(Op op, Reg rd, Reg rs1, Reg rs2) {
+  Instr i = fmt_a(op, rd, rs1);
+  i.rs2 = rs2;
+  return i;
+}
+
+Instr alu_ri(Op op, Reg rd, Reg rs1, i64 imm) {
+  Instr i = fmt_a(op, rd, rs1);
+  i.has_imm = true;
+  i.imm = imm;
+  return i;
+}
+
+Instr sethi(Reg rd, u64 imm21) {
+  Instr i;
+  i.op = Op::SETHI;
+  i.rd = rd;
+  i.has_imm = true;
+  i.imm = static_cast<i64>(imm21);
+  return i;
+}
+
+Instr nop() { return sethi(G0, 0); }
+
+Instr load_ri(Op op, Reg rd, Reg base, i64 offset) {
+  DSP_CHECK(op_info(op).is_load, "load_ri with non-load op");
+  return alu_ri(op, rd, base, offset);
+}
+
+Instr load_rr(Op op, Reg rd, Reg base, Reg index) {
+  DSP_CHECK(op_info(op).is_load, "load_rr with non-load op");
+  return alu_rr(op, rd, base, index);
+}
+
+Instr store_ri(Op op, Reg data, Reg base, i64 offset) {
+  DSP_CHECK(op_info(op).is_store, "store_ri with non-store op");
+  return alu_ri(op, data, base, offset);
+}
+
+Instr store_rr(Op op, Reg data, Reg base, Reg index) {
+  DSP_CHECK(op_info(op).is_store, "store_rr with non-store op");
+  return alu_rr(op, data, base, index);
+}
+
+Instr prefetch_ri(Reg base, i64 offset) { return alu_ri(Op::PREFETCH, G0, base, offset); }
+
+Instr branch(Cond c, i64 byte_disp, bool annul, bool pred_taken) {
+  Instr i;
+  i.op = Op::BR;
+  i.cond = c;
+  i.annul = annul;
+  i.pred_taken = pred_taken;
+  i.disp = byte_disp;
+  return i;
+}
+
+Instr call(i64 byte_disp) {
+  Instr i;
+  i.op = Op::CALL;
+  i.disp = byte_disp;
+  return i;
+}
+
+Instr jmpl(Reg rd, Reg rs1, i64 imm) { return alu_ri(Op::JMPL, rd, rs1, imm); }
+
+Instr ret() { return jmpl(G0, kLink, 8); }
+
+Instr hcall(i64 code) { return alu_ri(Op::HCALL, G0, G0, code); }
+
+Instr mov_rr(Reg rd, Reg rs) { return alu_rr(Op::OR, rd, G0, rs); }
+
+Instr mov_ri(Reg rd, i64 imm) { return alu_ri(Op::OR, rd, G0, imm); }
+
+Instr cmp_rr(Reg rs1, Reg rs2) { return alu_rr(Op::SUBCC, G0, rs1, rs2); }
+
+Instr cmp_ri(Reg rs1, i64 imm) { return alu_ri(Op::SUBCC, G0, rs1, imm); }
+
+std::optional<EaExpr> ea_expr(const Instr& ins) {
+  const OpInfo& info = op_info(ins.op);
+  if (!info.is_load && !info.is_store && !info.is_prefetch) return std::nullopt;
+  EaExpr e;
+  e.rs1 = ins.rs1;
+  e.has_imm = ins.has_imm;
+  e.imm = ins.imm;
+  e.rs2 = ins.rs2;
+  return e;
+}
+
+}  // namespace dsprof::isa

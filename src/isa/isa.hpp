@@ -1,0 +1,184 @@
+// The s3 instruction set: a SPARC-flavoured 64-bit RISC used by the dsprof
+// machine simulator. It reproduces the properties the paper's profiling
+// pipeline depends on:
+//   * fixed 32-bit instruction words (the apropos backtracking search walks
+//     backward through the text segment decoding words),
+//   * delayed control transfers with an annul bit (the -xhwcprof compiler
+//     rules are about delay slots and join nodes),
+//   * %g/%o/%l/%i register naming and %xcc condition codes (so annotated
+//     disassembly matches the paper's Figure 4),
+//   * memory operations whose effective address is rs1 + (simm15 | rs2),
+//     recomputable from a register snapshot.
+//
+// Encoding (32-bit word, little-endian in memory):
+//   bits [31:26] opcode
+//   Format A (ALU / memory / JMPL / HCALL / PREFETCH):
+//     [25:21] rd   [20:16] rs1   [15] i   i=1: [14:0] simm15
+//                                         i=0: [14:5] zero, [4:0] rs2
+//   Format S (SETHI): [25:21] rd  [20:0] imm21;  rd = imm21 << 14
+//   Format B (BR): [25:22] cond  [21] annul  [20] pred_taken
+//                  [19:0] signed word displacement from the branch PC
+//   Format C (CALL): [25:0] signed word displacement; link in %o7
+//
+// Addresses must fit in 35 bits (SETHI+ORI reach); the simulator's address
+// map keeps every segment below 2^35.
+#pragma once
+
+#include <optional>
+#include <string>
+
+#include "support/common.hpp"
+
+namespace dsprof::isa {
+
+// ---------------------------------------------------------------------------
+// Registers
+
+inline constexpr unsigned kNumRegs = 32;
+
+// SPARC-style names: %g0-%g7 (0-7), %o0-%o7 (8-15), %l0-%l7 (16-23),
+// %i0-%i7 (24-31). %g0 reads as zero and ignores writes.
+enum Reg : u8 {
+  G0 = 0, G1, G2, G3, G4, G5, G6, G7,
+  O0 = 8, O1, O2, O3, O4, O5, O6, O7,
+  L0 = 16, L1, L2, L3, L4, L5, L6, L7,
+  I0 = 24, I1, I2, I3, I4, I5, I6, I7,
+};
+
+inline constexpr Reg kSp = O6;    // stack pointer
+inline constexpr Reg kLink = O7;  // call link register
+inline constexpr Reg kFp = I6;    // frame pointer (by convention)
+
+/// "%o3", "%g0", ...
+const char* reg_name(unsigned r);
+
+// ---------------------------------------------------------------------------
+// Opcodes
+
+enum class Op : u8 {
+  ILLEGAL = 0,
+  SETHI,  // rd = imm21 << 14  (SETHI %g0, 0 disassembles as nop)
+  // ALU, format A. Arithmetic immediates are sign-extended simm15.
+  ADD, SUB, ADDCC, SUBCC, MULX, SDIVX, UDIVX,
+  AND, OR, XOR, ANDN, SLL, SRL, SRA,
+  // Memory, format A. Loads zero-extend sub-64-bit data. For stores, rd is
+  // the data source register.
+  LDX, LDUW, LDUB, STX, STW, STB,
+  PREFETCH,  // non-faulting E$ prefetch of [rs1 + imm/rs2]
+  // Control transfers (all have one delay slot).
+  BR,    // format B: conditional branch on %xcc
+  CALL,  // format C: %o7 = PC, jump PC + 4*disp26
+  JMPL,  // format A: rd = PC, jump rs1 + imm/rs2
+  // Host call, format A: service code in imm (see machine/hostcall.hpp);
+  // arguments in %o0..%o5, result in %o0. Not a delayed transfer.
+  HCALL,
+  kCount,
+};
+
+/// Branch conditions on the %xcc codes (N, Z, V, C from a 64-bit ADDCC/SUBCC).
+enum class Cond : u8 {
+  N = 0,  // never
+  E,      // Z
+  LE,     // Z | (N ^ V)
+  L,      // N ^ V
+  LEU,    // C | Z
+  LU,     // C            (unsigned <, a.k.a. carry set)
+  A = 8,  // always
+  NE,     // !Z
+  G,      // !(Z | (N ^ V))
+  GE,     // !(N ^ V)
+  GU,     // !(C | Z)
+  GEU,    // !C
+};
+
+/// cond -> "e", "ne", "a", ... (as in "be", "bne", "ba").
+const char* cond_name(Cond c);
+
+/// Static classification used by decode validation, the timing model, and the
+/// collector's backtracking search.
+struct OpInfo {
+  const char* mnemonic;
+  bool is_load = false;
+  bool is_store = false;
+  bool is_prefetch = false;
+  unsigned mem_size = 0;     // bytes for loads/stores
+  bool sets_cc = false;      // ADDCC / SUBCC
+  bool is_branch = false;    // BR
+  bool is_call = false;      // CALL
+  bool is_jmpl = false;      // JMPL
+  bool delayed = false;      // has a delay slot
+};
+
+const OpInfo& op_info(Op op);
+
+inline bool is_mem_op(Op op) {
+  const OpInfo& i = op_info(op);
+  return i.is_load || i.is_store;
+}
+
+// ---------------------------------------------------------------------------
+// Decoded instruction
+
+struct Instr {
+  Op op = Op::ILLEGAL;
+  u8 rd = 0;
+  u8 rs1 = 0;
+  u8 rs2 = 0;
+  bool has_imm = false;
+  i64 imm = 0;  // sign-extended simm15 (format A) or raw imm21 (SETHI)
+  // Branch fields (format B):
+  Cond cond = Cond::N;
+  bool annul = false;
+  bool pred_taken = false;
+  // Branch/call displacement in *bytes*, relative to this instruction's PC.
+  i64 disp = 0;
+
+  bool operator==(const Instr&) const = default;
+};
+
+/// Encode to a 32-bit word. Throws Error if a field is out of range
+/// (e.g. branch displacement beyond ±2^19 words).
+u32 encode(const Instr& ins);
+
+/// Decode a word. Returns an Instr with op == Op::ILLEGAL for invalid
+/// encodings (unknown opcode or nonzero must-be-zero bits).
+Instr decode(u32 word);
+
+/// Disassemble one instruction located at `pc` (needed to print absolute
+/// branch/call targets), in the style of the paper's Figure 4:
+///   "ldx [%o3 + 56], %o2", "be,pn %xcc,0x100003220", "cmp %o2, 1", "nop".
+std::string disassemble(const Instr& ins, u64 pc);
+
+// ---------------------------------------------------------------------------
+// Construction helpers (used by the assembler and tests)
+
+Instr alu_rr(Op op, Reg rd, Reg rs1, Reg rs2);
+Instr alu_ri(Op op, Reg rd, Reg rs1, i64 imm);
+Instr sethi(Reg rd, u64 imm21);
+Instr nop();
+Instr load_ri(Op op, Reg rd, Reg base, i64 offset);
+Instr load_rr(Op op, Reg rd, Reg base, Reg index);
+Instr store_ri(Op op, Reg data, Reg base, i64 offset);
+Instr store_rr(Op op, Reg data, Reg base, Reg index);
+Instr prefetch_ri(Reg base, i64 offset);
+Instr branch(Cond c, i64 byte_disp, bool annul = false, bool pred_taken = true);
+Instr call(i64 byte_disp);
+Instr jmpl(Reg rd, Reg rs1, i64 imm);
+Instr ret();  // jmpl %g0, %o7 + 8
+Instr hcall(i64 code);
+Instr mov_rr(Reg rd, Reg rs);   // or rd, %g0, rs
+Instr mov_ri(Reg rd, i64 imm);  // or rd, %g0, imm (imm must fit simm15)
+Instr cmp_rr(Reg rs1, Reg rs2);
+Instr cmp_ri(Reg rs1, i64 imm);
+
+/// The effective-address expression of a memory instruction, as the collector
+/// recomputes it from a register snapshot: rs1 + (imm | rs2).
+struct EaExpr {
+  u8 rs1;
+  bool has_imm;
+  i64 imm;
+  u8 rs2;
+};
+std::optional<EaExpr> ea_expr(const Instr& ins);
+
+}  // namespace dsprof::isa

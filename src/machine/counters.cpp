@@ -1,0 +1,39 @@
+#include "machine/counters.hpp"
+
+namespace dsprof::machine {
+
+namespace {
+
+constexpr u8 kPic0 = 1;
+constexpr u8 kPic1 = 2;
+constexpr u8 kBoth = 3;
+
+const HwEventInfo kEvents[kNumHwEvents] = {
+    // name       description                          cycles  pics   trigger                skid
+    {"cycles", "Cycles", true, kBoth, TriggerKind::Any, 1, 10},
+    {"insts", "Instructions Completed", false, kBoth, TriggerKind::Any, 1, 6},
+    {"icm", "I$ Misses", false, kPic1, TriggerKind::Any, 1, 6},
+    {"dcrm", "D$ Read Misses", false, kPic0, TriggerKind::Load, 1, 5},
+    {"dcwm", "D$ Write Misses", false, kPic1, TriggerKind::LoadStore, 1, 5},
+    {"ecref", "E$ Refs", false, kPic0, TriggerKind::LoadStore, 2, 16},
+    {"ecrm", "E$ Read Misses", false, kPic1, TriggerKind::Load, 1, 4},
+    {"ecstall", "E$ Stall Cycles", true, kPic0, TriggerKind::Load, 1, 5},
+    {"dtlbm", "DTLB Misses", false, kPic1, TriggerKind::LoadStore, 0, 0},
+};
+
+}  // namespace
+
+const HwEventInfo& hw_event_info(HwEvent ev) {
+  const auto i = static_cast<size_t>(ev);
+  DSP_CHECK(i < kNumHwEvents, "bad HwEvent");
+  return kEvents[i];
+}
+
+HwEvent hw_event_by_name(const std::string& name) {
+  for (size_t i = 0; i < kNumHwEvents; ++i) {
+    if (name == kEvents[i].name) return static_cast<HwEvent>(i);
+  }
+  fail("unknown hardware counter: " + name);
+}
+
+}  // namespace dsprof::machine

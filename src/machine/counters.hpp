@@ -1,0 +1,92 @@
+// Hardware performance counters of the simulated UltraSPARC-III-like CPU.
+// Two counter registers (PIC0/PIC1), each programmable with one event; a
+// counter overflow raises an *imprecise* trap: the signal arrives a few
+// retired instructions after the triggering instruction ("counter skid",
+// paper §2.2.2), carrying only the next-to-issue PC and the register set at
+// delivery time.
+#pragma once
+
+#include <array>
+#include <string>
+#include <vector>
+
+#include "support/common.hpp"
+
+namespace dsprof::machine {
+
+enum class HwEvent : u8 {
+  Cycle_cnt = 0,
+  Instr_cnt,
+  IC_miss,
+  DC_rd_miss,
+  DC_wr_miss,
+  EC_ref,
+  EC_rd_miss,
+  EC_stall_cycles,
+  DTLB_miss,
+  kCount,
+};
+
+inline constexpr size_t kNumHwEvents = static_cast<size_t>(HwEvent::kCount);
+inline constexpr unsigned kNumPics = 2;
+/// Virtual "pic" id used for clock-profiling deliveries.
+inline constexpr unsigned kClockPic = 2;
+
+/// What kind of instruction can trigger the event — this is what the apropos
+/// backtracking search looks for when walking backward (paper §2.2.3:
+/// "a memory-reference instruction of the appropriate type").
+enum class TriggerKind : u8 {
+  Any,        // cycles, instructions
+  Load,       // read-miss style counters
+  LoadStore,  // references, TLB
+};
+
+struct HwEventInfo {
+  const char* name;        // collect -h name: "ecstall", "ecrm", ...
+  const char* description;
+  bool counts_cycles;      // cycle counters measure time lost, not events
+  u8 pic_mask;             // bit i set => programmable on PIC i
+  TriggerKind trigger;
+  // Skid bounds in retired instructions. DTLB misses are precise on this
+  // machine (skid 0), E$ references skid the most — the ordering behind the
+  // paper's per-counter backtracking effectiveness (§3.2.5).
+  u32 skid_min;
+  u32 skid_max;
+};
+
+const HwEventInfo& hw_event_info(HwEvent ev);
+
+/// Parse a collect-style counter name ("ecstall", "dtlbm", ...). Throws Error
+/// for unknown names.
+HwEvent hw_event_by_name(const std::string& name);
+
+/// The overflow signal as the collection system sees it: no trigger PC, no
+/// effective address — just the skidded next-PC and the registers now.
+struct OverflowDelivery {
+  unsigned pic = 0;             // 0, 1, or kClockPic
+  HwEvent event = HwEvent::Cycle_cnt;
+  u64 interval = 0;             // overflow interval (the event's weight)
+  u64 delivered_pc = 0;         // next instruction to issue
+  std::array<u64, 32> regs{};   // register set at delivery
+  /// Call-site PCs, outermost first (the collection system unwinds the
+  /// stack at each profile event — paper §2.2: "the callstacks associated
+  /// with them").
+  std::vector<u64> callstack;
+  u64 seq = 0;                  // event id, joinable with the ground truth log
+};
+
+/// What actually happened — recorded by the simulator for validation only.
+/// The collector must never read this; tests use it to measure backtracking
+/// accuracy against ground truth (something the paper's authors could only
+/// estimate on real hardware).
+struct TruthRecord {
+  u64 seq = 0;
+  unsigned pic = 0;
+  HwEvent event = HwEvent::Cycle_cnt;
+  u64 trigger_pc = 0;
+  bool ea_valid = false;
+  u64 ea = 0;
+  u32 skid = 0;  // retired instructions between trigger and delivery
+};
+
+}  // namespace dsprof::machine

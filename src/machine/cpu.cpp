@@ -1,0 +1,414 @@
+#include "machine/cpu.hpp"
+
+#include "machine/hostcall.hpp"
+
+namespace dsprof::machine {
+
+using isa::Instr;
+using isa::Op;
+
+Cpu::Cpu(mem::Memory& memory, const CpuConfig& cfg)
+    : mem_(memory), cfg_(cfg), hier_(cfg.hierarchy), rng_(cfg.seed) {
+  regs_[isa::kSp] = mem::kStackTop;
+}
+
+void Cpu::set_pc(u64 pc) {
+  pc_ = pc;
+  npc_ = pc + 4;
+}
+
+void Cpu::set_reg(unsigned r, u64 v) {
+  DSP_CHECK(r < 32, "bad register");
+  if (r != 0) regs_[r] = v;
+}
+
+void Cpu::configure_pic(unsigned pic, HwEvent ev, u64 interval) {
+  DSP_CHECK(pic < kNumPics, "bad PIC index");
+  DSP_CHECK(interval > 0, "overflow interval must be positive");
+  const HwEventInfo& info = hw_event_info(ev);
+  DSP_CHECK(info.pic_mask & (1u << pic),
+            std::string("event ") + info.name + " cannot be counted on PIC" +
+                std::to_string(pic));
+  pics_[pic] = Pic{true, ev, interval, 0};
+  rebuild_event_routing();
+}
+
+void Cpu::disable_pic(unsigned pic) {
+  DSP_CHECK(pic < kNumPics, "bad PIC index");
+  pics_[pic].enabled = false;
+  rebuild_event_routing();
+}
+
+void Cpu::rebuild_event_routing() {
+  for (auto& v : pic_for_event_) v = 0;
+  // Each event can be live on at most one PIC at a time (the two registers
+  // count different events).
+  for (unsigned pic = 0; pic < kNumPics; ++pic) {
+    if (pics_[pic].enabled) {
+      pic_for_event_[static_cast<size_t>(pics_[pic].event)] = static_cast<u8>(pic + 1);
+    }
+  }
+}
+
+void Cpu::configure_clock_profiling(u64 interval_cycles) {
+  DSP_CHECK(interval_cycles > 0, "clock interval must be positive");
+  clock_interval_ = interval_cycles;
+  clock_accum_ = 0;
+}
+
+u32 Cpu::draw_skid(HwEvent ev) {
+  const HwEventInfo& info = hw_event_info(ev);
+  const u32 lo = static_cast<u32>(info.skid_min * cfg_.skid_scale);
+  const u32 hi = static_cast<u32>(info.skid_max * cfg_.skid_scale);
+  if (hi <= lo) return lo;
+  return lo + static_cast<u32>(rng_.below(hi - lo + 1));
+}
+
+void Cpu::trigger_overflow(unsigned pic, u64 trigger_pc, bool ea_valid, u64 ea) {
+  Pending p;
+  p.active = true;
+  const HwEvent ev = pic == kClockPic ? HwEvent::Cycle_cnt : pics_[pic].event;
+  const u64 interval = pic == kClockPic ? clock_interval_ : pics_[pic].interval;
+  const u32 skid = draw_skid(ev);
+  // +1 because the trigger instruction's own retirement decrements once.
+  p.skid_remaining = skid + 1;
+  p.partial.pic = pic;
+  p.partial.event = ev;
+  p.partial.interval = interval;
+  p.partial.seq = next_seq_++;
+  // Clock samples have no trigger concept; ground truth covers HW counters.
+  if (truth_enabled_ && pic != kClockPic) {
+    truth_.push_back({p.partial.seq, pic, ev, trigger_pc, ea_valid, ea, skid});
+  }
+  pending_.push_back(p);
+}
+
+void Cpu::count_event(HwEvent ev, u64 amount, u64 trigger_pc, bool ea_valid, u64 ea) {
+  event_totals_[static_cast<size_t>(ev)] += amount;
+  const u8 pic_plus1 = pic_for_event_[static_cast<size_t>(ev)];
+  if (pic_plus1 == 0) return;
+  const unsigned pic = pic_plus1 - 1;
+  Pic& p = pics_[pic];
+  p.value += amount;
+  if (p.value >= p.interval) {
+    p.value %= p.interval;  // fold multiple overflows into one delivery
+    trigger_overflow(pic, trigger_pc, ea_valid, ea);
+  }
+}
+
+void Cpu::count_outcome(const cache::AccessOutcome& out, u64 pc, u64 ea) {
+  if (out.dc_rd_miss) count_event(HwEvent::DC_rd_miss, 1, pc, true, ea);
+  if (out.dc_wr_miss) count_event(HwEvent::DC_wr_miss, 1, pc, true, ea);
+  if (out.ec_ref) count_event(HwEvent::EC_ref, 1, pc, true, ea);
+  if (out.ec_rd_miss) count_event(HwEvent::EC_rd_miss, 1, pc, true, ea);
+  if (out.dtlb_miss) count_event(HwEvent::DTLB_miss, 1, pc, true, ea);
+  if (out.ec_stall_cycles) {
+    count_event(HwEvent::EC_stall_cycles, out.ec_stall_cycles, pc, true, ea);
+  }
+}
+
+void Cpu::deliver_due() {
+  for (size_t i = 0; i < pending_.size();) {
+    Pending& p = pending_[i];
+    if (p.skid_remaining == 0) {
+      OverflowDelivery d = p.partial;
+      d.delivered_pc = pc_;
+      d.regs = regs_;
+      d.callstack = call_stack_;
+      pending_.erase(pending_.begin() + static_cast<std::ptrdiff_t>(i));
+      if (on_overflow) on_overflow(d);
+    } else {
+      ++i;
+    }
+  }
+}
+
+const Instr& Cpu::decoded(u64 pc) {
+  if (decode_cache_.empty()) {
+    const mem::Segment* text = nullptr;
+    for (const auto& s : mem_.segments()) {
+      if (s.kind == mem::SegKind::Text) text = &s;
+    }
+    DSP_CHECK(text != nullptr, "no text segment loaded");
+    text_base_ = text->base;
+    decode_cache_.resize(text->size / 4);
+    decode_valid_.assign(text->size / 4, 0);
+  }
+  DSP_CHECK(pc >= text_base_ && (pc - text_base_) / 4 < decode_cache_.size() && pc % 4 == 0,
+            "PC outside text segment");
+  const size_t idx = (pc - text_base_) / 4;
+  if (!decode_valid_[idx]) {
+    decode_cache_[idx] = isa::decode(mem_.fetch_word(pc));
+    decode_valid_[idx] = 1;
+  }
+  return decode_cache_[idx];
+}
+
+bool Cpu::eval_cond(isa::Cond c) const {
+  using isa::Cond;
+  switch (c) {
+    case Cond::N: return false;
+    case Cond::E: return cc_z_;
+    case Cond::LE: return cc_z_ || (cc_n_ != cc_v_);
+    case Cond::L: return cc_n_ != cc_v_;
+    case Cond::LEU: return cc_c_ || cc_z_;
+    case Cond::LU: return cc_c_;
+    case Cond::A: return true;
+    case Cond::NE: return !cc_z_;
+    case Cond::G: return !(cc_z_ || (cc_n_ != cc_v_));
+    case Cond::GE: return cc_n_ == cc_v_;
+    case Cond::GU: return !(cc_c_ || cc_z_);
+    case Cond::GEU: return !cc_c_;
+  }
+  fail("bad condition");
+}
+
+void Cpu::set_cc_add(u64 a, u64 b, u64 r) {
+  cc_n_ = static_cast<i64>(r) < 0;
+  cc_z_ = r == 0;
+  cc_v_ = (~(a ^ b) & (a ^ r)) >> 63;
+  cc_c_ = r < a;
+}
+
+void Cpu::set_cc_sub(u64 a, u64 b, u64 r) {
+  cc_n_ = static_cast<i64>(r) < 0;
+  cc_z_ = r == 0;
+  cc_v_ = ((a ^ b) & (a ^ r)) >> 63;
+  cc_c_ = a < b;  // borrow
+}
+
+void Cpu::exec_hcall(i64 code) {
+  switch (static_cast<HostCall>(code)) {
+    case HostCall::Exit:
+      halted_ = true;
+      exit_code_ = static_cast<i64>(regs_[isa::O0]);
+      break;
+    case HostCall::PutC:
+      output_.push_back(static_cast<char>(regs_[isa::O0] & 0xFF));
+      break;
+    case HostCall::PutI:
+      output_ += std::to_string(static_cast<i64>(regs_[isa::O0]));
+      break;
+    case HostCall::Abort:
+      fail("simulated program aborted (hcall abort), %o0=" +
+           std::to_string(static_cast<i64>(regs_[isa::O0])));
+    case HostCall::Trace:
+      trace_.push_back(static_cast<i64>(regs_[isa::O0]));
+      break;
+    case HostCall::NoteAlloc:
+      allocs_.emplace_back(regs_[isa::O0], regs_[isa::O1]);
+      break;
+    default:
+      fail("unknown hcall code " + std::to_string(code));
+  }
+}
+
+void Cpu::step() {
+  deliver_due();
+
+  if (annul_next_) {
+    // The annulled delay-slot instruction is fetched but not executed; it
+    // neither retires nor counts toward pending skid.
+    annul_next_ = false;
+    cycles_ += 1;
+    count_event(HwEvent::Cycle_cnt, 1, pc_, false, 0);
+    if (clock_interval_ != 0 && ++clock_accum_ >= clock_interval_) {
+      clock_accum_ %= clock_interval_;
+      trigger_overflow(kClockPic, pc_, false, 0);
+    }
+    pc_ = npc_;
+    npc_ += 4;
+    return;
+  }
+
+  const u64 pc = pc_;
+  const cache::AccessOutcome fetch_out = hier_.fetch(pc);
+  if (fetch_out.ic_miss) count_event(HwEvent::IC_miss, 1, pc, false, 0);
+
+  const Instr& ins = decoded(pc);
+  const isa::OpInfo& info = isa::op_info(ins.op);
+
+  u64 next_pc = npc_;
+  u64 next_npc = npc_ + 4;
+  u32 cost = 1 + fetch_out.stall_cycles;
+
+  const u64 a = regs_[ins.rs1];
+  const u64 b = ins.has_imm ? static_cast<u64>(ins.imm) : regs_[ins.rs2];
+  auto wr = [&](u64 v) {
+    if (ins.rd != 0) regs_[ins.rd] = v;
+  };
+
+  switch (ins.op) {
+    case Op::ILLEGAL:
+      fail("illegal instruction at pc " + std::to_string(pc));
+    case Op::SETHI:
+      wr(static_cast<u64>(ins.imm) << 14);
+      break;
+    case Op::ADD:
+      wr(a + b);
+      break;
+    case Op::SUB:
+      wr(a - b);
+      break;
+    case Op::ADDCC: {
+      const u64 r = a + b;
+      set_cc_add(a, b, r);
+      wr(r);
+      break;
+    }
+    case Op::SUBCC: {
+      const u64 r = a - b;
+      set_cc_sub(a, b, r);
+      wr(r);
+      break;
+    }
+    case Op::MULX:
+      cost += cfg_.mul_extra_cycles;
+      wr(a * b);
+      break;
+    case Op::SDIVX: {
+      cost += cfg_.div_extra_cycles;
+      if (b == 0) fail("division by zero at pc " + std::to_string(pc));
+      wr(static_cast<u64>(static_cast<i64>(a) / static_cast<i64>(b)));
+      break;
+    }
+    case Op::UDIVX:
+      cost += cfg_.div_extra_cycles;
+      if (b == 0) fail("division by zero at pc " + std::to_string(pc));
+      wr(a / b);
+      break;
+    case Op::AND:
+      wr(a & b);
+      break;
+    case Op::OR:
+      wr(a | b);
+      break;
+    case Op::XOR:
+      wr(a ^ b);
+      break;
+    case Op::ANDN:
+      wr(a & ~b);
+      break;
+    case Op::SLL:
+      wr(a << (b & 63));
+      break;
+    case Op::SRL:
+      wr(a >> (b & 63));
+      break;
+    case Op::SRA:
+      wr(static_cast<u64>(static_cast<i64>(a) >> (b & 63)));
+      break;
+    case Op::LDX:
+    case Op::LDUW:
+    case Op::LDUB: {
+      const u64 ea = a + b;
+      const u64 v = mem_.load(ea, info.mem_size);
+      const cache::AccessOutcome out = hier_.load(ea);
+      cost += out.stall_cycles;
+      count_outcome(out, pc, ea);
+      wr(v);
+      break;
+    }
+    case Op::STX:
+    case Op::STW:
+    case Op::STB: {
+      const u64 ea = a + b;
+      mem_.store(ea, info.mem_size, regs_[ins.rd]);
+      const cache::AccessOutcome out = hier_.store(ea);
+      cost += out.stall_cycles;
+      count_outcome(out, pc, ea);
+      break;
+    }
+    case Op::PREFETCH: {
+      const u64 ea = a + b;
+      // Non-faulting: silently dropped when the page is unmapped.
+      if (mem_.find_segment(ea) != nullptr) {
+        const cache::AccessOutcome out = hier_.prefetch(ea);
+        if (out.ec_ref) count_event(HwEvent::EC_ref, 1, pc, true, ea);
+      }
+      break;
+    }
+    case Op::BR: {
+      const bool taken = eval_cond(ins.cond);
+      const u64 target = pc + static_cast<u64>(ins.disp);
+      if (taken) {
+        if (ins.annul && ins.cond == isa::Cond::A) {
+          // ba,a: delay slot annulled, jump immediately.
+          next_pc = target;
+          next_npc = target + 4;
+        } else {
+          next_npc = target;
+        }
+      } else if (ins.annul) {
+        annul_next_ = true;
+      }
+      break;
+    }
+    case Op::CALL: {
+      regs_[isa::kLink] = pc;
+      next_npc = pc + static_cast<u64>(ins.disp);
+      call_stack_.push_back(pc);
+      break;
+    }
+    case Op::JMPL: {
+      const u64 target = a + b;
+      DSP_CHECK(target % 4 == 0, "jmpl to misaligned target");
+      wr(pc);
+      next_npc = target;
+      // A return (jmpl %g0, %o7 + 8) pops the shadow call stack.
+      if (ins.rd == 0 && ins.rs1 == isa::kLink && !call_stack_.empty()) {
+        call_stack_.pop_back();
+      }
+      break;
+    }
+    case Op::HCALL:
+      exec_hcall(ins.imm);
+      break;
+    default:
+      fail("unhandled opcode");
+  }
+
+  cycles_ += cost;
+  ++instructions_;
+  count_event(HwEvent::Cycle_cnt, cost, pc, false, 0);
+  count_event(HwEvent::Instr_cnt, 1, pc, false, 0);
+
+  if (clock_interval_ != 0) {
+    clock_accum_ += cost;
+    if (clock_accum_ >= clock_interval_) {
+      clock_accum_ %= clock_interval_;
+      trigger_overflow(kClockPic, pc, false, 0);
+    }
+  }
+
+  // This instruction retired: pending deliveries skid one instruction closer.
+  for (auto& p : pending_) {
+    if (p.skid_remaining > 0) --p.skid_remaining;
+  }
+
+  pc_ = next_pc;
+  npc_ = next_npc;
+}
+
+RunResult Cpu::run(u64 max_instructions) {
+  const u64 instr0 = instructions_;
+  const u64 cyc0 = cycles_;
+  while (!halted_) {
+    step();
+    if (max_instructions != 0 && instructions_ - instr0 >= max_instructions) break;
+  }
+  if (halted_) {
+    // Deliveries still skidding when the program exits are flushed at the
+    // exit point (the signal arrives during process teardown).
+    for (auto& p : pending_) p.skid_remaining = 0;
+    deliver_due();
+  }
+  RunResult r;
+  r.halted = halted_;
+  r.exit_code = exit_code_;
+  r.instructions = instructions_ - instr0;
+  r.cycles = cycles_ - cyc0;
+  return r;
+}
+
+}  // namespace dsprof::machine

@@ -1,0 +1,152 @@
+// The s3 CPU interpreter with timing, hardware counters, overflow skid,
+// clock-profile sampling, and a ground-truth event log.
+#pragma once
+
+#include <array>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "cache/hierarchy.hpp"
+#include "isa/isa.hpp"
+#include "machine/counters.hpp"
+#include "mem/memory.hpp"
+#include "support/rng.hpp"
+
+namespace dsprof::machine {
+
+struct CpuConfig {
+  cache::HierarchyConfig hierarchy = cache::HierarchyConfig::ultrasparc3();
+  u64 clock_hz = 900'000'000;  // the paper's 900 MHz US-III Cu
+  u64 seed = 1;                // drives the skid distribution
+  // Extra base cycles for expensive ops (beyond the 1-cycle issue cost).
+  u32 mul_extra_cycles = 4;
+  u32 div_extra_cycles = 40;
+  // Multiplier applied to every event's skid bounds; 0 makes all counters
+  // precise (used by the skid-ablation bench).
+  double skid_scale = 1.0;
+};
+
+struct RunResult {
+  bool halted = false;   // program executed HCALL Exit
+  i64 exit_code = 0;
+  u64 instructions = 0;  // retired this run() call
+  u64 cycles = 0;        // elapsed this run() call
+};
+
+class Cpu {
+ public:
+  Cpu(mem::Memory& memory, const CpuConfig& cfg);
+
+  // --- program setup -------------------------------------------------------
+  void set_pc(u64 pc);
+  void set_reg(unsigned r, u64 v);
+  u64 reg(unsigned r) const { return regs_[r]; }
+  u64 pc() const { return pc_; }
+
+  // --- counter control -----------------------------------------------------
+  /// Program PIC `pic` to count `ev`, overflowing every `interval` counts.
+  /// Throws Error if the event cannot be counted on that register.
+  void configure_pic(unsigned pic, HwEvent ev, u64 interval);
+  void disable_pic(unsigned pic);
+  /// Enable clock profiling: a sample every `interval_cycles` cycles.
+  void configure_clock_profiling(u64 interval_cycles);
+
+  /// Invoked at each (skidded) overflow delivery and clock sample.
+  std::function<void(const OverflowDelivery&)> on_overflow;
+
+  // --- execution -----------------------------------------------------------
+  /// Run until HCALL Exit or `max_instructions` retired (0 = no limit).
+  RunResult run(u64 max_instructions = 0);
+
+  bool halted() const { return halted_; }
+  i64 exit_code() const { return exit_code_; }
+
+  // --- statistics & ground truth -------------------------------------------
+  u64 total_instructions() const { return instructions_; }
+  u64 total_cycles() const { return cycles_; }
+  /// True (unsampled) total for each event — the oracle the sampled profile
+  /// estimates.
+  u64 event_total(HwEvent ev) const { return event_totals_[static_cast<size_t>(ev)]; }
+
+  void set_truth_log_enabled(bool on) { truth_enabled_ = on; }
+  const std::vector<TruthRecord>& truth_log() const { return truth_; }
+
+  const std::string& output() const { return output_; }
+  const std::vector<i64>& trace() const { return trace_; }
+
+  /// Heap allocations the program reported via HostCall::NoteAlloc, in
+  /// allocation order: (address, size).
+  const std::vector<std::pair<u64, u64>>& allocations() const { return allocs_; }
+
+  const cache::MemoryHierarchy& hierarchy() const { return hier_; }
+  mem::Memory& memory() { return mem_; }
+
+ private:
+  struct Pic {
+    bool enabled = false;
+    HwEvent event = HwEvent::Cycle_cnt;
+    u64 interval = 0;
+    u64 value = 0;
+  };
+
+  struct Pending {
+    bool active = false;
+    u32 skid_remaining = 0;
+    OverflowDelivery partial;  // filled except regs/delivered_pc
+  };
+
+  void step();
+  void deliver_due();
+  void count_event(HwEvent ev, u64 amount, u64 trigger_pc, bool ea_valid, u64 ea);
+  void trigger_overflow(unsigned pic, u64 trigger_pc, bool ea_valid, u64 ea);
+  void count_outcome(const cache::AccessOutcome& out, u64 pc, u64 ea);
+  u32 draw_skid(HwEvent ev);
+  const isa::Instr& decoded(u64 pc);
+  void exec_hcall(i64 code);
+  bool eval_cond(isa::Cond c) const;
+  void set_cc_add(u64 a, u64 b, u64 r);
+  void set_cc_sub(u64 a, u64 b, u64 r);
+
+  mem::Memory& mem_;
+  CpuConfig cfg_;
+  cache::MemoryHierarchy hier_;
+  Xoshiro256 rng_;
+
+  std::array<u64, 32> regs_{};
+  u64 pc_ = 0;
+  u64 npc_ = 4;
+  bool annul_next_ = false;
+  bool cc_n_ = false, cc_z_ = false, cc_v_ = false, cc_c_ = false;
+  bool halted_ = false;
+  i64 exit_code_ = 0;
+
+  u64 instructions_ = 0;
+  u64 cycles_ = 0;
+  std::array<u64, kNumHwEvents> event_totals_{};
+  // Shadow call stack (call-site PCs) maintained by CALL/ret execution; the
+  // stand-in for the collector's frame unwinding.
+  std::vector<u64> call_stack_;
+
+  std::array<Pic, kNumPics> pics_{};
+  // Fast event -> PIC routing: 0 = not counted, else PIC index + 1.
+  std::array<u8, kNumHwEvents> pic_for_event_{};
+  void rebuild_event_routing();
+  std::vector<Pending> pending_;  // in-flight skidding deliveries
+  u64 clock_interval_ = 0;        // 0 = clock profiling off
+  u64 clock_accum_ = 0;
+  u64 next_seq_ = 0;
+
+  bool truth_enabled_ = true;
+  std::vector<TruthRecord> truth_;
+  std::string output_;
+  std::vector<i64> trace_;
+  std::vector<std::pair<u64, u64>> allocs_;
+
+  // Decode cache over the text segment.
+  u64 text_base_ = 0;
+  std::vector<isa::Instr> decode_cache_;
+  std::vector<u8> decode_valid_;
+};
+
+}  // namespace dsprof::machine

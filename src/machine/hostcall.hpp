@@ -1,0 +1,18 @@
+// Host-call service codes for the HCALL instruction — the simulated
+// program's only channel to the outside (stands in for Solaris syscalls).
+#pragma once
+
+#include "support/common.hpp"
+
+namespace dsprof::machine {
+
+enum class HostCall : i64 {
+  Exit = 0,   // terminate; %o0 = exit code
+  PutC = 1,   // append low byte of %o0 to the program's output stream
+  PutI = 2,   // append decimal of signed %o0 to the output stream
+  Abort = 3,  // raise a simulator Error (failed assertion in DSL code)
+  Trace = 4,      // append %o0 to the host-visible trace vector (test oracle)
+  NoteAlloc = 5,  // record a heap allocation: %o0 = address, %o1 = size
+};
+
+}  // namespace dsprof::machine

@@ -1,0 +1,37 @@
+// Deterministic instance generator replacing the SPEC `mcf.in` input (which
+// we do not have): a vehicle-scheduling-flavoured min-cost-flow instance on
+// a timeline of trips. Sources (depot pull-outs) feed the earliest trips,
+// sinks (pull-ins) drain the latest; candidate deadhead arcs connect
+// time-compatible trips. All arcs point forward in time, costs are
+// nonnegative, and a high-capacity chain guarantees feasibility.
+#pragma once
+
+#include "mcf/net.hpp"
+
+namespace dsprof::mcf {
+
+struct GeneratorParams {
+  u64 seed = 42;
+  i64 nodes = 1000;          // trips
+  i64 arcs = 8000;           // candidate deadhead arcs (the implicit set)
+  i64 sources = 8;           // supply nodes (earliest trips)
+  flow_t units = 4;          // supply per source
+  i64 window = 64;           // max forward distance of a deadhead arc
+  cost_t max_cost = 1000;
+  flow_t max_cap = 3;        // deadhead arc capacity
+  /// Fraction of candidate arcs activated up front (the rest are priced in
+  /// by price_out_impl).
+  double initial_active = 0.25;
+  /// Hub structure: this fraction of deadhead arcs leaves one of the first
+  /// `hubs` trips (depot-like pull-outs reaching far into the timetable).
+  /// Hubs keep the optimal basis tree shallow — like real vehicle-scheduling
+  /// bases — so pivots stay cheap relative to refresh_potential.
+  double hub_fraction = 0.35;
+  i64 hubs = 16;
+};
+
+/// Build a Network ready for primal_start_artificial()+global_opt().
+/// The arcs array is reserved for the full candidate set.
+Network generate_instance(const GeneratorParams& p);
+
+}  // namespace dsprof::mcf

@@ -1,0 +1,178 @@
+// Native C++ reimplementation of the MCF benchmark (SPEC CPU 2000 181.mcf,
+// Löbel's network simplex vehicle scheduler) — the paper's case study (§3).
+//
+// Data-structure layouts reproduce the paper's Figure 7 exactly:
+//   node: 15 eight-byte members, 120 bytes; orientation at +56, child at +24,
+//         potential at +88 — the hot members the analysis identifies.
+//   arc:  64 bytes with cost at +32 (Figures 4/5 show arc.cost loads at +32).
+//
+// This native version is the algorithmic reference/oracle; src/mcfsim/
+// expresses the same program in the scc DSL for profiling on the simulator.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "support/common.hpp"
+
+namespace dsprof::mcf {
+
+using cost_t = i64;
+using flow_t = i64;
+
+inline constexpr i64 kUp = 1;
+inline constexpr i64 kDown = 0;
+
+// Arc states (ident). Suspended arcs live beyond net.m (the active prefix)
+// and are only touched by price_out_impl / suspend_impl, as in the original.
+inline constexpr i64 kBasic = 0;
+inline constexpr i64 kAtLower = 1;
+inline constexpr i64 kAtUpper = 2;
+inline constexpr i64 kSuspended = 3;
+
+struct Arc;
+
+struct Node {
+  i64 number;          // +0
+  char* ident;         // +8   (name pointer; unused, kept for layout)
+  Node* pred;          // +16  parent in the basis tree
+  Node* child;         // +24  first child
+  Node* sibling;       // +32  next sibling
+  Node* sibling_prev;  // +40
+  i64 depth;           // +48
+  i64 orientation;     // +56  kUp: basic arc points node->pred
+  Arc* basic_arc;      // +64
+  Arc* firstout;       // +72
+  Arc* firstin;        // +80
+  cost_t potential;    // +88
+  flow_t flow;         // +96
+  i64 mark;            // +104
+  i64 time;            // +112
+};  // 120 bytes
+static_assert(sizeof(Node) == 120, "node must be 120 bytes (paper Figure 7)");
+
+struct Arc {
+  Node* tail;       // +0
+  Node* head;       // +8
+  i64 ident;        // +16
+  flow_t flow;      // +24
+  cost_t cost;      // +32  (paper Figures 4/5)
+  flow_t cap;       // +40
+  Arc* nextout;     // +48
+  cost_t org_cost;  // +56
+};  // 64 bytes
+static_assert(sizeof(Arc) == 64, "arc must be 64 bytes");
+
+/// Candidate arc of the full (implicit) arc universe; price_out_impl
+/// activates violating candidates into the working arc array (column
+/// generation, §3).
+struct CandArc {
+  i64 tail = 0, head = 0;  // 1-based node numbers
+  cost_t cost = 0;
+  flow_t cap = 0;
+};
+
+/// Basket entry for multiple partial pricing (the BASKET of the original).
+struct BasketEntry {
+  Arc* a = nullptr;
+  cost_t cost = 0;      // reduced cost when last evaluated
+  cost_t abs_cost = 0;  // violation magnitude (sort key)
+};
+
+struct Network {
+  i64 n = 0;           // real nodes, numbered 1..n (0 is the artificial root)
+  i64 m = 0;           // active arcs (prefix of `arcs`)
+  i64 total_arcs = 0;  // active + suspended (set when arcs materialize)
+  std::vector<Node> nodes;       // size n+1
+  std::vector<Arc> arcs;         // all candidates; [0, m) active, rest suspended
+  std::vector<Arc> dummy_arcs;   // n artificial root arcs
+  std::vector<flow_t> supply;    // size n+1 (index by node number)
+  std::vector<CandArc> cands;    // the implicit arc universe
+  cost_t art_cost = 0;           // BIG-M cost on artificial arcs
+
+  // Multiple-partial-pricing state (primal_bea_mpp): the basket persists
+  // across calls; stale entries are re-priced and dropped each call.
+  i64 price_pos = 0;
+  std::vector<BasketEntry> basket;
+
+  // Instrumentation.
+  u64 iterations = 0;
+  u64 refreshes = 0;
+  u64 checksum = 0;
+
+  Node* root() { return &nodes[0]; }
+};
+
+/// Simplex tuning (the refresh cadence is the workload knob that sets
+/// refresh_potential's share of the profile, as in the paper's Figure 2).
+struct SimplexParams {
+  i64 basket_size = 50;
+  i64 group_size = 300;
+  i64 refresh_gap = 4;       // refresh_potential every N pivots
+  u64 max_iterations = 50'000'000;
+  /// suspend_impl cut-off: after each simplex phase, deactivate flowless
+  /// AT_LOWER arcs whose reduced cost exceeds this. Negative = disabled.
+  cost_t suspend_threshold = -1;
+};
+
+/// Build the initial basis of artificial arcs (primal_start_artificial).
+void primal_start_artificial(Network& net);
+
+/// Recompute all node potentials by traversing the basis tree — the paper's
+/// critical loop (Figure 3). Returns the checksum of DOWN-oriented nodes.
+i64 refresh_potential(Network& net);
+
+/// Multiple partial pricing: return the best eligible entering arc, or
+/// nullptr at optimality (primal_bea_mpp + sort_basket).
+Arc* primal_bea_mpp(Network& net, const SimplexParams& p);
+
+/// One pivot on entering arc `e` (ratio test = primal_iminus, then flow and
+/// tree updates = update_tree).
+void primal_pivot(Network& net, Arc* e);
+
+/// Run network simplex to optimality on the active arcs.
+void primal_net_simplex(Network& net, const SimplexParams& p);
+
+/// Column generation: activate candidate arcs with negative reduced cost
+/// (up to `max_new`); returns how many were added (price_out_impl).
+i64 price_out_impl(Network& net, i64 max_new);
+
+/// Unconditionally activate the first `count` not-yet-active candidates
+/// (the initial working set before any pricing).
+void activate_arcs(Network& net, i64 count);
+
+/// suspend_impl: deactivate flowless AT_LOWER active arcs whose reduced cost
+/// exceeds `threshold`, swapping them out of the active prefix (they remain
+/// candidates for price_out_impl). Returns the number suspended.
+i64 suspend_impl(Network& net, cost_t threshold);
+
+/// Convenience pipeline: primal_start_artificial + initial activation +
+/// global_opt. Returns the optimal cost.
+cost_t solve(Network& net, const SimplexParams& p, double initial_active = 0.25);
+
+/// Full solve: simplex + pricing rounds until no candidate prices in
+/// (global_opt). Returns the optimal cost.
+cost_t global_opt(Network& net, const SimplexParams& p);
+
+/// Objective of the current flow (flow_cost). Calls refresh_potential first,
+/// as the original does.
+cost_t flow_cost(Network& net);
+
+/// Number of dual-feasibility violations (0 at optimality): BASIC arcs must
+/// have zero reduced cost, AT_LOWER nonnegative, AT_UPPER nonpositive
+/// (dual_feasible).
+i64 dual_feasible(Network& net);
+
+/// True if all artificial arcs carry zero flow (the instance was feasible).
+bool primal_feasible(Network& net);
+
+/// Reduced cost under the paper's orientation convention:
+/// rc(a) = cost - potential(tail) + potential(head); zero on basic arcs.
+inline cost_t red_cost(const Arc& a) {
+  return a.cost - a.tail->potential + a.head->potential;
+}
+
+/// Text dump of positive flows (write_circulations). At most `max_rows` rows.
+std::string write_circulations(Network& net, size_t max_rows = 50);
+
+}  // namespace dsprof::mcf

@@ -1,0 +1,490 @@
+#include <algorithm>
+#include <sstream>
+
+#include "mcf/net.hpp"
+
+namespace dsprof::mcf {
+
+namespace {
+
+// --- basis-tree child-list surgery -----------------------------------------
+
+void detach(Node* x) {
+  if (x->sibling_prev) {
+    x->sibling_prev->sibling = x->sibling;
+  } else {
+    x->pred->child = x->sibling;
+  }
+  if (x->sibling) x->sibling->sibling_prev = x->sibling_prev;
+  x->sibling = nullptr;
+  x->sibling_prev = nullptr;
+}
+
+void attach(Node* x, Node* p) {
+  x->sibling = p->child;
+  if (p->child) p->child->sibling_prev = x;
+  p->child = x;
+  x->sibling_prev = nullptr;
+  x->pred = p;
+}
+
+void set_from_parent(Node* v) {
+  v->depth = v->pred->depth + 1;
+  if (v->orientation == kUp) {
+    v->potential = v->basic_arc->cost + v->pred->potential;
+  } else {
+    v->potential = v->pred->potential - v->basic_arc->cost;
+  }
+}
+
+/// Preorder walk of the subtree rooted at q, refreshing depth & potential.
+void update_subtree(Node* q) {
+  Node* v = q;
+  while (true) {
+    if (v->child) {
+      v = v->child;
+      set_from_parent(v);
+      continue;
+    }
+    while (v != q && v->sibling == nullptr) v = v->pred;
+    if (v == q) break;
+    v = v->sibling;
+    set_from_parent(v);
+  }
+}
+
+flow_t residual_up(const Arc& a) { return a.cap - a.flow; }
+
+}  // namespace
+
+void primal_start_artificial(Network& net) {
+  DSP_CHECK(net.n >= 1, "empty network");
+  DSP_CHECK(static_cast<i64>(net.supply.size()) == net.n + 1, "supply size mismatch");
+  net.nodes.assign(static_cast<size_t>(net.n + 1), Node{});
+  net.dummy_arcs.assign(static_cast<size_t>(net.n), Arc{});
+
+  // art_cost: larger than any path cost so artificials leave the basis.
+  cost_t max_c = 1;
+  for (const auto& c : net.cands) max_c = std::max(max_c, c.cost < 0 ? -c.cost : c.cost);
+  net.art_cost = (max_c + 1) * (net.n + 1);
+
+  Node* root = net.root();
+  root->number = 0;
+  root->potential = -net.art_cost;  // as in the original (refresh keeps it fixed)
+  root->depth = 0;
+
+  for (i64 i = 1; i <= net.n; ++i) {
+    Node* v = &net.nodes[static_cast<size_t>(i)];
+    Arc* a = &net.dummy_arcs[static_cast<size_t>(i - 1)];
+    v->number = i;
+    const flow_t b = net.supply[static_cast<size_t>(i)];
+    if (b >= 0) {
+      // Supply flows i -> root.
+      a->tail = v;
+      a->head = root;
+      v->orientation = kUp;
+    } else {
+      a->tail = root;
+      a->head = v;
+      v->orientation = kDown;
+    }
+    a->cost = net.art_cost;
+    a->cap = net.art_cost;  // effectively unbounded
+    a->flow = b >= 0 ? b : -b;
+    a->ident = kBasic;
+    v->basic_arc = a;
+    v->flow = a->flow;
+    attach(v, root);
+    set_from_parent(v);
+  }
+
+  // Materialize the candidate universe (all suspended; activate_arcs or
+  // price_out_impl move arcs into the active prefix).
+  net.total_arcs = static_cast<i64>(net.cands.size());
+  net.m = 0;
+  for (size_t i = 0; i < net.cands.size(); ++i) {
+    const CandArc& c = net.cands[i];
+    Arc& a2 = net.arcs[i];
+    a2.tail = &net.nodes[static_cast<size_t>(c.tail)];
+    a2.head = &net.nodes[static_cast<size_t>(c.head)];
+    a2.cost = c.cost;
+    a2.org_cost = c.cost;
+    a2.cap = c.cap;
+    a2.flow = 0;
+    a2.ident = kSuspended;
+    a2.nextout = nullptr;
+  }
+}
+
+i64 refresh_potential(Network& net) {
+  // The paper's Figure 3 critical loop, verbatim structure.
+  Node* root = net.root();
+  Node* node = root->child;
+  Node* tmp = node;
+  i64 checksum = 0;
+  while (node != root && node != nullptr) {
+    while (node) {
+      if (node->orientation == kUp) {
+        node->potential = node->basic_arc->cost + node->pred->potential;
+      } else { /* == DOWN */
+        node->potential = node->pred->potential - node->basic_arc->cost;
+        checksum++;
+      }
+      tmp = node;
+      node = node->child;
+    }
+    node = tmp;
+    while (node->pred) {
+      tmp = node->sibling;
+      if (tmp) {
+        node = tmp;
+        break;
+      }
+      node = node->pred;
+    }
+  }
+  ++net.refreshes;
+  net.checksum += static_cast<u64>(checksum);
+  return checksum;
+}
+
+namespace {
+
+/// sort_basket: descending by violation (the original's quicksort).
+void sort_basket(std::vector<BasketEntry>& basket) {
+  std::sort(basket.begin(), basket.end(), [](const BasketEntry& x, const BasketEntry& y) {
+    if (x.abs_cost != y.abs_cost) return x.abs_cost > y.abs_cost;
+    return x.a < y.a;
+  });
+}
+
+bool eligible(const Arc& a, cost_t* red, cost_t* viol) {
+  const cost_t rc = red_cost(a);
+  *red = rc;
+  if (a.ident == kAtLower && rc < 0) {
+    *viol = -rc;
+    return true;
+  }
+  if (a.ident == kAtUpper && rc > 0) {
+    *viol = rc;
+    return true;
+  }
+  return false;
+}
+
+}  // namespace
+
+Arc* primal_bea_mpp(Network& net, const SimplexParams& p) {
+  // Multiple partial pricing: re-price the persistent basket, then scan
+  // groups of arcs round-robin from the last position until the basket holds
+  // enough candidates (or everything has been scanned, proving optimality
+  // when the basket stays empty). Amortized cost per pivot is one group, not
+  // one full scan.
+  cost_t red, viol;
+  size_t keep = 0;
+  for (const BasketEntry& e : net.basket) {
+    if (eligible(*e.a, &red, &viol)) net.basket[keep++] = {e.a, red, viol};
+  }
+  net.basket.resize(keep);
+
+  // Refill: scan one group per call; only an empty basket justifies
+  // continuing (a full fruitless sweep proves optimality).
+  i64 scanned = 0;
+  i64 pos = net.price_pos;
+  if (pos >= net.m) pos = 0;  // the active set may have shrunk (suspend_impl)
+  while (scanned < net.m && static_cast<i64>(net.basket.size()) < p.basket_size &&
+         (scanned < p.group_size || net.basket.empty())) {
+    Arc* a = &net.arcs[static_cast<size_t>(pos)];
+    pos = pos + 1 == net.m ? 0 : pos + 1;
+    ++scanned;
+    if (eligible(*a, &red, &viol)) net.basket.push_back({a, red, viol});
+  }
+  net.price_pos = pos;
+  if (net.basket.empty()) {
+    // Also price the artificial arcs (they can re-enter in pathological
+    // cases; normally never eligible because of the BIG-M cost).
+    for (auto& a : net.dummy_arcs) {
+      if (a.ident != kBasic && eligible(a, &red, &viol)) net.basket.push_back({&a, red, viol});
+    }
+  }
+  if (net.basket.empty()) return nullptr;
+  sort_basket(net.basket);
+  return net.basket.front().a;
+}
+
+namespace {
+
+/// Ratio test (primal_iminus): walk the cycle closed by `e`, find delta and
+/// the blocking arc. Returns the node whose basic arc blocks (or nullptr if
+/// the entering arc blocks itself), plus which side of the cycle it is on.
+struct RatioResult {
+  flow_t delta = 0;
+  Node* block = nullptr;  // node whose basic arc is the leaving arc
+  bool block_on_tail_side = false;
+};
+
+RatioResult ratio_test(Arc* e, Node* join, Node* tail, Node* head, bool push_forward) {
+  RatioResult r;
+  // Entering arc residual bound.
+  r.delta = push_forward ? residual_up(*e) : e->flow;
+
+  // Cycle direction with push_forward: enter tail -> head, descend the tail
+  // side (pred(x) -> x), ascend the head side (x -> pred(x)); a basic arc is
+  // flow-increasing when aligned with the traversal. Pushing backward (an
+  // AT_UPPER entering arc) flips every direction.
+  for (Node* x = tail; x != join; x = x->pred) {
+    const Arc* a = x->basic_arc;
+    const bool increases = (x->orientation == kDown) == push_forward;
+    const flow_t room = increases ? residual_up(*a) : a->flow;
+    if (room < r.delta) {
+      r.delta = room;
+      r.block = x;
+      r.block_on_tail_side = true;
+    }
+  }
+  for (Node* x = head; x != join; x = x->pred) {
+    const Arc* a = x->basic_arc;
+    const bool increases = (x->orientation == kUp) == push_forward;
+    const flow_t room = increases ? residual_up(*a) : a->flow;
+    if (room < r.delta) {
+      r.delta = room;
+      r.block = x;
+      r.block_on_tail_side = false;
+    }
+  }
+  return r;
+}
+
+void apply_flows(Arc* e, Node* join, Node* tail, Node* head, bool push_forward, flow_t delta) {
+  e->flow += push_forward ? delta : -delta;
+  for (Node* x = tail; x != join; x = x->pred) {
+    Arc* a = x->basic_arc;
+    const bool increases = (x->orientation == kDown) == push_forward;
+    a->flow += increases ? delta : -delta;
+    x->flow = a->flow;
+  }
+  for (Node* x = head; x != join; x = x->pred) {
+    Arc* a = x->basic_arc;
+    const bool increases = (x->orientation == kUp) == push_forward;
+    a->flow += increases ? delta : -delta;
+    x->flow = a->flow;
+  }
+}
+
+/// Re-root the subtree cut by removing `block`'s basic arc, attaching it to
+/// the rest of the tree through entering arc `e` at node `q` (update_tree).
+void update_tree(Arc* e, Node* q, Node* block) {
+  Node* prev = (e->tail == q) ? e->head : e->tail;  // new parent of q
+  Arc* carried = e;
+  Node* cur = q;
+  while (true) {
+    Node* next = cur->pred;
+    Arc* old_arc = cur->basic_arc;
+    detach(cur);
+    cur->basic_arc = carried;
+    cur->orientation = (carried->tail == cur) ? kUp : kDown;
+    cur->flow = carried->flow;
+    attach(cur, prev);
+    carried = old_arc;
+    prev = cur;
+    if (cur == block) break;
+    cur = next;
+  }
+  set_from_parent(q);
+  update_subtree(q);
+}
+
+}  // namespace
+
+void primal_pivot(Network& net, Arc* e) {
+  Node* tail = e->tail;
+  Node* head = e->head;
+  const bool push_forward = e->ident == kAtLower;
+
+  // Find the join (deepest common ancestor).
+  Node* t = tail;
+  Node* h = head;
+  while (t->depth > h->depth) t = t->pred;
+  while (h->depth > t->depth) h = h->pred;
+  while (t != h) {
+    t = t->pred;
+    h = h->pred;
+  }
+  Node* join = t;
+
+  const RatioResult r = ratio_test(e, join, tail, head, push_forward);
+  apply_flows(e, join, tail, head, push_forward, r.delta);
+
+  if (r.block == nullptr) {
+    // The entering arc itself blocks: it moves between its bounds without a
+    // basis change.
+    e->ident = push_forward ? kAtUpper : kAtLower;
+    ++net.iterations;
+    return;
+  }
+
+  // Leaving arc goes to the bound it hit.
+  Arc* leaving = r.block->basic_arc;
+  leaving->ident = leaving->flow == leaving->cap ? kAtUpper : kAtLower;
+  DSP_CHECK(leaving->flow == 0 || leaving->flow == leaving->cap,
+            "leaving arc must be at a bound");
+
+  e->ident = kBasic;
+  Node* q = r.block_on_tail_side ? tail : head;
+  update_tree(e, q, r.block);
+  ++net.iterations;
+}
+
+void primal_net_simplex(Network& net, const SimplexParams& p) {
+  u64 since_refresh = 0;
+  while (Arc* e = primal_bea_mpp(net, p)) {
+    primal_pivot(net, e);
+    DSP_CHECK(net.iterations < p.max_iterations, "simplex iteration limit exceeded");
+    if (++since_refresh >= static_cast<u64>(p.refresh_gap)) {
+      refresh_potential(net);
+      since_refresh = 0;
+    }
+  }
+  refresh_potential(net);
+}
+
+i64 price_out_impl(Network& net, i64 max_new) {
+  // Scan the entire suspended (implicit) arc set, as the original does;
+  // reactivate at most max_new violating candidates by swapping them into
+  // the active prefix (suspended arcs are never basic, so no basis pointers
+  // move on that side).
+  i64 added = 0;
+  for (i64 i = net.m; i < net.total_arcs; ++i) {
+    Arc& a = net.arcs[static_cast<size_t>(i)];
+    const cost_t rc = red_cost(a);
+    if (rc < 0 && added < max_new) {
+      Arc& b = net.arcs[static_cast<size_t>(net.m)];
+      std::swap(a, b);
+      b.ident = kAtLower;
+      ++net.m;
+      ++added;
+    }
+  }
+  return added;
+}
+
+i64 suspend_impl(Network& net, cost_t threshold) {
+  // Deactivate flowless AT_LOWER arcs with strongly positive reduced cost:
+  // swap them past the end of the active prefix. The arc previously at the
+  // prefix end may be basic — repoint its owning node's basic_arc.
+  i64 suspended = 0;
+  i64 i = 0;
+  while (i < net.m) {
+    Arc& a = net.arcs[static_cast<size_t>(i)];
+    if (a.ident == kAtLower && a.flow == 0 && red_cost(a) > threshold) {
+      Arc& last = net.arcs[static_cast<size_t>(net.m - 1)];
+      std::swap(a, last);
+      last.ident = kSuspended;
+      --net.m;
+      ++suspended;
+      if (&a != &last && a.ident == kBasic) {
+        // `a` now holds the arc that lived at the prefix end; exactly one of
+        // its endpoints (the deeper one) owns it as basic_arc.
+        Node* owner = a.tail->basic_arc == &last ? a.tail : a.head;
+        DSP_CHECK(owner->basic_arc == &last, "basic arc ownership lost in suspend");
+        owner->basic_arc = &a;
+      }
+      // Re-examine slot i (it holds a different arc now).
+      continue;
+    }
+    ++i;
+  }
+  // Swapped arcs invalidate basket pointers' meaning; it re-prices anyway,
+  // but entries now pointing at suspended slots must be dropped — the
+  // revalidation in primal_bea_mpp handles that via the ident check. The
+  // round-robin scan position may now lie beyond the active prefix.
+  if (net.price_pos >= net.m) net.price_pos = 0;
+  return suspended;
+}
+
+void activate_arcs(Network& net, i64 count) {
+  // The initial working set is a prefix of the candidate order.
+  DSP_CHECK(net.m == 0, "activate_arcs must run before any pricing");
+  count = std::min(count, net.total_arcs);
+  for (i64 i = 0; i < count; ++i) net.arcs[static_cast<size_t>(i)].ident = kAtLower;
+  net.m = count;
+}
+
+cost_t solve(Network& net, const SimplexParams& p, double initial_active) {
+  primal_start_artificial(net);
+  activate_arcs(net, static_cast<i64>(static_cast<double>(net.cands.size()) * initial_active));
+  return global_opt(net, p);
+}
+
+cost_t global_opt(Network& net, const SimplexParams& p) {
+  primal_net_simplex(net, p);
+  for (u64 round = 0;; ++round) {
+    DSP_CHECK(round < 10000, "global_opt did not converge");
+    if (p.suspend_threshold >= 0) suspend_impl(net, p.suspend_threshold);
+    if (price_out_impl(net, net.n / 8 + 16) == 0) break;
+    primal_net_simplex(net, p);
+  }
+  return flow_cost(net);
+}
+
+cost_t flow_cost(Network& net) {
+  refresh_potential(net);
+  cost_t total = 0;
+  for (i64 i = 0; i < net.m; ++i) {
+    const Arc& a = net.arcs[static_cast<size_t>(i)];
+    total += a.cost * a.flow;
+  }
+  for (const Arc& a : net.dummy_arcs) total += a.cost * a.flow;
+  return total;
+}
+
+i64 dual_feasible(Network& net) {
+  i64 violations = 0;
+  auto check = [&](const Arc& a) {
+    const cost_t rc = red_cost(a);
+    switch (a.ident) {
+      case kBasic:
+        if (rc != 0) ++violations;
+        break;
+      case kAtLower:
+        if (rc < 0) ++violations;
+        break;
+      case kAtUpper:
+        if (rc > 0) ++violations;
+        break;
+      default:
+        ++violations;
+    }
+  };
+  for (i64 i = 0; i < net.m; ++i) check(net.arcs[static_cast<size_t>(i)]);
+  for (const Arc& a : net.dummy_arcs) check(a);
+  // Suspended arcs are out of the basis at their lower bound: optimality
+  // additionally requires their reduced cost to be nonnegative.
+  for (i64 i = net.m; i < net.total_arcs; ++i) {
+    if (red_cost(net.arcs[static_cast<size_t>(i)]) < 0) ++violations;
+  }
+  return violations;
+}
+
+bool primal_feasible(Network& net) {
+  for (const Arc& a : net.dummy_arcs) {
+    if (a.flow != 0) return false;
+  }
+  return true;
+}
+
+std::string write_circulations(Network& net, size_t max_rows) {
+  std::ostringstream os;
+  size_t rows = 0;
+  for (i64 i = 0; i < net.m && rows < max_rows; ++i) {
+    const Arc& a = net.arcs[static_cast<size_t>(i)];
+    if (a.flow > 0) {
+      os << a.tail->number << " -> " << a.head->number << " flow " << a.flow << " cost "
+         << a.cost << "\n";
+      ++rows;
+    }
+  }
+  return os.str();
+}
+
+}  // namespace dsprof::mcf

@@ -1,0 +1,87 @@
+#include "mcf/ssp.hpp"
+
+#include <algorithm>
+
+namespace dsprof::mcf {
+
+namespace {
+
+struct REdge {
+  i64 to;
+  flow_t cap;
+  cost_t cost;
+  size_t rev;  // index of the reverse edge in graph[to]
+};
+
+}  // namespace
+
+SspResult ssp_solve(i64 n, const std::vector<flow_t>& supply,
+                    const std::vector<CandArc>& cands) {
+  // Nodes 1..n plus super-source 0 and super-sink n+1.
+  const i64 S = 0;
+  const i64 T = n + 1;
+  std::vector<std::vector<REdge>> g(static_cast<size_t>(n + 2));
+  auto add_edge = [&](i64 a, i64 b, flow_t cap, cost_t cost) {
+    g[static_cast<size_t>(a)].push_back({b, cap, cost, g[static_cast<size_t>(b)].size()});
+    g[static_cast<size_t>(b)].push_back({a, 0, -cost, g[static_cast<size_t>(a)].size() - 1});
+  };
+  flow_t need = 0;
+  for (i64 i = 1; i <= n; ++i) {
+    const flow_t b = supply[static_cast<size_t>(i)];
+    if (b > 0) {
+      add_edge(S, i, b, 0);
+      need += b;
+    } else if (b < 0) {
+      add_edge(i, T, -b, 0);
+    }
+  }
+  for (const auto& c : cands) add_edge(c.tail, c.head, c.cap, c.cost);
+
+  SspResult result;
+  flow_t sent = 0;
+  while (sent < need) {
+    // Bellman-Ford shortest path S -> T in the residual graph.
+    const cost_t INF = (i64{1} << 62);
+    std::vector<cost_t> dist(static_cast<size_t>(n + 2), INF);
+    std::vector<i64> pv(static_cast<size_t>(n + 2), -1);
+    std::vector<size_t> pe(static_cast<size_t>(n + 2), 0);
+    dist[S] = 0;
+    bool changed = true;
+    for (i64 round = 0; round <= n + 2 && changed; ++round) {
+      changed = false;
+      for (i64 v = 0; v <= n + 1; ++v) {
+        if (dist[static_cast<size_t>(v)] == INF) continue;
+        for (size_t ei = 0; ei < g[static_cast<size_t>(v)].size(); ++ei) {
+          const REdge& e = g[static_cast<size_t>(v)][ei];
+          if (e.cap <= 0) continue;
+          const cost_t nd = dist[static_cast<size_t>(v)] + e.cost;
+          if (nd < dist[static_cast<size_t>(e.to)]) {
+            dist[static_cast<size_t>(e.to)] = nd;
+            pv[static_cast<size_t>(e.to)] = v;
+            pe[static_cast<size_t>(e.to)] = ei;
+            changed = true;
+          }
+        }
+      }
+    }
+    if (dist[static_cast<size_t>(T)] == INF) break;  // no augmenting path
+
+    // Bottleneck along the path.
+    flow_t aug = need - sent;
+    for (i64 v = T; v != S; v = pv[static_cast<size_t>(v)]) {
+      const REdge& e = g[static_cast<size_t>(pv[static_cast<size_t>(v)])][pe[static_cast<size_t>(v)]];
+      aug = std::min(aug, e.cap);
+    }
+    for (i64 v = T; v != S; v = pv[static_cast<size_t>(v)]) {
+      REdge& e = g[static_cast<size_t>(pv[static_cast<size_t>(v)])][pe[static_cast<size_t>(v)]];
+      e.cap -= aug;
+      g[static_cast<size_t>(v)][e.rev].cap += aug;
+      result.cost += e.cost * aug;
+    }
+    sent += aug;
+  }
+  result.feasible = sent == need;
+  return result;
+}
+
+}  // namespace dsprof::mcf

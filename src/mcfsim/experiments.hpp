@@ -1,0 +1,41 @@
+// Canonical experiment setup shared by the figure benches and examples:
+// the paper's §3.1 methodology (two collect runs over the MCF target) on a
+// proportionally scaled machine.
+//
+// Scaling note (DESIGN.md §2): the paper's testbed pairs a ~190 MB MCF
+// working set against a 64 KB D$ / 8 MB E$ / 8 KB-page DTLB. Simulating
+// 10^11 instructions is impractical, so the default setup scales both sides
+// down together: a ~1.7 MB working set against a 16 KB D$ / 256 KB E$ /
+// 16-entry DTLB, preserving the working-set : cache ratios that produce the
+// paper's behaviour. The full US-III geometry remains available via
+// machine::CpuConfig{} for anyone willing to wait.
+#pragma once
+
+#include "collect/collector.hpp"
+#include "mcfsim/mcfsim.hpp"
+
+namespace dsprof::mcfsim {
+
+struct PaperSetup {
+  BuildOptions build;
+  RunParams run;
+  machine::CpuConfig cpu;
+
+  /// The standard scaled setup used by the figure benches.
+  static PaperSetup standard(u64 seed = 42);
+  /// A smaller/faster variant for benches that need several full runs.
+  static PaperSetup small(u64 seed = 42);
+};
+
+struct PaperExperiments {
+  experiment::Experiment ex1;  // collect -p on  -h +ecstall,...,+ecrm,...
+  experiment::Experiment ex2;  // collect -p off -h +ecref,...,+dtlbm,...
+};
+
+/// Run the paper's two collect command lines (§3.1) against the setup.
+PaperExperiments collect_paper_experiments(const PaperSetup& s);
+
+/// One uninstrumented run; returns total cycles (for speedup comparisons).
+machine::RunResult measure_run(const PaperSetup& s);
+
+}  // namespace dsprof::mcfsim

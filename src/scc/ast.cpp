@@ -1,0 +1,97 @@
+#include "scc/ast.hpp"
+
+namespace dsprof::scc {
+
+bool is_compare(BinOp op) {
+  switch (op) {
+    case BinOp::Lt:
+    case BinOp::Le:
+    case BinOp::Gt:
+    case BinOp::Ge:
+    case BinOp::Eq:
+    case BinOp::Ne:
+      return true;
+    default:
+      return false;
+  }
+}
+
+const char* binop_token(BinOp op) {
+  switch (op) {
+    case BinOp::Add: return "+";
+    case BinOp::Sub: return "-";
+    case BinOp::Mul: return "*";
+    case BinOp::Div: return "/";
+    case BinOp::Mod: return "%";
+    case BinOp::BitAnd: return "&";
+    case BinOp::BitOr: return "|";
+    case BinOp::BitXor: return "^";
+    case BinOp::Shl: return "<<";
+    case BinOp::Shr: return ">>";
+    case BinOp::Lt: return "<";
+    case BinOp::Le: return "<=";
+    case BinOp::Gt: return ">";
+    case BinOp::Ge: return ">=";
+    case BinOp::Eq: return "==";
+    case BinOp::Ne: return "!=";
+  }
+  return "?";
+}
+
+bool is_lvalue(const ExprNode& e) {
+  using K = ExprNode::Kind;
+  return e.kind == K::Var || e.kind == K::Global || e.kind == K::Member ||
+         e.kind == K::Index || e.kind == K::Deref;
+}
+
+namespace {
+
+bool needs_parens(const ExprNode& e) {
+  return e.kind == ExprNode::Kind::Bin || e.kind == ExprNode::Kind::Neg;
+}
+
+std::string sub(const Expr& e) {
+  std::string s = expr_to_source(*e);
+  if (needs_parens(*e)) return "(" + s + ")";
+  return s;
+}
+
+}  // namespace
+
+std::string expr_to_source(const ExprNode& e) {
+  using K = ExprNode::Kind;
+  switch (e.kind) {
+    case K::Int:
+      return std::to_string(e.ival);
+    case K::Var:
+    case K::Global:
+      return e.name;
+    case K::Member: {
+      const StructDef* s = e.a->type.pointee_struct();
+      return sub(e.a) + "->" + s->field_name(e.member);
+    }
+    case K::Index:
+      return sub(e.a) + "[" + expr_to_source(*e.b) + "]";
+    case K::PtrIndex:
+      return sub(e.a) + " + " + sub(e.b);
+    case K::Deref:
+      return "*" + sub(e.a);
+    case K::Bin:
+      return sub(e.a) + " " + binop_token(e.bop) + " " + sub(e.b);
+    case K::Neg:
+      return "-" + sub(e.a);
+    case K::Call: {
+      std::string s;
+      for (const auto& a : e.args) {
+        if (!s.empty()) s += ", ";
+        s += expr_to_source(*a);
+      }
+      return e.name + "(" + s + ")";
+    }
+    case K::Cast:
+      return "(" + e.type.display() + ")" + sub(e.a);
+  }
+  return "?";
+}
+
+}  // namespace dsprof::scc

@@ -1,0 +1,86 @@
+// AST for the scc DSL. Programs are built through the FunctionBuilder
+// (builder.hpp); the codegen walks these nodes to emit s3 instructions and
+// the data-space symbol tables.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "scc/type.hpp"
+
+namespace dsprof::scc {
+
+class Function;
+
+struct ExprNode;
+using Expr = std::shared_ptr<const ExprNode>;
+
+enum class BinOp : u8 {
+  Add, Sub, Mul, Div, Mod, BitAnd, BitOr, BitXor, Shl, Shr,
+  Lt, Le, Gt, Ge, Eq, Ne,
+};
+
+bool is_compare(BinOp op);
+const char* binop_token(BinOp op);
+
+struct ExprNode {
+  enum class Kind : u8 {
+    Int,       // ival
+    Var,       // function variable `var` (param or local)
+    Global,    // module global `var`
+    Member,    // a->field: a is PtrStruct, member is the declaration index
+    Index,     // a[b] load of a scalar array element (a is PtrI64/PtrU8)
+    PtrIndex,  // a + b in C pointer arithmetic (a is PtrStruct): no load
+    Deref,     // *a (a is PtrI64/PtrU8)
+    Bin,       // a bop b
+    Neg,       // -a
+    Call,      // callee(args...)
+    Cast,      // (T)a — reinterpreting pointer/integer cast
+  };
+
+  Kind kind = Kind::Int;
+  Type type;
+  i64 ival = 0;
+  u32 var = 0;
+  Expr a, b;
+  u32 member = 0;
+  BinOp bop = BinOp::Add;
+  const Function* callee = nullptr;
+  std::vector<Expr> args;
+  std::string name;  // display name for Var/Global
+};
+
+/// True if the node can be assigned to.
+bool is_lvalue(const ExprNode& e);
+
+/// C-like rendering used for the synthetic annotated-source listing.
+std::string expr_to_source(const ExprNode& e);
+
+struct StmtNode;
+using Stmt = std::unique_ptr<StmtNode>;
+
+struct StmtNode {
+  enum class Kind : u8 {
+    Assign,    // lhs = e
+    If,        // if (e) body else else_body
+    While,     // while (e) body
+    Return,    // return e (e may be null for void-style return 0)
+    CallStmt,  // e is a Call whose result is discarded
+    Break,
+    Continue,
+    Prefetch,  // prefetch the address of lvalue e (hint)
+    Trace,     // host trace of e (test oracle)
+    PutC,      // emit character e
+    PutI,      // emit decimal e
+    NoteAlloc, // runtime allocation record: lhs = address, e = size
+  };
+
+  Kind kind = Kind::Assign;
+  u32 line = 0;       // synthetic source line of this statement
+  u32 end_line = 0;   // closing brace line for If/While
+  Expr lhs, e;
+  std::vector<Stmt> body, else_body;
+};
+
+}  // namespace dsprof::scc

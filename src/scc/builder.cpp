@@ -1,0 +1,327 @@
+#include "scc/builder.hpp"
+
+namespace dsprof::scc {
+
+namespace {
+
+Expr make_int(i64 v) {
+  auto n = std::make_shared<ExprNode>();
+  n->kind = ExprNode::Kind::Int;
+  n->type = Type::i64();
+  n->ival = v;
+  return n;
+}
+
+bool is_null_literal(const ExprNode& e) {
+  return e.kind == ExprNode::Kind::Int && e.ival == 0;
+}
+
+Expr make_bin(BinOp op, Expr a, Expr b) {
+  const Type& ta = a->type;
+  const Type& tb = b->type;
+  auto n = std::make_shared<ExprNode>();
+  if (is_compare(op)) {
+    const bool both_int = !ta.is_pointer() && !tb.is_pointer();
+    const bool ptr_ptr = ta.is_pointer() && tb.is_pointer() && ta.same_as(tb);
+    const bool ptr_null = (ta.is_pointer() && is_null_literal(*b)) ||
+                          (tb.is_pointer() && is_null_literal(*a));
+    DSP_CHECK(both_int || ptr_ptr || ptr_null, "invalid comparison operand types");
+    n->kind = ExprNode::Kind::Bin;
+    n->type = Type::i64();
+    n->bop = op;
+    n->a = std::move(a);
+    n->b = std::move(b);
+    return n;
+  }
+  if ((op == BinOp::Add || op == BinOp::Sub) && ta.is_pointer()) {
+    DSP_CHECK(!tb.is_pointer(), "pointer +/- pointer is not supported");
+    n->kind = ExprNode::Kind::PtrIndex;
+    n->type = ta;
+    n->a = std::move(a);
+    n->b = op == BinOp::Sub ? [&] {
+      auto neg = std::make_shared<ExprNode>();
+      neg->kind = ExprNode::Kind::Neg;
+      neg->type = Type::i64();
+      neg->a = std::move(b);
+      return Expr(neg);
+    }() : std::move(b);
+    return n;
+  }
+  DSP_CHECK(!ta.is_pointer() && !tb.is_pointer(), "arithmetic on pointers");
+  n->kind = ExprNode::Kind::Bin;
+  n->type = Type::i64();
+  n->bop = op;
+  n->a = std::move(a);
+  n->b = std::move(b);
+  return n;
+}
+
+}  // namespace
+
+Val::Val(i64 v) : e_(make_int(v)) {}
+
+Val Val::field(const std::string& fname) const {
+  const Expr& base = expr();
+  DSP_CHECK(base->type.is_ptr_struct(), "member access on non-struct pointer");
+  const StructDef* s = base->type.pointee_struct();
+  auto n = std::make_shared<ExprNode>();
+  n->kind = ExprNode::Kind::Member;
+  n->member = s->field_index(fname);
+  n->type = s->field_type(n->member);
+  n->a = base;
+  return Val(n);
+}
+
+Val Val::operator[](const char* f) const { return field(f); }
+
+Val Val::idx(const Val& index) const {
+  const Expr& base = expr();
+  DSP_CHECK(base->type.kind() == Type::Kind::PtrI64 || base->type.kind() == Type::Kind::PtrU8,
+            "idx() requires a scalar-array pointer");
+  DSP_CHECK(!index.type().is_pointer(), "index must be an integer");
+  auto n = std::make_shared<ExprNode>();
+  n->kind = ExprNode::Kind::Index;
+  n->type = base->type.pointee();
+  n->a = base;
+  n->b = index.expr();
+  return Val(n);
+}
+
+Val Val::deref() const {
+  const Expr& base = expr();
+  DSP_CHECK(base->type.kind() == Type::Kind::PtrI64 || base->type.kind() == Type::Kind::PtrU8,
+            "deref requires a scalar pointer");
+  auto n = std::make_shared<ExprNode>();
+  n->kind = ExprNode::Kind::Deref;
+  n->type = base->type.pointee();
+  n->a = base;
+  return Val(n);
+}
+
+#define DSP_BIN(OPER, TOKEN)                                   \
+  Val operator OPER(const Val& a, const Val& b) {              \
+    return Val(make_bin(BinOp::TOKEN, a.expr(), b.expr()));    \
+  }
+DSP_BIN(+, Add)
+DSP_BIN(-, Sub)
+DSP_BIN(*, Mul)
+DSP_BIN(/, Div)
+DSP_BIN(%, Mod)
+DSP_BIN(&, BitAnd)
+DSP_BIN(|, BitOr)
+DSP_BIN(^, BitXor)
+DSP_BIN(<<, Shl)
+DSP_BIN(>>, Shr)
+DSP_BIN(<, Lt)
+DSP_BIN(<=, Le)
+DSP_BIN(>, Gt)
+DSP_BIN(>=, Ge)
+DSP_BIN(==, Eq)
+DSP_BIN(!=, Ne)
+#undef DSP_BIN
+
+Val operator-(const Val& a) {
+  DSP_CHECK(!a.type().is_pointer(), "negating a pointer");
+  auto n = std::make_shared<ExprNode>();
+  n->kind = ExprNode::Kind::Neg;
+  n->type = Type::i64();
+  n->a = a.expr();
+  return Val(n);
+}
+
+Val land(const Val& a, const Val& b) { return Val(make_bin(BinOp::BitAnd, a.expr(), b.expr())); }
+Val lor(const Val& a, const Val& b) { return Val(make_bin(BinOp::BitOr, a.expr(), b.expr())); }
+
+FunctionBuilder::FunctionBuilder(Module& m, Function& f) : m_(m), f_(f) {
+  blocks_.push_back(&f_.body());
+}
+
+void FunctionBuilder::ensure_header() {
+  if (header_emitted_) return;
+  header_emitted_ = true;
+  std::string params;
+  for (const auto& v : f_.vars()) {
+    if (!v.is_param) continue;
+    if (!params.empty()) params += ", ";
+    params += v.type.display() + " " + v.name;
+  }
+  f_.set_decl_line(m_.next_line(f_.return_type().display() + " " + f_.name() + "(" + params +
+                                ") {"));
+}
+
+Val FunctionBuilder::param(std::string name, Type t) {
+  DSP_CHECK(!header_emitted_, "declare all params before the first statement");
+  DSP_CHECK(f_.param_count() < 6, "at most 6 parameters are supported");
+  const u32 idx = f_.add_var(name, t, /*is_param=*/true);
+  auto n = std::make_shared<ExprNode>();
+  n->kind = ExprNode::Kind::Var;
+  n->type = t;
+  n->var = idx;
+  n->name = f_.vars()[idx].name;
+  return Val(n);
+}
+
+Val FunctionBuilder::local(std::string name, Type t) {
+  const u32 idx = f_.add_var(name, t, /*is_param=*/false);
+  auto n = std::make_shared<ExprNode>();
+  n->kind = ExprNode::Kind::Var;
+  n->type = t;
+  n->var = idx;
+  n->name = f_.vars()[idx].name;
+  return Val(n);
+}
+
+Val FunctionBuilder::global(const std::string& name) {
+  const u32 idx = m_.find_global(name);
+  auto n = std::make_shared<ExprNode>();
+  n->kind = ExprNode::Kind::Global;
+  n->type = m_.global(idx).type;
+  n->var = idx;
+  n->name = name;
+  return Val(n);
+}
+
+Stmt FunctionBuilder::make(StmtNode::Kind kind, std::string text) {
+  ensure_header();
+  auto s = std::make_unique<StmtNode>();
+  s->kind = kind;
+  s->line = m_.next_line(std::move(text));
+  return s;
+}
+
+void FunctionBuilder::push(Stmt s) { blocks_.back()->push_back(std::move(s)); }
+
+void FunctionBuilder::nest(std::vector<Stmt>& block, const std::function<void()>& fill) {
+  blocks_.push_back(&block);
+  fill();
+  blocks_.pop_back();
+}
+
+void FunctionBuilder::set(const Val& lhs, const Val& rhs) {
+  DSP_CHECK(is_lvalue(*lhs.expr()), "assignment target is not an lvalue");
+  const Type& tl = lhs.type();
+  const Type& tr = rhs.type();
+  const bool ok = tl.same_as(tr) || (tl.is_pointer() && is_null_literal(*rhs.expr())) ||
+                  (!tl.is_pointer() && !tr.is_pointer());
+  DSP_CHECK(ok, "assignment type mismatch");
+  Stmt s = make(StmtNode::Kind::Assign,
+                expr_to_source(*lhs.expr()) + " = " + expr_to_source(*rhs.expr()) + ";");
+  s->lhs = lhs.expr();
+  s->e = rhs.expr();
+  push(std::move(s));
+}
+
+void FunctionBuilder::if_(const Val& cond, const std::function<void()>& then) {
+  Stmt s = make(StmtNode::Kind::If, "if (" + expr_to_source(*cond.expr()) + ") {");
+  s->e = cond.expr();
+  nest(s->body, then);
+  s->end_line = m_.next_line("}");
+  push(std::move(s));
+}
+
+void FunctionBuilder::if_else(const Val& cond, const std::function<void()>& then,
+                              const std::function<void()>& otherwise) {
+  Stmt s = make(StmtNode::Kind::If, "if (" + expr_to_source(*cond.expr()) + ") {");
+  s->e = cond.expr();
+  nest(s->body, then);
+  m_.next_line("} else {");
+  nest(s->else_body, otherwise);
+  s->end_line = m_.next_line("}");
+  push(std::move(s));
+}
+
+void FunctionBuilder::while_(const Val& cond, const std::function<void()>& body) {
+  Stmt s = make(StmtNode::Kind::While, "while (" + expr_to_source(*cond.expr()) + ") {");
+  s->e = cond.expr();
+  nest(s->body, body);
+  s->end_line = m_.next_line("}");
+  push(std::move(s));
+}
+
+void FunctionBuilder::break_() { push(make(StmtNode::Kind::Break, "break;")); }
+
+void FunctionBuilder::continue_() { push(make(StmtNode::Kind::Continue, "continue;")); }
+
+void FunctionBuilder::ret(const Val& v) {
+  Stmt s = make(StmtNode::Kind::Return, "return " + expr_to_source(*v.expr()) + ";");
+  s->e = v.expr();
+  push(std::move(s));
+}
+
+void FunctionBuilder::ret0() {
+  Stmt s = make(StmtNode::Kind::Return, "return;");
+  push(std::move(s));
+}
+
+Val FunctionBuilder::call(Function* callee, std::vector<Val> args) {
+  DSP_CHECK(callee != nullptr, "call to null function");
+  DSP_CHECK(args.size() == callee->param_count(), "argument count mismatch calling " +
+                                                     callee->name());
+  auto n = std::make_shared<ExprNode>();
+  n->kind = ExprNode::Kind::Call;
+  n->type = callee->return_type();
+  n->callee = callee;
+  n->name = callee->name();
+  for (size_t i = 0; i < args.size(); ++i) {
+    const Type& pt = callee->vars()[i].type;
+    const Type& at = args[i].type();
+    const bool ok = pt.same_as(at) || (pt.is_pointer() && is_null_literal(*args[i].expr())) ||
+                    (!pt.is_pointer() && !at.is_pointer());
+    DSP_CHECK(ok, "argument type mismatch calling " + callee->name());
+    n->args.push_back(args[i].expr());
+  }
+  return Val(n);
+}
+
+void FunctionBuilder::call_stmt(Function* callee, std::vector<Val> args) {
+  Val c = call(callee, std::move(args));
+  Stmt s = make(StmtNode::Kind::CallStmt, expr_to_source(*c.expr()) + ";");
+  s->e = c.expr();
+  push(std::move(s));
+}
+
+void FunctionBuilder::prefetch(const Val& lvalue) {
+  const ExprNode& e = *lvalue.expr();
+  DSP_CHECK(e.kind == ExprNode::Kind::Member || e.kind == ExprNode::Kind::Index ||
+                e.kind == ExprNode::Kind::Deref,
+            "prefetch target must be a memory reference");
+  Stmt s = make(StmtNode::Kind::Prefetch, "prefetch(&" + expr_to_source(e) + ");");
+  s->e = lvalue.expr();
+  push(std::move(s));
+}
+
+void FunctionBuilder::trace(const Val& v) {
+  Stmt s = make(StmtNode::Kind::Trace, "__trace(" + expr_to_source(*v.expr()) + ");");
+  s->e = v.expr();
+  push(std::move(s));
+}
+
+void FunctionBuilder::put_char(const Val& v) {
+  Stmt s = make(StmtNode::Kind::PutC, "putchar(" + expr_to_source(*v.expr()) + ");");
+  s->e = v.expr();
+  push(std::move(s));
+}
+
+Val cast(const Val& v, Type to) {
+  auto n = std::make_shared<ExprNode>();
+  n->kind = ExprNode::Kind::Cast;
+  n->type = to;
+  n->a = v.expr();
+  return Val(n);
+}
+
+void FunctionBuilder::note_alloc(const Val& addr, const Val& size) {
+  Stmt s = make(StmtNode::Kind::NoteAlloc, "__note_alloc(" + expr_to_source(*addr.expr()) +
+                                               ", " + expr_to_source(*size.expr()) + ");");
+  s->lhs = addr.expr();
+  s->e = size.expr();
+  push(std::move(s));
+}
+
+void FunctionBuilder::put_int(const Val& v) {
+  Stmt s = make(StmtNode::Kind::PutI, "printf(\"%ld\", " + expr_to_source(*v.expr()) + ");");
+  s->e = v.expr();
+  push(std::move(s));
+}
+
+}  // namespace dsprof::scc

@@ -1,0 +1,133 @@
+// Ergonomic embedded-DSL builder: Val wraps an expression with overloaded
+// operators; FunctionBuilder appends statements (auto-generating the
+// synthetic source line text the annotated-source view renders).
+//
+// Example (the paper's refresh_potential critical loop, Figure 3):
+//   FunctionBuilder fb(mod, *mod.add_function("refresh_potential"));
+//   auto net  = fb.param("net", Type::ptr(net_s));
+//   auto node = fb.local("node", Type::ptr(node_s));
+//   ...
+//   fb.while_(node != root, [&] {
+//     fb.while_(node != 0, [&] {
+//       fb.if_else(node["orientation"] == UP,
+//         [&] { fb.set(node["potential"],
+//                      node["basic_arc"]["cost"] + node["pred"]["potential"]); },
+//         [&] { ... });
+//       ...
+//     });
+//   });
+#pragma once
+
+#include <functional>
+
+#include "scc/module.hpp"
+
+namespace dsprof::scc {
+
+class Val {
+ public:
+  Val() = default;
+  /* implicit */ Val(i64 v);
+  /* implicit */ Val(int v) : Val(static_cast<i64>(v)) {}
+  explicit Val(Expr e) : e_(std::move(e)) {}
+
+  const Expr& expr() const {
+    DSP_CHECK(e_ != nullptr, "empty Val");
+    return e_;
+  }
+  Type type() const { return expr()->type; }
+
+  /// Struct member access through a pointer: node["potential"] is
+  /// node->potential.
+  Val operator[](const char* field) const;
+  Val field(const std::string& fname) const;
+
+  /// Scalar-array element load: arr.idx(i) is arr[i] (arr: long*/char*).
+  Val idx(const Val& index) const;
+
+  /// Dereference a scalar pointer.
+  Val deref() const;
+
+ private:
+  Expr e_;
+};
+
+// Arithmetic / comparison operators. Pointer +/- integer yields pointer
+// arithmetic in element units (C semantics).
+Val operator+(const Val& a, const Val& b);
+Val operator-(const Val& a, const Val& b);
+Val operator*(const Val& a, const Val& b);
+Val operator/(const Val& a, const Val& b);
+Val operator%(const Val& a, const Val& b);
+Val operator&(const Val& a, const Val& b);
+Val operator|(const Val& a, const Val& b);
+Val operator^(const Val& a, const Val& b);
+Val operator<<(const Val& a, const Val& b);
+Val operator>>(const Val& a, const Val& b);
+Val operator<(const Val& a, const Val& b);
+Val operator<=(const Val& a, const Val& b);
+Val operator>(const Val& a, const Val& b);
+Val operator>=(const Val& a, const Val& b);
+Val operator==(const Val& a, const Val& b);
+Val operator!=(const Val& a, const Val& b);
+Val operator-(const Val& a);  // negation
+
+/// Logical and/or over 0/1 comparison results. NOTE: both sides are always
+/// evaluated (no short circuit) — don't dereference possibly-null pointers
+/// on the right-hand side; nest if_ instead.
+Val land(const Val& a, const Val& b);
+Val lor(const Val& a, const Val& b);
+
+/// Reinterpreting cast between integers and pointers (C "(node *)p").
+Val cast(const Val& v, Type to);
+
+class FunctionBuilder {
+ public:
+  FunctionBuilder(Module& m, Function& f);
+
+  /// Declare the next parameter (in order; max 6).
+  Val param(std::string name, Type t);
+  Val local(std::string name, Type t);
+  /// Reference a module global by name.
+  Val global(const std::string& name);
+
+  void set(const Val& lhs, const Val& rhs);
+  void if_(const Val& cond, const std::function<void()>& then);
+  void if_else(const Val& cond, const std::function<void()>& then,
+               const std::function<void()>& otherwise);
+  void while_(const Val& cond, const std::function<void()>& body);
+  void break_();
+  void continue_();
+  void ret(const Val& v);
+  void ret0();
+
+  /// Call with a used result / as a statement.
+  Val call(Function* callee, std::vector<Val> args = {});
+  void call_stmt(Function* callee, std::vector<Val> args = {});
+
+  /// Software prefetch of the address of an lvalue (Member/Index/Deref).
+  void prefetch(const Val& lvalue);
+
+  void trace(const Val& v);
+  void put_char(const Val& v);
+  void put_int(const Val& v);
+  /// Record a heap allocation with the host (used by the runtime malloc so
+  /// the analyzer's instance view can map addresses to objects).
+  void note_alloc(const Val& addr, const Val& size);
+
+  Module& module() { return m_; }
+  Function& function() { return f_; }
+
+ private:
+  Stmt make(StmtNode::Kind kind, std::string text);
+  void push(Stmt s);
+  void nest(std::vector<Stmt>& block, const std::function<void()>& fill);
+
+  Module& m_;
+  Function& f_;
+  std::vector<std::vector<Stmt>*> blocks_;
+  bool header_emitted_ = false;
+  void ensure_header();
+};
+
+}  // namespace dsprof::scc

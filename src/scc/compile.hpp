@@ -1,0 +1,41 @@
+// Compilation entry point: Module -> loadable sym::Image, implementing the
+// paper's -xhwcprof / -xdebugformat=dwarf behaviour (§2.1):
+//  * with hwcprof: every memory-reference instruction gets a data descriptor
+//    (struct type + member) in the symbol table; nop padding is inserted
+//    between memory operations and join nodes (labels/branches) so counter
+//    events are captured in the triggering basic block; loads/stores are
+//    never scheduled into branch delay slots;
+//  * with dwarf: branch-target and line tables are emitted (STABS cannot
+//    carry them — without dwarf the analyzer reports (Unverifiable));
+//  * without hwcprof: memory descriptors are absent (the analyzer reports
+//    (Unascertainable)) and delay slots may hold loads/stores.
+#pragma once
+
+#include "scc/module.hpp"
+#include "sym/image.hpp"
+
+namespace dsprof::scc {
+
+struct CompileOptions {
+  bool hwcprof = true;  // -xhwcprof
+  bool dwarf = true;    // -xdebugformat=dwarf
+  /// Minimum instruction distance kept between a memory operation and the
+  /// next join node under hwcprof (nops inserted as needed).
+  u32 pad_nops = 2;
+  /// Fill branch delay slots with a preceding instruction when legal
+  /// (always nop under hwcprof if the candidate is a memory op).
+  bool fill_delay_slots = true;
+};
+
+/// Compile `m` to an executable image. The module must define a function
+/// named "main" (no parameters); a _start shim calls it and exits with its
+/// return value.
+sym::Image compile(const Module& m, const CompileOptions& opt = {});
+
+/// Define the DSL runtime in `m`: a bump-pointer `malloc(size)` returning an
+/// i64 address (cast at call sites), with allocations aligned to
+/// `malloc_align` and reported to the host for the instance view.
+/// Returns the malloc function.
+Function* add_runtime(Module& m, u64 malloc_align = 16);
+
+}  // namespace dsprof::scc

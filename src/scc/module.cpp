@@ -1,0 +1,70 @@
+#include "scc/module.hpp"
+
+namespace dsprof::scc {
+
+u32 Function::add_var(std::string vname, Type type, bool is_param) {
+  for (const auto& v : vars_) {
+    DSP_CHECK(v.name != vname, "duplicate variable " + vname + " in " + name_);
+  }
+  if (is_param) {
+    DSP_CHECK(vars_.size() == param_count_, "params must be declared before locals");
+    ++param_count_;
+  }
+  vars_.push_back({std::move(vname), type, is_param});
+  return static_cast<u32>(vars_.size() - 1);
+}
+
+StructDef* Module::add_struct(std::string name) {
+  DSP_CHECK(find_struct(name) == nullptr, "duplicate struct " + name);
+  structs_.push_back(std::make_unique<StructDef>(std::move(name)));
+  return structs_.back().get();
+}
+
+StructDef* Module::find_struct(const std::string& name) {
+  for (auto& s : structs_) {
+    if (s->name() == name) return s.get();
+  }
+  return nullptr;
+}
+
+u32 Module::add_global(std::string name, Type type, i64 init) {
+  for (const auto& g : globals_) {
+    DSP_CHECK(g.name != name, "duplicate global " + name);
+  }
+  Global g;
+  g.name = std::move(name);
+  g.type = type;
+  g.init = init;
+  data_size_ = round_up(data_size_, type.align());
+  g.offset = data_size_;
+  data_size_ += type.size();
+  globals_.push_back(std::move(g));
+  return static_cast<u32>(globals_.size() - 1);
+}
+
+u32 Module::find_global(const std::string& name) const {
+  for (size_t i = 0; i < globals_.size(); ++i) {
+    if (globals_[i].name == name) return static_cast<u32>(i);
+  }
+  fail("no global named " + name);
+}
+
+Function* Module::add_function(std::string name, Type ret) {
+  DSP_CHECK(find_function(name) == nullptr, "duplicate function " + name);
+  funcs_.push_back(std::make_unique<Function>(std::move(name), ret));
+  return funcs_.back().get();
+}
+
+Function* Module::find_function(const std::string& name) {
+  for (auto& f : funcs_) {
+    if (f->name() == name) return f.get();
+  }
+  return nullptr;
+}
+
+u32 Module::next_line(std::string text) {
+  source_[++line_counter_] = std::move(text);
+  return line_counter_;
+}
+
+}  // namespace dsprof::scc

@@ -1,0 +1,85 @@
+// Module and Function containers for the scc DSL: structs, globals, and
+// function bodies, plus the synthetic source listing (one line per
+// statement) that powers the analyzer's annotated-source view.
+#pragma once
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "scc/ast.hpp"
+
+namespace dsprof::scc {
+
+class Function {
+ public:
+  struct Var {
+    std::string name;
+    Type type;
+    bool is_param = false;
+  };
+
+  Function(std::string name, Type ret) : name_(std::move(name)), ret_(ret) {}
+
+  const std::string& name() const { return name_; }
+  Type return_type() const { return ret_; }
+
+  u32 add_var(std::string vname, Type type, bool is_param);
+  const std::vector<Var>& vars() const { return vars_; }
+  size_t param_count() const { return param_count_; }
+
+  std::vector<Stmt>& body() { return body_; }
+  const std::vector<Stmt>& body() const { return body_; }
+
+  void set_decl_line(u32 line) { decl_line_ = line; }
+  u32 decl_line() const { return decl_line_; }
+
+ private:
+  std::string name_;
+  Type ret_;
+  std::vector<Var> vars_;  // params first
+  size_t param_count_ = 0;
+  std::vector<Stmt> body_;
+  u32 decl_line_ = 0;
+};
+
+class Module {
+ public:
+  struct Global {
+    std::string name;
+    Type type;
+    i64 init = 0;
+    u64 offset = 0;  // within the data segment
+  };
+
+  /// Declare a struct type. The returned pointer stays valid for the life of
+  /// the module (layout may be adjusted until compile time).
+  StructDef* add_struct(std::string name);
+  StructDef* find_struct(const std::string& name);
+
+  u32 add_global(std::string name, Type type, i64 init = 0);
+  const std::vector<Global>& globals() const { return globals_; }
+  const Global& global(u32 idx) const { return globals_[idx]; }
+  u32 find_global(const std::string& name) const;
+  u64 data_segment_size() const { return data_size_; }
+
+  /// Create a function shell; build its body with a FunctionBuilder.
+  Function* add_function(std::string name, Type ret = Type::i64());
+  Function* find_function(const std::string& name);
+  const std::vector<std::unique_ptr<Function>>& functions() const { return funcs_; }
+
+  /// Allocate the next synthetic source line, recording its text.
+  u32 next_line(std::string text);
+  const std::map<u32, std::string>& source_lines() const { return source_; }
+
+ private:
+  std::vector<std::unique_ptr<StructDef>> structs_;
+  std::vector<Global> globals_;
+  u64 data_size_ = 0;
+  std::vector<std::unique_ptr<Function>> funcs_;
+  std::map<u32, std::string> source_;
+  u32 line_counter_ = 0;
+};
+
+}  // namespace dsprof::scc

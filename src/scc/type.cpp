@@ -1,0 +1,169 @@
+#include "scc/type.hpp"
+
+#include <algorithm>
+
+namespace dsprof::scc {
+
+Type Type::pointee() const {
+  switch (kind_) {
+    case Kind::PtrI64:
+      return Type::i64();
+    case Kind::PtrU8:
+      return Type::byte();
+    case Kind::PtrStruct:
+      fail("pointee() of a struct pointer is not a scalar; use member access");
+    default:
+      fail("pointee() on a non-pointer type");
+  }
+}
+
+std::string Type::display() const {
+  switch (kind_) {
+    case Kind::I64:
+      return alias_.empty() ? "long" : alias_;
+    case Kind::U8:
+      return "char";
+    case Kind::PtrI64:
+      return "long *";
+    case Kind::PtrU8:
+      return "char *";
+    case Kind::PtrStruct:
+      return sdef_->name() + " *";
+  }
+  return "?";
+}
+
+StructDef& StructDef::field(std::string fname, Type type) {
+  for (const auto& f : fields_) {
+    DSP_CHECK(f.name != fname, "duplicate field " + fname + " in struct " + name_);
+  }
+  fields_.push_back({std::move(fname), type});
+  order_.push_back(static_cast<u32>(fields_.size() - 1));
+  dirty_ = true;
+  return *this;
+}
+
+void StructDef::set_layout_order(const std::vector<std::string>& names) {
+  DSP_CHECK(names.size() == fields_.size(),
+            "layout order must name every field of " + name_);
+  std::vector<u32> order;
+  std::vector<bool> seen(fields_.size(), false);
+  for (const auto& n : names) {
+    const u32 idx = field_index(n);
+    DSP_CHECK(!seen[idx], "field " + n + " repeated in layout order");
+    seen[idx] = true;
+    order.push_back(idx);
+  }
+  order_ = std::move(order);
+  dirty_ = true;
+}
+
+void StructDef::set_pad_to(u64 size) {
+  pad_to_ = size;
+  dirty_ = true;
+}
+
+u32 StructDef::field_index(const std::string& fname) const {
+  for (size_t i = 0; i < fields_.size(); ++i) {
+    if (fields_[i].name == fname) return static_cast<u32>(i);
+  }
+  fail("struct " + name_ + " has no field " + fname);
+}
+
+void StructDef::recompute() const {
+  offsets_.assign(fields_.size(), 0);
+  u64 off = 0;
+  u64 max_align = 1;
+  for (u32 decl : order_) {
+    const Type& t = fields_[decl].type;
+    off = round_up(off, t.align());
+    offsets_[decl] = off;
+    off += t.size();
+    max_align = std::max(max_align, t.align());
+  }
+  size_ = round_up(off, max_align);
+  if (pad_to_ > size_) size_ = round_up(pad_to_, max_align);
+  dirty_ = false;
+}
+
+u64 StructDef::offset_of(u32 decl_index) const {
+  DSP_CHECK(decl_index < fields_.size(), "bad field index");
+  if (dirty_) recompute();
+  return offsets_[decl_index];
+}
+
+u64 StructDef::size() const {
+  DSP_CHECK(!fields_.empty(), "empty struct " + name_);
+  if (dirty_) recompute();
+  return size_;
+}
+
+sym::TypeId TypeEmitter::struct_id(const StructDef* s) {
+  for (const auto& [def, id] : structs_) {
+    if (def == s) return id;
+  }
+  const sym::TypeId id = table_.declare_struct(s->name());
+  structs_.emplace_back(s, id);
+  return id;
+}
+
+sym::TypeId TypeEmitter::scalar_id(const Type& t) {
+  std::string key = t.display();
+  for (const auto& [k, id] : scalars_) {
+    if (k == key) return id;
+  }
+  sym::TypeId id;
+  switch (t.kind()) {
+    case Type::Kind::I64:
+      if (t.alias().empty()) {
+        id = table_.add_base("long", 8);
+      } else {
+        id = table_.add_alias(t.alias(), scalar_id(Type::i64()));
+      }
+      break;
+    case Type::Kind::U8:
+      id = table_.add_base("char", 1);
+      break;
+    case Type::Kind::PtrI64:
+      id = table_.add_pointer(scalar_id(Type::i64()));
+      break;
+    case Type::Kind::PtrU8:
+      id = table_.add_pointer(scalar_id(Type::byte()));
+      break;
+    case Type::Kind::PtrStruct:
+      id = table_.add_pointer(struct_id(t.pointee_struct()));
+      break;
+    default:
+      fail("unhandled scalar type");
+  }
+  scalars_.emplace_back(std::move(key), id);
+  return id;
+}
+
+void TypeEmitter::define_all() {
+  // structs_ may grow while we emit member types; index loop on purpose.
+  for (size_t i = 0; i < structs_.size(); ++i) {
+    const StructDef* s = structs_[i].first;
+    const sym::TypeId id = structs_[i].second;
+    std::vector<sym::Member> members;
+    for (u32 decl : s->layout_order()) {
+      sym::Member m;
+      m.name = s->field_name(decl);
+      m.type = scalar_id(s->field_type(decl));
+      m.offset = s->offset_of(decl);
+      m.size = s->field_type(decl).size();
+      members.push_back(std::move(m));
+    }
+    table_.define_struct(id, s->size(), std::move(members));
+  }
+}
+
+u32 TypeEmitter::member_index(const StructDef* s, u32 decl_index) {
+  const auto& order = s->layout_order();
+  for (size_t i = 0; i < order.size(); ++i) {
+    if (order[i] == decl_index) return static_cast<u32>(i);
+  }
+  fail("field not in layout order");
+}
+
+}  // namespace dsprof::scc

@@ -1,0 +1,162 @@
+// DSL-side type system for the scc compiler: 64-bit integers (optionally
+// with a typedef display name, so annotations read "cost_t=long"), bytes,
+// pointers to scalars, and pointers to named structs.
+//
+// The StructDef layout engine implements exactly what the paper's §3.3
+// optimization needs: declaration-order natural layout by default, an
+// explicit member reordering, and padding to a target size (node: 120 B ->
+// reorder hot members together, pad to 128 B so whole objects map into
+// 512 B E$ lines).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "support/common.hpp"
+#include "sym/types.hpp"
+
+namespace dsprof::scc {
+
+class StructDef;
+
+/// A value/variable type in the DSL.
+class Type {
+ public:
+  enum class Kind : u8 { I64, U8, PtrStruct, PtrI64, PtrU8 };
+
+  static Type i64(std::string alias = "") {
+    Type t;
+    t.kind_ = Kind::I64;
+    t.alias_ = std::move(alias);
+    return t;
+  }
+  static Type byte() {
+    Type t;
+    t.kind_ = Kind::U8;
+    return t;
+  }
+  static Type ptr(const StructDef* s) {
+    DSP_CHECK(s != nullptr, "ptr to null struct");
+    Type t;
+    t.kind_ = Kind::PtrStruct;
+    t.sdef_ = s;
+    return t;
+  }
+  static Type ptr_i64() {
+    Type t;
+    t.kind_ = Kind::PtrI64;
+    return t;
+  }
+  static Type ptr_u8() {
+    Type t;
+    t.kind_ = Kind::PtrU8;
+    return t;
+  }
+
+  Kind kind() const { return kind_; }
+  bool is_pointer() const {
+    return kind_ == Kind::PtrStruct || kind_ == Kind::PtrI64 || kind_ == Kind::PtrU8;
+  }
+  bool is_ptr_struct() const { return kind_ == Kind::PtrStruct; }
+  const StructDef* pointee_struct() const {
+    DSP_CHECK(kind_ == Kind::PtrStruct, "not a struct pointer");
+    return sdef_;
+  }
+  /// Element type a Deref/Index of this pointer yields.
+  Type pointee() const;
+
+  u64 size() const { return kind_ == Kind::U8 ? 1 : 8; }
+  /// Memory access width when loading/storing a value of this type.
+  unsigned mem_size() const { return kind_ == Kind::U8 ? 1 : 8; }
+  u64 align() const { return size(); }
+
+  const std::string& alias() const { return alias_; }
+
+  /// C-like spelling for generated source text ("long", "node *").
+  std::string display() const;
+
+  bool same_as(const Type& o) const { return kind_ == o.kind_ && sdef_ == o.sdef_; }
+
+ private:
+  Kind kind_ = Kind::I64;
+  const StructDef* sdef_ = nullptr;
+  std::string alias_;
+};
+
+/// A named struct with declaration-order fields and a configurable layout.
+class StructDef {
+ public:
+  explicit StructDef(std::string name) : name_(std::move(name)) {}
+
+  StructDef& field(std::string fname, Type type);
+
+  /// Lay members out in the given order instead of declaration order
+  /// (the §3.3 "re-arranging the members according to their frequency of
+  /// reference" optimization). Every declared field must appear once.
+  void set_layout_order(const std::vector<std::string>& names);
+
+  /// Pad the struct to at least `size` bytes (the §3.3 "pad the structure
+  /// with an additional 8 bytes" optimization).
+  void set_pad_to(u64 size);
+
+  const std::string& name() const { return name_; }
+  size_t field_count() const { return fields_.size(); }
+  const std::string& field_name(u32 decl_index) const { return fields_[decl_index].name; }
+  Type field_type(u32 decl_index) const { return fields_[decl_index].type; }
+
+  /// Declaration index for `fname`; throws if absent.
+  u32 field_index(const std::string& fname) const;
+
+  /// Byte offset of a field under the current layout.
+  u64 offset_of(u32 decl_index) const;
+  u64 offset_of(const std::string& fname) const { return offset_of(field_index(fname)); }
+
+  /// Total size including padding.
+  u64 size() const;
+
+  /// Layout order as declaration indices.
+  const std::vector<u32>& layout_order() const { return order_; }
+
+ private:
+  struct Field {
+    std::string name;
+    Type type;
+  };
+  void recompute() const;
+
+  std::string name_;
+  std::vector<Field> fields_;
+  std::vector<u32> order_;
+  u64 pad_to_ = 0;
+  // Lazily computed layout.
+  mutable bool dirty_ = true;
+  mutable std::vector<u64> offsets_;  // by declaration index
+  mutable u64 size_ = 0;
+};
+
+/// Emits DSL types into a sym::TypeTable, handling recursive struct pointers
+/// (node.pred is a node*) via declare-then-define.
+class TypeEmitter {
+ public:
+  explicit TypeEmitter(sym::TypeTable& table) : table_(table) {}
+
+  /// TypeId for a struct; declares a stub on first use.
+  sym::TypeId struct_id(const StructDef* s);
+
+  /// Fill in members of every declared struct. Call once after all code has
+  /// been generated (new structs may be declared lazily by memory ops).
+  void define_all();
+
+  /// TypeId for a scalar or pointer DSL type.
+  sym::TypeId scalar_id(const Type& t);
+
+  /// Emitted member index (layout order) for a declaration-order field index.
+  static u32 member_index(const StructDef* s, u32 decl_index);
+
+ private:
+  sym::TypeTable& table_;
+  std::vector<std::pair<const StructDef*, sym::TypeId>> structs_;
+  std::vector<std::pair<std::string, sym::TypeId>> scalars_;
+};
+
+}  // namespace dsprof::scc

@@ -1,0 +1,28 @@
+#include "support/bytestream.hpp"
+
+#include <cstdio>
+
+namespace dsprof {
+
+void write_file(const std::string& path, const std::vector<u8>& bytes) {
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  if (!f) fail("cannot open for write: " + path);
+  const size_t n = bytes.empty() ? 0 : std::fwrite(bytes.data(), 1, bytes.size(), f);
+  const int rc = std::fclose(f);
+  if (n != bytes.size() || rc != 0) fail("short write: " + path);
+}
+
+std::vector<u8> read_file(const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (!f) fail("cannot open for read: " + path);
+  std::fseek(f, 0, SEEK_END);
+  const long sz = std::ftell(f);
+  std::fseek(f, 0, SEEK_SET);
+  std::vector<u8> bytes(sz > 0 ? static_cast<size_t>(sz) : 0);
+  const size_t n = bytes.empty() ? 0 : std::fread(bytes.data(), 1, bytes.size(), f);
+  std::fclose(f);
+  if (n != bytes.size()) fail("short read: " + path);
+  return bytes;
+}
+
+}  // namespace dsprof

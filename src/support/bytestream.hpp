@@ -1,0 +1,98 @@
+// Little binary serialization layer for experiment files and symbol tables.
+// Varint-free, explicitly sized little-endian fields; every reader checks
+// bounds so a truncated or corrupt experiment produces an Error, never UB.
+#pragma once
+
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "support/common.hpp"
+
+namespace dsprof {
+
+class ByteWriter {
+ public:
+  void put_u8(u8 v) { buf_.push_back(v); }
+  void put_u16(u16 v) { put_bytes(&v, 2); }
+  void put_u32(u32 v) { put_bytes(&v, 4); }
+  void put_u64(u64 v) { put_bytes(&v, 8); }
+  void put_i64(i64 v) { put_u64(static_cast<u64>(v)); }
+  void put_f64(double v) { put_bytes(&v, 8); }
+
+  void put_string(const std::string& s) {
+    put_u32(static_cast<u32>(s.size()));
+    buf_.insert(buf_.end(), s.begin(), s.end());
+  }
+
+  void put_blob(const void* data, size_t n) {
+    put_u64(n);
+    const auto* p = static_cast<const u8*>(data);
+    buf_.insert(buf_.end(), p, p + n);
+  }
+
+  const std::vector<u8>& bytes() const { return buf_; }
+  std::vector<u8> take() { return std::move(buf_); }
+
+ private:
+  void put_bytes(const void* p, size_t n) {
+    const auto* b = static_cast<const u8*>(p);
+    buf_.insert(buf_.end(), b, b + n);
+  }
+  std::vector<u8> buf_;
+};
+
+class ByteReader {
+ public:
+  explicit ByteReader(const std::vector<u8>& buf) : buf_(buf.data()), size_(buf.size()) {}
+  ByteReader(const u8* data, size_t size) : buf_(data), size_(size) {}
+
+  u8 get_u8() { return get<u8>(); }
+  u16 get_u16() { return get<u16>(); }
+  u32 get_u32() { return get<u32>(); }
+  u64 get_u64() { return get<u64>(); }
+  i64 get_i64() { return static_cast<i64>(get_u64()); }
+  double get_f64() { return get<double>(); }
+
+  std::string get_string() {
+    const u32 n = get_u32();
+    need(n);
+    std::string s(reinterpret_cast<const char*>(buf_ + pos_), n);
+    pos_ += n;
+    return s;
+  }
+
+  std::vector<u8> get_blob() {
+    const u64 n = get_u64();
+    need(n);
+    std::vector<u8> v(buf_ + pos_, buf_ + pos_ + n);
+    pos_ += n;
+    return v;
+  }
+
+  bool at_end() const { return pos_ == size_; }
+  size_t remaining() const { return size_ - pos_; }
+
+ private:
+  template <typename T>
+  T get() {
+    need(sizeof(T));
+    T v;
+    std::memcpy(&v, buf_ + pos_, sizeof(T));
+    pos_ += sizeof(T);
+    return v;
+  }
+  void need(u64 n) { DSP_CHECK(pos_ + n <= size_, "bytestream underrun"); }
+
+  const u8* buf_;
+  size_t size_;
+  size_t pos_ = 0;
+};
+
+/// Write `bytes` to `path`, replacing it. Throws Error on I/O failure.
+void write_file(const std::string& path, const std::vector<u8>& bytes);
+
+/// Read all of `path`. Throws Error if unreadable.
+std::vector<u8> read_file(const std::string& path);
+
+}  // namespace dsprof

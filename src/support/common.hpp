@@ -1,0 +1,66 @@
+// Common fixed-width aliases and error-checking helpers used across dsprof.
+#pragma once
+
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+
+namespace dsprof {
+
+using u8 = std::uint8_t;
+using u16 = std::uint16_t;
+using u32 = std::uint32_t;
+using u64 = std::uint64_t;
+using i8 = std::int8_t;
+using i16 = std::int16_t;
+using i32 = std::int32_t;
+using i64 = std::int64_t;
+
+/// Error thrown for violated invariants anywhere in the simulator stack.
+class Error : public std::runtime_error {
+ public:
+  explicit Error(const std::string& what) : std::runtime_error(what) {}
+};
+
+[[noreturn]] inline void fail(const std::string& msg) { throw Error(msg); }
+
+/// Runtime invariant check that stays on in release builds: the simulator's
+/// correctness guarantees (decode validity, address bounds, table lookups)
+/// must never be compiled out.
+#define DSP_CHECK(cond, msg)                                               \
+  do {                                                                     \
+    if (!(cond)) {                                                         \
+      ::dsprof::fail(std::string("DSP_CHECK failed: ") + (msg) + " at " +  \
+                     __FILE__ + ":" + std::to_string(__LINE__));           \
+    }                                                                      \
+  } while (0)
+
+/// Sign-extend the low `bits` bits of `v` to 64 bits.
+constexpr i64 sign_extend(u64 v, unsigned bits) {
+  const u64 m = u64{1} << (bits - 1);
+  return static_cast<i64>((v ^ m) - m);
+}
+
+/// True if `v` fits in a signed `bits`-bit field.
+constexpr bool fits_signed(i64 v, unsigned bits) {
+  const i64 lo = -(i64{1} << (bits - 1));
+  const i64 hi = (i64{1} << (bits - 1)) - 1;
+  return v >= lo && v <= hi;
+}
+
+/// True if `v` fits in an unsigned `bits`-bit field.
+constexpr bool fits_unsigned(u64 v, unsigned bits) {
+  return bits >= 64 || v < (u64{1} << bits);
+}
+
+constexpr u64 round_up(u64 v, u64 align) { return (v + align - 1) / align * align; }
+
+constexpr bool is_pow2(u64 v) { return v != 0 && (v & (v - 1)) == 0; }
+
+constexpr unsigned log2_exact(u64 v) {
+  unsigned n = 0;
+  while ((u64{1} << n) < v) ++n;
+  return n;
+}
+
+}  // namespace dsprof

@@ -1,0 +1,26 @@
+#include "support/rng.hpp"
+
+namespace dsprof {
+
+namespace {
+
+bool is_prime(u64 n) {
+  if (n < 2) return false;
+  if (n % 2 == 0) return n == 2;
+  if (n % 3 == 0) return n == 3;
+  for (u64 f = 5; f * f <= n; f += 6) {
+    if (n % f == 0 || n % (f + 2) == 0) return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+u64 next_prime(u64 n) {
+  if (n <= 2) return 2;
+  u64 c = n | 1;  // first odd >= n
+  while (!is_prime(c)) c += 2;
+  return c;
+}
+
+}  // namespace dsprof

@@ -1,0 +1,75 @@
+// Deterministic PRNGs. All stochastic behaviour in the simulator (counter
+// skid, workload generation) must be reproducible from a seed, so we use our
+// own engines rather than std::mt19937 whose distributions are not portable.
+#pragma once
+
+#include "support/common.hpp"
+
+namespace dsprof {
+
+/// SplitMix64: used to seed and to derive independent streams.
+class SplitMix64 {
+ public:
+  explicit SplitMix64(u64 seed) : state_(seed) {}
+
+  u64 next() {
+    u64 z = (state_ += 0x9E3779B97F4A7C15ull);
+    z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ull;
+    z = (z ^ (z >> 27)) * 0x94D049BB133111EBull;
+    return z ^ (z >> 31);
+  }
+
+ private:
+  u64 state_;
+};
+
+/// xoshiro256** — the main workhorse generator.
+class Xoshiro256 {
+ public:
+  explicit Xoshiro256(u64 seed) {
+    SplitMix64 sm(seed);
+    for (auto& s : s_) s = sm.next();
+  }
+
+  u64 next() {
+    const u64 result = rotl(s_[1] * 5, 7) * 9;
+    const u64 t = s_[1] << 17;
+    s_[2] ^= s_[0];
+    s_[3] ^= s_[1];
+    s_[1] ^= s_[2];
+    s_[0] ^= s_[3];
+    s_[2] ^= t;
+    s_[3] = rotl(s_[3], 45);
+    return result;
+  }
+
+  /// Uniform integer in [0, bound). bound must be nonzero.
+  u64 below(u64 bound) {
+    DSP_CHECK(bound != 0, "rng bound must be nonzero");
+    // Rejection sampling to avoid modulo bias.
+    const u64 threshold = (0 - bound) % bound;
+    for (;;) {
+      const u64 r = next();
+      if (r >= threshold) return r % bound;
+    }
+  }
+
+  /// Uniform integer in [lo, hi] inclusive.
+  i64 range(i64 lo, i64 hi) {
+    DSP_CHECK(lo <= hi, "rng range inverted");
+    return lo + static_cast<i64>(below(static_cast<u64>(hi - lo) + 1));
+  }
+
+  /// Uniform double in [0, 1).
+  double uniform() { return static_cast<double>(next() >> 11) * 0x1.0p-53; }
+
+ private:
+  static constexpr u64 rotl(u64 x, int k) { return (x << k) | (x >> (64 - k)); }
+  u64 s_[4];
+};
+
+/// Smallest prime >= n. Counter overflow intervals are chosen prime to avoid
+/// correlation with loop periods (paper §2.2).
+u64 next_prime(u64 n);
+
+}  // namespace dsprof

@@ -1,0 +1,34 @@
+// Executable image: text + initialized data + entry point + symbol table.
+// This is what the compiler produces, what the loader maps into simulated
+// memory, and what the experiment stores as its "loadobjects" description.
+#pragma once
+
+#include <vector>
+
+#include "mem/memory.hpp"
+#include "support/bytestream.hpp"
+#include "sym/symtab.hpp"
+
+namespace dsprof::sym {
+
+struct Image {
+  u64 text_base = mem::kTextBase;
+  std::vector<u32> text_words;
+  u64 data_base = mem::kDataBase;
+  std::vector<u8> data_init;
+  u64 data_size = 0;  // >= data_init.size(); remainder zero-filled (bss)
+  u64 heap_base = mem::kHeapBase;
+  u64 heap_size = u64{1} << 32;  // 4 GB reservation (sparse)
+  u64 entry = 0;
+  SymbolTable symtab;
+
+  u64 text_size() const { return text_words.size() * 4; }
+
+  /// Map segments and copy text/data into `m`.
+  void load_into(mem::Memory& m) const;
+
+  void serialize(ByteWriter& w) const;
+  static Image deserialize(ByteReader& r);
+};
+
+}  // namespace dsprof::sym

@@ -1,0 +1,70 @@
+// Type descriptions for data-space profiling — the information the paper's
+// compiler writes into DWARF so the analyzer can name "which structure member
+// did this load touch" (paper §2.1). Supports base types, typedefs (so
+// annotations read "{cost_t=long cost}" as in Figure 4), pointers and structs
+// with explicit member offsets.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "support/bytestream.hpp"
+#include "support/common.hpp"
+
+namespace dsprof::sym {
+
+using TypeId = u32;
+inline constexpr TypeId kInvalidType = ~TypeId{0};
+
+enum class TypeKind : u8 { Base, Alias, Pointer, Struct };
+
+struct Member {
+  std::string name;
+  TypeId type = kInvalidType;
+  u64 offset = 0;
+  u64 size = 0;
+};
+
+struct Type {
+  TypeKind kind = TypeKind::Base;
+  std::string name;            // base/alias/struct name
+  u64 size = 0;
+  TypeId underlying = kInvalidType;  // Alias: aliased type; Pointer: pointee
+  std::vector<Member> members;       // Struct only
+};
+
+class TypeTable {
+ public:
+  TypeId add_base(std::string name, u64 size);
+  TypeId add_alias(std::string name, TypeId underlying);
+  TypeId add_pointer(TypeId pointee);
+  /// Members must already carry their final offsets (the compiler's layout
+  /// engine computes them); `size` is the full struct size including padding.
+  TypeId add_struct(std::string name, u64 size, std::vector<Member> members);
+
+  /// Two-phase struct registration for recursive types (node* inside node):
+  /// declare a named stub, then define its size and members.
+  TypeId declare_struct(std::string name);
+  void define_struct(TypeId id, u64 size, std::vector<Member> members);
+
+  const Type& get(TypeId id) const;
+  size_t count() const { return types_.size(); }
+
+  /// Find a struct type by name; kInvalidType if absent.
+  TypeId find_struct(const std::string& name) const;
+
+  /// Human-readable element type: "long", "cost_t=long", "pointer+structure:node".
+  std::string type_string(TypeId id) const;
+
+  /// Aggregate display name as the paper prints it: "{structure:node -}".
+  std::string aggregate_string(TypeId id) const;
+
+  void serialize(ByteWriter& w) const;
+  static TypeTable deserialize(ByteReader& r);
+
+ private:
+  TypeId add(Type t);
+  std::vector<Type> types_;
+};
+
+}  // namespace dsprof::sym

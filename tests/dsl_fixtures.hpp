@@ -1,0 +1,112 @@
+// Shared DSL test programs used by the collector/analyzer/integration tests.
+#pragma once
+
+#include <memory>
+
+#include "collect/collector.hpp"
+#include "scc/builder.hpp"
+#include "scc/compile.hpp"
+
+namespace dsprof::testfix {
+
+/// A memory-heavy program with a recognizable data-space profile: builds an
+/// array of `pair` nodes linked in a pseudo-random permutation (stride 1997,
+/// coprime with the node count) plus a `long` array, then repeatedly walks
+/// the permutation (pointer chase over struct members, cache-hostile) and
+/// sweeps the array (scalar stream). Traces the checksum so semantic
+/// equality can be asserted.
+inline std::unique_ptr<scc::Module> make_chase_module(i64 n_nodes = 2000, i64 iters = 10,
+                                                      i64 array_len = 4096) {
+  using namespace scc;
+  DSP_CHECK(n_nodes % 1997 != 0, "node count must not be a multiple of the link stride");
+  auto m = std::make_unique<Module>();
+  StructDef* pair = m->add_struct("pair");
+  pair->field("key", Type::i64()).field("payload", Type::i64("val_t")).field("next",
+                                                                             Type::ptr(pair));
+  Function* mal = add_runtime(*m);
+
+  Function* walk = m->add_function("walk_list");
+  {
+    FunctionBuilder fb(*m, *walk);
+    auto head = fb.param("head", Type::ptr(pair));
+    auto steps = fb.param("steps", Type::i64());
+    auto sum = fb.local("sum", Type::i64());
+    auto cur = fb.local("cur", Type::ptr(pair));
+    auto j = fb.local("j", Type::i64());
+    fb.set(sum, 0);
+    fb.set(cur, head);
+    fb.set(j, 0);
+    fb.while_(j < steps, [&] {
+      fb.set(sum, sum + cur["payload"]);
+      fb.set(cur, cur["next"]);
+      fb.set(j, j + 1);
+    });
+    fb.ret(sum);
+  }
+
+  Function* sweep = m->add_function("sweep_array");
+  {
+    FunctionBuilder fb(*m, *sweep);
+    auto arr = fb.param("arr", Type::ptr_i64());
+    auto len = fb.param("len", Type::i64());
+    auto i = fb.local("i", Type::i64());
+    auto sum = fb.local("sum", Type::i64());
+    fb.set(sum, 0);
+    fb.set(i, 0);
+    fb.while_(i < len, [&] {
+      fb.set(sum, sum + arr.idx(i));
+      fb.set(i, i + 1);
+    });
+    fb.ret(sum);
+  }
+
+  Function* main = m->add_function("main");
+  {
+    FunctionBuilder fb(*m, *main);
+    auto nodes = fb.local("nodes", Type::ptr(pair));
+    auto cur = fb.local("cur", Type::ptr(pair));
+    auto arr = fb.local("arr", Type::ptr_i64());
+    auto i = fb.local("i", Type::i64());
+    auto total = fb.local("total", Type::i64());
+    fb.set(nodes, cast(fb.call(mal, {Val(n_nodes * static_cast<i64>(pair->size()))}),
+                       Type::ptr(pair)));
+    fb.set(i, 0);
+    fb.while_(i < n_nodes, [&] {
+      fb.set(cur, nodes + i);
+      fb.set(cur["key"], i);
+      fb.set(cur["payload"], i * 2 + 1);
+      fb.set(cur["next"], nodes + (i + 1997) % n_nodes);
+      fb.set(i, i + 1);
+    });
+    fb.set(arr, cast(fb.call(mal, {Val(array_len * 8)}), Type::ptr_i64()));
+    fb.set(i, 0);
+    fb.while_(i < array_len, [&] {
+      fb.set(arr.idx(i), i & 1023);
+      fb.set(i, i + 1);
+    });
+    fb.set(total, 0);
+    fb.set(i, 0);
+    fb.while_(i < iters, [&] {
+      fb.set(total, total + fb.call(walk, {nodes, Val(n_nodes)}));
+      fb.set(total, total + fb.call(sweep, {arr, Val(array_len)}));
+      fb.set(i, i + 1);
+    });
+    fb.trace(total);
+    fb.ret(total & 0x7F);
+  }
+  return m;
+}
+
+/// Collect an experiment from an image with the given counter spec.
+inline experiment::Experiment quick_collect(const sym::Image& img, const std::string& hw,
+                                            const std::string& clock = "off",
+                                            machine::CpuConfig cpu = {}) {
+  collect::CollectOptions opt;
+  opt.hw = hw;
+  opt.clock = clock;
+  opt.cpu = cpu;
+  collect::Collector c(img, opt);
+  return c.run();
+}
+
+}  // namespace dsprof::testfix

@@ -1,0 +1,300 @@
+#include <gtest/gtest.h>
+
+#include "isa/assembler.hpp"
+#include "isa/isa.hpp"
+
+namespace dsprof::isa {
+namespace {
+
+TEST(RegNames, SparcStyle) {
+  EXPECT_STREQ(reg_name(G0), "%g0");
+  EXPECT_STREQ(reg_name(O3), "%o3");
+  EXPECT_STREQ(reg_name(L7), "%l7");
+  EXPECT_STREQ(reg_name(I6), "%i6");
+  EXPECT_EQ(kSp, O6);
+  EXPECT_EQ(kLink, O7);
+}
+
+TEST(EncodeDecode, AluImmediate) {
+  const Instr in = alu_ri(Op::ADD, O1, O2, -17);
+  const Instr out = decode(encode(in));
+  EXPECT_EQ(in, out);
+}
+
+TEST(EncodeDecode, AluRegister) {
+  const Instr in = alu_rr(Op::XOR, L3, I2, G5);
+  EXPECT_EQ(decode(encode(in)), in);
+}
+
+TEST(EncodeDecode, LoadStore) {
+  EXPECT_EQ(decode(encode(load_ri(Op::LDX, O2, O3, 56))), load_ri(Op::LDX, O2, O3, 56));
+  EXPECT_EQ(decode(encode(store_ri(Op::STX, G2, O3, 88))), store_ri(Op::STX, G2, O3, 88));
+  EXPECT_EQ(decode(encode(load_rr(Op::LDUB, G1, O0, O1))), load_rr(Op::LDUB, G1, O0, O1));
+}
+
+TEST(EncodeDecode, Sethi) {
+  const Instr in = sethi(G1, 0x1FFFFF);
+  EXPECT_EQ(decode(encode(in)), in);
+}
+
+TEST(EncodeDecode, BranchAndCall) {
+  const Instr b = branch(Cond::NE, -0x70, /*annul=*/true, /*pred_taken=*/false);
+  EXPECT_EQ(decode(encode(b)), b);
+  const Instr c = call(0x400);
+  EXPECT_EQ(decode(encode(c)), c);
+}
+
+TEST(EncodeDecode, ImmediateRangeChecked) {
+  EXPECT_THROW(encode(alu_ri(Op::ADD, O0, O0, 16384)), Error);
+  EXPECT_THROW(encode(alu_ri(Op::ADD, O0, O0, -16385)), Error);
+  EXPECT_NO_THROW(encode(alu_ri(Op::ADD, O0, O0, 16383)));
+  EXPECT_NO_THROW(encode(alu_ri(Op::ADD, O0, O0, -16384)));
+}
+
+TEST(EncodeDecode, BranchRangeChecked) {
+  EXPECT_THROW(encode(branch(Cond::A, 4 * (1 << 19))), Error);
+  EXPECT_NO_THROW(encode(branch(Cond::A, 4 * ((1 << 19) - 1))));
+  EXPECT_THROW(encode(branch(Cond::A, 2)), Error);  // not word aligned
+}
+
+TEST(Decode, InvalidEncodings) {
+  EXPECT_EQ(decode(0).op, Op::ILLEGAL);                   // opcode 0
+  EXPECT_EQ(decode(0xFC000000u).op, Op::ILLEGAL);         // opcode 63
+  // Format A with i=0 and nonzero must-be-zero bits.
+  u32 w = encode(alu_rr(Op::ADD, O0, O1, O2));
+  w |= 1u << 7;
+  EXPECT_EQ(decode(w).op, Op::ILLEGAL);
+}
+
+/// Round-trip every opcode through a representative instruction.
+class OpcodeRoundTrip : public ::testing::TestWithParam<int> {};
+
+TEST_P(OpcodeRoundTrip, EncodeDecodeIdentity) {
+  const Op op = static_cast<Op>(GetParam());
+  Instr in;
+  const OpInfo& info = op_info(op);
+  if (op == Op::SETHI) {
+    in = sethi(G3, 0x12345);
+  } else if (info.is_branch) {
+    in = branch(Cond::LE, 64);
+  } else if (info.is_call) {
+    in = call(-128);
+  } else {
+    in = alu_ri(op, O1, O2, 42);
+  }
+  EXPECT_EQ(decode(encode(in)), in) << info.mnemonic;
+}
+
+INSTANTIATE_TEST_SUITE_P(AllOps, OpcodeRoundTrip,
+                         ::testing::Range(1, static_cast<int>(Op::kCount)));
+
+TEST(OpInfo, Classification) {
+  EXPECT_TRUE(op_info(Op::LDX).is_load);
+  EXPECT_EQ(op_info(Op::LDX).mem_size, 8u);
+  EXPECT_EQ(op_info(Op::LDUW).mem_size, 4u);
+  EXPECT_EQ(op_info(Op::LDUB).mem_size, 1u);
+  EXPECT_TRUE(op_info(Op::STX).is_store);
+  EXPECT_TRUE(op_info(Op::PREFETCH).is_prefetch);
+  EXPECT_TRUE(op_info(Op::BR).delayed);
+  EXPECT_TRUE(op_info(Op::CALL).delayed);
+  EXPECT_TRUE(op_info(Op::JMPL).delayed);
+  EXPECT_FALSE(op_info(Op::ADD).delayed);
+  EXPECT_TRUE(op_info(Op::SUBCC).sets_cc);
+  EXPECT_TRUE(is_mem_op(Op::STB));
+  EXPECT_FALSE(is_mem_op(Op::ADD));
+}
+
+TEST(Disasm, PaperStyle) {
+  EXPECT_EQ(disassemble(load_ri(Op::LDX, O2, O3, 56), 0x1000031b0), "ldx [%o3 + 56], %o2");
+  EXPECT_EQ(disassemble(store_ri(Op::STX, G2, O3, 88), 0), "stx %g2, [%o3 + 88]");
+  EXPECT_EQ(disassemble(nop(), 0), "nop");
+  EXPECT_EQ(disassemble(cmp_ri(O2, 1), 0), "cmp %o2, 1");
+  EXPECT_EQ(disassemble(mov_rr(O5, O3), 0), "mov %o3, %o5");
+  EXPECT_EQ(disassemble(alu_ri(Op::ADD, G3, G3, 1), 0), "inc %g3");
+  EXPECT_EQ(disassemble(alu_rr(Op::ADD, G2, G1, G5), 0), "add %g1, %g5, %g2");
+  EXPECT_EQ(disassemble(ret(), 0), "ret");
+  EXPECT_EQ(disassemble(branch(Cond::E, 0x70, false, false), 0x1000031b0),
+            "be,pn %xcc, 0x100003220");
+  EXPECT_EQ(disassemble(branch(Cond::A, 0x30), 0x1000031e8), "ba 0x100003218");
+  EXPECT_EQ(disassemble(prefetch_ri(G4, 64), 0), "prefetch [%g4 + 64]");
+  EXPECT_EQ(disassemble(load_ri(Op::LDX, O0, O3, -8), 0), "ldx [%o3 - 8], %o0");
+}
+
+TEST(EaExpr, MemoryOpsOnly) {
+  EXPECT_TRUE(ea_expr(load_ri(Op::LDX, O0, O1, 8)).has_value());
+  EXPECT_TRUE(ea_expr(store_ri(Op::STW, O0, O1, 4)).has_value());
+  EXPECT_TRUE(ea_expr(prefetch_ri(O1, 0)).has_value());
+  EXPECT_FALSE(ea_expr(alu_ri(Op::ADD, O0, O1, 8)).has_value());
+  const auto e = ea_expr(load_rr(Op::LDX, O0, O1, O2));
+  ASSERT_TRUE(e.has_value());
+  EXPECT_EQ(e->rs1, O1);
+  EXPECT_FALSE(e->has_imm);
+  EXPECT_EQ(e->rs2, O2);
+}
+
+// ---------------------------------------------------------------------------
+// Assembler
+
+TEST(Assembler, ResolvesForwardAndBackwardBranches) {
+  Assembler a(0x100000000);
+  LabelId top = a.new_label("top");
+  LabelId end = a.new_label("end");
+  a.bind(top);
+  a.emit(nop());
+  a.emit_branch(Cond::A, end);
+  a.emit(nop());
+  a.emit_branch(Cond::NE, top);
+  a.emit(nop());
+  a.bind(end);
+  a.emit(nop());
+  auto out = a.finish();
+  ASSERT_EQ(out.words.size(), 6u);
+  const Instr fwd = decode(out.words[1]);
+  EXPECT_EQ(fwd.disp, 4 * 4);  // from index 1 to index 5
+  const Instr back = decode(out.words[3]);
+  EXPECT_EQ(back.disp, -3 * 4);
+}
+
+TEST(Assembler, UnboundLabelThrows) {
+  Assembler a(0x100000000);
+  LabelId l = a.new_label("never");
+  a.emit_branch(Cond::A, l);
+  a.emit(nop());
+  EXPECT_THROW(a.finish(), Error);
+}
+
+TEST(Assembler, DoubleBindThrows) {
+  Assembler a(0x100000000);
+  LabelId l = a.new_label();
+  a.bind(l);
+  EXPECT_THROW(a.bind(l), Error);
+}
+
+TEST(Assembler, BranchTargetTable) {
+  Assembler a(0x100000000);
+  LabelId loop = a.new_label("loop");
+  LabelId fn = a.new_label("fn");
+  a.bind(loop);
+  a.emit(nop());
+  a.emit_branch(Cond::A, loop);  // target: 0x100000000
+  a.emit(nop());
+  a.emit_call(fn);  // call at index 3 -> return join at base+4*3+8
+  a.emit(nop());
+  a.bind(fn);
+  a.emit(nop());
+  auto out = a.finish();
+  // Targets: loop (base), fn (base+20), call-return join (base+20).
+  ASSERT_EQ(out.branch_targets.size(), 2u);
+  EXPECT_EQ(out.branch_targets[0], 0x100000000ull);
+  EXPECT_EQ(out.branch_targets[1], 0x100000000ull + 20);
+}
+
+TEST(Assembler, Set64SmallIsSingleOr) {
+  Assembler a(0x100000000);
+  a.set64(O0, 42, G7);
+  auto out = a.finish();
+  ASSERT_EQ(out.words.size(), 1u);
+  EXPECT_EQ(decode(out.words[0]), mov_ri(O0, 42));
+}
+
+class Set64Values : public ::testing::TestWithParam<i64> {};
+
+TEST_P(Set64Values, MaterializesExactly) {
+  // Verify by symbolic execution of the emitted instructions.
+  Assembler a(0x100000000);
+  a.set64(O0, GetParam(), G7);
+  auto out = a.finish();
+  ASSERT_LE(out.words.size(), 7u);
+  u64 regs[32] = {};
+  for (u32 w : out.words) {
+    const Instr i = decode(w);
+    const u64 b = i.has_imm ? static_cast<u64>(i.imm) : regs[i.rs2];
+    switch (i.op) {
+      case Op::SETHI: regs[i.rd] = static_cast<u64>(i.imm) << 14; break;
+      case Op::OR: regs[i.rd] = regs[i.rs1] | b; break;
+      case Op::SLL: regs[i.rd] = regs[i.rs1] << (b & 63); break;
+      case Op::SUB: regs[i.rd] = regs[i.rs1] - b; break;
+      default: FAIL() << "unexpected op in set64 expansion";
+    }
+    regs[0] = 0;
+  }
+  EXPECT_EQ(regs[O0], static_cast<u64>(GetParam()));
+}
+
+INSTANTIATE_TEST_SUITE_P(Values, Set64Values,
+                         ::testing::Values(0, 1, -1, 16383, 16384, -16385, 0x3FFFF000,
+                                           0x7FFFFFFFFLL, -0x7FFFFFFFFLL,
+                                           0x123456789ABCDEFLL, -0x123456789ABCDEFLL,
+                                           static_cast<i64>(0x1000031B0ull)));
+
+TEST(Assembler, PopLastPlain) {
+  Assembler a(0x100000000);
+  a.emit(alu_ri(Op::ADD, O1, O1, 1), 77);
+  auto popped = a.pop_last_plain();
+  ASSERT_TRUE(popped.has_value());
+  EXPECT_EQ(popped->second, 77u);
+  EXPECT_EQ(a.position(), 0u);
+}
+
+TEST(Assembler, PopLastRefusesCcSetterBranchAndLabel) {
+  Assembler a(0x100000000);
+  a.emit(cmp_ri(O1, 0));
+  EXPECT_FALSE(a.pop_last_plain().has_value());  // sets cc
+
+  LabelId l = a.new_label();
+  a.emit(alu_ri(Op::ADD, O1, O1, 1));
+  a.bind(l);
+  a.emit(alu_ri(Op::ADD, O2, O2, 1));
+  EXPECT_FALSE(a.pop_last_plain().has_value());  // label bound at last instr
+}
+
+TEST(Assembler, PositionAndAddressTracking) {
+  Assembler a(0x100000000);
+  EXPECT_EQ(a.position(), 0u);
+  a.emit(nop());
+  a.emit(nop());
+  EXPECT_EQ(a.position(), 2u);
+  EXPECT_EQ(a.addr_of_position(0), 0x100000000ull);
+  EXPECT_EQ(a.addr_of_position(2), 0x100000008ull);
+}
+
+TEST(Assembler, TagsTravelWithInstructions) {
+  Assembler a(0x100000000);
+  a.emit(nop(), 111);
+  a.emit(mov_ri(O0, 1), 222);
+  auto out = a.finish();
+  ASSERT_EQ(out.tags.size(), 2u);
+  EXPECT_EQ(out.tags[0], 111u);
+  EXPECT_EQ(out.tags[1], 222u);
+}
+
+TEST(Assembler, LabelAddrsReported) {
+  Assembler a(0x100000000);
+  LabelId l0 = a.new_label("a");
+  LabelId l1 = a.new_label("b");
+  a.bind(l0);
+  a.emit(nop());
+  a.bind(l1);
+  a.emit(nop());
+  auto out = a.finish();
+  ASSERT_EQ(out.label_addrs.size(), 2u);
+  EXPECT_EQ(out.label_addrs[l0], 0x100000000ull);
+  EXPECT_EQ(out.label_addrs[l1], 0x100000004ull);
+}
+
+TEST(Disasm, SethiAndJmplForms) {
+  EXPECT_EQ(disassemble(sethi(G1, 0x20000), 0), "sethi %hi(0x80000000), %g1");
+  EXPECT_EQ(disassemble(jmpl(O1, O2, 16), 0), "jmpl %o2 + 16, %o1");
+  EXPECT_EQ(disassemble(hcall(3), 0), "hcall 3");
+  EXPECT_EQ(disassemble(load_rr(Op::LDX, O0, O1, O2), 0), "ldx [%o1 + %o2], %o0");
+  EXPECT_EQ(disassemble(load_rr(Op::LDX, O0, O1, G0), 0), "ldx [%o1], %o0");
+}
+
+TEST(EncodeDecode, RegisterBoundsChecked) {
+  Instr bad = alu_rr(Op::ADD, O0, O1, O2);
+  bad.rd = 32;
+  EXPECT_THROW(encode(bad), Error);
+}
+
+}  // namespace
+}  // namespace dsprof::isa

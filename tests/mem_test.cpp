@@ -1,0 +1,113 @@
+#include <gtest/gtest.h>
+
+#include "mem/memory.hpp"
+
+namespace dsprof::mem {
+namespace {
+
+void setup_mem(Memory& m) {
+
+  m.add_segment({"text", SegKind::Text, kTextBase, 0x1000, false, true});
+  m.add_segment({"data", SegKind::Data, kDataBase, 0x1000, true, false});
+  m.add_segment({"heap", SegKind::Heap, kHeapBase, 0x100000, true, false});
+  m.add_segment({"stack", SegKind::Stack, kStackTop - kStackSize, kStackSize + 0x4000, true,
+                 false});
+
+}
+
+TEST(Memory, LoadStoreRoundTrip) {
+  Memory m;
+  setup_mem(m);
+  m.store(kHeapBase + 64, 8, 0x1122334455667788ull);
+  EXPECT_EQ(m.load(kHeapBase + 64, 8), 0x1122334455667788ull);
+  m.store(kHeapBase + 128, 4, 0xCAFEBABEull);
+  EXPECT_EQ(m.load(kHeapBase + 128, 4), 0xCAFEBABEull);
+  m.store(kHeapBase + 200, 1, 0xAB);
+  EXPECT_EQ(m.load(kHeapBase + 200, 1), 0xABull);
+}
+
+TEST(Memory, ZeroInitialized) {
+  Memory m;
+  setup_mem(m);
+  EXPECT_EQ(m.load(kHeapBase + 0x8000, 8), 0u);
+}
+
+TEST(Memory, LittleEndianBytes) {
+  Memory m;
+  setup_mem(m);
+  m.store(kDataBase, 8, 0x0102030405060708ull);
+  EXPECT_EQ(m.load(kDataBase, 1), 0x08u);
+  EXPECT_EQ(m.load(kDataBase + 7, 1), 0x01u);
+}
+
+TEST(Memory, UnmappedFaults) {
+  Memory m;
+  setup_mem(m);
+  EXPECT_THROW(m.load(0x999, 8), Error);
+  EXPECT_THROW(m.store(kTextBase + 0x2000, 8, 1), Error);
+}
+
+TEST(Memory, WriteToReadOnlyFaults) {
+  Memory m;
+  setup_mem(m);
+  EXPECT_THROW(m.store(kTextBase, 4, 1), Error);
+}
+
+TEST(Memory, FetchRequiresExecutable) {
+  Memory m;
+  setup_mem(m);
+  const u32 word = 0x12345678;
+  m.write_bytes(kTextBase, &word, 4);
+  EXPECT_EQ(m.fetch_word(kTextBase), word);
+  EXPECT_THROW(m.fetch_word(kHeapBase), Error);
+}
+
+TEST(Memory, MisalignedAccessFaults) {
+  Memory m;
+  setup_mem(m);
+  EXPECT_THROW(m.load(kHeapBase + 3, 8), Error);
+  EXPECT_THROW(m.store(kHeapBase + 2, 4, 1), Error);
+}
+
+TEST(Memory, AccessStraddlingSegmentEndFaults) {
+  Memory m;
+  setup_mem(m);
+  EXPECT_THROW(m.load(kDataBase + 0x1000 - 4, 8), Error);
+}
+
+TEST(Memory, OverlappingSegmentsRejected) {
+  Memory m;
+  setup_mem(m);
+  EXPECT_THROW(m.add_segment({"dup", SegKind::Data, kDataBase + 8, 16, true, false}), Error);
+}
+
+TEST(Memory, Classify) {
+  Memory m;
+  setup_mem(m);
+  EXPECT_EQ(m.classify(kTextBase), SegKind::Text);
+  EXPECT_EQ(m.classify(kHeapBase + 5), SegKind::Heap);
+  EXPECT_EQ(m.classify(kStackTop - 8), SegKind::Stack);
+  EXPECT_EQ(m.classify(0x1234), SegKind::Unmapped);
+}
+
+TEST(Memory, BulkReadWriteAcrossChunks) {
+  Memory m;
+  setup_mem(m);
+  std::vector<u8> data(100000);
+  for (size_t i = 0; i < data.size(); ++i) data[i] = static_cast<u8>(i * 7);
+  m.write_bytes(kHeapBase, data.data(), data.size());
+  std::vector<u8> back(data.size());
+  m.read_bytes(kHeapBase, back.data(), back.size());
+  EXPECT_EQ(data, back);
+}
+
+TEST(Memory, ReadBytesOfUntouchedMemoryIsZero) {
+  Memory m;
+  setup_mem(m);
+  u8 buf[16] = {0xFF};
+  m.read_bytes(kHeapBase + 0x9000, buf, sizeof buf);
+  for (u8 b : buf) EXPECT_EQ(b, 0);
+}
+
+}  // namespace
+}  // namespace dsprof::mem

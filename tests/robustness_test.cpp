@@ -1,0 +1,225 @@
+// Robustness and edge-case tests across modules.
+#include <gtest/gtest.h>
+
+#include <functional>
+#include <limits>
+
+#include "analyze/reports.hpp"
+#include "dsl_fixtures.hpp"
+#include "isa/assembler.hpp"
+#include "support/rng.hpp"
+
+namespace dsprof {
+namespace {
+
+using machine::HwEvent;
+
+TEST(DecodeRobustness, ArbitraryWordsNeverCrash) {
+  // Every 32-bit word either decodes to a valid instruction (which must
+  // re-encode to itself) or to ILLEGAL. Fuzz a million words.
+  Xoshiro256 rng(1234);
+  size_t valid = 0;
+  for (int i = 0; i < 1'000'000; ++i) {
+    const u32 w = static_cast<u32>(rng.next());
+    const isa::Instr ins = isa::decode(w);
+    if (ins.op == isa::Op::ILLEGAL) continue;
+    ++valid;
+    EXPECT_EQ(isa::encode(ins), w) << std::hex << w;
+    // Disassembly of any valid instruction is printable and non-empty.
+    const std::string text = isa::disassemble(ins, 0x100000000ull);
+    EXPECT_FALSE(text.empty());
+  }
+  EXPECT_GT(valid, 100'000u);  // a decent fraction of the space is valid
+}
+
+TEST(DecodeRobustness, DisassembleIllegalIsSafe) {
+  EXPECT_EQ(isa::disassemble(isa::decode(0), 0), "illegal");
+}
+
+TEST(MachineEdge, ArithmeticExtremes) {
+  using namespace isa;
+  // Multiplication wraps in two's complement; only division by zero traps.
+  mem::Memory m;
+  isa::Assembler a(mem::kTextBase);
+  a.set64(O1, std::numeric_limits<i64>::min(), G7);
+  a.emit(mov_ri(O2, 1));
+  a.emit(alu_rr(Op::SUB, O2, G0, O2));  // %o2 = -1
+  a.emit(alu_rr(Op::MULX, O0, O1, O2));
+  a.emit(hcall(0));
+  auto out = a.finish();
+  m.add_segment({"text", mem::SegKind::Text, mem::kTextBase, round_up(out.words.size() * 4, 8),
+                 false, true});
+  m.write_bytes(mem::kTextBase, out.words.data(), out.words.size() * 4);
+  machine::Cpu cpu(m, machine::CpuConfig{});
+  cpu.set_pc(mem::kTextBase);
+  const auto r = cpu.run(100);
+  EXPECT_TRUE(r.halted);
+  EXPECT_EQ(r.exit_code, std::numeric_limits<i64>::min());
+}
+
+TEST(MachineEdge, BothPicsCountSimultaneously) {
+  auto mod = testfix::make_chase_module(3000, 6, 8192);
+  const sym::Image img = scc::compile(*mod);
+  mem::Memory m;
+  img.load_into(m);
+  machine::CpuConfig cfg;
+  cfg.hierarchy.dtlb = {8, 2, 8 * 1024};  // make DTLB misses plentiful
+  machine::Cpu cpu(m, cfg);
+  cpu.configure_pic(0, HwEvent::DC_rd_miss, 53);
+  cpu.configure_pic(1, HwEvent::DTLB_miss, 29);
+  size_t pic0 = 0, pic1 = 0;
+  cpu.on_overflow = [&](const machine::OverflowDelivery& d) {
+    if (d.pic == 0) {
+      ++pic0;
+      EXPECT_EQ(d.event, HwEvent::DC_rd_miss);
+    } else if (d.pic == 1) {
+      ++pic1;
+      EXPECT_EQ(d.event, HwEvent::DTLB_miss);
+    }
+  };
+  cpu.set_pc(img.entry);
+  cpu.run(20'000'000);
+  EXPECT_GT(pic0, 10u);
+  EXPECT_GT(pic1, 2u);
+  const u64 dcrm = cpu.event_total(HwEvent::DC_rd_miss);
+  EXPECT_NEAR(static_cast<double>(pic0), static_cast<double>(dcrm) / 53.0,
+              static_cast<double>(dcrm) / 53.0 * 0.05 + 2);
+}
+
+TEST(MachineEdge, ReconfiguringPicsMidRun) {
+  auto mod = testfix::make_chase_module(2000, 30, 4096);
+  const sym::Image img = scc::compile(*mod);
+  mem::Memory m;
+  img.load_into(m);
+  machine::CpuConfig cfg;
+  cfg.hierarchy.dcache = {2 * 1024, 4, 32, false};
+  machine::Cpu cpu(m, cfg);
+  cpu.configure_pic(0, HwEvent::DC_rd_miss, 13);
+  size_t events = 0;
+  cpu.on_overflow = [&](const machine::OverflowDelivery&) { ++events; };
+  cpu.set_pc(img.entry);
+  cpu.run(300'000);  // past the build loops, into the pointer-chase phase
+  const size_t before = events;
+  EXPECT_GT(before, 0u);
+  cpu.disable_pic(0);
+  cpu.run(100'000);
+  EXPECT_EQ(events, before);  // disabled: no more deliveries
+  cpu.configure_pic(0, HwEvent::DC_rd_miss, 53);
+  cpu.run(0);
+  EXPECT_GT(events, before);  // re-enabled: counting resumes
+}
+
+TEST(HierarchyEdge, DirtyEcLinesWriteBackSilently) {
+  cache::HierarchyConfig cfg;
+  cfg.dcache = {1024, 1, 32, false};
+  cfg.icache = {1024, 1, 32, true};
+  cfg.ecache = {2048, 1, 512, true};
+  cache::MemoryHierarchy h(cfg);
+  // Dirty a line in the tiny E$ (4 lines), then evict it with conflicting
+  // loads; nothing should fault and the stats should stay coherent.
+  h.store(0x0000);
+  for (u64 a = 0; a < 16 * 2048; a += 512) h.load(a);
+  EXPECT_EQ(h.ecache().hits() + h.ecache().misses(), h.ecache().accesses());
+}
+
+TEST(ReportEdge, EmptyExperimentRendersCleanly) {
+  // A run with no hardware counters and no clock samples must not break the
+  // renderers.
+  auto mod = testfix::make_chase_module(300, 1, 256);
+  const sym::Image img = scc::compile(*mod);
+  auto ex = testfix::quick_collect(img, "", "off");
+  EXPECT_TRUE(ex.events.empty());
+  analyze::Analysis a(ex);
+  EXPECT_NO_THROW(analyze::render_overview(a));
+  EXPECT_NO_THROW(analyze::render_function_list(a));
+  EXPECT_NO_THROW(
+      analyze::render_data_objects(a, static_cast<size_t>(HwEvent::EC_stall_cycles)));
+  EXPECT_NO_THROW(analyze::render_effectiveness(a));
+  EXPECT_TRUE(a.effectiveness().empty());
+}
+
+TEST(ReportEdge, UnknownFunctionThrows) {
+  auto mod = testfix::make_chase_module(300, 1, 256);
+  const sym::Image img = scc::compile(*mod);
+  auto ex = testfix::quick_collect(img, "+dcrm,97");
+  analyze::Analysis a(ex);
+  EXPECT_THROW(a.annotated_source("no_such_function"), Error);
+  EXPECT_THROW(a.annotated_disassembly("no_such_function"), Error);
+  EXPECT_THROW(a.members("no_such_struct"), Error);
+}
+
+TEST(CollectEdge, MaxInstructionsStopsTheRun) {
+  auto mod = testfix::make_chase_module(2000, 50, 8192);
+  const sym::Image img = scc::compile(*mod);
+  collect::CollectOptions opt;
+  opt.hw = "+dcrm,997";
+  opt.max_instructions = 100'000;
+  collect::Collector c(img, opt);
+  auto ex = c.run();
+  EXPECT_LE(ex.total_instructions, 110'000u);
+  // A truncated run still yields a consistent experiment.
+  analyze::Analysis a(ex);
+  EXPECT_GE(a.total()[static_cast<size_t>(HwEvent::DC_rd_miss)], 0.0);
+}
+
+TEST(CollectEdge, ClockOnlyProfilingWorks) {
+  auto mod = testfix::make_chase_module(800, 4, 1024);
+  const sym::Image img = scc::compile(*mod);
+  auto ex = testfix::quick_collect(img, "", "9973");
+  ASSERT_GT(ex.events.size(), 10u);
+  for (const auto& e : ex.events) EXPECT_EQ(e.pic, machine::kClockPic);
+  analyze::Analysis a(ex);
+  EXPECT_GT(a.total()[analyze::kUserCpuMetric], 0.0);
+  EXPECT_DOUBLE_EQ(a.data_total()[analyze::kUserCpuMetric], 0.0);
+}
+
+TEST(SccEdge, DeeplyNestedControlFlow) {
+  using namespace scc;
+  Module m;
+  Function* main = m.add_function("main");
+  FunctionBuilder fb(m, *main);
+  auto x = fb.local("x", Type::i64());
+  fb.set(x, 0);
+  // 8 levels of nested ifs and loops.
+  std::function<void(int)> nest = [&](int depth) {
+    if (depth == 0) {
+      fb.set(x, x + 1);
+      return;
+    }
+    fb.if_else(x >= 0, [&] { nest(depth - 1); }, [&] { fb.set(x, x - 1000); });
+  };
+  auto i = fb.local("i", Type::i64());
+  fb.set(i, 0);
+  fb.while_(i < 10, [&] {
+    nest(8);
+    fb.set(i, i + 1);
+  });
+  fb.ret(x);
+  const sym::Image img = compile(m);
+  mem::Memory mem;
+  img.load_into(mem);
+  machine::Cpu cpu(mem, machine::CpuConfig{});
+  cpu.set_pc(img.entry);
+  EXPECT_EQ(cpu.run(100000).exit_code, 10);
+}
+
+TEST(SccEdge, EmptyLoopBodiesAndConstantConditions) {
+  using namespace scc;
+  Module m;
+  Function* main = m.add_function("main");
+  FunctionBuilder fb(m, *main);
+  auto x = fb.local("x", Type::i64());
+  fb.set(x, 7);
+  fb.while_(Val(0) == 1, [&] { fb.set(x, 999); });  // never runs
+  fb.if_(Val(1) == 1, [&] {});                      // empty body
+  fb.ret(x);
+  const sym::Image img = compile(m);
+  mem::Memory mem;
+  img.load_into(mem);
+  machine::Cpu cpu(mem, machine::CpuConfig{});
+  cpu.set_pc(img.entry);
+  EXPECT_EQ(cpu.run(10000).exit_code, 7);
+}
+
+}  // namespace
+}  // namespace dsprof

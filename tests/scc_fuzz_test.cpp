@@ -1,0 +1,235 @@
+// Randomized differential testing of the scc compiler: generate random
+// programs while simultaneously evaluating them on the host; the compiled
+// DSL program must produce identical results on the simulated machine.
+#include <gtest/gtest.h>
+
+#include "machine/cpu.hpp"
+#include "scc/builder.hpp"
+#include "scc/compile.hpp"
+#include "support/rng.hpp"
+
+namespace dsprof::scc {
+namespace {
+
+std::vector<i64> run_and_trace(const Module& m, u64 max_instr = 2'000'000) {
+  const sym::Image img = compile(m);
+  mem::Memory mem;
+  img.load_into(mem);
+  machine::Cpu cpu(mem, machine::CpuConfig{});
+  cpu.set_truth_log_enabled(false);
+  cpu.set_pc(img.entry);
+  const machine::RunResult r = cpu.run(max_instr);
+  EXPECT_TRUE(r.halted);
+  return cpu.trace();
+}
+
+/// Host-side evaluation with the DSL's semantics (i64 wraparound,
+/// truncating division, arithmetic right shift).
+i64 host_binop(int op, i64 a, i64 b) {
+  const u64 ua = static_cast<u64>(a);
+  const u64 ub = static_cast<u64>(b);
+  switch (op) {
+    case 0: return static_cast<i64>(ua + ub);
+    case 1: return static_cast<i64>(ua - ub);
+    case 2: return static_cast<i64>(ua * ub);
+    case 3: return static_cast<i64>(ua & ub);
+    case 4: return static_cast<i64>(ua | ub);
+    case 5: return static_cast<i64>(ua ^ ub);
+    case 6: return static_cast<i64>(ua << (ub & 15));
+    case 7: return a >> (b & 15);
+    case 8: return a < b ? 1 : 0;
+    case 9: return a <= b ? 1 : 0;
+    case 10: return a == b ? 1 : 0;
+    case 11: return a != b ? 1 : 0;
+    case 12: return a / (b | 1);  // divisor forced odd-nonzero
+    case 13: return a % (b | 1);
+    default: fail("bad op");
+  }
+}
+
+Val dsl_binop(int op, Val a, Val b) {
+  switch (op) {
+    case 0: return a + b;
+    case 1: return a - b;
+    case 2: return a * b;
+    case 3: return a & b;
+    case 4: return a | b;
+    case 5: return a ^ b;
+    case 6: return a << (b & 15);
+    case 7: return a >> (b & 15);
+    case 8: return a < b;
+    case 9: return a <= b;
+    case 10: return a == b;
+    case 11: return a != b;
+    case 12: return a / (b | 1);
+    case 13: return a % (b | 1);
+    default: fail("bad op");
+  }
+}
+
+class ExprFuzz : public ::testing::TestWithParam<u64> {};
+
+TEST_P(ExprFuzz, StraightLineProgramsMatchHostEvaluation) {
+  Xoshiro256 rng(GetParam());
+  constexpr int kVars = 6;
+  constexpr int kStmts = 60;
+
+  Module m;
+  Function* main = m.add_function("main");
+  FunctionBuilder fb(m, *main);
+
+  std::vector<Val> vars;
+  std::vector<i64> host(kVars);
+  for (int v = 0; v < kVars; ++v) {
+    vars.push_back(fb.local("v" + std::to_string(v), Type::i64()));
+    host[static_cast<size_t>(v)] = static_cast<i64>(rng.next() % 2001) - 1000;
+    fb.set(vars[static_cast<size_t>(v)], Val(host[static_cast<size_t>(v)]));
+  }
+
+  // Random expression of bounded depth over variables and small constants,
+  // evaluated in lockstep on the host.
+  std::function<std::pair<Val, i64>(int)> gen = [&](int depth) -> std::pair<Val, i64> {
+    const u64 choice = rng.below(depth == 0 ? 2 : 3);
+    if (choice == 0) {
+      const auto v = static_cast<size_t>(rng.below(kVars));
+      return {vars[v], host[v]};
+    }
+    if (choice == 1) {
+      const i64 c = static_cast<i64>(rng.next() % 201) - 100;
+      return {Val(c), c};
+    }
+    const int op = static_cast<int>(rng.below(14));
+    auto [la, lh] = gen(depth - 1);
+    auto [ra, rh] = gen(depth - 1);
+    return {dsl_binop(op, la, ra), host_binop(op, lh, rh)};
+  };
+
+  for (int s = 0; s < kStmts; ++s) {
+    const auto target = static_cast<size_t>(rng.below(kVars));
+    auto [expr, value] = gen(3);
+    fb.set(vars[target], expr);
+    host[target] = value;
+  }
+  for (int v = 0; v < kVars; ++v) fb.trace(vars[static_cast<size_t>(v)]);
+  fb.ret(Val(0));
+
+  const std::vector<i64> trace = run_and_trace(m);
+  ASSERT_EQ(trace.size(), static_cast<size_t>(kVars));
+  for (int v = 0; v < kVars; ++v) {
+    EXPECT_EQ(trace[static_cast<size_t>(v)], host[static_cast<size_t>(v)])
+        << "variable v" << v << " seed " << GetParam();
+  }
+}
+
+TEST_P(ExprFuzz, BranchyProgramsMatchHostEvaluation) {
+  Xoshiro256 rng(GetParam() * 2654435761u + 17);
+  constexpr int kVars = 4;
+
+  Module m;
+  Function* main = m.add_function("main");
+  FunctionBuilder fb(m, *main);
+  std::vector<Val> vars;
+  std::vector<i64> host(kVars);
+  for (int v = 0; v < kVars; ++v) {
+    vars.push_back(fb.local("v" + std::to_string(v), Type::i64()));
+    host[static_cast<size_t>(v)] = static_cast<i64>(rng.next() % 101) - 50;
+    fb.set(vars[static_cast<size_t>(v)], Val(host[static_cast<size_t>(v)]));
+  }
+
+  for (int s = 0; s < 25; ++s) {
+    const auto a = static_cast<size_t>(rng.below(kVars));
+    const auto b = static_cast<size_t>(rng.below(kVars));
+    const auto t = static_cast<size_t>(rng.below(kVars));
+    const i64 addend = static_cast<i64>(rng.next() % 41) - 20;
+    const int kind = static_cast<int>(rng.below(3));
+    if (kind == 0) {
+      // if (va < vb) vt += c; else vt -= c;
+      fb.if_else(vars[a] < vars[b],
+                 [&] { fb.set(vars[t], vars[t] + addend); },
+                 [&] { fb.set(vars[t], vars[t] - addend); });
+      if (host[a] < host[b]) host[t] += addend; else host[t] -= addend;
+    } else if (kind == 1) {
+      // bounded while: while (vt < limit) vt += step;
+      const i64 limit = host[t] + static_cast<i64>(rng.below(300));
+      const i64 step = 1 + static_cast<i64>(rng.below(7));
+      fb.while_(vars[t] < limit, [&] { fb.set(vars[t], vars[t] + step); });
+      while (host[t] < limit) host[t] += step;
+    } else {
+      // vt = va op vb
+      const int op = static_cast<int>(rng.below(14));
+      fb.set(vars[t], dsl_binop(op, vars[a], vars[b]));
+      host[t] = host_binop(op, host[a], host[b]);
+    }
+  }
+  for (int v = 0; v < kVars; ++v) fb.trace(vars[static_cast<size_t>(v)]);
+  fb.ret(Val(0));
+
+  const std::vector<i64> trace = run_and_trace(m);
+  ASSERT_EQ(trace.size(), static_cast<size_t>(kVars));
+  for (int v = 0; v < kVars; ++v) {
+    EXPECT_EQ(trace[static_cast<size_t>(v)], host[static_cast<size_t>(v)])
+        << "variable v" << v << " seed " << GetParam();
+  }
+}
+
+TEST_P(ExprFuzz, StructArrayProgramsMatchHostMirror) {
+  Xoshiro256 rng(GetParam() * 40503 + 7);
+  constexpr i64 kCount = 64;
+
+  Module m;
+  StructDef* cell = m.add_struct("cell");
+  cell->field("a", Type::i64()).field("b", Type::i64()).field("c", Type::i64());
+  Function* mal = add_runtime(m);
+  Function* main = m.add_function("main");
+  FunctionBuilder fb(m, *main);
+  auto arr = fb.local("arr", Type::ptr(cell));
+  fb.set(arr, cast(fb.call(mal, {Val(kCount * static_cast<i64>(cell->size()))}),
+                   Type::ptr(cell)));
+
+  struct HostCell {
+    i64 a = 0, b = 0, c = 0;
+  };
+  std::vector<HostCell> mirror(kCount);
+  const char* fields[3] = {"a", "b", "c"};
+
+  for (int s = 0; s < 80; ++s) {
+    const i64 i = static_cast<i64>(rng.below(kCount));
+    const i64 j = static_cast<i64>(rng.below(kCount));
+    const int fsrc = static_cast<int>(rng.below(3));
+    const int fdst = static_cast<int>(rng.below(3));
+    const i64 c = static_cast<i64>(rng.next() % 1001) - 500;
+    // arr[i].fdst = arr[j].fsrc + c
+    fb.set((arr + i)[fields[fdst]], (arr + j)[fields[fsrc]] + c);
+    i64* dst = fdst == 0 ? &mirror[static_cast<size_t>(i)].a
+               : fdst == 1 ? &mirror[static_cast<size_t>(i)].b
+                           : &mirror[static_cast<size_t>(i)].c;
+    const i64 src = fsrc == 0 ? mirror[static_cast<size_t>(j)].a
+                    : fsrc == 1 ? mirror[static_cast<size_t>(j)].b
+                                : mirror[static_cast<size_t>(j)].c;
+    *dst = static_cast<i64>(static_cast<u64>(src) + static_cast<u64>(c));
+  }
+  // Checksum every field.
+  auto sum = fb.local("sum", Type::i64());
+  auto i = fb.local("i", Type::i64());
+  fb.set(sum, 0);
+  fb.set(i, 0);
+  fb.while_(i < kCount, [&] {
+    fb.set(sum, sum + (arr + i)["a"] + (arr + i)["b"] * 3 + (arr + i)["c"] * 7);
+    fb.set(i, i + 1);
+  });
+  fb.trace(sum);
+  fb.ret(Val(0));
+
+  u64 host_sum = 0;
+  for (const auto& hc : mirror) {
+    host_sum += static_cast<u64>(hc.a) + static_cast<u64>(hc.b) * 3 + static_cast<u64>(hc.c) * 7;
+  }
+  const std::vector<i64> trace = run_and_trace(m);
+  ASSERT_EQ(trace.size(), 1u);
+  EXPECT_EQ(static_cast<u64>(trace[0]), host_sum) << "seed " << GetParam();
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ExprFuzz, ::testing::Range<u64>(1, 21));
+
+}  // namespace
+}  // namespace dsprof::scc

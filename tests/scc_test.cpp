@@ -1,0 +1,660 @@
+#include <gtest/gtest.h>
+
+#include "isa/isa.hpp"
+#include "machine/cpu.hpp"
+#include "scc/builder.hpp"
+#include "scc/compile.hpp"
+
+namespace dsprof::scc {
+namespace {
+
+using machine::Cpu;
+using machine::CpuConfig;
+
+struct RunOutcome {
+  i64 exit_code = 0;
+  std::vector<i64> trace;
+  std::string output;
+  u64 instructions = 0;
+  sym::Image image;
+};
+
+RunOutcome run_module(const Module& m, CompileOptions opt = {}, u64 max_instr = 5'000'000) {
+  RunOutcome out;
+  out.image = compile(m, opt);
+  mem::Memory mem;
+  out.image.load_into(mem);
+  Cpu cpu(mem, CpuConfig{});
+  cpu.set_pc(out.image.entry);
+  const machine::RunResult r = cpu.run(max_instr);
+  EXPECT_TRUE(r.halted) << "program did not exit within " << max_instr << " instructions";
+  out.exit_code = r.exit_code;
+  out.trace = cpu.trace();
+  out.output = cpu.output();
+  out.instructions = r.instructions;
+  return out;
+}
+
+i64 run_main_returning(const std::function<void(Module&, FunctionBuilder&)>& body,
+                       CompileOptions opt = {}) {
+  Module m;
+  Function* main = m.add_function("main");
+  FunctionBuilder fb(m, *main);
+  body(m, fb);
+  return run_module(m, opt).exit_code;
+}
+
+TEST(Compile, ReturnConstant) {
+  EXPECT_EQ(run_main_returning([](Module&, FunctionBuilder& fb) { fb.ret(Val(42)); }), 42);
+}
+
+TEST(Compile, BigConstants) {
+  EXPECT_EQ(run_main_returning([](Module&, FunctionBuilder& fb) {
+              fb.ret(Val(i64{0x123456789})) ;
+            }),
+            0x123456789);
+  EXPECT_EQ(run_main_returning([](Module&, FunctionBuilder& fb) { fb.ret(Val(-123456789)); }),
+            -123456789);
+}
+
+TEST(Compile, Arithmetic) {
+  EXPECT_EQ(run_main_returning([](Module&, FunctionBuilder& fb) {
+              auto a = fb.local("a", Type::i64());
+              auto b = fb.local("b", Type::i64());
+              fb.set(a, 17);
+              fb.set(b, 5);
+              fb.ret((a + b) * 2 - a / b - a % b);  // 44 - 3 - 2 = 39
+            }),
+            39);
+}
+
+TEST(Compile, NegativeDivisionAndMod) {
+  EXPECT_EQ(run_main_returning([](Module&, FunctionBuilder& fb) {
+              auto a = fb.local("a", Type::i64());
+              fb.set(a, -17);
+              fb.trace(a / 5);   // -3 (truncating)
+              fb.trace(a % 5);   // -2
+              fb.ret(Val(0));
+            }),
+            0);
+  Module m;
+  Function* main = m.add_function("main");
+  FunctionBuilder fb(m, *main);
+  auto a = fb.local("a", Type::i64());
+  fb.set(a, -17);
+  fb.trace(a / 5);
+  fb.trace(a % 5);
+  fb.ret(Val(0));
+  const RunOutcome out = run_module(m);
+  ASSERT_EQ(out.trace.size(), 2u);
+  EXPECT_EQ(out.trace[0], -3);
+  EXPECT_EQ(out.trace[1], -2);
+}
+
+TEST(Compile, BitOpsAndShifts) {
+  EXPECT_EQ(run_main_returning([](Module&, FunctionBuilder& fb) {
+              auto a = fb.local("a", Type::i64());
+              fb.set(a, 0b110100);
+              fb.ret(((a & 0b111000) | 1) ^ 0b10);  // 0b110000|1=0b110001 ^ 0b10 = 0b110011
+            }),
+            0b110011);
+  EXPECT_EQ(run_main_returning([](Module&, FunctionBuilder& fb) {
+              auto a = fb.local("a", Type::i64());
+              fb.set(a, -64);
+              fb.ret(a >> 3);  // arithmetic shift
+            }),
+            -8);
+  EXPECT_EQ(run_main_returning([](Module&, FunctionBuilder& fb) {
+              auto a = fb.local("a", Type::i64());
+              fb.set(a, 3);
+              fb.ret(a << 10);
+            }),
+            3072);
+}
+
+TEST(Compile, IfElse) {
+  for (i64 x : {3, 9}) {
+    EXPECT_EQ(run_main_returning([&](Module&, FunctionBuilder& fb) {
+                auto a = fb.local("a", Type::i64());
+                fb.set(a, x);
+                fb.if_else(a < 5, [&] { fb.ret(Val(100)); }, [&] { fb.ret(Val(200)); });
+              }),
+              x < 5 ? 100 : 200);
+  }
+}
+
+TEST(Compile, WhileLoopSum) {
+  EXPECT_EQ(run_main_returning([](Module&, FunctionBuilder& fb) {
+              auto i = fb.local("i", Type::i64());
+              auto sum = fb.local("sum", Type::i64());
+              fb.set(i, 1);
+              fb.set(sum, 0);
+              fb.while_(i <= 100, [&] {
+                fb.set(sum, sum + i);
+                fb.set(i, i + 1);
+              });
+              fb.ret(sum);
+            }),
+            5050);
+}
+
+TEST(Compile, BreakAndContinue) {
+  EXPECT_EQ(run_main_returning([](Module&, FunctionBuilder& fb) {
+              auto i = fb.local("i", Type::i64());
+              auto sum = fb.local("sum", Type::i64());
+              fb.set(i, 0);
+              fb.set(sum, 0);
+              fb.while_(i < 100, [&] {
+                fb.set(i, i + 1);
+                fb.if_(i % 2 == 0, [&] { fb.continue_(); });
+                fb.if_(i > 10, [&] { fb.break_(); });
+                fb.set(sum, sum + i);  // odd values 1..9
+              });
+              fb.ret(sum);  // 1+3+5+7+9 = 25
+            }),
+            25);
+}
+
+TEST(Compile, NestedLoops) {
+  EXPECT_EQ(run_main_returning([](Module&, FunctionBuilder& fb) {
+              auto i = fb.local("i", Type::i64());
+              auto j = fb.local("j", Type::i64());
+              auto c = fb.local("c", Type::i64());
+              fb.set(c, 0);
+              fb.set(i, 0);
+              fb.while_(i < 7, [&] {
+                fb.set(j, 0);
+                fb.while_(j < 5, [&] {
+                  fb.set(c, c + 1);
+                  fb.set(j, j + 1);
+                });
+                fb.set(i, i + 1);
+              });
+              fb.ret(c);
+            }),
+            35);
+}
+
+TEST(Compile, CompareAsValue) {
+  EXPECT_EQ(run_main_returning([](Module&, FunctionBuilder& fb) {
+              auto a = fb.local("a", Type::i64());
+              fb.set(a, 7);
+              fb.ret((a > 3) + (a < 3) * 10 + (a == 7) * 100);
+            }),
+            101);
+}
+
+TEST(Compile, LogicalAndOr) {
+  EXPECT_EQ(run_main_returning([](Module&, FunctionBuilder& fb) {
+              auto a = fb.local("a", Type::i64());
+              fb.set(a, 7);
+              auto r = fb.local("r", Type::i64());
+              fb.set(r, 0);
+              fb.if_(land(a > 3, a < 10), [&] { fb.set(r, r + 1); });
+              fb.if_(lor(a > 100, a == 7), [&] { fb.set(r, r + 2); });
+              fb.if_(land(a > 100, a == 7), [&] { fb.set(r, r + 4); });
+              fb.ret(r);
+            }),
+            3);
+}
+
+TEST(Compile, FunctionCallsAndRecursion) {
+  Module m;
+  Function* fact = m.add_function("fact");
+  {
+    FunctionBuilder fb(m, *fact);
+    auto n = fb.param("n", Type::i64());
+    fb.if_(n <= 1, [&] { fb.ret(Val(1)); });
+    fb.ret(n * fb.call(fact, {n - 1}));
+  }
+  Function* main = m.add_function("main");
+  {
+    FunctionBuilder fb(m, *main);
+    fb.ret(fb.call(fact, {Val(10)}));
+  }
+  EXPECT_EQ(run_module(m).exit_code, 3628800);
+}
+
+TEST(Compile, NestedCallArguments) {
+  Module m;
+  Function* add3 = m.add_function("add3");
+  {
+    FunctionBuilder fb(m, *add3);
+    auto a = fb.param("a", Type::i64());
+    auto b = fb.param("b", Type::i64());
+    auto c = fb.param("c", Type::i64());
+    fb.ret(a + b + c);
+  }
+  Function* twice = m.add_function("twice");
+  {
+    FunctionBuilder fb(m, *twice);
+    auto x = fb.param("x", Type::i64());
+    fb.ret(x * 2);
+  }
+  Function* main = m.add_function("main");
+  {
+    FunctionBuilder fb(m, *main);
+    // Nested calls inside arguments exercise temp spilling around calls.
+    fb.ret(fb.call(add3, {fb.call(twice, {Val(3)}), fb.call(twice, {Val(5)}),
+                          fb.call(twice, {Val(7)})}) +
+           fb.call(twice, {fb.call(twice, {Val(1)})}));
+  }
+  EXPECT_EQ(run_module(m).exit_code, 34);
+}
+
+TEST(Compile, SixParams) {
+  Module m;
+  Function* f = m.add_function("f");
+  {
+    FunctionBuilder fb(m, *f);
+    Val p[6] = {fb.param("a", Type::i64()), fb.param("b", Type::i64()),
+                fb.param("c", Type::i64()), fb.param("d", Type::i64()),
+                fb.param("e", Type::i64()), fb.param("g", Type::i64())};
+    fb.ret(p[0] + p[1] * 10 + p[2] * 100 + p[3] * 1000 + p[4] * 10000 + p[5] * 100000);
+  }
+  Function* main = m.add_function("main");
+  {
+    FunctionBuilder fb(m, *main);
+    fb.ret(fb.call(f, {Val(1), Val(2), Val(3), Val(4), Val(5), Val(6)}));
+  }
+  EXPECT_EQ(run_module(m).exit_code, 654321);
+}
+
+TEST(Compile, Globals) {
+  Module m;
+  m.add_global("counter", Type::i64(), 5);
+  Function* bump = m.add_function("bump");
+  {
+    FunctionBuilder fb(m, *bump);
+    fb.set(fb.global("counter"), fb.global("counter") + 1);
+    fb.ret0();
+  }
+  Function* main = m.add_function("main");
+  {
+    FunctionBuilder fb(m, *main);
+    auto i = fb.local("i", Type::i64());
+    fb.set(i, 0);
+    fb.while_(i < 10, [&] {
+      fb.call_stmt(bump, {});
+      fb.set(i, i + 1);
+    });
+    fb.ret(fb.global("counter"));
+  }
+  EXPECT_EQ(run_module(m).exit_code, 15);
+}
+
+TEST(Compile, StructsAndPointerChase) {
+  Module m;
+  StructDef* node = m.add_struct("node");
+  node->field("value", Type::i64()).field("next", Type::ptr(node));
+  Function* mal = add_runtime(m);
+  Function* main = m.add_function("main");
+  {
+    FunctionBuilder fb(m, *main);
+    auto head = fb.local("head", Type::ptr(node));
+    auto cur = fb.local("cur", Type::ptr(node));
+    auto i = fb.local("i", Type::i64());
+    auto sum = fb.local("sum", Type::i64());
+    fb.set(head, cast(Val(0), Type::ptr(node)));
+    fb.set(i, 1);
+    // Build list 1..10 (prepended), then sum it.
+    fb.while_(i <= 10, [&] {
+      fb.set(cur, cast(fb.call(mal, {Val(16)}), Type::ptr(node)));
+      fb.set(cur["value"], i);
+      fb.set(cur["next"], head);
+      fb.set(head, cur);
+      fb.set(i, i + 1);
+    });
+    fb.set(sum, 0);
+    fb.set(cur, head);
+    fb.while_(cur != 0, [&] {
+      fb.set(sum, sum + cur["value"]);
+      fb.set(cur, cur["next"]);
+    });
+    fb.ret(sum);
+  }
+  EXPECT_EQ(run_module(m).exit_code, 55);
+}
+
+TEST(Compile, PtrIndexOnOddSizedStruct) {
+  Module m;
+  StructDef* rec = m.add_struct("rec");
+  rec->field("a", Type::i64()).field("b", Type::i64()).field("c", Type::i64());
+  ASSERT_EQ(rec->size(), 24u);  // not a power of two: exercises MULX scaling
+  Function* mal = add_runtime(m);
+  Function* main = m.add_function("main");
+  {
+    FunctionBuilder fb(m, *main);
+    auto arr = fb.local("arr", Type::ptr(rec));
+    auto i = fb.local("i", Type::i64());
+    auto sum = fb.local("sum", Type::i64());
+    fb.set(arr, cast(fb.call(mal, {Val(24 * 20)}), Type::ptr(rec)));
+    fb.set(i, 0);
+    fb.while_(i < 20, [&] {
+      fb.set((arr + i)["b"], i * 3);
+      fb.set(i, i + 1);
+    });
+    fb.set(sum, 0);
+    fb.set(i, 0);
+    fb.while_(i < 20, [&] {
+      fb.set(sum, sum + (arr + i)["b"]);
+      fb.set(i, i + 1);
+    });
+    fb.ret(sum);  // 3 * (0+..+19) = 570
+  }
+  EXPECT_EQ(run_module(m).exit_code, 570);
+}
+
+TEST(Compile, ScalarArraysAndDeref) {
+  Module m;
+  Function* mal = add_runtime(m);
+  Function* main = m.add_function("main");
+  {
+    FunctionBuilder fb(m, *main);
+    auto arr = fb.local("arr", Type::ptr_i64());
+    auto i = fb.local("i", Type::i64());
+    auto sum = fb.local("sum", Type::i64());
+    fb.set(arr, cast(fb.call(mal, {Val(8 * 50)}), Type::ptr_i64()));
+    fb.set(i, 0);
+    fb.while_(i < 50, [&] {
+      fb.set(arr.idx(i), i * i);
+      fb.set(i, i + 1);
+    });
+    fb.set(sum, arr.deref());  // arr[0] == 0
+    fb.set(i, 0);
+    fb.while_(i < 50, [&] {
+      fb.set(sum, sum + arr.idx(i));
+      fb.set(i, i + 1);
+    });
+    fb.ret(sum);  // sum of squares 0..49 = 40425
+  }
+  EXPECT_EQ(run_module(m).exit_code, 40425);
+}
+
+TEST(Compile, ByteArrays) {
+  Module m;
+  Function* mal = add_runtime(m);
+  Function* main = m.add_function("main");
+  {
+    FunctionBuilder fb(m, *main);
+    auto s = fb.local("s", Type::ptr_u8());
+    fb.set(s, cast(fb.call(mal, {Val(16)}), Type::ptr_u8()));
+    fb.set(s.idx(Val(0)), 300);  // truncated to byte: 44
+    fb.ret(s.idx(Val(0)));       // zero-extended back
+  }
+  EXPECT_EQ(run_module(m).exit_code, 44);
+}
+
+TEST(Compile, ManyLocalsSpillToFrame) {
+  Module m;
+  Function* main = m.add_function("main");
+  {
+    FunctionBuilder fb(m, *main);
+    std::vector<Val> locals;
+    for (int i = 0; i < 20; ++i) {  // > 14 register homes
+      locals.push_back(fb.local("v" + std::to_string(i), Type::i64()));
+      fb.set(locals.back(), i + 1);
+    }
+    Val sum = fb.local("sum", Type::i64());
+    fb.set(sum, 0);
+    for (int i = 0; i < 20; ++i) fb.set(sum, sum + locals[static_cast<size_t>(i)]);
+    fb.ret(sum);  // 210
+  }
+  EXPECT_EQ(run_module(m).exit_code, 210);
+}
+
+TEST(Compile, OutputStatements) {
+  Module m;
+  Function* main = m.add_function("main");
+  {
+    FunctionBuilder fb(m, *main);
+    fb.put_int(Val(123));
+    fb.put_char(Val('\n'));
+    fb.put_int(Val(-9));
+    fb.ret(Val(0));
+  }
+  EXPECT_EQ(run_module(m).output, "123\n-9");
+}
+
+TEST(Compile, PrefetchIsSemanticNoop) {
+  Module m;
+  Function* mal = add_runtime(m);
+  Function* main = m.add_function("main");
+  {
+    FunctionBuilder fb(m, *main);
+    auto arr = fb.local("arr", Type::ptr_i64());
+    fb.set(arr, cast(fb.call(mal, {Val(64)}), Type::ptr_i64()));
+    fb.set(arr.idx(Val(2)), 77);
+    fb.prefetch(arr.idx(Val(3)));
+    fb.ret(arr.idx(Val(2)));
+  }
+  EXPECT_EQ(run_module(m).exit_code, 77);
+}
+
+// ---------------------------------------------------------------------------
+// Struct layout engine
+
+TEST(Layout, DeclarationOrderNaturalAlignment) {
+  StructDef s("s");
+  s.field("a", Type::i64()).field("b", Type::byte()).field("c", Type::i64());
+  EXPECT_EQ(s.offset_of("a"), 0u);
+  EXPECT_EQ(s.offset_of("b"), 8u);
+  EXPECT_EQ(s.offset_of("c"), 16u);  // padded to 8
+  EXPECT_EQ(s.size(), 24u);
+}
+
+TEST(Layout, ReorderAndPad) {
+  StructDef s("s");
+  s.field("a", Type::i64()).field("b", Type::i64()).field("c", Type::i64());
+  s.set_layout_order({"c", "a", "b"});
+  EXPECT_EQ(s.offset_of("c"), 0u);
+  EXPECT_EQ(s.offset_of("a"), 8u);
+  EXPECT_EQ(s.offset_of("b"), 16u);
+  s.set_pad_to(64);
+  EXPECT_EQ(s.size(), 64u);
+}
+
+TEST(Layout, ReorderValidation) {
+  StructDef s("s");
+  s.field("a", Type::i64()).field("b", Type::i64());
+  EXPECT_THROW(s.set_layout_order({"a"}), Error);
+  EXPECT_THROW(s.set_layout_order({"a", "a"}), Error);
+  EXPECT_THROW(s.set_layout_order({"a", "zz"}), Error);
+}
+
+TEST(Layout, ReorderPreservesSemantics) {
+  for (bool reorder : {false, true}) {
+    Module m;
+    StructDef* rec = m.add_struct("rec");
+    rec->field("x", Type::i64()).field("y", Type::i64()).field("z", Type::i64());
+    if (reorder) {
+      rec->set_layout_order({"z", "y", "x"});
+      rec->set_pad_to(32);
+    }
+    Function* mal = add_runtime(m);
+    Function* main = m.add_function("main");
+    FunctionBuilder fb(m, *main);
+    auto r = fb.local("r", Type::ptr(rec));
+    fb.set(r, cast(fb.call(mal, {Val(static_cast<i64>(rec->size()))}), Type::ptr(rec)));
+    fb.set(r["x"], 7);
+    fb.set(r["y"], 8);
+    fb.set(r["z"], 9);
+    fb.ret(r["x"] * 100 + r["y"] * 10 + r["z"]);
+    EXPECT_EQ(run_module(m).exit_code, 789) << "reorder=" << reorder;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// hwcprof codegen contract
+
+Module& leak(Module* m) { return *m; }  // keep StructDef pointers alive in helpers
+
+std::unique_ptr<Module> make_memory_heavy_module() {
+  auto m = std::make_unique<Module>();
+  StructDef* node = m->add_struct("node");
+  node->field("value", Type::i64()).field("next", Type::ptr(node));
+  Function* mal = add_runtime(*m);
+  Function* main = m->add_function("main");
+  FunctionBuilder fb(*m, *main);
+  auto head = fb.local("head", Type::ptr(node));
+  auto cur = fb.local("cur", Type::ptr(node));
+  auto i = fb.local("i", Type::i64());
+  auto sum = fb.local("sum", Type::i64());
+  fb.set(head, cast(Val(0), Type::ptr(node)));
+  fb.set(i, 0);
+  fb.while_(i < 200, [&] {
+    fb.set(cur, cast(fb.call(mal, {Val(16)}), Type::ptr(node)));
+    fb.set(cur["value"], i);
+    fb.set(cur["next"], head);
+    fb.set(head, cur);
+    fb.set(i, i + 1);
+  });
+  fb.set(sum, 0);
+  fb.set(cur, head);
+  fb.while_(cur != 0, [&] {
+    fb.set(sum, sum + cur["value"]);
+    fb.set(cur, cur["next"]);
+  });
+  fb.trace(sum);
+  fb.ret(sum & 0xFF);
+  return m;
+}
+
+TEST(Hwcprof, NoMemoryOpsInDelaySlots) {
+  auto m = make_memory_heavy_module();
+  const sym::Image img = compile(leak(m.get()), CompileOptions{});
+  for (size_t i = 0; i + 1 < img.text_words.size(); ++i) {
+    const isa::Instr ins = isa::decode(img.text_words[i]);
+    if (isa::op_info(ins.op).delayed) {
+      const isa::Instr slot = isa::decode(img.text_words[i + 1]);
+      EXPECT_FALSE(isa::is_mem_op(slot.op) || isa::op_info(slot.op).is_prefetch)
+          << "memory op in delay slot at word " << i + 1;
+    }
+  }
+}
+
+TEST(Hwcprof, EveryMemoryOpHasDataDescriptor) {
+  auto m = make_memory_heavy_module();
+  const sym::Image img = compile(leak(m.get()), CompileOptions{});
+  const sym::SymbolTable& st = img.symtab;
+  EXPECT_TRUE(st.hwcprof());
+  for (size_t i = 0; i < img.text_words.size(); ++i) {
+    const isa::Instr ins = isa::decode(img.text_words[i]);
+    const u64 pc = img.text_base + 4 * i;
+    if (isa::is_mem_op(ins.op) && st.find_function(pc) != nullptr) {
+      EXPECT_NE(st.memref_for(pc), nullptr)
+          << "memory op without descriptor at " << std::hex << pc;
+    }
+  }
+}
+
+TEST(Hwcprof, PaddingKeepsDistanceBeforeJoins) {
+  auto m = make_memory_heavy_module();
+  CompileOptions opt;
+  opt.pad_nops = 2;
+  const sym::Image img = compile(leak(m.get()), opt);
+  const sym::SymbolTable& st = img.symtab;
+  // At every branch-target PC, the two preceding instructions must not be
+  // memory operations (the compiler inserted nops after the last mem op).
+  for (u64 t : st.branch_targets()) {
+    for (u64 back = 1; back <= 2; ++back) {
+      const u64 pc = t - 4 * back;
+      if (pc < img.text_base) continue;
+      const isa::Instr ins = isa::decode(img.text_words[(pc - img.text_base) / 4]);
+      // Delayed transfers may precede a target (fall-through joins after
+      // branches are themselves targets); only memory ops are forbidden.
+      EXPECT_FALSE(isa::is_mem_op(ins.op))
+          << "memory op within pad distance of branch target " << std::hex << t;
+    }
+  }
+}
+
+TEST(Hwcprof, DisabledOmitsDescriptorsAndKeepsSemantics) {
+  auto m1 = make_memory_heavy_module();
+  auto m2 = make_memory_heavy_module();
+  CompileOptions with;
+  CompileOptions without;
+  without.hwcprof = false;
+  const RunOutcome a = run_module(leak(m1.get()), with);
+  const RunOutcome b = run_module(leak(m2.get()), without);
+  EXPECT_EQ(a.exit_code, b.exit_code);
+  EXPECT_EQ(a.trace, b.trace);
+  // hwcprof adds padding nops: slightly more instructions (paper §2.1: ~1.3%).
+  EXPECT_GT(a.instructions, b.instructions);
+  EXPECT_LT(static_cast<double>(a.instructions),
+            static_cast<double>(b.instructions) * 1.25);
+  EXPECT_FALSE(compile(leak(m2.get()), without).symtab.hwcprof());
+}
+
+TEST(Hwcprof, StabsHasNoBranchTargets) {
+  auto m = make_memory_heavy_module();
+  CompileOptions opt;
+  opt.dwarf = false;
+  const sym::Image img = compile(leak(m.get()), opt);
+  EXPECT_FALSE(img.symtab.has_branch_targets());
+  EXPECT_TRUE(img.symtab.branch_targets().empty());
+  EXPECT_FALSE(img.symtab.hwcprof());  // memory profiling needs DWARF
+}
+
+TEST(SymbolInfo, FunctionsCoverTextAndLinesAreSane) {
+  auto m = make_memory_heavy_module();
+  const sym::Image img = compile(leak(m.get()), CompileOptions{});
+  const sym::SymbolTable& st = img.symtab;
+  // main and malloc exist.
+  bool has_main = false, has_malloc = false;
+  for (const auto& f : st.functions()) {
+    has_main |= f.name == "main";
+    has_malloc |= f.name == "malloc";
+    EXPECT_LT(f.lo, f.hi);
+  }
+  EXPECT_TRUE(has_main);
+  EXPECT_TRUE(has_malloc);
+  // Every line found on an instruction has source text.
+  for (size_t i = 0; i < img.text_words.size(); ++i) {
+    const u64 pc = img.text_base + 4 * i;
+    if (auto line = st.line_for(pc)) {
+      EXPECT_NE(st.source_text(*line), nullptr) << "no source text for line " << *line;
+    }
+  }
+}
+
+TEST(SourceText, GeneratedFromAst) {
+  Module m;
+  StructDef* node = m.add_struct("node");
+  node->field("potential", Type::i64("cost_t"))
+      .field("pred", Type::ptr(node))
+      .field("basic_arc", Type::ptr(node));
+  Function* f = m.add_function("refresh");
+  FunctionBuilder fb(m, *f);
+  auto n = fb.param("node", Type::ptr(node));
+  fb.set(n["potential"], n["basic_arc"]["potential"] + n["pred"]["potential"]);
+  fb.ret0();
+  bool found = false;
+  for (const auto& [line, text] : m.source_lines()) {
+    if (text == "node->potential = node->basic_arc->potential + node->pred->potential;") {
+      found = true;
+    }
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST(Builder, TypeErrorsRejected) {
+  Module m;
+  StructDef* node = m.add_struct("node");
+  node->field("v", Type::i64());
+  StructDef* other = m.add_struct("other");
+  other->field("w", Type::i64());
+  Function* f = m.add_function("f");
+  FunctionBuilder fb(m, *f);
+  auto p = fb.local("p", Type::ptr(node));
+  auto q = fb.local("q", Type::ptr(other));
+  auto x = fb.local("x", Type::i64());
+  EXPECT_THROW(p == q, Error);        // incompatible pointers
+  EXPECT_THROW(p * x, Error);         // pointer multiplication
+  EXPECT_THROW(x.field("v"), Error);  // member access on non-pointer
+  EXPECT_THROW(fb.set(x, p), Error);  // pointer into integer
+  EXPECT_THROW(p.idx(x), Error);      // idx on struct pointer
+}
+
+}  // namespace
+}  // namespace dsprof::scc

@@ -1,0 +1,158 @@
+#include <gtest/gtest.h>
+
+#include "sym/image.hpp"
+#include "sym/symtab.hpp"
+
+namespace dsprof::sym {
+namespace {
+
+TEST(TypeTable, BaseAliasPointerStruct) {
+  TypeTable tt;
+  const TypeId long_t = tt.add_base("long", 8);
+  const TypeId cost_t = tt.add_alias("cost_t", long_t);
+  const TypeId node = tt.declare_struct("node");
+  const TypeId pnode = tt.add_pointer(node);
+  tt.define_struct(node, 120,
+                   {{"orientation", long_t, 56, 8}, {"child", pnode, 24, 8},
+                    {"potential", cost_t, 88, 8}});
+  EXPECT_EQ(tt.type_string(long_t), "long");
+  EXPECT_EQ(tt.type_string(cost_t), "cost_t=long");
+  EXPECT_EQ(tt.type_string(pnode), "pointer+structure:node");
+  EXPECT_EQ(tt.aggregate_string(node), "{structure:node -}");
+  EXPECT_EQ(tt.find_struct("node"), node);
+  EXPECT_EQ(tt.find_struct("nope"), kInvalidType);
+  EXPECT_EQ(tt.get(node).size, 120u);
+}
+
+TEST(TypeTable, MemberBoundsChecked) {
+  TypeTable tt;
+  const TypeId long_t = tt.add_base("long", 8);
+  EXPECT_THROW(tt.add_struct("bad", 8, {{"x", long_t, 8, 8}}), Error);
+}
+
+TEST(TypeTable, SerializationRoundTrip) {
+  TypeTable tt;
+  const TypeId long_t = tt.add_base("long", 8);
+  const TypeId node = tt.declare_struct("node");
+  const TypeId pnode = tt.add_pointer(node);
+  tt.define_struct(node, 16, {{"a", long_t, 0, 8}, {"next", pnode, 8, 8}});
+  ByteWriter w;
+  tt.serialize(w);
+  ByteReader r(w.bytes());
+  TypeTable back = TypeTable::deserialize(r);
+  EXPECT_EQ(back.count(), tt.count());
+  EXPECT_EQ(back.type_string(pnode), "pointer+structure:node");
+  EXPECT_EQ(back.get(node).members.size(), 2u);
+}
+
+SymbolTable make_symtab() {
+  SymbolTable st;
+  const TypeId long_t = st.types().add_base("long", 8);
+  const TypeId node = st.types().declare_struct("node");
+  st.types().define_struct(node, 120, {{"orientation", long_t, 56, 8}});
+  st.add_function({"f", 0x100, 0x140});
+  st.add_function({"g", 0x140, 0x180});
+  st.add_line(0x100, 10);
+  st.add_line(0x120, 11);
+  st.add_line(0x140, 20);
+  MemRef ref;
+  ref.kind = MemRef::Kind::StructMember;
+  ref.aggregate = node;
+  ref.member = 0;
+  st.add_memref(0x110, ref);
+  st.set_branch_targets({0x120, 0x150});
+  st.add_source_line(10, "while (node) {");
+  return st;
+}
+
+TEST(SymbolTable, FunctionLookup) {
+  SymbolTable st = make_symtab();
+  ASSERT_NE(st.find_function(0x100), nullptr);
+  EXPECT_EQ(st.find_function(0x100)->name, "f");
+  EXPECT_EQ(st.find_function(0x13C)->name, "f");
+  EXPECT_EQ(st.find_function(0x140)->name, "g");
+  EXPECT_EQ(st.find_function(0x180), nullptr);
+  EXPECT_EQ(st.find_function(0x0), nullptr);
+}
+
+TEST(SymbolTable, LineLookupStaysWithinFunction) {
+  SymbolTable st = make_symtab();
+  EXPECT_EQ(st.line_for(0x100).value(), 10u);
+  EXPECT_EQ(st.line_for(0x11C).value(), 10u);
+  EXPECT_EQ(st.line_for(0x120).value(), 11u);
+  EXPECT_EQ(st.line_for(0x144).value(), 20u);
+  EXPECT_FALSE(st.line_for(0x80).has_value());
+  EXPECT_FALSE(st.line_for(0x200).has_value());  // beyond g
+}
+
+TEST(SymbolTable, BranchTargetQuery) {
+  SymbolTable st = make_symtab();
+  // (lo, hi] semantics.
+  EXPECT_EQ(st.branch_target_in(0x100, 0x130).value(), 0x120u);
+  EXPECT_EQ(st.branch_target_in(0x120, 0x130), std::nullopt);
+  EXPECT_EQ(st.branch_target_in(0x11C, 0x120).value(), 0x120u);
+  EXPECT_EQ(st.branch_target_in(0x150, 0x200), std::nullopt);
+}
+
+TEST(SymbolTable, MemRefString) {
+  SymbolTable st = make_symtab();
+  EXPECT_EQ(st.memref_string(0x110), "{structure:node -}.{long orientation}");
+  EXPECT_EQ(st.memref_string(0x114), "");
+}
+
+TEST(SymbolTable, SerializationRoundTrip) {
+  SymbolTable st = make_symtab();
+  ByteWriter w;
+  st.serialize(w);
+  ByteReader r(w.bytes());
+  SymbolTable back = SymbolTable::deserialize(r);
+  EXPECT_EQ(back.find_function(0x100)->name, "f");
+  EXPECT_EQ(back.line_for(0x120).value(), 11u);
+  EXPECT_EQ(back.memref_string(0x110), "{structure:node -}.{long orientation}");
+  EXPECT_EQ(back.branch_target_in(0x100, 0x130).value(), 0x120u);
+  ASSERT_NE(back.source_text(10), nullptr);
+  EXPECT_EQ(*back.source_text(10), "while (node) {");
+  EXPECT_EQ(back.hwcprof(), st.hwcprof());
+}
+
+TEST(Image, LoadIntoMemory) {
+  Image img;
+  img.text_words = {0x04000000, 0x04000000};  // two nops
+  img.entry = img.text_base;
+  img.data_init = {1, 2, 3, 4};
+  img.data_size = 64;
+  mem::Memory m;
+  img.load_into(m);
+  EXPECT_EQ(m.fetch_word(img.text_base), 0x04000000u);
+  EXPECT_EQ(m.load(img.data_base, 4), 0x04030201u);
+  EXPECT_EQ(m.classify(img.heap_base), mem::SegKind::Heap);
+  EXPECT_EQ(m.classify(mem::kStackTop - 16), mem::SegKind::Stack);
+}
+
+TEST(Image, SerializationRoundTrip) {
+  Image img;
+  img.text_words = {0x04000000, 0xDEADBEEF};
+  img.entry = img.text_base + 4;
+  img.data_init = {9, 9};
+  img.data_size = 16;
+  img.symtab = make_symtab();
+  ByteWriter w;
+  img.serialize(w);
+  ByteReader r(w.bytes());
+  Image back = Image::deserialize(r);
+  EXPECT_EQ(back.text_words, img.text_words);
+  EXPECT_EQ(back.entry, img.entry);
+  EXPECT_EQ(back.data_init, img.data_init);
+  EXPECT_EQ(back.symtab.find_function(0x140)->name, "g");
+}
+
+TEST(Image, RejectsBadEntry) {
+  Image img;
+  img.text_words = {0x04000000};
+  img.entry = img.text_base + 0x100;
+  mem::Memory m;
+  EXPECT_THROW(img.load_into(m), Error);
+}
+
+}  // namespace
+}  // namespace dsprof::sym

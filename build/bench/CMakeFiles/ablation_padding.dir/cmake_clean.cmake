@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_padding.dir/ablation_padding.cpp.o"
+  "CMakeFiles/ablation_padding.dir/ablation_padding.cpp.o.d"
+  "ablation_padding"
+  "ablation_padding.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_padding.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

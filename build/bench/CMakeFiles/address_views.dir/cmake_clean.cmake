@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/address_views.dir/address_views.cpp.o"
+  "CMakeFiles/address_views.dir/address_views.cpp.o.d"
+  "address_views"
+  "address_views.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/address_views.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/effectiveness.dir/effectiveness.cpp.o"
+  "CMakeFiles/effectiveness.dir/effectiveness.cpp.o.d"
+  "effectiveness"
+  "effectiveness.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/effectiveness.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

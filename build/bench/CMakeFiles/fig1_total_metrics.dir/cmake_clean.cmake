@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig1_total_metrics.dir/fig1_total_metrics.cpp.o"
+  "CMakeFiles/fig1_total_metrics.dir/fig1_total_metrics.cpp.o.d"
+  "fig1_total_metrics"
+  "fig1_total_metrics.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig1_total_metrics.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

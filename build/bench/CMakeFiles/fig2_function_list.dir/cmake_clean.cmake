@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig2_function_list.dir/fig2_function_list.cpp.o"
+  "CMakeFiles/fig2_function_list.dir/fig2_function_list.cpp.o.d"
+  "fig2_function_list"
+  "fig2_function_list.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig2_function_list.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

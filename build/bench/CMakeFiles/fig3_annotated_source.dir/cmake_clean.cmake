@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig3_annotated_source.dir/fig3_annotated_source.cpp.o"
+  "CMakeFiles/fig3_annotated_source.dir/fig3_annotated_source.cpp.o.d"
+  "fig3_annotated_source"
+  "fig3_annotated_source.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig3_annotated_source.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig4_annotated_disasm.dir/fig4_annotated_disasm.cpp.o"
+  "CMakeFiles/fig4_annotated_disasm.dir/fig4_annotated_disasm.cpp.o.d"
+  "fig4_annotated_disasm"
+  "fig4_annotated_disasm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig4_annotated_disasm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for fig4_annotated_disasm.
+# This may be replaced when dependencies are built.

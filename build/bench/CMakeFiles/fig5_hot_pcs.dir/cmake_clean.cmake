@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig5_hot_pcs.dir/fig5_hot_pcs.cpp.o"
+  "CMakeFiles/fig5_hot_pcs.dir/fig5_hot_pcs.cpp.o.d"
+  "fig5_hot_pcs"
+  "fig5_hot_pcs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig5_hot_pcs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

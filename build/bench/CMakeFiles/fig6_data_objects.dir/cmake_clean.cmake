@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig6_data_objects.dir/fig6_data_objects.cpp.o"
+  "CMakeFiles/fig6_data_objects.dir/fig6_data_objects.cpp.o.d"
+  "fig6_data_objects"
+  "fig6_data_objects.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig6_data_objects.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

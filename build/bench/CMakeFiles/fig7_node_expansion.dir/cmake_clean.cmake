@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig7_node_expansion.dir/fig7_node_expansion.cpp.o"
+  "CMakeFiles/fig7_node_expansion.dir/fig7_node_expansion.cpp.o.d"
+  "fig7_node_expansion"
+  "fig7_node_expansion.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig7_node_expansion.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

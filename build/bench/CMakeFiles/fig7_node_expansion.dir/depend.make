@@ -1,0 +1,2 @@
+# Empty dependencies file for fig7_node_expansion.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/instance_view.dir/instance_view.cpp.o"
+  "CMakeFiles/instance_view.dir/instance_view.cpp.o.d"
+  "instance_view"
+  "instance_view.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/instance_view.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/opt_speedups.dir/opt_speedups.cpp.o"
+  "CMakeFiles/opt_speedups.dir/opt_speedups.cpp.o.d"
+  "opt_speedups"
+  "opt_speedups.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/opt_speedups.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

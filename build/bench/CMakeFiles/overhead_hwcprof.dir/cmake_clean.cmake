@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/overhead_hwcprof.dir/overhead_hwcprof.cpp.o"
+  "CMakeFiles/overhead_hwcprof.dir/overhead_hwcprof.cpp.o.d"
+  "overhead_hwcprof"
+  "overhead_hwcprof.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/overhead_hwcprof.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

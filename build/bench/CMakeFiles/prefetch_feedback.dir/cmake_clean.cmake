@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/prefetch_feedback.dir/prefetch_feedback.cpp.o"
+  "CMakeFiles/prefetch_feedback.dir/prefetch_feedback.cpp.o.d"
+  "prefetch_feedback"
+  "prefetch_feedback.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/prefetch_feedback.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cache_conscious_tree.dir/cache_conscious_tree.cpp.o"
+  "CMakeFiles/cache_conscious_tree.dir/cache_conscious_tree.cpp.o.d"
+  "cache_conscious_tree"
+  "cache_conscious_tree.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cache_conscious_tree.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

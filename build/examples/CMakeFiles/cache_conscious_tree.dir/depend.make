@@ -1,0 +1,2 @@
+# Empty dependencies file for cache_conscious_tree.
+# This may be replaced when dependencies are built.

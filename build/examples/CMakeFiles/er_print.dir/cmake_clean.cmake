@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/er_print.dir/er_print.cpp.o"
+  "CMakeFiles/er_print.dir/er_print.cpp.o.d"
+  "er_print"
+  "er_print.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/er_print.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for er_print.
+# This may be replaced when dependencies are built.

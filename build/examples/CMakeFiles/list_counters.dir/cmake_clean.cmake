@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/list_counters.dir/list_counters.cpp.o"
+  "CMakeFiles/list_counters.dir/list_counters.cpp.o.d"
+  "list_counters"
+  "list_counters.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/list_counters.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

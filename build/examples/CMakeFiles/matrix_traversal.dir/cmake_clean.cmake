@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/matrix_traversal.dir/matrix_traversal.cpp.o"
+  "CMakeFiles/matrix_traversal.dir/matrix_traversal.cpp.o.d"
+  "matrix_traversal"
+  "matrix_traversal.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/matrix_traversal.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mcf_profile.dir/mcf_profile.cpp.o"
+  "CMakeFiles/mcf_profile.dir/mcf_profile.cpp.o.d"
+  "mcf_profile"
+  "mcf_profile.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mcf_profile.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

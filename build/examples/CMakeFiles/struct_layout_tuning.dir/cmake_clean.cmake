@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/struct_layout_tuning.dir/struct_layout_tuning.cpp.o"
+  "CMakeFiles/struct_layout_tuning.dir/struct_layout_tuning.cpp.o.d"
+  "struct_layout_tuning"
+  "struct_layout_tuning.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/struct_layout_tuning.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

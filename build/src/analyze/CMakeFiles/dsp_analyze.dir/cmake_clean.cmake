@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dsp_analyze.dir/analysis.cpp.o"
+  "CMakeFiles/dsp_analyze.dir/analysis.cpp.o.d"
+  "CMakeFiles/dsp_analyze.dir/feedback.cpp.o"
+  "CMakeFiles/dsp_analyze.dir/feedback.cpp.o.d"
+  "CMakeFiles/dsp_analyze.dir/metrics.cpp.o"
+  "CMakeFiles/dsp_analyze.dir/metrics.cpp.o.d"
+  "CMakeFiles/dsp_analyze.dir/reports.cpp.o"
+  "CMakeFiles/dsp_analyze.dir/reports.cpp.o.d"
+  "libdsp_analyze.a"
+  "libdsp_analyze.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dsp_analyze.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

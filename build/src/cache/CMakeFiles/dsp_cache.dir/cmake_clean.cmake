@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dsp_cache.dir/cache.cpp.o"
+  "CMakeFiles/dsp_cache.dir/cache.cpp.o.d"
+  "CMakeFiles/dsp_cache.dir/hierarchy.cpp.o"
+  "CMakeFiles/dsp_cache.dir/hierarchy.cpp.o.d"
+  "libdsp_cache.a"
+  "libdsp_cache.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dsp_cache.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dsp_collect.dir/collector.cpp.o"
+  "CMakeFiles/dsp_collect.dir/collector.cpp.o.d"
+  "libdsp_collect.a"
+  "libdsp_collect.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dsp_collect.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

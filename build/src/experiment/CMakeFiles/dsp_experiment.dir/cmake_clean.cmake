@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dsp_experiment.dir/experiment.cpp.o"
+  "CMakeFiles/dsp_experiment.dir/experiment.cpp.o.d"
+  "libdsp_experiment.a"
+  "libdsp_experiment.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dsp_experiment.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dsp_isa.dir/assembler.cpp.o"
+  "CMakeFiles/dsp_isa.dir/assembler.cpp.o.d"
+  "CMakeFiles/dsp_isa.dir/disasm.cpp.o"
+  "CMakeFiles/dsp_isa.dir/disasm.cpp.o.d"
+  "CMakeFiles/dsp_isa.dir/isa.cpp.o"
+  "CMakeFiles/dsp_isa.dir/isa.cpp.o.d"
+  "libdsp_isa.a"
+  "libdsp_isa.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dsp_isa.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dsp_machine.dir/counters.cpp.o"
+  "CMakeFiles/dsp_machine.dir/counters.cpp.o.d"
+  "CMakeFiles/dsp_machine.dir/cpu.cpp.o"
+  "CMakeFiles/dsp_machine.dir/cpu.cpp.o.d"
+  "libdsp_machine.a"
+  "libdsp_machine.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dsp_machine.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

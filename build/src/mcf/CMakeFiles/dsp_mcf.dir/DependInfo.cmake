@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/mcf/generator.cpp" "src/mcf/CMakeFiles/dsp_mcf.dir/generator.cpp.o" "gcc" "src/mcf/CMakeFiles/dsp_mcf.dir/generator.cpp.o.d"
+  "/root/repo/src/mcf/simplex.cpp" "src/mcf/CMakeFiles/dsp_mcf.dir/simplex.cpp.o" "gcc" "src/mcf/CMakeFiles/dsp_mcf.dir/simplex.cpp.o.d"
+  "/root/repo/src/mcf/ssp.cpp" "src/mcf/CMakeFiles/dsp_mcf.dir/ssp.cpp.o" "gcc" "src/mcf/CMakeFiles/dsp_mcf.dir/ssp.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/support/CMakeFiles/dsp_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

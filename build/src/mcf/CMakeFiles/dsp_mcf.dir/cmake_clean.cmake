@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dsp_mcf.dir/generator.cpp.o"
+  "CMakeFiles/dsp_mcf.dir/generator.cpp.o.d"
+  "CMakeFiles/dsp_mcf.dir/simplex.cpp.o"
+  "CMakeFiles/dsp_mcf.dir/simplex.cpp.o.d"
+  "CMakeFiles/dsp_mcf.dir/ssp.cpp.o"
+  "CMakeFiles/dsp_mcf.dir/ssp.cpp.o.d"
+  "libdsp_mcf.a"
+  "libdsp_mcf.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dsp_mcf.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

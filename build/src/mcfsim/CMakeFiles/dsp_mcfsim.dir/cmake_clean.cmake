@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dsp_mcfsim.dir/experiments.cpp.o"
+  "CMakeFiles/dsp_mcfsim.dir/experiments.cpp.o.d"
+  "CMakeFiles/dsp_mcfsim.dir/mcfsim.cpp.o"
+  "CMakeFiles/dsp_mcfsim.dir/mcfsim.cpp.o.d"
+  "libdsp_mcfsim.a"
+  "libdsp_mcfsim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dsp_mcfsim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

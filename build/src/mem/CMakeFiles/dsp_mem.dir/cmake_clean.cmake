@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dsp_mem.dir/memory.cpp.o"
+  "CMakeFiles/dsp_mem.dir/memory.cpp.o.d"
+  "libdsp_mem.a"
+  "libdsp_mem.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dsp_mem.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

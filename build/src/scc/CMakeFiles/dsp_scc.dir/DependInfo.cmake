@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/scc/ast.cpp" "src/scc/CMakeFiles/dsp_scc.dir/ast.cpp.o" "gcc" "src/scc/CMakeFiles/dsp_scc.dir/ast.cpp.o.d"
+  "/root/repo/src/scc/builder.cpp" "src/scc/CMakeFiles/dsp_scc.dir/builder.cpp.o" "gcc" "src/scc/CMakeFiles/dsp_scc.dir/builder.cpp.o.d"
+  "/root/repo/src/scc/codegen.cpp" "src/scc/CMakeFiles/dsp_scc.dir/codegen.cpp.o" "gcc" "src/scc/CMakeFiles/dsp_scc.dir/codegen.cpp.o.d"
+  "/root/repo/src/scc/module.cpp" "src/scc/CMakeFiles/dsp_scc.dir/module.cpp.o" "gcc" "src/scc/CMakeFiles/dsp_scc.dir/module.cpp.o.d"
+  "/root/repo/src/scc/type.cpp" "src/scc/CMakeFiles/dsp_scc.dir/type.cpp.o" "gcc" "src/scc/CMakeFiles/dsp_scc.dir/type.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/support/CMakeFiles/dsp_support.dir/DependInfo.cmake"
+  "/root/repo/build/src/isa/CMakeFiles/dsp_isa.dir/DependInfo.cmake"
+  "/root/repo/build/src/sym/CMakeFiles/dsp_sym.dir/DependInfo.cmake"
+  "/root/repo/build/src/mem/CMakeFiles/dsp_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/machine/CMakeFiles/dsp_machine.dir/DependInfo.cmake"
+  "/root/repo/build/src/cache/CMakeFiles/dsp_cache.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

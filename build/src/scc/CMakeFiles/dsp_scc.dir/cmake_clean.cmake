@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dsp_scc.dir/ast.cpp.o"
+  "CMakeFiles/dsp_scc.dir/ast.cpp.o.d"
+  "CMakeFiles/dsp_scc.dir/builder.cpp.o"
+  "CMakeFiles/dsp_scc.dir/builder.cpp.o.d"
+  "CMakeFiles/dsp_scc.dir/codegen.cpp.o"
+  "CMakeFiles/dsp_scc.dir/codegen.cpp.o.d"
+  "CMakeFiles/dsp_scc.dir/module.cpp.o"
+  "CMakeFiles/dsp_scc.dir/module.cpp.o.d"
+  "CMakeFiles/dsp_scc.dir/type.cpp.o"
+  "CMakeFiles/dsp_scc.dir/type.cpp.o.d"
+  "libdsp_scc.a"
+  "libdsp_scc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dsp_scc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

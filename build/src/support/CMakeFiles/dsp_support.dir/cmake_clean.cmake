@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dsp_support.dir/bytestream.cpp.o"
+  "CMakeFiles/dsp_support.dir/bytestream.cpp.o.d"
+  "CMakeFiles/dsp_support.dir/rng.cpp.o"
+  "CMakeFiles/dsp_support.dir/rng.cpp.o.d"
+  "CMakeFiles/dsp_support.dir/table.cpp.o"
+  "CMakeFiles/dsp_support.dir/table.cpp.o.d"
+  "libdsp_support.a"
+  "libdsp_support.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dsp_support.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

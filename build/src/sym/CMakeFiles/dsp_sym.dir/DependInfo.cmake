@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sym/image.cpp" "src/sym/CMakeFiles/dsp_sym.dir/image.cpp.o" "gcc" "src/sym/CMakeFiles/dsp_sym.dir/image.cpp.o.d"
+  "/root/repo/src/sym/symtab.cpp" "src/sym/CMakeFiles/dsp_sym.dir/symtab.cpp.o" "gcc" "src/sym/CMakeFiles/dsp_sym.dir/symtab.cpp.o.d"
+  "/root/repo/src/sym/types.cpp" "src/sym/CMakeFiles/dsp_sym.dir/types.cpp.o" "gcc" "src/sym/CMakeFiles/dsp_sym.dir/types.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/support/CMakeFiles/dsp_support.dir/DependInfo.cmake"
+  "/root/repo/build/src/mem/CMakeFiles/dsp_mem.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

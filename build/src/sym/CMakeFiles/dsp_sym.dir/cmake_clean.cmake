@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dsp_sym.dir/image.cpp.o"
+  "CMakeFiles/dsp_sym.dir/image.cpp.o.d"
+  "CMakeFiles/dsp_sym.dir/symtab.cpp.o"
+  "CMakeFiles/dsp_sym.dir/symtab.cpp.o.d"
+  "CMakeFiles/dsp_sym.dir/types.cpp.o"
+  "CMakeFiles/dsp_sym.dir/types.cpp.o.d"
+  "libdsp_sym.a"
+  "libdsp_sym.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dsp_sym.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

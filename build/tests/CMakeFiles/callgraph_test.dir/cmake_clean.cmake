@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/callgraph_test.dir/callgraph_test.cpp.o"
+  "CMakeFiles/callgraph_test.dir/callgraph_test.cpp.o.d"
+  "callgraph_test"
+  "callgraph_test.pdb"
+  "callgraph_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/callgraph_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

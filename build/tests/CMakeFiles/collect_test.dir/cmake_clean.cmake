@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/collect_test.dir/collect_test.cpp.o"
+  "CMakeFiles/collect_test.dir/collect_test.cpp.o.d"
+  "collect_test"
+  "collect_test.pdb"
+  "collect_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/collect_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/mcf_test.cpp" "tests/CMakeFiles/mcf_test.dir/mcf_test.cpp.o" "gcc" "tests/CMakeFiles/mcf_test.dir/mcf_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/support/CMakeFiles/dsp_support.dir/DependInfo.cmake"
+  "/root/repo/build/src/isa/CMakeFiles/dsp_isa.dir/DependInfo.cmake"
+  "/root/repo/build/src/mem/CMakeFiles/dsp_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/cache/CMakeFiles/dsp_cache.dir/DependInfo.cmake"
+  "/root/repo/build/src/machine/CMakeFiles/dsp_machine.dir/DependInfo.cmake"
+  "/root/repo/build/src/sym/CMakeFiles/dsp_sym.dir/DependInfo.cmake"
+  "/root/repo/build/src/scc/CMakeFiles/dsp_scc.dir/DependInfo.cmake"
+  "/root/repo/build/src/experiment/CMakeFiles/dsp_experiment.dir/DependInfo.cmake"
+  "/root/repo/build/src/collect/CMakeFiles/dsp_collect.dir/DependInfo.cmake"
+  "/root/repo/build/src/analyze/CMakeFiles/dsp_analyze.dir/DependInfo.cmake"
+  "/root/repo/build/src/mcf/CMakeFiles/dsp_mcf.dir/DependInfo.cmake"
+  "/root/repo/build/src/mcfsim/CMakeFiles/dsp_mcfsim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mcf_test.dir/mcf_test.cpp.o"
+  "CMakeFiles/mcf_test.dir/mcf_test.cpp.o.d"
+  "mcf_test"
+  "mcf_test.pdb"
+  "mcf_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mcf_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

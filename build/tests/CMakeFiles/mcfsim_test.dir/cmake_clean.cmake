@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mcfsim_test.dir/mcfsim_test.cpp.o"
+  "CMakeFiles/mcfsim_test.dir/mcfsim_test.cpp.o.d"
+  "mcfsim_test"
+  "mcfsim_test.pdb"
+  "mcfsim_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mcfsim_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/scc_fuzz_test.dir/scc_fuzz_test.cpp.o"
+  "CMakeFiles/scc_fuzz_test.dir/scc_fuzz_test.cpp.o.d"
+  "scc_fuzz_test"
+  "scc_fuzz_test.pdb"
+  "scc_fuzz_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/scc_fuzz_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

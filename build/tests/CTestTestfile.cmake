@@ -1,0 +1,22 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/support_test[1]_include.cmake")
+include("/root/repo/build/tests/isa_test[1]_include.cmake")
+include("/root/repo/build/tests/mem_test[1]_include.cmake")
+include("/root/repo/build/tests/cache_test[1]_include.cmake")
+include("/root/repo/build/tests/machine_test[1]_include.cmake")
+include("/root/repo/build/tests/sym_test[1]_include.cmake")
+include("/root/repo/build/tests/scc_test[1]_include.cmake")
+include("/root/repo/build/tests/scc_fuzz_test[1]_include.cmake")
+include("/root/repo/build/tests/collect_test[1]_include.cmake")
+include("/root/repo/build/tests/analyze_test[1]_include.cmake")
+include("/root/repo/build/tests/callgraph_test[1]_include.cmake")
+include("/root/repo/build/tests/mcf_test[1]_include.cmake")
+include("/root/repo/build/tests/mcfsim_test[1]_include.cmake")
+include("/root/repo/build/tests/properties_test[1]_include.cmake")
+include("/root/repo/build/tests/robustness_test[1]_include.cmake")
+include("/root/repo/build/tests/integration_test[1]_include.cmake")

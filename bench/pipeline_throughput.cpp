@@ -1,0 +1,122 @@
+// PIPELINE — throughput of the two hot pipeline stages over the FIG1
+// workload (the paper's two MCF collect runs, §3.1):
+//
+//   append:    events/sec appended into the columnar EventStore (the
+//              collection hot path: column pushes + callstack interning);
+//   reduce:    events/sec folded into view aggregates, for the seed's
+//              serial std::map engine (Engine::Baseline), the sharded
+//              engine pinned to one thread, and the sharded engine at the
+//              default thread count.
+//
+// Emits one machine-readable JSON object on the last line; the human-
+// readable summary goes before it. The refactor's acceptance bar is
+// sharded >= 2x baseline on this workload.
+#include <chrono>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "analyze/reduction.hpp"
+#include "mcfsim/experiments.hpp"
+
+using namespace dsprof;
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double seconds_since(Clock::time_point t0) {
+  return std::chrono::duration<double>(Clock::now() - t0).count();
+}
+
+/// Best-of-N wall time of `fn` (seconds).
+template <typename F>
+double best_of(int n, F&& fn) {
+  double best = 1e300;
+  for (int i = 0; i < n; ++i) {
+    const auto t0 = Clock::now();
+    fn();
+    const double s = seconds_since(t0);
+    if (s < best) best = s;
+  }
+  return best;
+}
+
+/// Replay every event of `ex` into `out` (the collection append path,
+/// minus the simulated machine).
+void replay(const experiment::Experiment& ex, experiment::EventStore& out) {
+  const auto& ev = ex.events;
+  for (size_t i = 0; i < ev.size(); ++i) {
+    const auto e = ev[i];
+    const auto cs = ev.callstack(i);
+    out.append(e.pic, e.event, e.weight, e.delivered_pc, e.has_candidate, e.candidate_pc,
+               e.has_ea, e.ea, cs.ptr, cs.len, e.seq);
+  }
+}
+
+}  // namespace
+
+int main() {
+  std::puts("== PIPELINE: event-store append + reduction throughput (FIG1 workload) ==");
+  const auto setup = mcfsim::PaperSetup::standard();
+  const auto exps = mcfsim::collect_paper_experiments(setup);
+  const std::vector<const experiment::Experiment*> both = {&exps.ex1, &exps.ex2};
+  const size_t n_events = exps.ex1.events.size() + exps.ex2.events.size();
+  const size_t n_unique =
+      exps.ex1.events.unique_callstacks() + exps.ex2.events.unique_callstacks();
+  std::printf("events: %zu   unique callstacks: %zu   arena: %zu words\n", n_events,
+              n_unique, exps.ex1.events.arena_words() + exps.ex2.events.arena_words());
+
+  // --- append ---------------------------------------------------------------
+  const double t_append = best_of(5, [&] {
+    experiment::EventStore store;
+    replay(exps.ex1, store);
+    replay(exps.ex2, store);
+    if (store.size() != n_events) std::abort();
+  });
+  const double append_eps = static_cast<double>(n_events) / t_append;
+
+  // --- reduction ------------------------------------------------------------
+  const unsigned threads = analyze::Reduction::resolve_threads();
+  const double t_baseline = best_of(3, [&] {
+    analyze::Reduction::run(both, 1, analyze::Reduction::Engine::Baseline);
+  });
+  const double t_sharded1 = best_of(5, [&] {
+    analyze::Reduction::run(both, 1, analyze::Reduction::Engine::Sharded);
+  });
+  const double t_sharded = best_of(5, [&] {
+    analyze::Reduction::run(both, threads, analyze::Reduction::Engine::Sharded);
+  });
+
+  // Equivalence spot-check: the engines must agree exactly.
+  const auto rb = analyze::Reduction::run(both, 1, analyze::Reduction::Engine::Baseline);
+  const auto rs = analyze::Reduction::run(both, threads, analyze::Reduction::Engine::Sharded);
+  if (rb.events_reduced != rs.events_reduced || rb.total != rs.total ||
+      rb.data_total != rs.data_total) {
+    std::fputs("FATAL: baseline and sharded reductions disagree\n", stderr);
+    return 1;
+  }
+
+  const double base_eps = static_cast<double>(n_events) / t_baseline;
+  const double sh1_eps = static_cast<double>(n_events) / t_sharded1;
+  const double sh_eps = static_cast<double>(n_events) / t_sharded;
+  const double speedup = sh_eps / base_eps;
+
+  std::printf("\n%-28s %12s %14s\n", "stage", "time (ms)", "events/sec");
+  std::printf("%-28s %12.2f %14.3e\n", "append (columnar store)", t_append * 1e3, append_eps);
+  std::printf("%-28s %12.2f %14.3e\n", "reduce baseline (std::map)", t_baseline * 1e3,
+              base_eps);
+  std::printf("%-28s %12.2f %14.3e\n", "reduce sharded (1 thread)", t_sharded1 * 1e3, sh1_eps);
+  std::printf("reduce sharded (%2u threads)  %12.2f %14.3e\n", threads, t_sharded * 1e3,
+              sh_eps);
+  std::printf("\nsharded vs baseline speedup: %.2fx %s\n", speedup,
+              speedup >= 2.0 ? "(>= 2x: PASS)" : "(< 2x: FAIL)");
+
+  std::printf(
+      "{\"workload\":\"FIG1\",\"events\":%zu,\"unique_callstacks\":%zu,"
+      "\"append_events_per_sec\":%.6e,\"baseline_events_per_sec\":%.6e,"
+      "\"sharded1_events_per_sec\":%.6e,\"sharded_events_per_sec\":%.6e,"
+      "\"threads\":%u,\"speedup\":%.3f}\n",
+      n_events, n_unique, append_eps, base_eps, sh1_eps, sh_eps, threads, speedup);
+  return speedup >= 2.0 ? 0 : 1;
+}

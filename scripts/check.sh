@@ -1,0 +1,43 @@
+#!/usr/bin/env bash
+# Tier-1 verification: build + full test suite, once normally and once under
+# AddressSanitizer (DSPROF_SANITIZE=address). Usage:
+#
+#   scripts/check.sh            # both passes
+#   scripts/check.sh --fast     # normal pass only
+#   scripts/check.sh --asan     # ASan pass only
+#
+# Exits nonzero on the first failing step.
+set -euo pipefail
+
+repo="$(cd "$(dirname "$0")/.." && pwd)"
+jobs="$(nproc 2>/dev/null || echo 2)"
+mode="${1:-all}"
+
+run_pass() {
+  local name="$1" dir="$2"
+  shift 2
+  echo "== ${name}: configure + build (${dir}) =="
+  cmake -B "${dir}" -S "${repo}" "$@"
+  cmake --build "${dir}" -j "${jobs}"
+  echo "== ${name}: ctest =="
+  ctest --test-dir "${dir}" --output-on-failure -j "${jobs}"
+}
+
+case "${mode}" in
+  --fast|fast)
+    run_pass "normal" "${repo}/build"
+    ;;
+  --asan|asan)
+    run_pass "asan" "${repo}/build-asan" -DDSPROF_SANITIZE=address
+    ;;
+  all|--all)
+    run_pass "normal" "${repo}/build"
+    run_pass "asan" "${repo}/build-asan" -DDSPROF_SANITIZE=address
+    ;;
+  *)
+    echo "usage: $0 [--fast|--asan]" >&2
+    exit 2
+    ;;
+esac
+
+echo "== check.sh: all requested passes green =="

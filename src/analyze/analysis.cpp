@@ -7,6 +7,16 @@
 
 namespace dsprof::analyze {
 
+// reduction.cpp mirrors these category values as plain integers; keep the
+// public enum pinned to them.
+static_assert(static_cast<u8>(DataCat::Struct) == 0);
+static_assert(static_cast<u8>(DataCat::Scalars) == 1);
+static_assert(static_cast<u8>(DataCat::Unspecified) == 2);
+static_assert(static_cast<u8>(DataCat::Unresolvable) == 3);
+static_assert(static_cast<u8>(DataCat::Unascertainable) == 4);
+static_assert(static_cast<u8>(DataCat::Unidentified) == 5);
+static_assert(static_cast<u8>(DataCat::Unverifiable) == 6);
+
 const char* data_cat_name(DataCat c) {
   switch (c) {
     case DataCat::Struct: return "";
@@ -26,189 +36,132 @@ bool data_cat_is_unknown(DataCat c) {
          c == DataCat::Unverifiable;
 }
 
-Analysis::Analysis(std::vector<const experiment::Experiment*> exps) {
-  DSP_CHECK(!exps.empty(), "no experiments to analyze");
-  image_ = &exps[0]->image;
-  clock_hz_ = exps[0]->clock_hz;
-  page_size_ = exps[0]->page_size;
-  ec_line_size_ = exps[0]->ec_line_size;
-  for (const auto* ex : exps) {
+Analysis::Analysis(std::vector<const experiment::Experiment*> exps, AnalysisOptions options)
+    : exps_(std::move(exps)), opt_(options) {
+  DSP_CHECK(!exps_.empty(), "no experiments to analyze");
+  image_ = &exps_[0]->image;
+  clock_hz_ = exps_[0]->clock_hz;
+  page_size_ = exps_[0]->page_size;
+  ec_line_size_ = exps_[0]->ec_line_size;
+  for (const auto* ex : exps_) {
     DSP_CHECK(ex->image.text_words == image_->text_words && ex->image.entry == image_->entry,
               "experiments must come from the same binary");
-    add_experiment(*ex);
-  }
-}
-
-void Analysis::add_experiment(const experiment::Experiment& ex) {
-  if (run_cycles_ == 0) {
-    run_cycles_ = ex.total_cycles;
-    run_instructions_ = ex.total_instructions;
-  }
-  if (allocations_.empty()) allocations_ = ex.allocations;
-  for (const auto& e : ex.events) add_event(ex, e);
-}
-
-void Analysis::attribute_code(u64 pc, bool artificial, size_t metric, double w,
-                              const std::vector<u64>& callstack) {
-  add_to(pc_map_[{pc, artificial}], metric, w);
-  const sym::FuncInfo* f = image_->symtab.find_function(pc);
-  const std::string leaf = f ? f->name : "<unknown code>";
-  add_to(func_map_[leaf], metric, w);
-  if (auto line = image_->symtab.line_for(pc)) add_to(line_map_[*line], metric, w);
-
-  // Inclusive metrics and caller->callee edges from the recorded callstack.
-  std::vector<std::string> frames;
-  frames.reserve(callstack.size() + 1);
-  for (u64 site : callstack) {
-    const sym::FuncInfo* cf = image_->symtab.find_function(site);
-    frames.push_back(cf ? cf->name : "<unknown code>");
-  }
-  frames.push_back(leaf);
-  // Each function on the stack gets the weight once (recursion-safe).
-  std::vector<const std::string*> seen;
-  for (const auto& name : frames) {
-    bool dup = false;
-    for (const auto* s : seen) dup |= *s == name;
-    if (!dup) {
-      add_to(incl_map_[name], metric, w);
-      seen.push_back(&name);
+    if (run_cycles_ == 0) {
+      run_cycles_ = ex->total_cycles;
+      run_instructions_ = ex->total_instructions;
     }
-  }
-  for (size_t i = 0; i + 1 < frames.size(); ++i) {
-    add_to(edge_map_[{frames[i], frames[i + 1]}], metric, w);
+    if (allocations_.empty()) allocations_ = ex->allocations;
   }
 }
 
-void Analysis::add_event(const experiment::Experiment& ex, const experiment::EventRecord& e) {
-  const double w = static_cast<double>(e.weight);
-  if (e.pic == machine::kClockPic) {
-    // Clock-profile sample: code-space only; skid cannot be corrected
-    // (paper §3.2.3 — User CPU shows against unlikely instructions).
-    present_[kUserCpuMetric] = true;
-    add_to(total_, kUserCpuMetric, w);
-    attribute_code(e.delivered_pc, false, kUserCpuMetric, w, e.callstack);
-    return;
+const ReductionResult& Analysis::reduce() const {
+  if (!r_) {
+    r_ = std::make_unique<ReductionResult>(
+        Reduction::run(exps_, opt_.threads, opt_.engine));
+    total_ = to_metric_vector(r_->total);
+    data_total_ = to_metric_vector(r_->data_total);
   }
-
-  const size_t metric = static_cast<size_t>(e.event);
-  present_[metric] = true;
-  add_to(total_, metric, w);
-
-  const sym::SymbolTable& st = image_->symtab;
-
-  // Was backtracking requested for this counter?
-  bool backtracked = false;
-  for (const auto& c : ex.counters) {
-    if (c.pic == e.pic) backtracked = c.backtrack;
-  }
-
-  auto data_bucket = [&](DataCat cat, sym::TypeId sid) {
-    add_to(data_map_[{static_cast<u8>(cat), sid}], metric, w);
-    add_to(data_total_, metric, w);
-  };
-
-  if (!backtracked || !e.has_candidate) {
-    // No candidate trigger: attribute code space to the delivered PC; the
-    // data object cannot be determined.
-    attribute_code(e.delivered_pc, false, metric, w, e.callstack);
-    data_bucket(DataCat::Unresolvable, sym::kInvalidType);
-    return;
-  }
-
-  if (!st.has_branch_targets()) {
-    // Cannot validate the candidate (no branch-target info, e.g. STABS).
-    attribute_code(e.candidate_pc, false, metric, w, e.callstack);
-    data_bucket(DataCat::Unverifiable, sym::kInvalidType);
-    return;
-  }
-
-  if (auto target = st.branch_target_in(e.candidate_pc, e.delivered_pc)) {
-    // A branch target between the candidate and the delivered PC: the path
-    // to the interrupt is unknown. Attribute to an artificial branch-target
-    // PC (paper §2.3, the `*<branch target>` rows of Figure 4).
-    attribute_code(*target, true, metric, w, e.callstack);
-    data_bucket(DataCat::Unresolvable, sym::kInvalidType);
-    return;
-  }
-
-  // Validated trigger PC.
-  attribute_code(e.candidate_pc, false, metric, w, e.callstack);
-
-  if (!st.hwcprof()) {
-    data_bucket(DataCat::Unascertainable, sym::kInvalidType);
-    return;
-  }
-  const sym::MemRef* ref = st.memref_for(e.candidate_pc);
-  if (!ref) {
-    data_bucket(DataCat::Unspecified, sym::kInvalidType);
-    return;
-  }
-  switch (ref->kind) {
-    case sym::MemRef::Kind::Unidentified:
-      data_bucket(DataCat::Unidentified, sym::kInvalidType);
-      break;
-    case sym::MemRef::Kind::Scalar:
-      data_bucket(DataCat::Scalars, sym::kInvalidType);
-      break;
-    case sym::MemRef::Kind::StructMember:
-      data_bucket(DataCat::Struct, ref->aggregate);
-      add_to(member_map_[{ref->aggregate, ref->member}], metric, w);
-      break;
-  }
-  if (e.has_ea) ea_samples_.push_back({e.ea, metric, w});
+  return *r_;
 }
+
+const std::array<bool, kNumMetrics>& Analysis::present() const { return reduce().present; }
+
+const MetricVector& Analysis::total() const {
+  reduce();
+  return total_;
+}
+
+const MetricVector& Analysis::data_total() const {
+  reduce();
+  return data_total_;
+}
+
+const std::string& Analysis::func_name(u32 id) const { return r_->func_names[id]; }
 
 // ---------------------------------------------------------------------------
 // Code-space views
 
-std::vector<Analysis::FunctionRow> Analysis::functions(size_t sort_metric) const {
+const std::vector<Analysis::FunctionRow>& Analysis::functions(size_t sort_metric) const {
+  auto it = functions_cache_.find(sort_metric);
+  if (it != functions_cache_.end()) return it->second;
+  const ReductionResult& r = reduce();
   std::vector<FunctionRow> rows;
-  for (const auto& [name, mv] : func_map_) rows.push_back({name, mv});
+  rows.reserve(r.func.size());
+  for (const auto& e : r.func.entries()) {
+    rows.push_back({func_name(static_cast<u32>(e.key)), to_metric_vector(e.value)});
+  }
   std::sort(rows.begin(), rows.end(), [&](const FunctionRow& a, const FunctionRow& b) {
     if (a.mv[sort_metric] != b.mv[sort_metric]) return a.mv[sort_metric] > b.mv[sort_metric];
     return a.name < b.name;
   });
-  return rows;
+  return functions_cache_.emplace(sort_metric, std::move(rows)).first->second;
 }
 
-std::vector<Analysis::FunctionRow> Analysis::functions_inclusive(size_t sort_metric) const {
+const std::vector<Analysis::FunctionRow>& Analysis::functions_inclusive(
+    size_t sort_metric) const {
+  auto it = inclusive_cache_.find(sort_metric);
+  if (it != inclusive_cache_.end()) return it->second;
+  const ReductionResult& r = reduce();
   std::vector<FunctionRow> rows;
-  for (const auto& [name, mv] : incl_map_) rows.push_back({name, mv});
+  rows.reserve(r.incl.size());
+  for (const auto& e : r.incl.entries()) {
+    rows.push_back({func_name(static_cast<u32>(e.key)), to_metric_vector(e.value)});
+  }
   std::sort(rows.begin(), rows.end(), [&](const FunctionRow& a, const FunctionRow& b) {
     if (a.mv[sort_metric] != b.mv[sort_metric]) return a.mv[sort_metric] > b.mv[sort_metric];
     return a.name < b.name;
   });
-  return rows;
+  return inclusive_cache_.emplace(sort_metric, std::move(rows)).first->second;
 }
 
-std::vector<Analysis::EdgeRow> Analysis::callers_of(const std::string& function) const {
+const std::vector<Analysis::EdgeRow>& Analysis::callers_of(const std::string& function) const {
+  auto it = callers_cache_.find(function);
+  if (it != callers_cache_.end()) return it->second;
+  const ReductionResult& r = reduce();
   std::vector<EdgeRow> rows;
-  for (const auto& [edge, mv] : edge_map_) {
-    if (edge.second == function) rows.push_back({edge.first, mv});
+  for (const auto& e : r.edge.entries()) {
+    const u32 callee = static_cast<u32>(e.key & 0xffffffffu);
+    if (func_name(callee) == function) {
+      rows.push_back({func_name(static_cast<u32>(e.key >> 32)), to_metric_vector(e.value)});
+    }
   }
   std::sort(rows.begin(), rows.end(),
             [](const EdgeRow& a, const EdgeRow& b) { return a.name < b.name; });
-  return rows;
+  return callers_cache_.emplace(function, std::move(rows)).first->second;
 }
 
-std::vector<Analysis::EdgeRow> Analysis::callees_of(const std::string& function) const {
+const std::vector<Analysis::EdgeRow>& Analysis::callees_of(const std::string& function) const {
+  auto it = callees_cache_.find(function);
+  if (it != callees_cache_.end()) return it->second;
+  const ReductionResult& r = reduce();
   std::vector<EdgeRow> rows;
-  for (const auto& [edge, mv] : edge_map_) {
-    if (edge.first == function) rows.push_back({edge.second, mv});
+  for (const auto& e : r.edge.entries()) {
+    const u32 caller = static_cast<u32>(e.key >> 32);
+    if (func_name(caller) == function) {
+      rows.push_back(
+          {func_name(static_cast<u32>(e.key & 0xffffffffu)), to_metric_vector(e.value)});
+    }
   }
   std::sort(rows.begin(), rows.end(),
             [](const EdgeRow& a, const EdgeRow& b) { return a.name < b.name; });
-  return rows;
+  return callees_cache_.emplace(function, std::move(rows)).first->second;
 }
 
-std::vector<Analysis::PcRow> Analysis::pcs(size_t sort_metric) const {
+const std::vector<Analysis::PcRow>& Analysis::pcs(size_t sort_metric) const {
+  auto it = pcs_cache_.find(sort_metric);
+  if (it != pcs_cache_.end()) return it->second;
+  const ReductionResult& r = reduce();
   std::vector<PcRow> rows;
-  for (const auto& [key, mv] : pc_map_) rows.push_back({key.first, key.second, mv});
+  rows.reserve(r.pc.size());
+  for (const auto& e : r.pc.entries()) {
+    rows.push_back({e.key >> 1, (e.key & 1) != 0, to_metric_vector(e.value)});
+  }
   std::sort(rows.begin(), rows.end(), [&](const PcRow& a, const PcRow& b) {
     if (a.mv[sort_metric] != b.mv[sort_metric]) return a.mv[sort_metric] > b.mv[sort_metric];
-    return a.pc < b.pc;
+    if (a.pc != b.pc) return a.pc < b.pc;
+    return a.artificial < b.artificial;
   });
-  return rows;
+  return pcs_cache_.emplace(sort_metric, std::move(rows)).first->second;
 }
 
 std::string Analysis::pc_name(u64 pc) const {
@@ -223,7 +176,11 @@ std::string Analysis::pc_name(u64 pc) const {
   return buf;
 }
 
-std::vector<Analysis::LineRow> Analysis::annotated_source(const std::string& function) const {
+const std::vector<Analysis::LineRow>& Analysis::annotated_source(
+    const std::string& function) const {
+  auto it = source_cache_.find(function);
+  if (it != source_cache_.end()) return it->second;
+  const ReductionResult& r = reduce();
   const sym::SymbolTable& st = image_->symtab;
   const sym::FuncInfo* fi = nullptr;
   for (const auto& f : st.functions()) {
@@ -240,19 +197,23 @@ std::vector<Analysis::LineRow> Analysis::annotated_source(const std::string& fun
     }
   }
   std::vector<LineRow> rows;
-  if (hi == 0) return rows;
-  for (u32 line = lo; line <= hi; ++line) {
-    LineRow r;
-    r.line = line;
-    if (const std::string* text = st.source_text(line)) r.text = *text;
-    if (auto it = line_map_.find(line); it != line_map_.end()) r.mv = it->second;
-    rows.push_back(std::move(r));
+  if (hi != 0) {
+    for (u32 line = lo; line <= hi; ++line) {
+      LineRow row;
+      row.line = line;
+      if (const std::string* text = st.source_text(line)) row.text = *text;
+      if (const MetricCounts* c = r.line.find(line)) row.mv = to_metric_vector(*c);
+      rows.push_back(std::move(row));
+    }
   }
-  return rows;
+  return source_cache_.emplace(function, std::move(rows)).first->second;
 }
 
-std::vector<Analysis::DisasmRow> Analysis::annotated_disassembly(
+const std::vector<Analysis::DisasmRow>& Analysis::annotated_disassembly(
     const std::string& function) const {
+  auto it = disasm_cache_.find(function);
+  if (it != disasm_cache_.end()) return it->second;
+  const ReductionResult& r = reduce();
   const sym::SymbolTable& st = image_->symtab;
   const sym::FuncInfo* fi = nullptr;
   for (const auto& f : st.functions()) {
@@ -265,52 +226,59 @@ std::vector<Analysis::DisasmRow> Analysis::annotated_disassembly(
     // Artificial branch-target row first (paper Figure 4's starred lines).
     if (auto t = st.branch_target_in(pc - 1, pc)) {
       if (*t == pc) {
-        DisasmRow r;
-        r.pc = pc;
-        r.artificial = true;
-        r.line = st.line_for(pc).value_or(0);
-        r.text = "<branch target>";
-        if (auto it = pc_map_.find({pc, true}); it != pc_map_.end()) r.mv = it->second;
-        rows.push_back(std::move(r));
+        DisasmRow row;
+        row.pc = pc;
+        row.artificial = true;
+        row.line = st.line_for(pc).value_or(0);
+        row.text = "<branch target>";
+        if (const MetricCounts* c = r.pc.find((pc << 1) | 1)) row.mv = to_metric_vector(*c);
+        rows.push_back(std::move(row));
       }
     }
-    DisasmRow r;
-    r.pc = pc;
-    r.line = st.line_for(pc).value_or(0);
+    DisasmRow row;
+    row.pc = pc;
+    row.line = st.line_for(pc).value_or(0);
     const u64 idx = (pc - image_->text_base) / 4;
-    r.text = isa::disassemble(isa::decode(image_->text_words[idx]), pc);
-    r.data_annot = st.memref_string(pc);
-    if (auto it = pc_map_.find({pc, false}); it != pc_map_.end()) r.mv = it->second;
-    rows.push_back(std::move(r));
+    row.text = isa::disassemble(isa::decode(image_->text_words[idx]), pc);
+    row.data_annot = st.memref_string(pc);
+    if (const MetricCounts* c = r.pc.find(pc << 1)) row.mv = to_metric_vector(*c);
+    rows.push_back(std::move(row));
   }
-  return rows;
+  return disasm_cache_.emplace(function, std::move(rows)).first->second;
 }
 
 // ---------------------------------------------------------------------------
 // Data-space views
 
-std::vector<Analysis::DataObjectRow> Analysis::data_objects(size_t sort_metric) const {
+const std::vector<Analysis::DataObjectRow>& Analysis::data_objects(size_t sort_metric) const {
+  auto it = data_objects_cache_.find(sort_metric);
+  if (it != data_objects_cache_.end()) return it->second;
+  const ReductionResult& r = reduce();
   std::vector<DataObjectRow> rows;
-  for (const auto& [key, mv] : data_map_) {
-    DataObjectRow r;
-    r.cat = static_cast<DataCat>(key.first);
-    r.sid = key.second;
-    r.mv = mv;
-    if (r.cat == DataCat::Struct) {
-      r.name = image_->symtab.types().aggregate_string(r.sid);
+  rows.reserve(r.data.size());
+  for (const auto& e : r.data.entries()) {
+    DataObjectRow row;
+    row.cat = static_cast<DataCat>(e.key >> 32);
+    row.sid = static_cast<sym::TypeId>(e.key & 0xffffffffu);
+    row.mv = to_metric_vector(e.value);
+    if (row.cat == DataCat::Struct) {
+      row.name = image_->symtab.types().aggregate_string(row.sid);
     } else {
-      r.name = data_cat_name(r.cat);
+      row.name = data_cat_name(row.cat);
     }
-    rows.push_back(std::move(r));
+    rows.push_back(std::move(row));
   }
   std::sort(rows.begin(), rows.end(), [&](const DataObjectRow& a, const DataObjectRow& b) {
     if (a.mv[sort_metric] != b.mv[sort_metric]) return a.mv[sort_metric] > b.mv[sort_metric];
     return a.name < b.name;
   });
-  return rows;
+  return data_objects_cache_.emplace(sort_metric, std::move(rows)).first->second;
 }
 
-std::vector<Analysis::MemberRow> Analysis::members(const std::string& struct_name) const {
+const std::vector<Analysis::MemberRow>& Analysis::members(const std::string& struct_name) const {
+  auto it = members_cache_.find(struct_name);
+  if (it != members_cache_.end()) return it->second;
+  const ReductionResult& r = reduce();
   const sym::TypeTable& tt = image_->symtab.types();
   const sym::TypeId sid = tt.find_struct(struct_name);
   DSP_CHECK(sid != sym::kInvalidType, "no such struct: " + struct_name);
@@ -319,36 +287,41 @@ std::vector<Analysis::MemberRow> Analysis::members(const std::string& struct_nam
   std::vector<MemberRow> rows;
   for (u32 m = 0; m < t.members.size(); ++m) {
     const sym::Member& mem = t.members[m];
-    MemberRow r;
-    r.member = m;
-    r.offset = mem.offset;
-    r.name = "+" + std::to_string(mem.offset) + ". {" + tt.type_string(mem.type) + " " +
-             mem.name + "}";
-    if (auto it = member_map_.find({sid, m}); it != member_map_.end()) r.mv = it->second;
-    rows.push_back(std::move(r));
+    MemberRow row;
+    row.member = m;
+    row.offset = mem.offset;
+    row.name = "+" + std::to_string(mem.offset) + ". {" + tt.type_string(mem.type) + " " +
+               mem.name + "}";
+    if (const MetricCounts* c = r.member.find((u64{sid} << 32) | m)) {
+      row.mv = to_metric_vector(*c);
+    }
+    rows.push_back(std::move(row));
   }
   std::sort(rows.begin(), rows.end(),
             [](const MemberRow& a, const MemberRow& b) { return a.offset < b.offset; });
-  return rows;
+  return members_cache_.emplace(struct_name, std::move(rows)).first->second;
 }
 
-std::vector<Analysis::EffectivenessRow> Analysis::effectiveness() const {
+const std::vector<Analysis::EffectivenessRow>& Analysis::effectiveness() const {
+  if (effectiveness_cache_) return *effectiveness_cache_;
+  const ReductionResult& r = reduce();
   std::vector<EffectivenessRow> rows;
   for (size_t metric = 0; metric < machine::kNumHwEvents; ++metric) {
-    if (!present_[metric]) continue;
-    EffectivenessRow r;
-    r.metric = metric;
-    for (const auto& [key, mv] : data_map_) {
-      const auto cat = static_cast<DataCat>(key.first);
-      r.total += mv[metric];
+    if (!r.present[metric]) continue;
+    EffectivenessRow row;
+    row.metric = metric;
+    for (const auto& e : r.data.entries()) {
+      const auto cat = static_cast<DataCat>(e.key >> 32);
+      row.total += static_cast<double>(e.value[metric]);
       if (cat == DataCat::Unresolvable || cat == DataCat::Unascertainable ||
           cat == DataCat::Unverifiable) {
-        r.unresolved += mv[metric];
+        row.unresolved += static_cast<double>(e.value[metric]);
       }
     }
-    if (r.total > 0) rows.push_back(r);
+    if (row.total > 0) rows.push_back(row);
   }
-  return rows;
+  effectiveness_cache_ = std::move(rows);
+  return *effectiveness_cache_;
 }
 
 // ---------------------------------------------------------------------------
@@ -366,19 +339,26 @@ const char* classify_segment(const sym::Image& img, u64 ea) {
 
 }  // namespace
 
-std::vector<Analysis::AddrRow> Analysis::segments() const {
+const std::vector<Analysis::AddrRow>& Analysis::segments() const {
+  if (segments_cache_) return *segments_cache_;
+  const ReductionResult& r = reduce();
   std::map<std::string, MetricVector> acc;
-  for (const auto& s : ea_samples_) {
+  for (const auto& s : r.ea_samples) {
     add_to(acc[classify_segment(*image_, s.ea)], s.metric, s.w);
   }
   std::vector<AddrRow> rows;
   for (const auto& [name, mv] : acc) rows.push_back({name, 0, mv});
-  return rows;
+  segments_cache_ = std::move(rows);
+  return *segments_cache_;
 }
 
-std::vector<Analysis::AddrRow> Analysis::pages(size_t sort_metric, size_t top_n) const {
+const std::vector<Analysis::AddrRow>& Analysis::pages(size_t sort_metric, size_t top_n) const {
+  const auto key = std::make_pair(sort_metric, top_n);
+  auto it = pages_cache_.find(key);
+  if (it != pages_cache_.end()) return it->second;
+  const ReductionResult& r = reduce();
   std::map<u64, MetricVector> acc;
-  for (const auto& s : ea_samples_) add_to(acc[s.ea / page_size_ * page_size_], s.metric, s.w);
+  for (const auto& s : r.ea_samples) add_to(acc[s.ea / page_size_ * page_size_], s.metric, s.w);
   std::vector<AddrRow> rows;
   for (const auto& [page, mv] : acc) {
     char buf[32];
@@ -389,12 +369,17 @@ std::vector<Analysis::AddrRow> Analysis::pages(size_t sort_metric, size_t top_n)
     return a.mv[sort_metric] > b.mv[sort_metric];
   });
   if (rows.size() > top_n) rows.resize(top_n);
-  return rows;
+  return pages_cache_.emplace(key, std::move(rows)).first->second;
 }
 
-std::vector<Analysis::AddrRow> Analysis::cache_lines(size_t sort_metric, size_t top_n) const {
+const std::vector<Analysis::AddrRow>& Analysis::cache_lines(size_t sort_metric,
+                                                            size_t top_n) const {
+  const auto key = std::make_pair(sort_metric, top_n);
+  auto it = cache_lines_cache_.find(key);
+  if (it != cache_lines_cache_.end()) return it->second;
+  const ReductionResult& r = reduce();
   std::map<u64, MetricVector> acc;
-  for (const auto& s : ea_samples_) {
+  for (const auto& s : r.ea_samples) {
     add_to(acc[s.ea / ec_line_size_ * ec_line_size_], s.metric, s.w);
   }
   std::vector<AddrRow> rows;
@@ -407,32 +392,38 @@ std::vector<Analysis::AddrRow> Analysis::cache_lines(size_t sort_metric, size_t 
     return a.mv[sort_metric] > b.mv[sort_metric];
   });
   if (rows.size() > top_n) rows.resize(top_n);
-  return rows;
+  return cache_lines_cache_.emplace(key, std::move(rows)).first->second;
 }
 
-std::vector<Analysis::InstanceRow> Analysis::instances(size_t sort_metric, size_t top_n) const {
-  if (allocations_.empty()) return {};
-  // Allocations from a bump allocator are address-sorted; be safe anyway.
-  std::vector<std::pair<u64, u64>> allocs = allocations_;
-  std::sort(allocs.begin(), allocs.end());
-  std::map<size_t, MetricVector> acc;
-  for (const auto& s : ea_samples_) {
-    auto it = std::upper_bound(allocs.begin(), allocs.end(), std::make_pair(s.ea, ~u64{0}));
-    if (it == allocs.begin()) continue;
-    --it;
-    if (s.ea >= it->first && s.ea < it->first + it->second) {
-      add_to(acc[static_cast<size_t>(it - allocs.begin())], s.metric, s.w);
-    }
-  }
+const std::vector<Analysis::InstanceRow>& Analysis::instances(size_t sort_metric,
+                                                              size_t top_n) const {
+  const auto key = std::make_pair(sort_metric, top_n);
+  auto it = instances_cache_.find(key);
+  if (it != instances_cache_.end()) return it->second;
+  const ReductionResult& r = reduce();
   std::vector<InstanceRow> rows;
-  for (const auto& [idx, mv] : acc) {
-    rows.push_back({allocs[idx].first, allocs[idx].second, idx, mv});
+  if (!allocations_.empty()) {
+    // Allocations from a bump allocator are address-sorted; be safe anyway.
+    std::vector<std::pair<u64, u64>> allocs = allocations_;
+    std::sort(allocs.begin(), allocs.end());
+    std::map<size_t, MetricVector> acc;
+    for (const auto& s : r.ea_samples) {
+      auto ub = std::upper_bound(allocs.begin(), allocs.end(), std::make_pair(s.ea, ~u64{0}));
+      if (ub == allocs.begin()) continue;
+      --ub;
+      if (s.ea >= ub->first && s.ea < ub->first + ub->second) {
+        add_to(acc[static_cast<size_t>(ub - allocs.begin())], s.metric, s.w);
+      }
+    }
+    for (const auto& [idx, mv] : acc) {
+      rows.push_back({allocs[idx].first, allocs[idx].second, idx, mv});
+    }
+    std::sort(rows.begin(), rows.end(), [&](const InstanceRow& a, const InstanceRow& b) {
+      return a.mv[sort_metric] > b.mv[sort_metric];
+    });
+    if (rows.size() > top_n) rows.resize(top_n);
   }
-  std::sort(rows.begin(), rows.end(), [&](const InstanceRow& a, const InstanceRow& b) {
-    return a.mv[sort_metric] > b.mv[sort_metric];
-  });
-  if (rows.size() > top_n) rows.resize(top_n);
-  return rows;
+  return instances_cache_.emplace(key, std::move(rows)).first->second;
 }
 
 double Analysis::split_fraction(u64 base, u64 obj_size, u64 count, u64 line_size) {

@@ -9,12 +9,24 @@
 //   (Unascertainable) module not compiled with -xhwcprof
 //   (Unidentified)    compiler did not identify the object (temporary)
 //   (Unverifiable)    branch-target info inadequate to validate the trigger
+//
+// Analysis is a lazy facade over the sharded Reduction engine
+// (reduction.hpp): construction only records which experiments to analyze;
+// the single reduction pass runs on first view access (parallel across event
+// shards, controlled by DSPROF_THREADS), and every rendered view is memoized
+// so repeated render_* calls do not re-sort.
+//
+// Lifetime: the analyzed experiments must outlive the Analysis (it keeps
+// pointers, not copies — experiments can hold millions of events).
 #pragma once
 
 #include <map>
+#include <memory>
+#include <optional>
 #include <vector>
 
 #include "analyze/metrics.hpp"
+#include "analyze/reduction.hpp"
 #include "experiment/experiment.hpp"
 
 namespace dsprof::analyze {
@@ -33,13 +45,25 @@ enum class DataCat : u8 {
 const char* data_cat_name(DataCat c);
 bool data_cat_is_unknown(DataCat c);  // true for the five <Unknown> children
 
+struct AnalysisOptions {
+  /// Reduction threads: 0 = $DSPROF_THREADS or hardware concurrency;
+  /// 1 = serial. Any value produces bit-identical results (the reduction
+  /// accumulates integer weights).
+  unsigned threads = 0;
+  /// Reduction engine; Baseline is the seed-equivalent std::map reference
+  /// used by equivalence tests and bench/pipeline_throughput.
+  Reduction::Engine engine = Reduction::Engine::Sharded;
+};
+
 class Analysis {
  public:
   /// Analyze one or more experiments from the *same binary* together (the
-  /// paper's MCF study combines two collect runs).
-  explicit Analysis(std::vector<const experiment::Experiment*> exps);
-  explicit Analysis(const experiment::Experiment& ex)
-      : Analysis(std::vector<const experiment::Experiment*>{&ex}) {}
+  /// paper's MCF study combines two collect runs). The experiments must
+  /// outlive this Analysis.
+  explicit Analysis(std::vector<const experiment::Experiment*> exps,
+                    AnalysisOptions options = {});
+  explicit Analysis(const experiment::Experiment& ex, AnalysisOptions options = {})
+      : Analysis(std::vector<const experiment::Experiment*>{&ex}, options) {}
 
   const sym::SymbolTable& symtab() const { return image_->symtab; }
   const sym::Image& image() const { return *image_; }
@@ -52,12 +76,12 @@ class Analysis {
   u64 ec_line_size() const { return ec_line_size_; }
 
   /// Which metrics have any data.
-  const std::array<bool, kNumMetrics>& present() const { return present_; }
+  const std::array<bool, kNumMetrics>& present() const;
 
   /// Grand totals per metric (the <Total> pseudo-function).
-  const MetricVector& total() const { return total_; }
+  const MetricVector& total() const;
   /// Data-space grand totals (clock samples carry no data metrics).
-  const MetricVector& data_total() const { return data_total_; }
+  const MetricVector& data_total() const;
 
   double seconds(double cycles) const { return cycles / static_cast<double>(clock_hz_); }
 
@@ -67,11 +91,11 @@ class Analysis {
     MetricVector mv{};
   };
   /// Exclusive metrics per function, descending by `sort_metric`.
-  std::vector<FunctionRow> functions(size_t sort_metric) const;
+  const std::vector<FunctionRow>& functions(size_t sort_metric) const;
 
   /// Inclusive metrics (exclusive + everything called from the function,
   /// via the recorded callstacks), descending by `sort_metric`.
-  std::vector<FunctionRow> functions_inclusive(size_t sort_metric) const;
+  const std::vector<FunctionRow>& functions_inclusive(size_t sort_metric) const;
 
   /// Callers-callees view (paper §2.3: "to show callers and callees of a
   /// function, with information about how the performance metrics are
@@ -80,15 +104,15 @@ class Analysis {
     std::string name;
     MetricVector attributed{};
   };
-  std::vector<EdgeRow> callers_of(const std::string& function) const;
-  std::vector<EdgeRow> callees_of(const std::string& function) const;
+  const std::vector<EdgeRow>& callers_of(const std::string& function) const;
+  const std::vector<EdgeRow>& callees_of(const std::string& function) const;
 
   struct PcRow {
     u64 pc = 0;
     bool artificial = false;  // an inserted <branch target> PC
     MetricVector mv{};
   };
-  std::vector<PcRow> pcs(size_t sort_metric) const;
+  const std::vector<PcRow>& pcs(size_t sort_metric) const;
   /// "refresh_potential + 0x000000D0" (paper Figure 5 naming).
   std::string pc_name(u64 pc) const;
 
@@ -98,7 +122,7 @@ class Analysis {
     MetricVector mv{};
   };
   /// Annotated source of a function (paper Figure 3).
-  std::vector<LineRow> annotated_source(const std::string& function) const;
+  const std::vector<LineRow>& annotated_source(const std::string& function) const;
 
   struct DisasmRow {
     u64 pc = 0;
@@ -109,7 +133,7 @@ class Analysis {
     MetricVector mv{};
   };
   /// Annotated disassembly of a function (paper Figure 4).
-  std::vector<DisasmRow> annotated_disassembly(const std::string& function) const;
+  const std::vector<DisasmRow>& annotated_disassembly(const std::string& function) const;
 
   // --- data-space views -------------------------------------------------------
   struct DataObjectRow {
@@ -120,7 +144,7 @@ class Analysis {
   };
   /// All data objects, descending by `sort_metric`. The <Unknown> aggregate
   /// is not included (it is the sum of the rows whose cat is an unknown).
-  std::vector<DataObjectRow> data_objects(size_t sort_metric) const;
+  const std::vector<DataObjectRow>& data_objects(size_t sort_metric) const;
 
   struct MemberRow {
     u32 member = 0;
@@ -130,7 +154,7 @@ class Analysis {
   };
   /// Member expansion of a struct data object (paper Figure 7), in layout
   /// (offset) order, including zero-metric members.
-  std::vector<MemberRow> members(const std::string& struct_name) const;
+  const std::vector<MemberRow>& members(const std::string& struct_name) const;
 
   /// Backtracking effectiveness per hardware metric (§3.2.5): fraction of
   /// the metric's data-space total attributed to real objects, i.e.
@@ -141,7 +165,7 @@ class Analysis {
     double unresolved = 0;  // Unresolvable + Unascertainable + Unverifiable
     double effectiveness() const { return total == 0 ? 1.0 : 1.0 - unresolved / total; }
   };
-  std::vector<EffectivenessRow> effectiveness() const;
+  const std::vector<EffectivenessRow>& effectiveness() const;
 
   // --- address-space views (paper §4 future work) ----------------------------
   struct AddrRow {
@@ -150,29 +174,31 @@ class Analysis {
     MetricVector mv{};
   };
   /// Metrics by memory segment (text/data/heap/stack).
-  std::vector<AddrRow> segments() const;
+  const std::vector<AddrRow>& segments() const;
   /// Hottest pages / E$ lines by `sort_metric`.
-  std::vector<AddrRow> pages(size_t sort_metric, size_t top_n) const;
-  std::vector<AddrRow> cache_lines(size_t sort_metric, size_t top_n) const;
+  const std::vector<AddrRow>& pages(size_t sort_metric, size_t top_n) const;
+  const std::vector<AddrRow>& cache_lines(size_t sort_metric, size_t top_n) const;
   /// Hottest allocated object instances (via the allocation log).
   struct InstanceRow {
     u64 base = 0, size = 0;
     u64 alloc_index = 0;
     MetricVector mv{};
   };
-  std::vector<InstanceRow> instances(size_t sort_metric, size_t top_n) const;
+  const std::vector<InstanceRow>& instances(size_t sort_metric, size_t top_n) const;
 
   /// Fraction of `count` objects of `obj_size` bytes starting at `base` that
   /// straddle an `line_size`-byte cache-line boundary (the paper's "28% of
   /// these 120-byte data objects end up split" statistic).
   static double split_fraction(u64 base, u64 obj_size, u64 count, u64 line_size);
 
- private:
-  void add_experiment(const experiment::Experiment& ex);
-  void add_event(const experiment::Experiment& ex, const experiment::EventRecord& e);
-  void attribute_code(u64 pc, bool artificial, size_t metric, double w,
-                      const std::vector<u64>& callstack);
+  /// Force the reduction pass now (it otherwise runs on first view access).
+  const ReductionResult& reduce() const;
 
+ private:
+  const std::string& func_name(u32 id) const;
+
+  std::vector<const experiment::Experiment*> exps_;
+  AnalysisOptions opt_;
   const sym::Image* image_ = nullptr;
   u64 run_cycles_ = 0;
   u64 run_instructions_ = 0;
@@ -181,24 +207,27 @@ class Analysis {
   u64 ec_line_size_ = 512;
   std::vector<std::pair<u64, u64>> allocations_;
 
-  std::array<bool, kNumMetrics> present_{};
-  MetricVector total_{};
-  MetricVector data_total_{};
+  // Reduction output + converted totals, built on first access.
+  mutable std::unique_ptr<ReductionResult> r_;
+  mutable MetricVector total_{};
+  mutable MetricVector data_total_{};
 
-  std::map<std::pair<u64, bool>, MetricVector> pc_map_;
-  std::map<std::string, MetricVector> func_map_;
-  std::map<std::string, MetricVector> incl_map_;
-  std::map<std::pair<std::string, std::string>, MetricVector> edge_map_;  // caller -> callee
-  std::map<u32, MetricVector> line_map_;
-  std::map<std::pair<u8, u32>, MetricVector> data_map_;  // (cat, sid)
-  std::map<std::pair<u32, u32>, MetricVector> member_map_;  // (sid, member)
-
-  struct EaSample {
-    u64 ea;
-    size_t metric;
-    double w;
-  };
-  std::vector<EaSample> ea_samples_;
+  // Memoized views (Analysis is not thread-safe; the parallelism lives
+  // inside the reduction pass).
+  mutable std::map<size_t, std::vector<FunctionRow>> functions_cache_;
+  mutable std::map<size_t, std::vector<FunctionRow>> inclusive_cache_;
+  mutable std::map<size_t, std::vector<PcRow>> pcs_cache_;
+  mutable std::map<size_t, std::vector<DataObjectRow>> data_objects_cache_;
+  mutable std::map<std::string, std::vector<EdgeRow>> callers_cache_;
+  mutable std::map<std::string, std::vector<EdgeRow>> callees_cache_;
+  mutable std::map<std::string, std::vector<LineRow>> source_cache_;
+  mutable std::map<std::string, std::vector<DisasmRow>> disasm_cache_;
+  mutable std::map<std::string, std::vector<MemberRow>> members_cache_;
+  mutable std::optional<std::vector<EffectivenessRow>> effectiveness_cache_;
+  mutable std::optional<std::vector<AddrRow>> segments_cache_;
+  mutable std::map<std::pair<size_t, size_t>, std::vector<AddrRow>> pages_cache_;
+  mutable std::map<std::pair<size_t, size_t>, std::vector<AddrRow>> cache_lines_cache_;
+  mutable std::map<std::pair<size_t, size_t>, std::vector<InstanceRow>> instances_cache_;
 };
 
 }  // namespace dsprof::analyze

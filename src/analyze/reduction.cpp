@@ -1,0 +1,443 @@
+#include "analyze/reduction.hpp"
+
+#include <cstdlib>
+#include <map>
+#include <thread>
+
+namespace dsprof::analyze {
+
+namespace {
+
+using experiment::EventStore;
+using experiment::Experiment;
+
+// Packed composite keys (documented in reduction.hpp).
+constexpr u64 pc_key(u64 pc, bool artificial) { return (pc << 1) | (artificial ? 1 : 0); }
+constexpr u64 edge_key(u32 caller, u32 callee) { return (u64{caller} << 32) | callee; }
+constexpr u64 data_key(u8 cat, u32 sid) { return (u64{cat} << 32) | sid; }
+constexpr u64 member_key(u32 sid, u32 member) { return (u64{sid} << 32) | member; }
+
+// DataCat values, mirrored here to avoid a circular include with
+// analysis.hpp (which owns the public enum). Kept in sync by
+// static_asserts in analysis.cpp.
+enum : u8 {
+  kCatStruct = 0,
+  kCatScalars = 1,
+  kCatUnspecified = 2,
+  kCatUnresolvable = 3,
+  kCatUnascertainable = 4,
+  kCatUnidentified = 5,
+  kCatUnverifiable = 6,
+};
+
+/// Thread-local partial aggregates for one shard of events.
+struct Partial {
+  std::array<bool, kNumMetrics> present{};
+  MetricCounts total{};
+  MetricCounts data_total{};
+  FlatHashU64Map<MetricCounts> pc;
+  FlatHashU64Map<MetricCounts> func;
+  FlatHashU64Map<MetricCounts> incl;
+  FlatHashU64Map<MetricCounts> edge;
+  FlatHashU64Map<MetricCounts> line;
+  FlatHashU64Map<MetricCounts> data;
+  FlatHashU64Map<MetricCounts> member;
+  std::vector<EaSample> ea;
+
+  // Reused per-event scratch (frame function ids, leaf included).
+  std::vector<u32> frames;
+};
+
+/// Immutable per-experiment context shared by all shards.
+struct ExpContext {
+  const Experiment* ex;
+  std::array<bool, machine::kNumPics> backtrack_by_pic{};
+};
+
+u32 func_id_for(const sym::SymbolTable& st, u64 pc, u32 unknown_id) {
+  const sym::FuncInfo* f = st.find_function(pc);
+  if (!f) return unknown_id;
+  return static_cast<u32>(f - st.functions().data());
+}
+
+void add_counts(FlatHashU64Map<MetricCounts>& m, u64 key, size_t metric, u64 w) {
+  m[key][metric] += w;
+}
+
+/// Code-space attribution for one event: PC, function, line, inclusive
+/// functions (recursion-safe) and caller->callee edges from the callstack.
+void attribute_code(Partial& p, const sym::SymbolTable& st, u32 unknown_id, u64 pc,
+                    bool artificial, size_t metric, u64 w,
+                    const experiment::CallstackRef& callstack) {
+  add_counts(p.pc, pc_key(pc, artificial), metric, w);
+  const u32 leaf = func_id_for(st, pc, unknown_id);
+  add_counts(p.func, leaf, metric, w);
+  if (auto line = st.line_for(pc)) add_counts(p.line, *line, metric, w);
+
+  p.frames.clear();
+  for (u64 site : callstack) p.frames.push_back(func_id_for(st, site, unknown_id));
+  p.frames.push_back(leaf);
+
+  // Each function on the stack gets the weight once (recursion-safe).
+  for (size_t i = 0; i < p.frames.size(); ++i) {
+    bool dup = false;
+    for (size_t j = 0; j < i; ++j) dup |= p.frames[j] == p.frames[i];
+    if (!dup) add_counts(p.incl, p.frames[i], metric, w);
+  }
+  for (size_t i = 0; i + 1 < p.frames.size(); ++i) {
+    add_counts(p.edge, edge_key(p.frames[i], p.frames[i + 1]), metric, w);
+  }
+}
+
+/// Fold one event into the partial — the exact attribution pipeline of the
+/// paper's §2.3 (candidate validation against branch targets, the <Unknown>
+/// breakdown of §3.2.5), matching the seed Analysis event-for-event.
+void fold_event(Partial& p, const ExpContext& ctx, u32 unknown_id, size_t i) {
+  const EventStore& ev = ctx.ex->events;
+  const sym::SymbolTable& st = ctx.ex->image.symtab;
+
+  const u8 pic = ev.pic_col()[i];
+  const u64 w = ev.weight_col()[i];
+  const u64 delivered_pc = ev.delivered_pc_col()[i];
+  const experiment::CallstackRef stack = ev.callstack(i);
+
+  if (pic == machine::kClockPic) {
+    // Clock-profile sample: code-space only; skid cannot be corrected
+    // (paper §3.2.3 — User CPU shows against unlikely instructions).
+    p.present[kUserCpuMetric] = true;
+    p.total[kUserCpuMetric] += w;
+    attribute_code(p, st, unknown_id, delivered_pc, false, kUserCpuMetric, w, stack);
+    return;
+  }
+
+  const auto metric = static_cast<size_t>(ev.event_col()[i]);
+  p.present[metric] = true;
+  p.total[metric] += w;
+
+  const u8 flags = ev.flags_col()[i];
+  const bool has_candidate = (flags & EventStore::kHasCandidate) != 0;
+  const bool has_ea = (flags & EventStore::kHasEa) != 0;
+  const u64 candidate_pc = ev.candidate_pc_col()[i];
+  const bool backtracked = pic < machine::kNumPics && ctx.backtrack_by_pic[pic];
+
+  auto data_bucket = [&](u8 cat, u32 sid) {
+    add_counts(p.data, data_key(cat, sid), metric, w);
+    p.data_total[metric] += w;
+  };
+
+  if (!backtracked || !has_candidate) {
+    // No candidate trigger: attribute code space to the delivered PC; the
+    // data object cannot be determined.
+    attribute_code(p, st, unknown_id, delivered_pc, false, metric, w, stack);
+    data_bucket(kCatUnresolvable, sym::kInvalidType);
+    return;
+  }
+
+  if (!st.has_branch_targets()) {
+    // Cannot validate the candidate (no branch-target info, e.g. STABS).
+    attribute_code(p, st, unknown_id, candidate_pc, false, metric, w, stack);
+    data_bucket(kCatUnverifiable, sym::kInvalidType);
+    return;
+  }
+
+  if (auto target = st.branch_target_in(candidate_pc, delivered_pc)) {
+    // A branch target between the candidate and the delivered PC: the path
+    // to the interrupt is unknown. Attribute to an artificial branch-target
+    // PC (paper §2.3, the `*<branch target>` rows of Figure 4).
+    attribute_code(p, st, unknown_id, *target, true, metric, w, stack);
+    data_bucket(kCatUnresolvable, sym::kInvalidType);
+    return;
+  }
+
+  // Validated trigger PC.
+  attribute_code(p, st, unknown_id, candidate_pc, false, metric, w, stack);
+
+  if (!st.hwcprof()) {
+    data_bucket(kCatUnascertainable, sym::kInvalidType);
+    return;
+  }
+  const sym::MemRef* ref = st.memref_for(candidate_pc);
+  if (!ref) {
+    data_bucket(kCatUnspecified, sym::kInvalidType);
+    return;
+  }
+  switch (ref->kind) {
+    case sym::MemRef::Kind::Unidentified:
+      data_bucket(kCatUnidentified, sym::kInvalidType);
+      break;
+    case sym::MemRef::Kind::Scalar:
+      data_bucket(kCatScalars, sym::kInvalidType);
+      break;
+    case sym::MemRef::Kind::StructMember:
+      data_bucket(kCatStruct, ref->aggregate);
+      add_counts(p.member, member_key(ref->aggregate, ref->member), metric, w);
+      break;
+  }
+  if (has_ea) {
+    p.ea.push_back({ev.ea_col()[i], metric, static_cast<double>(w)});
+  }
+}
+
+void merge_map(FlatHashU64Map<MetricCounts>& into, const FlatHashU64Map<MetricCounts>& from) {
+  for (const auto& e : from.entries()) {
+    MetricCounts& c = into[e.key];
+    for (size_t m = 0; m < kNumMetrics; ++m) c[m] += e.value[m];
+  }
+}
+
+void merge_partial(ReductionResult& r, Partial&& p) {
+  for (size_t m = 0; m < kNumMetrics; ++m) {
+    r.present[m] = r.present[m] || p.present[m];
+    r.total[m] += p.total[m];
+    r.data_total[m] += p.data_total[m];
+  }
+  merge_map(r.pc, p.pc);
+  merge_map(r.func, p.func);
+  merge_map(r.incl, p.incl);
+  merge_map(r.edge, p.edge);
+  merge_map(r.line, p.line);
+  merge_map(r.data, p.data);
+  merge_map(r.member, p.member);
+  r.ea_samples.insert(r.ea_samples.end(), p.ea.begin(), p.ea.end());
+}
+
+ReductionResult reduce_sharded(const std::vector<ExpContext>& ctxs, u32 unknown_id,
+                               unsigned threads) {
+  // Global event index space: experiments concatenated in order.
+  std::vector<size_t> prefix{0};
+  for (const auto& c : ctxs) prefix.push_back(prefix.back() + c.ex->events.size());
+  const size_t n = prefix.back();
+
+  const size_t min_shard = 4096;  // don't spin threads for tiny stores
+  size_t nshards = threads;
+  if (nshards > 1 && n / nshards < min_shard) nshards = std::max<size_t>(1, n / min_shard);
+
+  std::vector<Partial> partials(nshards);
+  auto work = [&](size_t s) {
+    Partial& p = partials[s];
+    const size_t lo = n * s / nshards;
+    const size_t hi = n * (s + 1) / nshards;
+    // Locate the experiment containing `lo`.
+    size_t e = 0;
+    while (prefix[e + 1] <= lo) ++e;
+    for (size_t g = lo; g < hi; ++g) {
+      while (prefix[e + 1] <= g) ++e;
+      fold_event(p, ctxs[e], unknown_id, g - prefix[e]);
+    }
+  };
+
+  if (nshards <= 1) {
+    work(0);
+  } else {
+    std::vector<std::thread> pool;
+    pool.reserve(nshards);
+    for (size_t s = 0; s < nshards; ++s) pool.emplace_back(work, s);
+    for (auto& t : pool) t.join();
+  }
+
+  ReductionResult r;
+  r.events_reduced = n;
+  for (auto& p : partials) merge_partial(r, std::move(p));
+  return r;
+}
+
+// ---------------------------------------------------------------------------
+// Baseline engine: the seed's std::map/string fold, kept as the reference
+// implementation for equivalence tests and as the "seed-equivalent" mode of
+// bench/pipeline_throughput. Deliberately mirrors the seed's data structures
+// (string-keyed ordered maps, a per-event vector<string> of frame names) so
+// that its cost profile is honest.
+
+struct BaselineState {
+  std::array<bool, kNumMetrics> present{};
+  MetricVector total{};
+  MetricVector data_total{};
+  std::map<std::pair<u64, bool>, MetricVector> pc_map;
+  std::map<std::string, MetricVector> func_map;
+  std::map<std::string, MetricVector> incl_map;
+  std::map<std::pair<std::string, std::string>, MetricVector> edge_map;
+  std::map<u32, MetricVector> line_map;
+  std::map<std::pair<u8, u32>, MetricVector> data_map;
+  std::map<std::pair<u32, u32>, MetricVector> member_map;
+  std::vector<EaSample> ea_samples;
+};
+
+void baseline_attribute_code(BaselineState& st, const sym::SymbolTable& symtab, u64 pc,
+                             bool artificial, size_t metric, double w,
+                             const experiment::CallstackRef& callstack) {
+  add_to(st.pc_map[{pc, artificial}], metric, w);
+  const sym::FuncInfo* f = symtab.find_function(pc);
+  const std::string leaf = f ? f->name : "<unknown code>";
+  add_to(st.func_map[leaf], metric, w);
+  if (auto line = symtab.line_for(pc)) add_to(st.line_map[*line], metric, w);
+
+  std::vector<std::string> frames;
+  frames.reserve(callstack.size() + 1);
+  for (u64 site : callstack) {
+    const sym::FuncInfo* cf = symtab.find_function(site);
+    frames.push_back(cf ? cf->name : "<unknown code>");
+  }
+  frames.push_back(leaf);
+  std::vector<const std::string*> seen;
+  for (const auto& name : frames) {
+    bool dup = false;
+    for (const auto* s : seen) dup |= *s == name;
+    if (!dup) {
+      add_to(st.incl_map[name], metric, w);
+      seen.push_back(&name);
+    }
+  }
+  for (size_t i = 0; i + 1 < frames.size(); ++i) {
+    add_to(st.edge_map[{frames[i], frames[i + 1]}], metric, w);
+  }
+}
+
+void baseline_fold_event(BaselineState& bs, const ExpContext& ctx, size_t i) {
+  const EventStore& ev = ctx.ex->events;
+  const sym::SymbolTable& st = ctx.ex->image.symtab;
+  const experiment::EventView e = ev[i];
+  const double w = static_cast<double>(e.weight);
+
+  if (e.pic == machine::kClockPic) {
+    bs.present[kUserCpuMetric] = true;
+    add_to(bs.total, kUserCpuMetric, w);
+    baseline_attribute_code(bs, st, e.delivered_pc, false, kUserCpuMetric, w, e.callstack);
+    return;
+  }
+
+  const auto metric = static_cast<size_t>(e.event);
+  bs.present[metric] = true;
+  add_to(bs.total, metric, w);
+
+  const bool backtracked = e.pic < machine::kNumPics && ctx.backtrack_by_pic[e.pic];
+  auto data_bucket = [&](u8 cat, u32 sid) {
+    add_to(bs.data_map[{cat, sid}], metric, w);
+    add_to(bs.data_total, metric, w);
+  };
+
+  if (!backtracked || !e.has_candidate) {
+    baseline_attribute_code(bs, st, e.delivered_pc, false, metric, w, e.callstack);
+    data_bucket(kCatUnresolvable, sym::kInvalidType);
+    return;
+  }
+  if (!st.has_branch_targets()) {
+    baseline_attribute_code(bs, st, e.candidate_pc, false, metric, w, e.callstack);
+    data_bucket(kCatUnverifiable, sym::kInvalidType);
+    return;
+  }
+  if (auto target = st.branch_target_in(e.candidate_pc, e.delivered_pc)) {
+    baseline_attribute_code(bs, st, *target, true, metric, w, e.callstack);
+    data_bucket(kCatUnresolvable, sym::kInvalidType);
+    return;
+  }
+  baseline_attribute_code(bs, st, e.candidate_pc, false, metric, w, e.callstack);
+  if (!st.hwcprof()) {
+    data_bucket(kCatUnascertainable, sym::kInvalidType);
+    return;
+  }
+  const sym::MemRef* ref = st.memref_for(e.candidate_pc);
+  if (!ref) {
+    data_bucket(kCatUnspecified, sym::kInvalidType);
+    return;
+  }
+  switch (ref->kind) {
+    case sym::MemRef::Kind::Unidentified:
+      data_bucket(kCatUnidentified, sym::kInvalidType);
+      break;
+    case sym::MemRef::Kind::Scalar:
+      data_bucket(kCatScalars, sym::kInvalidType);
+      break;
+    case sym::MemRef::Kind::StructMember:
+      data_bucket(kCatStruct, ref->aggregate);
+      add_to(bs.member_map[{ref->aggregate, ref->member}], metric, w);
+      break;
+  }
+  if (e.has_ea) bs.ea_samples.push_back({e.ea, metric, w});
+}
+
+MetricCounts counts_of(const MetricVector& v) {
+  MetricCounts c{};
+  for (size_t m = 0; m < kNumMetrics; ++m) c[m] = static_cast<u64>(v[m]);
+  return c;
+}
+
+ReductionResult reduce_baseline(const std::vector<ExpContext>& ctxs, u32 unknown_id) {
+  BaselineState bs;
+  size_t n = 0;
+  for (const auto& ctx : ctxs) {
+    n += ctx.ex->events.size();
+    for (size_t i = 0; i < ctx.ex->events.size(); ++i) baseline_fold_event(bs, ctx, i);
+  }
+
+  // Convert the string-keyed maps into the packed-key result form.
+  const sym::SymbolTable& st = ctxs[0].ex->image.symtab;
+  auto id_of = [&](const std::string& name) -> u32 {
+    for (size_t f = 0; f < st.functions().size(); ++f) {
+      if (st.functions()[f].name == name) return static_cast<u32>(f);
+    }
+    return unknown_id;
+  };
+
+  ReductionResult r;
+  r.events_reduced = n;
+  r.present = bs.present;
+  r.total = counts_of(bs.total);
+  r.data_total = counts_of(bs.data_total);
+  for (const auto& [k, v] : bs.pc_map) r.pc[pc_key(k.first, k.second)] = counts_of(v);
+  for (const auto& [k, v] : bs.func_map) r.func[id_of(k)] = counts_of(v);
+  for (const auto& [k, v] : bs.incl_map) r.incl[id_of(k)] = counts_of(v);
+  for (const auto& [k, v] : bs.edge_map) {
+    r.edge[edge_key(id_of(k.first), id_of(k.second))] = counts_of(v);
+  }
+  for (const auto& [k, v] : bs.line_map) r.line[k] = counts_of(v);
+  for (const auto& [k, v] : bs.data_map) r.data[data_key(k.first, k.second)] = counts_of(v);
+  for (const auto& [k, v] : bs.member_map) {
+    r.member[member_key(k.first, k.second)] = counts_of(v);
+  }
+  r.ea_samples = std::move(bs.ea_samples);
+  return r;
+}
+
+}  // namespace
+
+unsigned Reduction::resolve_threads(unsigned requested) {
+  if (requested != 0) return requested;
+  if (const char* env = std::getenv("DSPROF_THREADS")) {
+    char* end = nullptr;
+    const long v = std::strtol(env, &end, 10);
+    DSP_CHECK(end != env && *end == '\0' && v >= 1 && v <= 1024,
+              std::string("bad DSPROF_THREADS value: '") + env +
+                  "' (expected an integer in [1, 1024])");
+    return static_cast<unsigned>(v);
+  }
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 1 : hw;
+}
+
+ReductionResult Reduction::run(const std::vector<const Experiment*>& exps, unsigned threads,
+                               Engine engine) {
+  DSP_CHECK(!exps.empty(), "no experiments to analyze");
+  std::vector<ExpContext> ctxs;
+  ctxs.reserve(exps.size());
+  for (const auto* ex : exps) {
+    ExpContext c;
+    c.ex = ex;
+    for (const auto& spec : ex->counters) {
+      if (spec.pic < machine::kNumPics) c.backtrack_by_pic[spec.pic] = spec.backtrack;
+    }
+    ctxs.push_back(c);
+  }
+  const sym::SymbolTable& st = exps[0]->image.symtab;
+  const u32 unknown_id = static_cast<u32>(st.functions().size());
+
+  ReductionResult r = engine == Engine::Baseline
+                          ? reduce_baseline(ctxs, unknown_id)
+                          : reduce_sharded(ctxs, unknown_id, resolve_threads(threads));
+
+  r.func_names.reserve(st.functions().size() + 1);
+  for (const auto& f : st.functions()) r.func_names.push_back(f.name);
+  r.func_names.push_back("<unknown code>");
+  return r;
+}
+
+}  // namespace dsprof::analyze

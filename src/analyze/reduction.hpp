@@ -1,0 +1,102 @@
+// Sharded parallel metric reduction over columnar event stores.
+//
+// The seed's Analysis constructor folded every event into half a dozen
+// std::maps (string keys, per-event frame-name vectors) — a serial,
+// allocation-heavy pass over 10^5-10^6 events. The Reduction engine replaces
+// it with a single-pass, shardable fold:
+//
+//   * events are partitioned into contiguous shards;
+//   * each shard reduces into thread-local partial aggregates built on flat
+//     hash maps keyed by small integer composites (function ids instead of
+//     strings, packed (pc,artificial) / (caller,callee) / (cat,sid) keys);
+//   * partials accumulate integer weights (u64) — integer addition is
+//     associative and commutative, so the merged result is bit-identical
+//     for ANY thread count (the seed summed the same integral weights in
+//     doubles, exactly representable below 2^53, so results also match the
+//     seed bit-for-bit);
+//   * partials merge pairwise into one ReductionResult; per-event EA samples
+//     concatenate in shard order, preserving the serial event order.
+//
+// Thread count comes from the DSPROF_THREADS environment knob (default:
+// hardware concurrency; 1 = deterministic serial — which, by the argument
+// above, produces the same bits anyway).
+//
+// Engine::Baseline re-implements the seed's std::map/string fold verbatim;
+// it exists as the reference for equivalence tests and as the comparison
+// baseline for bench/pipeline_throughput.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "analyze/metrics.hpp"
+#include "experiment/experiment.hpp"
+#include "support/flat_hash.hpp"
+
+namespace dsprof::analyze {
+
+/// Integer metric accumulator — exact, order-independent summation.
+using MetricCounts = std::array<u64, kNumMetrics>;
+
+inline MetricVector to_metric_vector(const MetricCounts& c) {
+  MetricVector v{};
+  for (size_t i = 0; i < kNumMetrics; ++i) v[i] = static_cast<double>(c[i]);
+  return v;
+}
+
+/// One effective-address sample (validated trigger with a recomputed EA),
+/// kept in event order for the address-space views.
+struct EaSample {
+  u64 ea;
+  size_t metric;
+  double w;
+};
+
+/// The merged aggregates the views render from. Keys are packed composites:
+///   pc:     (pc << 1) | artificial
+///   func:   function id (index into func_names)
+///   incl:   function id
+///   edge:   (caller id << 32) | callee id
+///   line:   source line
+///   data:   (cat << 32) | struct TypeId
+///   member: (TypeId << 32) | member index
+struct ReductionResult {
+  std::array<bool, kNumMetrics> present{};
+  MetricCounts total{};
+  MetricCounts data_total{};
+
+  FlatHashU64Map<MetricCounts> pc;
+  FlatHashU64Map<MetricCounts> func;
+  FlatHashU64Map<MetricCounts> incl;
+  FlatHashU64Map<MetricCounts> edge;
+  FlatHashU64Map<MetricCounts> line;
+  FlatHashU64Map<MetricCounts> data;
+  FlatHashU64Map<MetricCounts> member;
+
+  std::vector<EaSample> ea_samples;
+
+  /// Function id -> display name. Ids 0..N-1 are the symbol table's
+  /// functions in table order; id N is "<unknown code>".
+  std::vector<std::string> func_names;
+
+  size_t events_reduced = 0;
+};
+
+class Reduction {
+ public:
+  enum class Engine {
+    Sharded,   // flat partial aggregates, optionally parallel
+    Baseline,  // the seed's serial std::map fold (reference/benchmark)
+  };
+
+  /// Resolve the thread count: `requested` if nonzero, else $DSPROF_THREADS,
+  /// else std::thread::hardware_concurrency() (min 1).
+  static unsigned resolve_threads(unsigned requested = 0);
+
+  /// Reduce all events of `exps` (which must share one binary). `threads`
+  /// as in resolve_threads; the Baseline engine is always serial.
+  static ReductionResult run(const std::vector<const experiment::Experiment*>& exps,
+                             unsigned threads = 0, Engine engine = Engine::Sharded);
+};
+
+}  // namespace dsprof::analyze

@@ -30,12 +30,16 @@ u64 overflow_interval(HwEvent ev, const std::string& rate) {
   if (rate == "hi") return next_prime(std::max<u64>(base / 10, 13));
   if (rate == "lo") return next_prime(base * 10);
   // Numeric interval.
+  DSP_CHECK(!rate.empty(), "empty counter rate: expected 'hi', 'on', 'lo', or a "
+                           "positive integer overflow interval");
   u64 v = 0;
   for (char c : rate) {
-    DSP_CHECK(c >= '0' && c <= '9', "bad counter rate: " + rate);
+    DSP_CHECK(c >= '0' && c <= '9', "bad counter rate '" + rate +
+                                        "': expected 'hi', 'on', 'lo', or a positive "
+                                        "integer overflow interval");
     v = v * 10 + static_cast<u64>(c - '0');
   }
-  DSP_CHECK(v > 0, "counter interval must be positive");
+  DSP_CHECK(v > 0, "counter interval must be positive, got '" + rate + "'");
   return v;
 }
 
@@ -54,34 +58,56 @@ std::vector<experiment::CounterSpec> parse_counter_spec(const std::string& spec)
     }
   }
   tok.push_back(cur);
-  DSP_CHECK(tok.size() % 2 == 0, "counter spec must be name,rate pairs: " + spec);
+  DSP_CHECK(tok.size() % 2 == 0, "counter spec must be comma-separated name,rate pairs "
+                                 "(e.g. '+ecstall,on,+ecrm,hi'), got an odd token in: " +
+                                     spec);
+  DSP_CHECK(tok.size() / 2 <= machine::kNumPics,
+            "at most " + std::to_string(machine::kNumPics) +
+                " hardware counters can be collected at once (" +
+                std::to_string(machine::kNumPics) + " PIC registers), got " +
+                std::to_string(tok.size() / 2) + " in: " + spec);
 
-  bool pic_used[machine::kNumPics] = {};
+  std::string pic_owner[machine::kNumPics];  // counter name that claimed each register
   for (size_t i = 0; i < tok.size(); i += 2) {
     std::string name = tok[i];
+    DSP_CHECK(!name.empty(), "empty counter name in spec: " + spec);
     experiment::CounterSpec c;
-    if (!name.empty() && name[0] == '+') {
+    if (name[0] == '+') {
       c.backtrack = true;
       name = name.substr(1);
     }
+    DSP_CHECK(name.empty() || name[0] != '+',
+              "duplicate '+' prefix on counter '" + tok[i] +
+                  "': a single '+' requests apropos backtracking");
+    DSP_CHECK(!name.empty(), "missing counter name after '+' in spec: " + spec);
     c.event = machine::hw_event_by_name(name);
     c.interval = overflow_interval(c.event, tok[i + 1]);
     const HwEventInfo& info = machine::hw_event_info(c.event);
     bool placed = false;
     for (unsigned pic = 0; pic < machine::kNumPics; ++pic) {
-      if ((info.pic_mask & (1u << pic)) && !pic_used[pic]) {
-        pic_used[pic] = true;
+      if ((info.pic_mask & (1u << pic)) && pic_owner[pic].empty()) {
+        pic_owner[pic] = name;
         c.pic = pic;
         placed = true;
         break;
       }
     }
-    DSP_CHECK(placed, "counter " + name +
-                          " cannot be scheduled: its register is already in use "
-                          "(two counters must be on different registers)");
+    if (!placed) {
+      // Name the conflicting assignment precisely (as on real hardware,
+      // where the event->register constraints are fixed).
+      std::string taken;
+      for (unsigned pic = 0; pic < machine::kNumPics; ++pic) {
+        if (info.pic_mask & (1u << pic)) {
+          if (!taken.empty()) taken += ", ";
+          taken += "PIC" + std::to_string(pic) + " already counts '" + pic_owner[pic] + "'";
+        }
+      }
+      fail("counter '" + name + "' cannot be scheduled: " + taken +
+           " (each counter needs its own PIC register; see list_counters() for "
+           "each event's register constraints)");
+    }
     out.push_back(c);
   }
-  DSP_CHECK(out.size() <= machine::kNumPics, "at most two hardware counters");
   return out;
 }
 
@@ -104,6 +130,9 @@ std::string list_counters() {
 Collector::Collector(const sym::Image& image, CollectOptions opt)
     : image_(image), opt_(std::move(opt)) {
   counters_ = parse_counter_spec(opt_.hw);
+  for (const auto& c : counters_) {
+    if (c.pic < machine::kNumPics) backtrack_by_pic_[c.pic] = c.backtrack;
+  }
   if (opt_.clock != "off" && !opt_.clock.empty()) {
     clock_interval_ = overflow_interval(HwEvent::Cycle_cnt, opt_.clock);
   }
@@ -173,29 +202,16 @@ Collector::BacktrackResult Collector::backtrack(const machine::OverflowDelivery&
 }
 
 void Collector::on_overflow(const machine::OverflowDelivery& d) {
-  experiment::EventRecord e;
-  e.pic = static_cast<u8>(d.pic);
-  e.event = d.event;
-  e.weight = d.interval;
-  e.delivered_pc = d.delivered_pc;
-  e.callstack = d.callstack;
-  e.seq = d.seq;
-
-  if (d.pic != machine::kClockPic) {
-    // Apropos backtracking only if requested for this counter.
-    bool want_backtrack = false;
-    for (const auto& c : counters_) {
-      if (c.pic == d.pic) want_backtrack = c.backtrack;
-    }
-    if (want_backtrack) {
-      const BacktrackResult r = backtrack(d);
-      e.has_candidate = r.found;
-      e.candidate_pc = r.candidate_pc;
-      e.has_ea = r.ea_known;
-      e.ea = r.ea;
-    }
+  // Hot path: append straight into the columnar store. No EventRecord is
+  // materialized and no per-event heap allocation happens — the callstack
+  // words are interned into the store's shared arena.
+  BacktrackResult r;
+  if (d.pic != machine::kClockPic && backtrack_by_pic_[d.pic]) {
+    r = backtrack(d);
   }
-  events_.push_back(e);
+  events_.append(static_cast<u8>(d.pic), d.event, d.interval, d.delivered_pc, r.found,
+                 r.candidate_pc, r.ea_known, r.ea, d.callstack.data(), d.callstack.size(),
+                 d.seq);
 }
 
 experiment::Experiment Collector::run(const std::function<void(machine::Cpu&)>& setup) {

@@ -4,6 +4,7 @@
 // time, and produce an Experiment.
 #pragma once
 
+#include <array>
 #include <functional>
 #include <memory>
 #include <string>
@@ -67,11 +68,15 @@ class Collector {
   const sym::Image& image_;
   CollectOptions opt_;
   std::vector<experiment::CounterSpec> counters_;
+  /// Per-PIC backtracking requests, resolved once at construction so the
+  /// overflow hot path does not re-scan the counter specs per event.
+  std::array<bool, machine::kNumPics> backtrack_by_pic_{};
   u64 clock_interval_ = 0;
 
   std::unique_ptr<mem::Memory> mem_;
   std::unique_ptr<machine::Cpu> cpu_;
-  std::vector<experiment::EventRecord> events_;
+  /// Columnar event store filled during the run (zero per-event allocations).
+  experiment::EventStore events_;
 };
 
 }  // namespace dsprof::collect

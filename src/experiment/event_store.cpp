@@ -1,0 +1,172 @@
+#include "experiment/event_store.hpp"
+
+#include <cstring>
+
+namespace dsprof::experiment {
+
+namespace {
+
+u64 hash_words(const u64* p, u32 n) {
+  // FNV-style fold of splitmix-mixed words; the exact function is internal
+  // (never serialized), it only needs to be fast and well distributed.
+  u64 h = 0x243f6a8885a308d3ULL ^ n;
+  for (u32 i = 0; i < n; ++i) h = mix_u64(h ^ p[i]);
+  return h;
+}
+
+template <typename T>
+void put_pod_column(ByteWriter& w, const std::vector<T>& col) {
+  w.put_u64(col.size());
+  if (!col.empty()) {
+    const auto* p = reinterpret_cast<const u8*>(col.data());
+    w.put_blob(p, col.size() * sizeof(T));
+  } else {
+    w.put_blob(nullptr, 0);
+  }
+}
+
+template <typename T>
+std::vector<T> get_pod_column(ByteReader& r) {
+  const u64 n = r.get_u64();
+  const std::vector<u8> raw = r.get_blob();
+  DSP_CHECK(raw.size() == n * sizeof(T), "event column size mismatch");
+  std::vector<T> col(n);
+  if (n != 0) std::memcpy(col.data(), raw.data(), raw.size());
+  return col;
+}
+
+}  // namespace
+
+u64 EventStore::intern(const u64* stack, u32 len) {
+  if (len == 0) {
+    has_empty_ = true;
+    return 0;
+  }
+  u64 key = hash_words(stack, len);
+  // Collision chain: if a hash bucket holds a *different* stack, derive the
+  // next probe key deterministically and retry. With 64-bit mixed hashes the
+  // chain length is ~1 in practice.
+  for (;;) {
+    Interned& slot = intern_[key];
+    if (slot.len == 0) {
+      // Fresh: copy the stack into the arena.
+      slot.offset = arena_.size();
+      slot.len = len;
+      arena_.insert(arena_.end(), stack, stack + len);
+      return slot.offset;
+    }
+    if (slot.len == len &&
+        std::memcmp(arena_.data() + slot.offset, stack, len * sizeof(u64)) == 0) {
+      return slot.offset;  // already interned
+    }
+    key = mix_u64(key + 0x9e3779b97f4a7c15ULL);
+  }
+}
+
+void EventStore::append(u8 pic, machine::HwEvent event, u64 weight, u64 delivered_pc,
+                        bool has_candidate, u64 candidate_pc, bool has_ea, u64 ea,
+                        const u64* stack, size_t stack_len, u64 seq) {
+  const u64 off = intern(stack, static_cast<u32>(stack_len));
+  pic_.push_back(pic);
+  event_.push_back(static_cast<u8>(event));
+  weight_.push_back(weight);
+  delivered_pc_.push_back(delivered_pc);
+  flags_.push_back(static_cast<u8>((has_candidate ? kHasCandidate : 0) | (has_ea ? kHasEa : 0)));
+  candidate_pc_.push_back(candidate_pc);
+  ea_.push_back(ea);
+  seq_.push_back(seq);
+  cs_offset_.push_back(off);
+  cs_len_.push_back(static_cast<u32>(stack_len));
+}
+
+void EventStore::reserve(size_t n) {
+  pic_.reserve(n);
+  event_.reserve(n);
+  weight_.reserve(n);
+  delivered_pc_.reserve(n);
+  flags_.reserve(n);
+  candidate_pc_.reserve(n);
+  ea_.reserve(n);
+  seq_.reserve(n);
+  cs_offset_.reserve(n);
+  cs_len_.reserve(n);
+}
+
+void EventStore::clear() {
+  pic_.clear();
+  event_.clear();
+  weight_.clear();
+  delivered_pc_.clear();
+  flags_.clear();
+  candidate_pc_.clear();
+  ea_.clear();
+  seq_.clear();
+  cs_offset_.clear();
+  cs_len_.clear();
+  arena_.clear();
+  intern_.clear();
+  has_empty_ = false;
+}
+
+void EventStore::serialize(ByteWriter& w) const {
+  put_pod_column(w, pic_);
+  put_pod_column(w, event_);
+  put_pod_column(w, weight_);
+  put_pod_column(w, delivered_pc_);
+  put_pod_column(w, flags_);
+  put_pod_column(w, candidate_pc_);
+  put_pod_column(w, ea_);
+  put_pod_column(w, seq_);
+  put_pod_column(w, cs_offset_);
+  put_pod_column(w, cs_len_);
+  put_pod_column(w, arena_);
+}
+
+EventStore EventStore::deserialize(ByteReader& r) {
+  EventStore s;
+  s.pic_ = get_pod_column<u8>(r);
+  s.event_ = get_pod_column<u8>(r);
+  s.weight_ = get_pod_column<u64>(r);
+  s.delivered_pc_ = get_pod_column<u64>(r);
+  s.flags_ = get_pod_column<u8>(r);
+  s.candidate_pc_ = get_pod_column<u64>(r);
+  s.ea_ = get_pod_column<u64>(r);
+  s.seq_ = get_pod_column<u64>(r);
+  s.cs_offset_ = get_pod_column<u64>(r);
+  s.cs_len_ = get_pod_column<u32>(r);
+  s.arena_ = get_pod_column<u64>(r);
+  const size_t n = s.pic_.size();
+  DSP_CHECK(s.event_.size() == n && s.weight_.size() == n && s.delivered_pc_.size() == n &&
+                s.flags_.size() == n && s.candidate_pc_.size() == n && s.ea_.size() == n &&
+                s.seq_.size() == n && s.cs_offset_.size() == n && s.cs_len_.size() == n,
+            "event columns have inconsistent lengths");
+  for (size_t i = 0; i < n; ++i) {
+    DSP_CHECK(s.cs_offset_[i] + s.cs_len_[i] <= s.arena_.size(),
+              "callstack handle outside arena");
+  }
+  // Rebuild the interning table so further appends keep deduplicating.
+  for (size_t i = 0; i < n; ++i) {
+    if (s.cs_len_[i] == 0) {
+      s.has_empty_ = true;
+      continue;
+    }
+    const u64* p = s.arena_.data() + s.cs_offset_[i];
+    u64 key = hash_words(p, s.cs_len_[i]);
+    for (;;) {
+      Interned& slot = s.intern_[key];
+      if (slot.len == 0) {
+        slot.offset = s.cs_offset_[i];
+        slot.len = s.cs_len_[i];
+        break;
+      }
+      if (slot.len == s.cs_len_[i] &&
+          std::memcmp(s.arena_.data() + slot.offset, p, slot.len * sizeof(u64)) == 0) {
+        break;
+      }
+      key = mix_u64(key + 0x9e3779b97f4a7c15ULL);
+    }
+  }
+  return s;
+}
+
+}  // namespace dsprof::experiment

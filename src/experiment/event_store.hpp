@@ -1,0 +1,184 @@
+// Columnar (struct-of-arrays) storage for profile events.
+//
+// The seed kept a std::vector<EventRecord> where every event owned a
+// heap-allocated callstack vector — at 10^5-10^6 events per run that is an
+// allocation per event on the collection hot path and a pointer chase per
+// event in every reduction. The EventStore instead keeps one column per
+// field and interns callstacks into a single flat arena: identical stacks
+// (the common case — a hot loop delivers thousands of events from the same
+// call chain) are stored once and addressed by {offset,len} handles.
+//
+// The store is append-only. After warm-up, appending an event performs no
+// heap allocation beyond amortized column growth; interning an already-seen
+// callstack is a hash probe plus one memcmp.
+#pragma once
+
+#include <vector>
+
+#include "machine/counters.hpp"
+#include "support/bytestream.hpp"
+#include "support/flat_hash.hpp"
+
+namespace dsprof::experiment {
+
+/// Non-owning view of an interned callstack (call-site PCs, outermost
+/// first). Valid as long as the owning EventStore is alive and un-moved.
+struct CallstackRef {
+  const u64* ptr = nullptr;
+  u32 len = 0;
+
+  const u64* begin() const { return ptr; }
+  const u64* end() const { return ptr + len; }
+  size_t size() const { return len; }
+  bool empty() const { return len == 0; }
+  u64 operator[](size_t i) const { return ptr[i]; }
+
+  std::vector<u64> to_vector() const { return std::vector<u64>(ptr, ptr + len); }
+
+  friend bool operator==(const CallstackRef& a, const CallstackRef& b) {
+    if (a.len != b.len) return false;
+    for (u32 i = 0; i < a.len; ++i) {
+      if (a.ptr[i] != b.ptr[i]) return false;
+    }
+    return true;
+  }
+  friend bool operator==(const CallstackRef& a, const std::vector<u64>& b) {
+    return a == CallstackRef{b.data(), static_cast<u32>(b.size())};
+  }
+  friend bool operator==(const std::vector<u64>& a, const CallstackRef& b) { return b == a; }
+};
+
+/// One recorded profile event, materialized from the columns. Contains only
+/// information available at collection time on real hardware: the skidded
+/// delivered PC, the backtracked candidate trigger PC (if any), and the
+/// recomputed effective address (if the address registers survived the
+/// skid). Field-compatible with the seed's EventRecord.
+struct EventView {
+  u8 pic = 0;  // 0/1, or machine::kClockPic for clock-profile samples
+  machine::HwEvent event = machine::HwEvent::Cycle_cnt;
+  u64 weight = 0;  // overflow interval: estimated events per sample
+  u64 delivered_pc = 0;
+  bool has_candidate = false;
+  u64 candidate_pc = 0;
+  bool has_ea = false;
+  u64 ea = 0;
+  CallstackRef callstack;  // call-site PCs at delivery, outermost first
+  u64 seq = 0;             // joins with the machine's ground-truth log
+};
+
+class EventStore {
+ public:
+  static constexpr u8 kHasCandidate = 1;
+  static constexpr u8 kHasEa = 2;
+
+  size_t size() const { return pic_.size(); }
+  bool empty() const { return pic_.empty(); }
+
+  /// Append one event; the callstack words are interned into the arena.
+  /// No per-event allocation once columns/arena capacity has warmed up
+  /// (growth is amortized).
+  void append(u8 pic, machine::HwEvent event, u64 weight, u64 delivered_pc, bool has_candidate,
+              u64 candidate_pc, bool has_ea, u64 ea, const u64* stack, size_t stack_len, u64 seq);
+
+  EventView operator[](size_t i) const {
+    EventView v;
+    v.pic = pic_[i];
+    v.event = static_cast<machine::HwEvent>(event_[i]);
+    v.weight = weight_[i];
+    v.delivered_pc = delivered_pc_[i];
+    v.has_candidate = (flags_[i] & kHasCandidate) != 0;
+    v.candidate_pc = candidate_pc_[i];
+    v.has_ea = (flags_[i] & kHasEa) != 0;
+    v.ea = ea_[i];
+    v.callstack = callstack(i);
+    v.seq = seq_[i];
+    return v;
+  }
+
+  CallstackRef callstack(size_t i) const {
+    return CallstackRef{arena_.data() + cs_offset_[i], cs_len_[i]};
+  }
+
+  // --- raw columns (reduction engine / serializer) --------------------------
+  const std::vector<u8>& pic_col() const { return pic_; }
+  const std::vector<u8>& event_col() const { return event_; }
+  const std::vector<u64>& weight_col() const { return weight_; }
+  const std::vector<u64>& delivered_pc_col() const { return delivered_pc_; }
+  const std::vector<u8>& flags_col() const { return flags_; }
+  const std::vector<u64>& candidate_pc_col() const { return candidate_pc_; }
+  const std::vector<u64>& ea_col() const { return ea_; }
+  const std::vector<u64>& seq_col() const { return seq_; }
+  const std::vector<u64>& cs_offset_col() const { return cs_offset_; }
+  const std::vector<u32>& cs_len_col() const { return cs_len_; }
+  const std::vector<u64>& arena() const { return arena_; }
+
+  /// Number of distinct interned callstacks (arena dedup effectiveness).
+  size_t unique_callstacks() const { return intern_.size() + (has_empty_ ? 1 : 0); }
+  size_t arena_words() const { return arena_.size(); }
+
+  void reserve(size_t n);
+  void clear();
+
+  // --- iteration ------------------------------------------------------------
+  class const_iterator {
+   public:
+    using value_type = EventView;
+    using difference_type = std::ptrdiff_t;
+
+    const_iterator(const EventStore* s, size_t i) : s_(s), i_(i) {}
+    EventView operator*() const { return (*s_)[i_]; }
+    const_iterator& operator++() {
+      ++i_;
+      return *this;
+    }
+    const_iterator operator++(int) {
+      const_iterator t = *this;
+      ++i_;
+      return t;
+    }
+    bool operator==(const const_iterator& o) const { return i_ == o.i_; }
+    bool operator!=(const const_iterator& o) const { return i_ != o.i_; }
+    difference_type operator-(const const_iterator& o) const {
+      return static_cast<difference_type>(i_) - static_cast<difference_type>(o.i_);
+    }
+
+   private:
+    const EventStore* s_;
+    size_t i_;
+  };
+  const_iterator begin() const { return const_iterator(this, 0); }
+  const_iterator end() const { return const_iterator(this, size()); }
+
+  /// Serialize the columns + arena (the v2 "DSP2" events layout).
+  void serialize(ByteWriter& w) const;
+  static EventStore deserialize(ByteReader& r);
+
+ private:
+  /// Intern `stack` into the arena, returning its offset. Identical stacks
+  /// share one arena range.
+  u64 intern(const u64* stack, u32 len);
+
+  // Per-event columns, all size() long.
+  std::vector<u8> pic_;
+  std::vector<u8> event_;
+  std::vector<u64> weight_;
+  std::vector<u64> delivered_pc_;
+  std::vector<u8> flags_;
+  std::vector<u64> candidate_pc_;
+  std::vector<u64> ea_;
+  std::vector<u64> seq_;
+  std::vector<u64> cs_offset_;  // into arena_
+  std::vector<u32> cs_len_;
+
+  std::vector<u64> arena_;  // concatenated unique callstacks
+
+  // Interning table: hash of stack words -> arena {offset,len} candidates.
+  struct Interned {
+    u64 offset;
+    u32 len;
+  };
+  FlatHashU64Map<Interned> intern_;
+  bool has_empty_ = false;  // an empty callstack has been appended
+};
+
+}  // namespace dsprof::experiment

@@ -6,6 +6,9 @@ namespace dsprof::experiment {
 
 namespace {
 
+constexpr u32 kMagicLegacy = 0x44535045;    // 'DSPE' — seed row layout
+constexpr u32 kMagicColumnar = 0x44535046;  // 'DSPF' — columnar layout
+
 void put_counter(ByteWriter& w, const CounterSpec& c) {
   w.put_u8(static_cast<u8>(c.event));
   w.put_u64(c.interval);
@@ -22,71 +25,18 @@ CounterSpec get_counter(ByteReader& r) {
   return c;
 }
 
-}  // namespace
-
-void Experiment::save(const std::string& dir) const {
-  std::filesystem::create_directories(dir);
-
-  write_file(dir + "/log.txt", std::vector<u8>(log.begin(), log.end()));
-
-  ByteWriter lo;
-  image.serialize(lo);
-  write_file(dir + "/loadobjects.bin", lo.bytes());
-
-  ByteWriter w;
-  w.put_u32(0x44535045);  // 'DSPE'
-  w.put_u32(static_cast<u32>(counters.size()));
-  for (const auto& c : counters) put_counter(w, c);
-  w.put_u64(clock_interval);
-  w.put_u64(clock_hz);
-  w.put_u64(page_size);
-  w.put_u64(ec_line_size);
-  w.put_u64(total_cycles);
-  w.put_u64(total_instructions);
-  w.put_u32(static_cast<u32>(events.size()));
-  for (const auto& e : events) {
-    w.put_u8(e.pic);
-    w.put_u8(static_cast<u8>(e.event));
-    w.put_u64(e.weight);
-    w.put_u64(e.delivered_pc);
-    w.put_u8(static_cast<u8>((e.has_candidate ? 1 : 0) | (e.has_ea ? 2 : 0)));
-    w.put_u64(e.candidate_pc);
-    w.put_u64(e.ea);
-    w.put_u32(static_cast<u32>(e.callstack.size()));
-    for (u64 pc : e.callstack) w.put_u64(pc);
-    w.put_u64(e.seq);
-  }
-  w.put_u32(static_cast<u32>(allocations.size()));
-  for (const auto& [addr, size] : allocations) {
-    w.put_u64(addr);
-    w.put_u64(size);
-  }
-  w.put_u32(static_cast<u32>(truth.size()));
-  for (const auto& t : truth) {
-    w.put_u64(t.seq);
-    w.put_u8(static_cast<u8>(t.pic));
-    w.put_u8(static_cast<u8>(t.event));
-    w.put_u64(t.trigger_pc);
-    w.put_u8(t.ea_valid ? 1 : 0);
-    w.put_u64(t.ea);
-    w.put_u32(t.skid);
-  }
-  write_file(dir + "/events.bin", w.bytes());
+void put_header(ByteWriter& w, const Experiment& ex) {
+  w.put_u32(static_cast<u32>(ex.counters.size()));
+  for (const auto& c : ex.counters) put_counter(w, c);
+  w.put_u64(ex.clock_interval);
+  w.put_u64(ex.clock_hz);
+  w.put_u64(ex.page_size);
+  w.put_u64(ex.ec_line_size);
+  w.put_u64(ex.total_cycles);
+  w.put_u64(ex.total_instructions);
 }
 
-Experiment Experiment::load(const std::string& dir) {
-  Experiment ex;
-
-  const auto logbytes = read_file(dir + "/log.txt");
-  ex.log.assign(logbytes.begin(), logbytes.end());
-
-  const auto lobytes = read_file(dir + "/loadobjects.bin");
-  ByteReader lr(lobytes);
-  ex.image = sym::Image::deserialize(lr);
-
-  const auto evbytes = read_file(dir + "/events.bin");
-  ByteReader r(evbytes);
-  DSP_CHECK(r.get_u32() == 0x44535045, "bad experiment magic in " + dir);
+void get_header(ByteReader& r, Experiment& ex) {
   const u32 nc = r.get_u32();
   for (u32 i = 0; i < nc; ++i) ex.counters.push_back(get_counter(r));
   ex.clock_interval = r.get_u64();
@@ -95,24 +45,27 @@ Experiment Experiment::load(const std::string& dir) {
   ex.ec_line_size = r.get_u64();
   ex.total_cycles = r.get_u64();
   ex.total_instructions = r.get_u64();
-  const u32 ne = r.get_u32();
-  for (u32 i = 0; i < ne; ++i) {
-    EventRecord e;
-    e.pic = r.get_u8();
-    e.event = static_cast<machine::HwEvent>(r.get_u8());
-    e.weight = r.get_u64();
-    e.delivered_pc = r.get_u64();
-    const u8 flags = r.get_u8();
-    e.has_candidate = flags & 1;
-    e.has_ea = flags & 2;
-    e.candidate_pc = r.get_u64();
-    e.ea = r.get_u64();
-    const u32 depth = r.get_u32();
-    e.callstack.reserve(depth);
-    for (u32 d = 0; d < depth; ++d) e.callstack.push_back(r.get_u64());
-    e.seq = r.get_u64();
-    ex.events.push_back(std::move(e));
+}
+
+void put_trailer(ByteWriter& w, const Experiment& ex) {
+  w.put_u32(static_cast<u32>(ex.allocations.size()));
+  for (const auto& [addr, size] : ex.allocations) {
+    w.put_u64(addr);
+    w.put_u64(size);
   }
+  w.put_u32(static_cast<u32>(ex.truth.size()));
+  for (const auto& t : ex.truth) {
+    w.put_u64(t.seq);
+    w.put_u8(static_cast<u8>(t.pic));
+    w.put_u8(static_cast<u8>(t.event));
+    w.put_u64(t.trigger_pc);
+    w.put_u8(t.ea_valid ? 1 : 0);
+    w.put_u64(t.ea);
+    w.put_u32(t.skid);
+  }
+}
+
+void get_trailer(ByteReader& r, Experiment& ex) {
   const u32 na = r.get_u32();
   for (u32 i = 0; i < na; ++i) {
     const u64 addr = r.get_u64();
@@ -131,6 +84,96 @@ Experiment Experiment::load(const std::string& dir) {
     t.skid = r.get_u32();
     ex.truth.push_back(t);
   }
+}
+
+/// The seed's row-oriented event section (one record at a time, each with an
+/// inline callstack).
+void put_events_legacy(ByteWriter& w, const EventStore& events) {
+  w.put_u32(static_cast<u32>(events.size()));
+  for (size_t i = 0; i < events.size(); ++i) {
+    const EventView e = events[i];
+    w.put_u8(e.pic);
+    w.put_u8(static_cast<u8>(e.event));
+    w.put_u64(e.weight);
+    w.put_u64(e.delivered_pc);
+    w.put_u8(static_cast<u8>((e.has_candidate ? 1 : 0) | (e.has_ea ? 2 : 0)));
+    w.put_u64(e.candidate_pc);
+    w.put_u64(e.ea);
+    w.put_u32(static_cast<u32>(e.callstack.size()));
+    for (u64 pc : e.callstack) w.put_u64(pc);
+    w.put_u64(e.seq);
+  }
+}
+
+void get_events_legacy(ByteReader& r, EventStore& events) {
+  const u32 ne = r.get_u32();
+  events.reserve(ne);
+  std::vector<u64> stack;  // reused scratch
+  for (u32 i = 0; i < ne; ++i) {
+    const u8 pic = r.get_u8();
+    const auto event = static_cast<machine::HwEvent>(r.get_u8());
+    const u64 weight = r.get_u64();
+    const u64 delivered_pc = r.get_u64();
+    const u8 flags = r.get_u8();
+    const u64 candidate_pc = r.get_u64();
+    const u64 ea = r.get_u64();
+    const u32 depth = r.get_u32();
+    stack.clear();
+    stack.reserve(depth);
+    for (u32 d = 0; d < depth; ++d) stack.push_back(r.get_u64());
+    const u64 seq = r.get_u64();
+    events.append(pic, event, weight, delivered_pc, (flags & 1) != 0, candidate_pc,
+                  (flags & 2) != 0, ea, stack.data(), stack.size(), seq);
+  }
+}
+
+}  // namespace
+
+void Experiment::save(const std::string& dir, FileFormat format) const {
+  std::filesystem::create_directories(dir);
+
+  write_file(dir + "/log.txt", std::vector<u8>(log.begin(), log.end()));
+
+  ByteWriter lo;
+  image.serialize(lo);
+  write_file(dir + "/loadobjects.bin", lo.bytes());
+
+  ByteWriter w;
+  if (format == FileFormat::Legacy) {
+    w.put_u32(kMagicLegacy);
+    put_header(w, *this);
+    put_events_legacy(w, events);
+  } else {
+    w.put_u32(kMagicColumnar);
+    put_header(w, *this);
+    events.serialize(w);
+  }
+  put_trailer(w, *this);
+  write_file(dir + "/events.bin", w.bytes());
+}
+
+Experiment Experiment::load(const std::string& dir) {
+  Experiment ex;
+
+  const auto logbytes = read_file(dir + "/log.txt");
+  ex.log.assign(logbytes.begin(), logbytes.end());
+
+  const auto lobytes = read_file(dir + "/loadobjects.bin");
+  ByteReader lr(lobytes);
+  ex.image = sym::Image::deserialize(lr);
+
+  const auto evbytes = read_file(dir + "/events.bin");
+  ByteReader r(evbytes);
+  const u32 magic = r.get_u32();
+  DSP_CHECK(magic == kMagicColumnar || magic == kMagicLegacy,
+            "bad experiment magic in " + dir);
+  get_header(r, ex);
+  if (magic == kMagicColumnar) {
+    ex.events = EventStore::deserialize(r);
+  } else {
+    get_events_legacy(r, ex.events);
+  }
+  get_trailer(r, ex);
   return ex;
 }
 

@@ -2,12 +2,19 @@
 // a log, the loadobjects description (the executable image + symbol tables),
 // and the recorded profile events. We keep experiments primarily in memory;
 // save()/load() provide the on-disk directory form.
+//
+// Events are held in a columnar EventStore (event_store.hpp): one column per
+// field, callstacks interned into a shared arena. The on-disk events.bin has
+// two layouts: the current columnar "DSPF" layout (written by default) and
+// the seed's row-oriented "DSPE" layout, which load() still reads and
+// save(..., FileFormat::Legacy) still writes for compatibility.
 #pragma once
 
 #include <array>
 #include <string>
 #include <vector>
 
+#include "experiment/event_store.hpp"
 #include "machine/counters.hpp"
 #include "sym/image.hpp"
 
@@ -22,11 +29,9 @@ struct CounterSpec {
   unsigned pic = 0;   // assigned counter register
 };
 
-/// One recorded profile event, as written by the collection system. Contains
-/// only information available at collection time on real hardware: the
-/// skidded delivered PC, the backtracked candidate trigger PC (if any), and
-/// the recomputed effective address (if the address registers survived the
-/// skid).
+/// A materialized (row-form) profile event. The store of record is the
+/// columnar EventStore; this struct remains for the legacy on-disk layout
+/// and for call sites that want an owning copy of one event.
 struct EventRecord {
   u8 pic = 0;  // 0/1, or machine::kClockPic for clock-profile samples
   machine::HwEvent event = machine::HwEvent::Cycle_cnt;
@@ -42,6 +47,12 @@ struct EventRecord {
   u64 seq = 0;  // joins with the machine's ground-truth log (tests only)
 };
 
+/// On-disk events.bin layouts.
+enum class FileFormat {
+  Columnar,  // current: "DSPF" columns + callstack arena
+  Legacy,    // seed: "DSPE" row-oriented records
+};
+
 struct Experiment {
   std::string log;  // human-readable collection log
   sym::Image image;
@@ -51,7 +62,7 @@ struct Experiment {
   u64 page_size = 8 * 1024;
   u64 ec_line_size = 512;
 
-  std::vector<EventRecord> events;
+  EventStore events;
   /// Heap allocations in order (address, size) — for the instance view.
   std::vector<std::pair<u64, u64>> allocations;
 
@@ -67,8 +78,15 @@ struct Experiment {
     return static_cast<double>(cycles) / static_cast<double>(clock_hz);
   }
 
+  /// Append a materialized record into the columnar store.
+  void add_event(const EventRecord& e) {
+    events.append(e.pic, e.event, e.weight, e.delivered_pc, e.has_candidate, e.candidate_pc,
+                  e.has_ea, e.ea, e.callstack.data(), e.callstack.size(), e.seq);
+  }
+
   /// Write the experiment directory (log.txt, loadobjects.bin, events.bin).
-  void save(const std::string& dir) const;
+  void save(const std::string& dir, FileFormat format = FileFormat::Columnar) const;
+  /// Read an experiment directory; auto-detects the events.bin layout.
   static Experiment load(const std::string& dir);
 };
 

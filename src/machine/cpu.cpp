@@ -111,10 +111,16 @@ void Cpu::deliver_due() {
   for (size_t i = 0; i < pending_.size();) {
     Pending& p = pending_[i];
     if (p.skid_remaining == 0) {
-      OverflowDelivery d = p.partial;
+      // Fill the reusable scratch delivery: no per-event allocation (the
+      // callstack assign reuses capacity after the first few deliveries).
+      OverflowDelivery& d = scratch_delivery_;
+      d.pic = p.partial.pic;
+      d.event = p.partial.event;
+      d.interval = p.partial.interval;
+      d.seq = p.partial.seq;
       d.delivered_pc = pc_;
       d.regs = regs_;
-      d.callstack = call_stack_;
+      d.callstack.assign(call_stack_.begin(), call_stack_.end());
       pending_.erase(pending_.begin() + static_cast<std::ptrdiff_t>(i));
       if (on_overflow) on_overflow(d);
     } else {

@@ -133,6 +133,9 @@ class Cpu {
   std::array<u8, kNumHwEvents> pic_for_event_{};
   void rebuild_event_routing();
   std::vector<Pending> pending_;  // in-flight skidding deliveries
+  // Reused for every delivery so the hot path performs no per-event heap
+  // allocation (the callstack vector keeps its capacity between events).
+  OverflowDelivery scratch_delivery_;
   u64 clock_interval_ = 0;        // 0 = clock profiling off
   u64 clock_accum_ = 0;
   u64 next_seq_ = 0;

@@ -47,6 +47,65 @@ TEST(CounterSpec, ErrorsRejected) {
   EXPECT_THROW(parse_counter_spec("cycles,on,insts,on,icm,on"), Error);  // > 2
 }
 
+/// The Error message produced by a bad spec ("" if it unexpectedly parses).
+std::string spec_error(const std::string& spec) {
+  try {
+    parse_counter_spec(spec);
+  } catch (const Error& e) {
+    return e.what();
+  }
+  return "";
+}
+
+TEST(CounterSpec, ConflictMessageNamesBothCountersAndTheRegister) {
+  // ecstall and ecref both require PIC0: the error must say which counter
+  // could not be scheduled, which register it needs, and who holds it.
+  const std::string msg = spec_error("+ecstall,on,+ecref,on");
+  EXPECT_NE(msg.find("'ecref'"), std::string::npos) << msg;
+  EXPECT_NE(msg.find("PIC0"), std::string::npos) << msg;
+  EXPECT_NE(msg.find("'ecstall'"), std::string::npos) << msg;
+  EXPECT_NE(msg.find("cannot be scheduled"), std::string::npos) << msg;
+}
+
+TEST(CounterSpec, UnknownCounterNameIsNamed) {
+  const std::string msg = spec_error("bogus,on");
+  EXPECT_NE(msg.find("unknown hardware counter: bogus"), std::string::npos) << msg;
+}
+
+TEST(CounterSpec, MalformedRatesAreExplained) {
+  // A bad rate word names the offender and lists the accepted forms.
+  const std::string word = spec_error("ecstall,fast");
+  EXPECT_NE(word.find("bad counter rate 'fast'"), std::string::npos) << word;
+  EXPECT_NE(word.find("'hi', 'on', 'lo'"), std::string::npos) << word;
+  // A zero interval is rejected (the counter would overflow immediately).
+  const std::string zero = spec_error("ecstall,0");
+  EXPECT_NE(zero.find("must be positive"), std::string::npos) << zero;
+  // An empty rate token is rejected too ("ecstall," tokenizes to a pair).
+  const std::string empty = spec_error("ecstall,");
+  EXPECT_NE(empty.find("empty counter rate"), std::string::npos) << empty;
+}
+
+TEST(CounterSpec, DuplicatePlusPrefixRejected) {
+  const std::string msg = spec_error("++ecstall,on");
+  EXPECT_NE(msg.find("duplicate '+' prefix on counter '++ecstall'"), std::string::npos)
+      << msg;
+  // A bare '+' has no counter name at all.
+  const std::string bare = spec_error("+,on");
+  EXPECT_NE(bare.find("missing counter name after '+'"), std::string::npos) << bare;
+}
+
+TEST(CounterSpec, OddTokenCountShowsAnExample) {
+  const std::string msg = spec_error("ecstall");
+  EXPECT_NE(msg.find("name,rate pairs"), std::string::npos) << msg;
+  EXPECT_NE(msg.find("+ecstall,on,+ecrm,hi"), std::string::npos) << msg;
+}
+
+TEST(CounterSpec, TooManyCountersNamesTheLimit) {
+  const std::string msg = spec_error("cycles,on,insts,on,icm,on");
+  EXPECT_NE(msg.find("at most 2 hardware counters"), std::string::npos) << msg;
+  EXPECT_NE(msg.find("got 3"), std::string::npos) << msg;
+}
+
 TEST(CounterSpec, IntervalsArePrime) {
   for (size_t i = 0; i < machine::kNumHwEvents; ++i) {
     for (const char* rate : {"hi", "on", "lo"}) {
@@ -89,7 +148,7 @@ TEST_F(CollectorEndToEnd, RecordsEventsAndRunsToCompletion) {
   EXPECT_FALSE(ex.log.empty());
   EXPECT_EQ(ex.truth.size(),
             static_cast<size_t>(std::count_if(ex.events.begin(), ex.events.end(),
-                                              [](const experiment::EventRecord& e) {
+                                              [](const auto& e) {
                                                 return e.pic != machine::kClockPic;
                                               })));
   // Clock samples present too.

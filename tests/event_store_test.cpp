@@ -1,0 +1,270 @@
+// Columnar EventStore: callstack-arena interning, save/load round trips in
+// both on-disk layouts, and bit-identical determinism of the sharded
+// reduction across thread counts and against the seed-equivalent Baseline
+// engine.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+
+#include "analyze/reports.hpp"
+#include "dsl_fixtures.hpp"
+#include "experiment/experiment.hpp"
+#include "scc/compile.hpp"
+#include "support/bytestream.hpp"
+
+namespace dsprof::experiment {
+namespace {
+
+using machine::HwEvent;
+
+EventStore make_store(const std::vector<std::vector<u64>>& stacks) {
+  EventStore s;
+  u64 seq = 0;
+  for (const auto& cs : stacks) {
+    s.append(/*pic=*/0, HwEvent::EC_rd_miss, /*weight=*/1009, /*delivered_pc=*/0x1000 + seq,
+             /*has_candidate=*/true, /*candidate_pc=*/0x0ff0 + seq, /*has_ea=*/true,
+             /*ea=*/0x8000 + 8 * seq, cs.data(), cs.size(), seq);
+    ++seq;
+  }
+  return s;
+}
+
+TEST(EventStoreInterning, IdenticalStacksShareOneArenaRange) {
+  const std::vector<u64> hot = {0x100, 0x200, 0x300};
+  EventStore s = make_store({hot, hot, hot, hot});
+  EXPECT_EQ(s.size(), 4u);
+  EXPECT_EQ(s.unique_callstacks(), 1u);
+  EXPECT_EQ(s.arena_words(), hot.size());
+  for (size_t i = 0; i < s.size(); ++i) {
+    EXPECT_TRUE(s.callstack(i) == hot);
+    // All four events address the very same arena words.
+    EXPECT_EQ(s.callstack(i).ptr, s.callstack(0).ptr);
+  }
+}
+
+TEST(EventStoreInterning, DistinctStacksGetDistinctRanges) {
+  const std::vector<u64> a = {0x100, 0x200};
+  const std::vector<u64> b = {0x100, 0x201};     // same length, different words
+  const std::vector<u64> c = {0x100};            // prefix of a
+  const std::vector<u64> d = {0x100, 0x200, 1};  // extension of a
+  EventStore s = make_store({a, b, c, d, a, b});
+  EXPECT_EQ(s.unique_callstacks(), 4u);
+  EXPECT_EQ(s.arena_words(), a.size() + b.size() + c.size() + d.size());
+  EXPECT_TRUE(s.callstack(0) == a);
+  EXPECT_TRUE(s.callstack(1) == b);
+  EXPECT_TRUE(s.callstack(2) == c);
+  EXPECT_TRUE(s.callstack(3) == d);
+  EXPECT_EQ(s.callstack(4).ptr, s.callstack(0).ptr);
+  EXPECT_EQ(s.callstack(5).ptr, s.callstack(1).ptr);
+}
+
+TEST(EventStoreInterning, EmptyCallstacksCostNoArena) {
+  EventStore s = make_store({{}, {0x1}, {}});
+  EXPECT_EQ(s.unique_callstacks(), 2u);  // the empty stack plus {0x1}
+  EXPECT_EQ(s.arena_words(), 1u);
+  EXPECT_TRUE(s.callstack(0).empty());
+  EXPECT_TRUE(s.callstack(2).empty());
+}
+
+TEST(EventStore, ViewsMaterializeEveryField) {
+  EventStore s;
+  s.append(machine::kClockPic, HwEvent::Cycle_cnt, 900'001, 0xabc, false, 0, false, 0,
+           nullptr, 0, 7);
+  const std::vector<u64> cs = {0x42};
+  s.append(1, HwEvent::DTLB_miss, 499, 0xdef, true, 0xdd0, true, 0xbeef, cs.data(),
+           cs.size(), 8);
+  const EventView v0 = s[0];
+  EXPECT_EQ(v0.pic, machine::kClockPic);
+  EXPECT_EQ(v0.event, HwEvent::Cycle_cnt);
+  EXPECT_EQ(v0.weight, 900'001u);
+  EXPECT_EQ(v0.delivered_pc, 0xabcu);
+  EXPECT_FALSE(v0.has_candidate);
+  EXPECT_FALSE(v0.has_ea);
+  EXPECT_TRUE(v0.callstack.empty());
+  EXPECT_EQ(v0.seq, 7u);
+  const EventView v1 = s[1];
+  EXPECT_EQ(v1.pic, 1u);
+  EXPECT_EQ(v1.event, HwEvent::DTLB_miss);
+  EXPECT_TRUE(v1.has_candidate);
+  EXPECT_EQ(v1.candidate_pc, 0xdd0u);
+  EXPECT_TRUE(v1.has_ea);
+  EXPECT_EQ(v1.ea, 0xbeefu);
+  EXPECT_TRUE(v1.callstack == cs);
+  // Iteration yields the same views.
+  size_t n = 0;
+  for (const auto& e : s) {
+    EXPECT_EQ(e.seq, 7u + n);
+    ++n;
+  }
+  EXPECT_EQ(n, 2u);
+}
+
+TEST(EventStore, SerializeRoundTripPreservesEverything) {
+  const std::vector<u64> a = {1, 2, 3}, b = {9};
+  EventStore s = make_store({a, b, a, {}, b});
+  ByteWriter w;
+  s.serialize(w);
+  ByteReader r(w.bytes());
+  const EventStore back = EventStore::deserialize(r);
+  ASSERT_EQ(back.size(), s.size());
+  EXPECT_EQ(back.unique_callstacks(), s.unique_callstacks());
+  EXPECT_EQ(back.arena_words(), s.arena_words());
+  for (size_t i = 0; i < s.size(); ++i) {
+    const EventView x = s[i], y = back[i];
+    EXPECT_EQ(x.pic, y.pic);
+    EXPECT_EQ(x.event, y.event);
+    EXPECT_EQ(x.weight, y.weight);
+    EXPECT_EQ(x.delivered_pc, y.delivered_pc);
+    EXPECT_EQ(x.has_candidate, y.has_candidate);
+    EXPECT_EQ(x.candidate_pc, y.candidate_pc);
+    EXPECT_EQ(x.has_ea, y.has_ea);
+    EXPECT_EQ(x.ea, y.ea);
+    EXPECT_TRUE(x.callstack == y.callstack);
+    EXPECT_EQ(x.seq, y.seq);
+  }
+  // A deserialized store keeps interning: appending a known stack reuses it.
+  EventStore back2 = back;
+  back2.append(0, HwEvent::EC_rd_miss, 1, 1, false, 0, false, 0, a.data(), a.size(), 99);
+  EXPECT_EQ(back2.unique_callstacks(), back.unique_callstacks());
+  EXPECT_EQ(back2.arena_words(), back.arena_words());
+}
+
+TEST(EventStore, TruncatedStreamIsRejected) {
+  EventStore s = make_store({{1, 2}, {3}});
+  ByteWriter w;
+  s.serialize(w);
+  std::vector<u8> bytes = w.bytes();
+  bytes.resize(bytes.size() / 2);
+  ByteReader r(bytes);
+  EXPECT_THROW(EventStore::deserialize(r), Error);
+}
+
+// --- experiment round trips in both on-disk layouts -------------------------
+
+class StoreRoundTrip : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    // Scale the caches below the working set so E$ events actually fire.
+    machine::CpuConfig cfg;
+    cfg.hierarchy.dcache = {4 * 1024, 4, 32, false};
+    cfg.hierarchy.ecache = {32 * 1024, 2, 512, true};
+    cfg.hierarchy.dtlb = {8, 2, 8 * 1024};
+    auto m = testfix::make_chase_module(2000, 6, 4096);
+    image_ = new sym::Image(scc::compile(*m));
+    ex_ = new Experiment(
+        testfix::quick_collect(*image_, "+ecstall,1009,+ecrm,97", "hi", cfg));
+    ASSERT_GT(ex_->events.size(), 100u);
+  }
+  static void TearDownTestSuite() {
+    delete ex_;
+    delete image_;
+    ex_ = nullptr;
+    image_ = nullptr;
+  }
+  static void expect_same_events(const Experiment& x, const Experiment& y) {
+    ASSERT_EQ(x.events.size(), y.events.size());
+    for (size_t i = 0; i < x.events.size(); ++i) {
+      const EventView a = x.events[i], b = y.events[i];
+      ASSERT_EQ(a.pic, b.pic) << "event " << i;
+      ASSERT_EQ(a.event, b.event) << "event " << i;
+      ASSERT_EQ(a.weight, b.weight) << "event " << i;
+      ASSERT_EQ(a.delivered_pc, b.delivered_pc) << "event " << i;
+      ASSERT_EQ(a.has_candidate, b.has_candidate) << "event " << i;
+      ASSERT_EQ(a.candidate_pc, b.candidate_pc) << "event " << i;
+      ASSERT_EQ(a.has_ea, b.has_ea) << "event " << i;
+      ASSERT_EQ(a.ea, b.ea) << "event " << i;
+      ASSERT_TRUE(a.callstack == b.callstack) << "event " << i;
+      ASSERT_EQ(a.seq, b.seq) << "event " << i;
+    }
+  }
+  static sym::Image* image_;
+  static Experiment* ex_;
+};
+sym::Image* StoreRoundTrip::image_ = nullptr;
+Experiment* StoreRoundTrip::ex_ = nullptr;
+
+u32 events_magic(const std::string& dir) {
+  const std::vector<u8> bytes = read_file(dir + "/events.bin");
+  ByteReader r(bytes);
+  return r.get_u32();
+}
+
+TEST_F(StoreRoundTrip, ColumnarFormatRoundTrips) {
+  const std::string dir = "/tmp/dsp_store_rt_columnar";
+  ex_->save(dir, FileFormat::Columnar);
+  EXPECT_EQ(events_magic(dir), 0x44535046u);  // 'DSPF'
+  const Experiment back = Experiment::load(dir);
+  expect_same_events(*ex_, back);
+  EXPECT_EQ(back.events.unique_callstacks(), ex_->events.unique_callstacks());
+  EXPECT_EQ(back.total_cycles, ex_->total_cycles);
+  EXPECT_EQ(back.allocations, ex_->allocations);
+}
+
+TEST_F(StoreRoundTrip, LegacyFormatRoundTripsAndAgreesWithColumnar) {
+  // The seed's row-oriented layout must load into the same events (and the
+  // loader re-interns, so dedup statistics match the in-memory store).
+  const std::string dir = "/tmp/dsp_store_rt_legacy";
+  ex_->save(dir, FileFormat::Legacy);
+  EXPECT_EQ(events_magic(dir), 0x44535045u);  // 'DSPE'
+  const Experiment back = Experiment::load(dir);
+  expect_same_events(*ex_, back);
+  EXPECT_EQ(back.events.unique_callstacks(), ex_->events.unique_callstacks());
+  // Both layouts feed the analyzer identically.
+  const Experiment col = Experiment::load("/tmp/dsp_store_rt_columnar");
+  analyze::Analysis al(back), ac(col);
+  EXPECT_EQ(analyze::render_overview(al), analyze::render_overview(ac));
+  EXPECT_EQ(analyze::render_data_objects(al, analyze::kUserCpuMetric),
+            analyze::render_data_objects(ac, analyze::kUserCpuMetric));
+}
+
+// --- reduction determinism ---------------------------------------------------
+
+std::string all_views(analyze::Analysis& a) {
+  const size_t m = static_cast<size_t>(machine::HwEvent::EC_rd_miss);
+  std::string s;
+  s += analyze::render_overview(a);
+  s += analyze::render_function_list(a);
+  s += analyze::render_hot_pcs(a, m);
+  s += analyze::render_data_objects(a, m);
+  s += analyze::render_member_expansion(a, "pair");
+  s += analyze::render_annotated_source(a, "walk_list");
+  s += analyze::render_annotated_disassembly(a, "walk_list");
+  s += analyze::render_callers_callees(a, "walk_list");
+  s += analyze::render_effectiveness(a);
+  s += analyze::render_segments(a);
+  s += analyze::render_pages(a, m);
+  s += analyze::render_cache_lines(a, m);
+  s += analyze::render_instances(a, m);
+  return s;
+}
+
+TEST_F(StoreRoundTrip, ShardedReductionIsThreadCountInvariant) {
+  analyze::AnalysisOptions serial;
+  serial.threads = 1;
+  analyze::Analysis a1(*ex_, serial);
+  const std::string serial_views = all_views(a1);
+  for (unsigned t : {2u, 3u, 8u}) {
+    analyze::AnalysisOptions opt;
+    opt.threads = t;
+    analyze::Analysis at(*ex_, opt);
+    EXPECT_EQ(all_views(at), serial_views) << "threads=" << t;
+    EXPECT_EQ(at.total(), a1.total()) << "threads=" << t;
+    EXPECT_EQ(at.data_total(), a1.data_total()) << "threads=" << t;
+  }
+}
+
+TEST_F(StoreRoundTrip, ShardedMatchesSeedEquivalentBaselineEngine) {
+  analyze::AnalysisOptions base;
+  base.engine = analyze::Reduction::Engine::Baseline;
+  analyze::Analysis ab(*ex_, base);
+  analyze::AnalysisOptions shard;
+  shard.threads = 4;
+  analyze::Analysis as(*ex_, shard);
+  EXPECT_EQ(all_views(ab), all_views(as));
+  EXPECT_EQ(ab.total(), as.total());
+  EXPECT_EQ(ab.data_total(), as.data_total());
+  EXPECT_EQ(ab.reduce().events_reduced, as.reduce().events_reduced);
+}
+
+}  // namespace
+}  // namespace dsprof::experiment

@@ -6,20 +6,27 @@
 //   reduce:    events/sec folded into view aggregates, for the seed's
 //              serial std::map engine (Engine::Baseline), the sharded
 //              engine pinned to one thread, and the sharded engine at the
-//              default thread count.
+//              default thread count;
+//   backtrack: events/sec through overflow backtracking, replaying the
+//              delivered PCs of the collected events against the dynamic
+//              decode loop and the precomputed sa::BacktrackTable.
 //
 // Emits one machine-readable JSON object on the last line; the human-
 // readable summary goes before it. The refactor's acceptance bar is
-// sharded >= 2x baseline on this workload.
+// sharded >= 2x baseline on this workload (the backtrack table's own
+// >= 2x bar is enforced by bench/backtrack_table).
 #include <chrono>
 #include <cstdio>
 #include <string>
 #include <vector>
 
 #include "analyze/reduction.hpp"
+#include "collect/collector.hpp"
 #include "mcfsim/experiments.hpp"
+#include "sa/backtrack_table.hpp"
 
 using namespace dsprof;
+using collect::backtrack_dynamic;
 
 namespace {
 
@@ -97,6 +104,43 @@ int main() {
     return 1;
   }
 
+  // --- backtrack ------------------------------------------------------------
+  // Replay the delivered PCs of the collected events through both backtracking
+  // engines (same synthetic register file per event for both).
+  struct BtQuery {
+    u64 delivered_pc;
+    machine::TriggerKind kind;
+  };
+  std::vector<BtQuery> bt;
+  for (const auto* ex : both) {
+    for (size_t i = 0; i < ex->events.size(); ++i) {
+      const auto e = ex->events[i];
+      bt.push_back({e.delivered_pc, machine::hw_event_info(e.event).trigger});
+    }
+  }
+  constexpr u32 kWindow = 16;
+  std::array<u64, 32> regs{};
+  u64 seed = 0x2545f4914f6cdd1dULL;
+  for (size_t r = 1; r < 32; ++r) regs[r] = seed = mix_u64(seed + r);
+  const sym::Image& img = exps.ex1.image;
+  const sa::BacktrackTable btab = sa::BacktrackTable::build(img, kWindow);
+  volatile u64 bt_sink = 0;
+  const double t_bt_dyn = best_of(5, [&] {
+    u64 acc = 0;
+    for (const auto& q : bt)
+      acc += backtrack_dynamic(img, q.delivered_pc, q.kind, regs, kWindow).candidate_pc;
+    bt_sink = acc;
+  });
+  const double t_bt_tab = best_of(5, [&] {
+    u64 acc = 0;
+    for (const auto& q : bt) acc += btab.query(q.delivered_pc, q.kind, regs).candidate_pc;
+    bt_sink = acc;
+  });
+  (void)bt_sink;
+  const double bt_dyn_eps = static_cast<double>(bt.size()) / t_bt_dyn;
+  const double bt_tab_eps = static_cast<double>(bt.size()) / t_bt_tab;
+  const double bt_speedup = bt_tab_eps / bt_dyn_eps;
+
   const double base_eps = static_cast<double>(n_events) / t_baseline;
   const double sh1_eps = static_cast<double>(n_events) / t_sharded1;
   const double sh_eps = static_cast<double>(n_events) / t_sharded;
@@ -109,14 +153,21 @@ int main() {
   std::printf("%-28s %12.2f %14.3e\n", "reduce sharded (1 thread)", t_sharded1 * 1e3, sh1_eps);
   std::printf("reduce sharded (%2u threads)  %12.2f %14.3e\n", threads, t_sharded * 1e3,
               sh_eps);
+  std::printf("%-28s %12.2f %14.3e\n", "backtrack dynamic (loop)", t_bt_dyn * 1e3,
+              bt_dyn_eps);
+  std::printf("%-28s %12.2f %14.3e\n", "backtrack table (sa)", t_bt_tab * 1e3, bt_tab_eps);
   std::printf("\nsharded vs baseline speedup: %.2fx %s\n", speedup,
               speedup >= 2.0 ? "(>= 2x: PASS)" : "(< 2x: FAIL)");
+  std::printf("backtrack table vs dynamic speedup: %.2fx\n", bt_speedup);
 
   std::printf(
       "{\"workload\":\"FIG1\",\"events\":%zu,\"unique_callstacks\":%zu,"
       "\"append_events_per_sec\":%.6e,\"baseline_events_per_sec\":%.6e,"
       "\"sharded1_events_per_sec\":%.6e,\"sharded_events_per_sec\":%.6e,"
-      "\"threads\":%u,\"speedup\":%.3f}\n",
-      n_events, n_unique, append_eps, base_eps, sh1_eps, sh_eps, threads, speedup);
+      "\"threads\":%u,\"speedup\":%.3f,"
+      "\"backtrack_dynamic_events_per_sec\":%.6e,"
+      "\"backtrack_table_events_per_sec\":%.6e,\"backtrack_speedup\":%.3f}\n",
+      n_events, n_unique, append_eps, base_eps, sh1_eps, sh_eps, threads, speedup,
+      bt_dyn_eps, bt_tab_eps, bt_speedup);
   return speedup >= 2.0 ? 0 : 1;
 }

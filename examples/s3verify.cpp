@@ -1,0 +1,203 @@
+// s3verify: static verification of compiled s3 images (the sa subsystem's
+// CLI front end).
+//
+//   s3verify [--json] [--window N] [--pad-nops N] <target>...
+//
+// Each <target> is one of:
+//   * a builtin image name — a program compiled on the spot with the default
+//     -xhwcprof -xdebugformat=dwarf options:
+//       mcf       the paper's MCF case-study program (mcfsim)
+//       mcf-opt   MCF with the §3.3 optimized node layout
+//       particle  the quickstart particle stepper
+//       chase     a pointer-chasing list walker
+//       all       every builtin above
+//   * a path to an experiment directory (verifies its loadobjects.bin), or
+//     to a loadobjects.bin file directly.
+//
+// For every target, the tool reconstructs the CFG, precomputes the
+// backtracking table, runs the hwcprof invariant lint, and prints a report
+// (human-readable by default, one JSON object per line with --json).
+//
+// Exit status: 0 when every target is lint-clean (no error-severity
+// diagnostics), 1 when any target has errors, 2 on usage/load problems.
+// scripts/check.sh runs `s3verify all` as part of tier-1 verification.
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include "mcfsim/mcfsim.hpp"
+#include "sa/verifier.hpp"
+#include "scc/builder.hpp"
+#include "scc/compile.hpp"
+
+using namespace dsprof;
+using scc::FunctionBuilder;
+using scc::Type;
+using scc::Val;
+
+namespace {
+
+sym::Image build_particle() {
+  scc::Module mod;
+  scc::StructDef* particle = mod.add_struct("particle");
+  particle->field("x", Type::i64())
+      .field("y", Type::i64())
+      .field("vx", Type::i64())
+      .field("vy", Type::i64())
+      .field("mass", Type::i64());
+  scc::Function* mal = scc::add_runtime(mod);
+  scc::Function* step = mod.add_function("advance");
+  {
+    FunctionBuilder fb(mod, *step);
+    auto ps = fb.param("ps", Type::ptr(particle));
+    auto n = fb.param("n", Type::i64());
+    auto i = fb.local("i", Type::i64());
+    auto p = fb.local("p", Type::ptr(particle));
+    fb.set(i, 0);
+    fb.while_(i < n, [&] {
+      fb.set(p, ps + (i * 7919) % n);
+      fb.set(p["x"], p["x"] + p["vx"]);
+      fb.set(p["y"], p["y"] + p["vy"]);
+      fb.set(i, i + 1);
+    });
+    fb.ret0();
+  }
+  scc::Function* main_fn = mod.add_function("main");
+  {
+    FunctionBuilder fb(mod, *main_fn);
+    auto ps = fb.local("ps", Type::ptr(particle));
+    const i64 n = 1000;
+    fb.set(ps, scc::cast(fb.call(mal, {Val(n * static_cast<i64>(particle->size()))}),
+                         Type::ptr(particle)));
+    fb.call_stmt(step, {ps, Val(n)});
+    fb.ret(Val(0));
+  }
+  return scc::compile(mod);
+}
+
+sym::Image build_chase() {
+  scc::Module mod;
+  scc::StructDef* node = mod.add_struct("node");
+  node->field("key", Type::i64()).field("next", Type::ptr(node));
+  scc::Function* mal = scc::add_runtime(mod);
+  scc::Function* main_fn = mod.add_function("main");
+  {
+    FunctionBuilder fb(mod, *main_fn);
+    auto nodes = fb.local("nodes", Type::ptr(node));
+    auto cur = fb.local("cur", Type::ptr(node));
+    auto i = fb.local("i", Type::i64());
+    auto sum = fb.local("sum", Type::i64());
+    const i64 n = 100;
+    fb.set(nodes, scc::cast(fb.call(mal, {Val(n * static_cast<i64>(node->size()))}),
+                            Type::ptr(node)));
+    fb.set(i, 0);
+    fb.while_(i < n, [&] {
+      fb.set(cur, nodes + i);
+      fb.set(cur["key"], i);
+      fb.set(cur["next"], nodes + (i + 13) % n);
+      fb.set(i, i + 1);
+    });
+    fb.set(sum, 0);
+    fb.set(cur, nodes);
+    fb.set(i, 0);
+    fb.while_(i < n, [&] {
+      fb.set(sum, sum + cur["key"]);
+      fb.set(cur, cur["next"]);
+      fb.set(i, i + 1);
+    });
+    fb.ret(sum & 0x7F);
+  }
+  return scc::compile(mod);
+}
+
+struct Target {
+  std::string name;
+  sym::Image image;
+};
+
+bool load_builtin(const std::string& name, std::vector<Target>& out) {
+  if (name == "mcf" || name == "all") {
+    out.push_back({"mcf", mcfsim::build_mcf_image()});
+  }
+  if (name == "mcf-opt" || name == "all") {
+    mcfsim::BuildOptions bo;
+    bo.optimized_node_layout = true;
+    bo.align_heap_arrays = true;
+    out.push_back({"mcf-opt", mcfsim::build_mcf_image(bo)});
+  }
+  if (name == "particle" || name == "all") out.push_back({"particle", build_particle()});
+  if (name == "chase" || name == "all") out.push_back({"chase", build_chase()});
+  return name == "all" || name == "mcf" || name == "mcf-opt" || name == "particle" ||
+         name == "chase";
+}
+
+bool load_path(const std::string& path, std::vector<Target>& out) {
+  namespace fs = std::filesystem;
+  std::string file = path;
+  if (fs::is_directory(path)) file = path + "/loadobjects.bin";
+  if (!fs::exists(file)) return false;
+  const std::vector<u8> bytes = read_file(file);
+  ByteReader r(bytes);
+  out.push_back({path, sym::Image::deserialize(r)});
+  return true;
+}
+
+int usage() {
+  std::fputs(
+      "usage: s3verify [--json] [--window N] [--pad-nops N] <target>...\n"
+      "  target: builtin image (mcf, mcf-opt, particle, chase, all),\n"
+      "          an experiment directory, or a loadobjects.bin file\n"
+      "exit: 0 lint-clean, 1 error diagnostics present, 2 usage/load failure\n",
+      stderr);
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool json = false;
+  sa::VerifyOptions opt;
+  std::vector<std::string> names;
+  for (int i = 1; i < argc; ++i) {
+    const std::string a = argv[i];
+    if (a == "--json") {
+      json = true;
+    } else if (a == "--window" && i + 1 < argc) {
+      opt.backtrack_window = static_cast<u32>(std::atoi(argv[++i]));
+    } else if (a == "--pad-nops" && i + 1 < argc) {
+      opt.lint.pad_nops = static_cast<u32>(std::atoi(argv[++i]));
+    } else if (!a.empty() && a[0] == '-') {
+      return usage();
+    } else {
+      names.push_back(a);
+    }
+  }
+  if (names.empty()) return usage();
+
+  std::vector<Target> targets;
+  for (const auto& n : names) {
+    try {
+      if (load_builtin(n, targets)) continue;
+      if (load_path(n, targets)) continue;
+      std::fprintf(stderr, "s3verify: unknown target '%s'\n", n.c_str());
+      return 2;
+    } catch (const Error& e) {
+      std::fprintf(stderr, "s3verify: cannot load '%s': %s\n", n.c_str(), e.what());
+      return 2;
+    }
+  }
+
+  bool all_clean = true;
+  for (const auto& t : targets) {
+    const sa::VerifyReport report = sa::verify(t.image, t.name, opt);
+    if (json) {
+      std::printf("%s\n", sa::to_json(report).c_str());
+    } else {
+      std::fputs(sa::to_text(report).c_str(), stdout);
+    }
+    all_clean = all_clean && report.clean();
+  }
+  return all_clean ? 0 : 1;
+}

@@ -1,9 +1,14 @@
 #!/usr/bin/env bash
 # Tier-1 verification: build + full test suite, once normally and once under
-# AddressSanitizer (DSPROF_SANITIZE=address). Usage:
+# AddressSanitizer (DSPROF_SANITIZE=address), plus two static gates:
+#   - clang-tidy over src/sa/ (skipped with a notice when clang-tidy is not
+#     installed — the reference container does not ship it);
+#   - `s3verify all`, which lints every built-in compiled image and exits
+#     nonzero on any error-severity diagnostic.
+# Usage:
 #
-#   scripts/check.sh            # both passes
-#   scripts/check.sh --fast     # normal pass only
+#   scripts/check.sh            # both build passes + static gates
+#   scripts/check.sh --fast     # normal pass + static gates only
 #   scripts/check.sh --asan     # ASan pass only
 #
 # Exits nonzero on the first failing step.
@@ -23,15 +28,43 @@ run_pass() {
   ctest --test-dir "${dir}" --output-on-failure -j "${jobs}"
 }
 
+# clang-tidy over the static-analysis subsystem (the newest code, held to the
+# strictest bar). Graceful skip when the tool is absent; any emitted
+# "error:" diagnostic fails the script (WarningsAsErrors stays off so the
+# broader tree can adopt the profile incrementally).
+run_tidy() {
+  local dir="$1"
+  if ! command -v clang-tidy >/dev/null 2>&1; then
+    echo "== tidy: clang-tidy not installed; skipping (install it or use -DDSPROF_TIDY=ON) =="
+    return 0
+  fi
+  echo "== tidy: clang-tidy over src/sa/ =="
+  cmake -B "${dir}" -S "${repo}" -DCMAKE_EXPORT_COMPILE_COMMANDS=ON >/dev/null
+  clang-tidy -p "${dir}" --quiet "${repo}"/src/sa/*.cpp
+}
+
+# Static verification of every built-in compiled image (CFG + hwcprof lint +
+# backtrack-table build); s3verify exits nonzero on error diagnostics.
+run_s3verify() {
+  local dir="$1"
+  echo "== s3verify: lint all built-in images =="
+  cmake --build "${dir}" -j "${jobs}" --target s3verify
+  "${dir}/examples/s3verify" all
+}
+
 case "${mode}" in
   --fast|fast)
     run_pass "normal" "${repo}/build"
+    run_tidy "${repo}/build"
+    run_s3verify "${repo}/build"
     ;;
   --asan|asan)
     run_pass "asan" "${repo}/build-asan" -DDSPROF_SANITIZE=address
     ;;
   all|--all)
     run_pass "normal" "${repo}/build"
+    run_tidy "${repo}/build"
+    run_s3verify "${repo}/build"
     run_pass "asan" "${repo}/build-asan" -DDSPROF_SANITIZE=address
     ;;
   *)

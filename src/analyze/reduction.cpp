@@ -217,6 +217,7 @@ ReductionResult reduce_sharded(const std::vector<ExpContext>& ctxs, u32 unknown_
     Partial& p = partials[s];
     const size_t lo = n * s / nshards;
     const size_t hi = n * (s + 1) / nshards;
+    if (lo >= hi) return;  // empty shard (e.g. every experiment is empty)
     // Locate the experiment containing `lo`.
     size_t e = 0;
     while (prefix[e + 1] <= lo) ++e;

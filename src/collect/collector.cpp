@@ -138,21 +138,25 @@ Collector::Collector(const sym::Image& image, CollectOptions opt)
   }
 }
 
-Collector::BacktrackResult Collector::backtrack(const machine::OverflowDelivery& d) {
-  BacktrackResult r;
-  const TriggerKind kind = machine::hw_event_info(d.event).trigger;
+sa::BacktrackAnswer backtrack_dynamic(const sym::Image& image, u64 delivered_pc,
+                                      TriggerKind kind, const std::array<u64, 32>& regs,
+                                      u32 window) {
+  sa::BacktrackAnswer r;
   if (kind == TriggerKind::Any) return r;  // nothing to search for
 
-  const u64 text_lo = image_.text_base;
-  const u64 text_hi = image_.text_base + image_.text_size();
+  const u64 text_lo = image.text_base;
+  const u64 text_hi = image.text_base + image.text_size();
+  auto fetch = [&](u64 pc) {
+    return image.text_words[static_cast<size_t>((pc - text_lo) >> 2)];
+  };
 
   // Walk back in address order from the instruction before the delivered PC
   // (the delivered PC is the *next* instruction to issue, §2.2.2).
-  u64 pc = d.delivered_pc;
-  for (u32 step = 0; step < opt_.backtrack_window; ++step) {
+  u64 pc = delivered_pc;
+  for (u32 step = 0; step < window; ++step) {
     if (pc < text_lo + 4 || pc > text_hi) break;
     pc -= 4;
-    const isa::Instr ins = isa::decode(mem_->fetch_word(pc));
+    const isa::Instr ins = isa::decode(fetch(pc));
     const isa::OpInfo& info = isa::op_info(ins.op);
     const bool matches = kind == TriggerKind::Load
                              ? info.is_load
@@ -166,6 +170,12 @@ Collector::BacktrackResult Collector::backtrack(const machine::OverflowDelivery&
     // itself (a load overwriting its own base register) nor any instruction
     // between it and the delivered PC wrote the address registers
     // (registers may have been changed while the counter was skidding).
+    //
+    // Conservative annulled-delay-slot rule: instructions in the skid gap
+    // are treated as executed writers even when they sit in the delay slot
+    // of an annulling branch — the snapshot cannot prove the slot ran, so
+    // we may drop a recoverable EA but never report a wrong one. The
+    // sa::BacktrackTable applies the identical rule (see its header).
     const auto ea = isa::ea_expr(ins);
     DSP_CHECK(ea.has_value(), "memory op without EA expression");
     bool clobbered = false;
@@ -173,8 +183,8 @@ Collector::BacktrackResult Collector::backtrack(const machine::OverflowDelivery&
         (ins.rd == ea->rs1 || (!ea->has_imm && ins.rd == ea->rs2))) {
       clobbered = true;
     }
-    for (u64 q = pc + 4; q < d.delivered_pc; q += 4) {
-      const isa::Instr between = isa::decode(mem_->fetch_word(q));
+    for (u64 q = pc + 4; q < delivered_pc; q += 4) {
+      const isa::Instr between = isa::decode(fetch(q));
       const isa::OpInfo& binfo = isa::op_info(between.op);
       u8 written = 32;  // none
       if (binfo.is_load || (!binfo.is_store && !binfo.is_branch && !binfo.is_call &&
@@ -191,8 +201,8 @@ Collector::BacktrackResult Collector::backtrack(const machine::OverflowDelivery&
       }
     }
     if (!clobbered) {
-      const u64 base = d.regs[ea->rs1];
-      const u64 off = ea->has_imm ? static_cast<u64>(ea->imm) : d.regs[ea->rs2];
+      const u64 base = regs[ea->rs1];
+      const u64 off = ea->has_imm ? static_cast<u64>(ea->imm) : regs[ea->rs2];
       r.ea_known = true;
       r.ea = base + off;
     }
@@ -201,11 +211,19 @@ Collector::BacktrackResult Collector::backtrack(const machine::OverflowDelivery&
   return r;  // nothing found within the window: (Unresolvable)
 }
 
+sa::BacktrackAnswer Collector::backtrack(const machine::OverflowDelivery& d) {
+  const TriggerKind kind = machine::hw_event_info(d.event).trigger;
+  if (btable_ != nullptr) {
+    return btable_->query(d.delivered_pc, kind, d.regs);
+  }
+  return backtrack_dynamic(image_, d.delivered_pc, kind, d.regs, opt_.backtrack_window);
+}
+
 void Collector::on_overflow(const machine::OverflowDelivery& d) {
   // Hot path: append straight into the columnar store. No EventRecord is
   // materialized and no per-event heap allocation happens — the callstack
   // words are interned into the store's shared arena.
-  BacktrackResult r;
+  sa::BacktrackAnswer r;
   if (d.pic != machine::kClockPic && backtrack_by_pic_[d.pic]) {
     r = backtrack(d);
   }
@@ -215,6 +233,17 @@ void Collector::on_overflow(const machine::OverflowDelivery& d) {
 }
 
 experiment::Experiment Collector::run(const std::function<void(machine::Cpu&)>& setup) {
+  // Hoist the per-event backtracking work into a one-time static analysis
+  // pass (BacktrackEngine::Table): the table answers every overflow with an
+  // O(1) lookup instead of the O(window) decode loop above.
+  bool want_backtrack = false;
+  for (const auto& c : counters_) want_backtrack = want_backtrack || c.backtrack;
+  if (opt_.backtrack_engine == BacktrackEngine::Table && want_backtrack &&
+      btable_ == nullptr) {
+    btable_ = std::make_unique<sa::BacktrackTable>(
+        sa::BacktrackTable::build(image_, opt_.backtrack_window));
+  }
+
   mem_ = std::make_unique<mem::Memory>();
   image_.load_into(*mem_);
   cpu_ = std::make_unique<machine::Cpu>(*mem_, opt_.cpu);

@@ -12,6 +12,7 @@
 
 #include "experiment/experiment.hpp"
 #include "machine/cpu.hpp"
+#include "sa/backtrack_table.hpp"
 
 namespace dsprof::collect {
 
@@ -28,6 +29,17 @@ std::vector<experiment::CounterSpec> parse_counter_spec(const std::string& spec)
 /// Render the list of available counters (collect with no arguments).
 std::string list_counters();
 
+/// How the apropos backtracking answer is produced per overflow event.
+enum class BacktrackEngine : u8 {
+  /// Precomputed sa::BacktrackTable, built once per image: O(1) per event.
+  Table,
+  /// The original per-event decode loop (backtrack_dynamic): O(window) per
+  /// event. Kept as the executable reference — the table must match it
+  /// bit-for-bit (tests/sa_test.cpp, tests/scc_fuzz_test.cpp) and
+  /// bench/backtrack_table measures the gap.
+  Dynamic,
+};
+
 struct CollectOptions {
   /// -h: hardware counter spec; empty = no HW profiling.
   std::string hw = "";
@@ -37,7 +49,26 @@ struct CollectOptions {
   u64 max_instructions = 0;  // safety stop; 0 = run to exit
   /// Instructions to search when backtracking from the delivered PC.
   u32 backtrack_window = 16;
+  BacktrackEngine backtrack_engine = BacktrackEngine::Table;
 };
+
+/// Reference apropos backtracking search (paper §2.2.3): walk backward from
+/// the skidded delivered PC through at most `window` decoded instructions to
+/// the nearest memory op matching the trigger kind, then decide whether its
+/// effective address is still recomputable from the delivered register
+/// snapshot (no write to the address registers in between).
+///
+/// Conservative annulled-delay-slot rule: the clobber scan treats *every*
+/// instruction in the skid gap as an executed register writer — including a
+/// branch delay slot the machine may have annulled at run time. The
+/// delivered register snapshot cannot tell us whether the slot executed, so
+/// assuming it did errs toward ea_known=false: a conservatively dropped
+/// sample, never a wrong address attributed to a data object. The
+/// sa::BacktrackTable precomputation applies the identical rule (the
+/// bit-identity tests cover images with annulling branches).
+sa::BacktrackAnswer backtrack_dynamic(const sym::Image& image, u64 delivered_pc,
+                                      machine::TriggerKind kind,
+                                      const std::array<u64, 32>& regs, u32 window);
 
 class Collector {
  public:
@@ -56,13 +87,7 @@ class Collector {
   }
 
  private:
-  struct BacktrackResult {
-    bool found = false;
-    u64 candidate_pc = 0;
-    bool ea_known = false;
-    u64 ea = 0;
-  };
-  BacktrackResult backtrack(const machine::OverflowDelivery& d);
+  sa::BacktrackAnswer backtrack(const machine::OverflowDelivery& d);
   void on_overflow(const machine::OverflowDelivery& d);
 
   const sym::Image& image_;
@@ -72,6 +97,10 @@ class Collector {
   /// overflow hot path does not re-scan the counter specs per event.
   std::array<bool, machine::kNumPics> backtrack_by_pic_{};
   u64 clock_interval_ = 0;
+  /// Precomputed backtracking answers (BacktrackEngine::Table). Built once
+  /// per Collector, lazily at run(), and only when some counter actually
+  /// requests backtracking.
+  std::unique_ptr<sa::BacktrackTable> btable_;
 
   std::unique_ptr<mem::Memory> mem_;
   std::unique_ptr<machine::Cpu> cpu_;

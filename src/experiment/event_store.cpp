@@ -29,8 +29,11 @@ template <typename T>
 std::vector<T> get_pod_column(ByteReader& r) {
   const u64 n = r.get_u64();
   const std::vector<u8> raw = r.get_blob();
-  DSP_CHECK(raw.size() == n * sizeof(T), "event column size mismatch");
-  std::vector<T> col(n);
+  // Divide instead of multiplying: `n * sizeof(T)` wraps for corrupt counts
+  // near 2^64, and allocating `col(n)` before validating would OOM.
+  DSP_CHECK(raw.size() % sizeof(T) == 0 && raw.size() / sizeof(T) == n,
+            "event column size mismatch");
+  std::vector<T> col(static_cast<size_t>(n));
   if (n != 0) std::memcpy(col.data(), raw.data(), raw.size());
   return col;
 }
@@ -141,7 +144,9 @@ EventStore EventStore::deserialize(ByteReader& r) {
                 s.seq_.size() == n && s.cs_offset_.size() == n && s.cs_len_.size() == n,
             "event columns have inconsistent lengths");
   for (size_t i = 0; i < n; ++i) {
-    DSP_CHECK(s.cs_offset_[i] + s.cs_len_[i] <= s.arena_.size(),
+    // Overflow-safe form: offset + len can wrap past the arena size.
+    DSP_CHECK(s.cs_offset_[i] <= s.arena_.size() &&
+                  s.cs_len_[i] <= s.arena_.size() - s.cs_offset_[i],
               "callstack handle outside arena");
   }
   // Rebuild the interning table so further appends keep deduplicating.

@@ -38,6 +38,10 @@ void put_header(ByteWriter& w, const Experiment& ex) {
 
 void get_header(ByteReader& r, Experiment& ex) {
   const u32 nc = r.get_u32();
+  // At most one counter per PIC register can ever be recorded; a larger
+  // count means the header is corrupt (and must not drive allocation).
+  DSP_CHECK(nc <= machine::kNumPics,
+            "implausible counter count " + std::to_string(nc) + " in header");
   for (u32 i = 0; i < nc; ++i) ex.counters.push_back(get_counter(r));
   ex.clock_interval = r.get_u64();
   ex.clock_hz = r.get_u64();
@@ -107,6 +111,14 @@ void put_events_legacy(ByteWriter& w, const EventStore& events) {
 
 void get_events_legacy(ByteReader& r, EventStore& events) {
   const u32 ne = r.get_u32();
+  // Validate the count against the bytes actually present before reserving:
+  // a corrupt count would otherwise drive a multi-gigabyte allocation long
+  // before any read hits the bytestream bounds check. Every legacy record
+  // occupies at least 47 bytes (fixed fields + empty callstack).
+  constexpr u64 kMinRecordBytes = 47;
+  DSP_CHECK(ne <= r.remaining() / kMinRecordBytes,
+            "legacy event count " + std::to_string(ne) + " exceeds the " +
+                std::to_string(r.remaining()) + " bytes remaining");
   events.reserve(ne);
   std::vector<u64> stack;  // reused scratch
   for (u32 i = 0; i < ne; ++i) {
@@ -118,6 +130,8 @@ void get_events_legacy(ByteReader& r, EventStore& events) {
     const u64 candidate_pc = r.get_u64();
     const u64 ea = r.get_u64();
     const u32 depth = r.get_u32();
+    DSP_CHECK(depth <= r.remaining() / 8,
+              "callstack depth " + std::to_string(depth) + " exceeds remaining bytes");
     stack.clear();
     stack.reserve(depth);
     for (u32 d = 0; d < depth; ++d) stack.push_back(r.get_u64());
@@ -158,22 +172,34 @@ Experiment Experiment::load(const std::string& dir) {
   const auto logbytes = read_file(dir + "/log.txt");
   ex.log.assign(logbytes.begin(), logbytes.end());
 
-  const auto lobytes = read_file(dir + "/loadobjects.bin");
-  ByteReader lr(lobytes);
-  ex.image = sym::Image::deserialize(lr);
-
-  const auto evbytes = read_file(dir + "/events.bin");
-  ByteReader r(evbytes);
-  const u32 magic = r.get_u32();
-  DSP_CHECK(magic == kMagicColumnar || magic == kMagicLegacy,
-            "bad experiment magic in " + dir);
-  get_header(r, ex);
-  if (magic == kMagicColumnar) {
-    ex.events = EventStore::deserialize(r);
-  } else {
-    get_events_legacy(r, ex.events);
+  // Every structural problem in either binary file — truncation, corrupt
+  // counts, out-of-range handles — surfaces as an Error naming the file and
+  // directory, never as undefined behaviour or an uncontextualized check.
+  try {
+    const auto lobytes = read_file(dir + "/loadobjects.bin");
+    ByteReader lr(lobytes);
+    ex.image = sym::Image::deserialize(lr);
+  } catch (const Error& e) {
+    fail("corrupt experiment loadobjects.bin in '" + dir + "': " + e.what());
   }
-  get_trailer(r, ex);
+
+  try {
+    const auto evbytes = read_file(dir + "/events.bin");
+    ByteReader r(evbytes);
+    const u32 magic = r.get_u32();
+    DSP_CHECK(magic == kMagicColumnar || magic == kMagicLegacy,
+              "bad events.bin magic (expected DSPF or DSPE)");
+    get_header(r, ex);
+    if (magic == kMagicColumnar) {
+      ex.events = EventStore::deserialize(r);
+    } else {
+      get_events_legacy(r, ex.events);
+    }
+    get_trailer(r, ex);
+    DSP_CHECK(r.at_end(), std::to_string(r.remaining()) + " trailing byte(s) after trailer");
+  } catch (const Error& e) {
+    fail("corrupt experiment events.bin in '" + dir + "': " + e.what());
+  }
   return ex;
 }
 

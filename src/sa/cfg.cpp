@@ -1,0 +1,200 @@
+#include "sa/cfg.hpp"
+
+#include <algorithm>
+
+#include "isa/isa.hpp"
+#include "machine/hostcall.hpp"
+
+namespace dsprof::sa {
+
+namespace {
+
+bool is_exit_hcall(const isa::Instr& ins) {
+  return ins.op == isa::Op::HCALL && ins.has_imm &&
+         ins.imm == static_cast<i64>(machine::HostCall::Exit);
+}
+
+/// Does the delay slot of a branch execute on its taken / untaken path?
+/// (machine/cpu.cpp: `ba,a` annuls always; a conditional with the annul bit
+/// annuls only when untaken.)
+bool slot_runs_taken(const isa::Instr& br) {
+  return !(br.annul && br.cond == isa::Cond::A);
+}
+bool slot_runs_untaken(const isa::Instr& br) { return !br.annul; }
+
+}  // namespace
+
+Cfg Cfg::build(const sym::Image& img) {
+  Cfg g;
+  g.text_base_ = img.text_base;
+  const size_t n = img.text_words.size();
+  g.instr_reachable_.assign(n, 0);
+  g.delay_slot_.assign(n, 0);
+  g.block_of_.assign(n, 0);
+  if (n == 0) return g;
+
+  std::vector<isa::Instr> code(n);
+  for (size_t i = 0; i < n; ++i) code[i] = isa::decode(img.text_words[i]);
+
+  auto in_text = [&](u64 pc) {
+    return pc >= g.text_base_ && pc < g.text_base_ + 4 * n && (pc & 3) == 0;
+  };
+  auto word_of = [&](u64 pc) { return static_cast<size_t>((pc - g.text_base_) >> 2); };
+
+  // Delay-slot map: the word after any delayed transfer.
+  for (size_t i = 0; i + 1 < n; ++i) {
+    if (isa::op_info(code[i].op).delayed) g.delay_slot_[i + 1] = 1;
+  }
+
+  // --- instruction-level reachability ---------------------------------------
+  // Walk straight-line runs from each pending entry point; delayed transfers
+  // mark their slot reachable (on the paths where it executes) and enqueue
+  // their control successors, so a slot shadowed by `ba,a` never gets marked
+  // through the annulled path.
+  std::vector<u64> work;
+  auto enqueue = [&](u64 pc) {
+    if (in_text(pc) && !g.instr_reachable_[word_of(pc)]) work.push_back(pc);
+  };
+  enqueue(img.entry);
+  while (!work.empty()) {
+    u64 pc = work.back();
+    work.pop_back();
+    while (in_text(pc)) {
+      const size_t w = word_of(pc);
+      if (g.instr_reachable_[w]) break;
+      g.instr_reachable_[w] = 1;
+      const isa::Instr& ins = code[w];
+      const isa::OpInfo& info = isa::op_info(ins.op);
+      if (ins.op == isa::Op::ILLEGAL || is_exit_hcall(ins)) break;
+      if (!info.delayed) {
+        pc += 4;
+        continue;
+      }
+      const u64 slot = pc + 4;
+      if (ins.op == isa::Op::BR) {
+        const bool taken_possible = ins.cond != isa::Cond::N;
+        const bool untaken_possible = ins.cond != isa::Cond::A;
+        if ((taken_possible && slot_runs_taken(ins)) ||
+            (untaken_possible && slot_runs_untaken(ins))) {
+          if (in_text(slot)) g.instr_reachable_[word_of(slot)] = 1;
+        }
+        if (taken_possible) enqueue(pc + static_cast<u64>(ins.disp));
+        if (untaken_possible) enqueue(pc + 8);
+      } else if (ins.op == isa::Op::CALL) {
+        if (in_text(slot)) g.instr_reachable_[word_of(slot)] = 1;
+        enqueue(pc + static_cast<u64>(ins.disp));
+        enqueue(pc + 8);  // the call-return join (assuming the callee returns)
+      } else {  // JMPL: indirect target — no static successor
+        if (in_text(slot)) g.instr_reachable_[word_of(slot)] = 1;
+      }
+      break;
+    }
+  }
+
+  // --- basic blocks ----------------------------------------------------------
+  // Leaders: entry, every decoded branch/call target, the join after each
+  // delayed transfer's slot, and every address in the symbol table's
+  // branch-target table.
+  std::vector<u8> leader(n, 0);
+  leader[0] = 1;
+  if (in_text(img.entry)) leader[word_of(img.entry)] = 1;
+  for (size_t i = 0; i < n; ++i) {
+    const isa::Instr& ins = code[i];
+    if (ins.op == isa::Op::BR || ins.op == isa::Op::CALL) {
+      const u64 target = g.text_base_ + 4 * i + static_cast<u64>(ins.disp);
+      if (in_text(target)) leader[word_of(target)] = 1;
+    }
+    if (isa::op_info(ins.op).delayed && i + 2 < n) leader[i + 2] = 1;
+  }
+  for (u64 t : img.symtab.branch_targets()) {
+    if (in_text(t)) leader[word_of(t)] = 1;
+  }
+  // A delay slot never starts a block unless it is itself a branch target;
+  // clear leaders synthesized purely by structure.
+  // (Targets landing in a slot are kept: the machine can jump there.)
+
+  std::vector<size_t> starts;
+  for (size_t i = 0; i < n; ++i) {
+    if (leader[i]) starts.push_back(i);
+  }
+  g.blocks_.reserve(starts.size());
+  for (size_t b = 0; b < starts.size(); ++b) {
+    const size_t lo = starts[b];
+    const size_t hi = b + 1 < starts.size() ? starts[b + 1] : n;
+    BasicBlock blk;
+    blk.lo = g.text_base_ + 4 * lo;
+    blk.hi = g.text_base_ + 4 * hi;
+    for (size_t i = lo; i < hi; ++i) {
+      g.block_of_[i] = static_cast<u32>(b);
+      blk.reachable = blk.reachable || g.instr_reachable_[i] != 0;
+    }
+    g.blocks_.push_back(std::move(blk));
+  }
+
+  // Successor edges from each block's terminator.
+  auto block_index_at = [&](u64 pc) -> std::optional<u32> {
+    if (!in_text(pc)) return std::nullopt;
+    return g.block_of_[word_of(pc)];
+  };
+  for (size_t b = 0; b < g.blocks_.size(); ++b) {
+    BasicBlock& blk = g.blocks_[b];
+    const size_t last = word_of(blk.hi) - 1;
+    // The terminating transfer is the instruction before the slot (if the
+    // block ends in transfer+slot), else the final instruction.
+    size_t term = last;
+    if (g.delay_slot_[last] && last >= 1 && word_of(blk.lo) <= last - 1) term = last - 1;
+    const isa::Instr& ins = code[term];
+    std::vector<u32> succ;
+    auto add = [&](u64 pc) {
+      if (auto s = block_index_at(pc)) {
+        if (std::find(succ.begin(), succ.end(), *s) == succ.end()) succ.push_back(*s);
+      }
+    };
+    if (ins.op == isa::Op::BR) {
+      if (ins.cond != isa::Cond::N) add(g.text_base_ + 4 * term + static_cast<u64>(ins.disp));
+      if (ins.cond != isa::Cond::A) add(g.text_base_ + 4 * term + 8);
+    } else if (ins.op == isa::Op::CALL) {
+      add(g.text_base_ + 4 * term + static_cast<u64>(ins.disp));
+      add(g.text_base_ + 4 * term + 8);
+    } else if (ins.op == isa::Op::JMPL || ins.op == isa::Op::ILLEGAL || is_exit_hcall(ins)) {
+      // no static successors
+    } else {
+      add(blk.hi);  // plain fall-through
+    }
+    blk.succ = std::move(succ);
+  }
+  return g;
+}
+
+bool Cfg::instr_reachable(u64 pc) const {
+  if (pc < text_base_ || (pc & 3) != 0) return false;
+  const size_t w = static_cast<size_t>((pc - text_base_) >> 2);
+  return w < instr_reachable_.size() && instr_reachable_[w] != 0;
+}
+
+const BasicBlock* Cfg::block_at(u64 pc) const {
+  if (pc < text_base_ || (pc & 3) != 0) return nullptr;
+  const size_t w = static_cast<size_t>((pc - text_base_) >> 2);
+  if (w >= block_of_.size()) return nullptr;
+  return &blocks_[block_of_[w]];
+}
+
+bool Cfg::is_delay_slot(u64 pc) const {
+  if (pc < text_base_ || (pc & 3) != 0) return false;
+  const size_t w = static_cast<size_t>((pc - text_base_) >> 2);
+  return w < delay_slot_.size() && delay_slot_[w] != 0;
+}
+
+size_t Cfg::reachable_blocks() const {
+  size_t n = 0;
+  for (const auto& b : blocks_) n += b.reachable ? 1 : 0;
+  return n;
+}
+
+size_t Cfg::num_edges() const {
+  size_t n = 0;
+  for (const auto& b : blocks_) n += b.succ.size();
+  return n;
+}
+
+}  // namespace dsprof::sa

@@ -1,0 +1,63 @@
+// Static control-flow-graph reconstruction over a compiled s3 image.
+//
+// The CFG is built from two sources: the decoded text segment (direct
+// branch/call targets, delayed-transfer structure, HCALL Exit terminators)
+// and the -xdebugformat=dwarf branch-target table carried by the symbol
+// tables (which additionally names indirect join points such as call
+// returns). It underlies the hwcprof invariant linter (lint.hpp) and the
+// reachability facts reported by the s3verify CLI.
+//
+// Delay-slot modelling follows the machine exactly (machine/cpu.cpp):
+// the instruction after a delayed transfer executes with it, except that an
+// annulling branch skips it on the untaken path and `ba,a` skips it always.
+#pragma once
+
+#include <vector>
+
+#include "sym/image.hpp"
+
+namespace dsprof::sa {
+
+struct BasicBlock {
+  u64 lo = 0;  // first instruction address
+  u64 hi = 0;  // one past the last instruction (delay slots stay with their
+               // transfer, so a block ends after the slot)
+  /// Successor block indices (direct control transfers + fall-through).
+  /// Indirect transfers (jmpl/ret) and HCALL Exit contribute no edges.
+  std::vector<u32> succ;
+  bool reachable = false;  // reachable from the image entry point
+};
+
+class Cfg {
+ public:
+  /// Reconstruct the CFG of `img`'s text segment.
+  static Cfg build(const sym::Image& img);
+
+  const std::vector<BasicBlock>& blocks() const { return blocks_; }
+
+  u64 text_base() const { return text_base_; }
+  size_t num_words() const { return instr_reachable_.size(); }
+
+  /// Is the instruction word at `pc` reachable from the entry point?
+  /// (Delay slots count as reachable only on paths where they execute.)
+  bool instr_reachable(u64 pc) const;
+
+  /// Block containing `pc`, or nullptr if `pc` is outside the text segment.
+  const BasicBlock* block_at(u64 pc) const;
+
+  /// Is the instruction at `pc` the delay slot of a preceding delayed
+  /// control transfer?
+  bool is_delay_slot(u64 pc) const;
+
+  size_t reachable_blocks() const;
+  size_t num_edges() const;
+
+ private:
+  u64 text_base_ = 0;
+  std::vector<BasicBlock> blocks_;
+  std::vector<u32> block_of_;         // word index -> block index
+  std::vector<u8> instr_reachable_;   // word index -> executed on some path
+  std::vector<u8> delay_slot_;        // word index -> sits in a delay slot
+};
+
+}  // namespace dsprof::sa

@@ -1,0 +1,241 @@
+#include "sa/lint.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+#include "isa/isa.hpp"
+
+namespace dsprof::sa {
+
+const char* severity_name(Severity s) {
+  switch (s) {
+    case Severity::Info: return "info";
+    case Severity::Warning: return "warning";
+    case Severity::Error: return "error";
+  }
+  return "?";
+}
+
+size_t count_severity(const std::vector<Diag>& diags, Severity s) {
+  size_t n = 0;
+  for (const auto& d : diags) n += d.severity == s ? 1 : 0;
+  return n;
+}
+
+namespace {
+
+std::string hex(u64 v) {
+  std::ostringstream os;
+  os << "0x" << std::hex << v;
+  return os.str();
+}
+
+bool is_mem(const isa::OpInfo& info) {
+  return info.is_load || info.is_store || info.is_prefetch;
+}
+
+class Linter {
+ public:
+  Linter(const sym::Image& img, const Cfg& cfg, const LintOptions& opt)
+      : img_(img), cfg_(cfg), opt_(opt) {
+    const size_t n = img.text_words.size();
+    code_.resize(n);
+    for (size_t i = 0; i < n; ++i) code_[i] = isa::decode(img.text_words[i]);
+  }
+
+  std::vector<Diag> run() {
+    rule_delay_slot();
+    rule_nop_pad();
+    rule_descriptor();
+    rule_branch_targets();
+    rule_line_table();
+    rule_unreachable();
+    rule_self_clobber();
+    std::sort(out_.begin(), out_.end(), [](const Diag& a, const Diag& b) {
+      if (a.pc != b.pc) return a.pc < b.pc;
+      return a.rule < b.rule;
+    });
+    return std::move(out_);
+  }
+
+ private:
+  void add(Severity sev, u64 pc, const char* rule, std::string msg) {
+    out_.push_back(Diag{sev, pc, rule, std::move(msg)});
+  }
+  u64 pc_of(size_t w) const { return img_.text_base + 4 * w; }
+  bool in_text(u64 pc) const {
+    return pc >= img_.text_base && pc < img_.text_base + img_.text_size() && (pc & 3) == 0;
+  }
+  size_t word_of(u64 pc) const { return static_cast<size_t>((pc - img_.text_base) >> 2); }
+
+  /// hwcprof contract: loads/stores/prefetches are never scheduled into
+  /// branch delay slots (paper §2.1 — an event attributed to a slot PC would
+  /// belong to two basic blocks at once).
+  void rule_delay_slot() {
+    if (!img_.symtab.hwcprof()) return;
+    for (size_t w = 0; w < code_.size(); ++w) {
+      if (!cfg_.is_delay_slot(pc_of(w))) continue;
+      const isa::OpInfo& info = isa::op_info(code_[w].op);
+      if (is_mem(info)) {
+        add(Severity::Error, pc_of(w), rule::kMemOpInDelaySlot,
+            std::string(info.mnemonic) + " scheduled in a branch delay slot");
+      }
+    }
+  }
+
+  /// hwcprof contract: at least pad_nops non-memory instructions separate
+  /// the last memory op from any join node, so a skidded counter event is
+  /// still delivered inside the triggering basic block. Mirrors the
+  /// compiler's since_mem_ accounting: the window resets at control
+  /// transfers (and their slots), and the scan never blames a delay-slot
+  /// PC — a memory op there is kMemOpInDelaySlot, the more specific rule.
+  void rule_nop_pad() {
+    if (!img_.symtab.hwcprof() || !img_.symtab.has_branch_targets()) return;
+    for (u64 t : img_.symtab.branch_targets()) {
+      if (!in_text(t) && t != img_.text_base + img_.text_size()) continue;
+      u64 pc = t;
+      for (u32 dist = 0; dist < opt_.pad_nops; ++dist) {
+        if (pc < img_.text_base + 4) break;  // ran off the start of text
+        pc -= 4;
+        const size_t w = word_of(pc);
+        const isa::OpInfo& info = isa::op_info(code_[w].op);
+        if (info.delayed || cfg_.is_delay_slot(pc)) break;  // window reset
+        if (is_mem(info)) {
+          add(Severity::Error, pc, rule::kMissingNopPad,
+              std::string(info.mnemonic) + " only " + std::to_string(dist) +
+                  " instruction(s) before join " + hex(t) + " (need >= " +
+                  std::to_string(opt_.pad_nops) + ")");
+          break;
+        }
+      }
+    }
+  }
+
+  /// hwcprof contract: every memory-reference PC carries a data descriptor
+  /// (paper §2.1 — without one, the analyzer can only say <Unknown>).
+  void rule_descriptor() {
+    if (!img_.symtab.hwcprof()) return;
+    for (size_t w = 0; w < code_.size(); ++w) {
+      const isa::OpInfo& info = isa::op_info(code_[w].op);
+      if (!is_mem(info)) continue;
+      if (img_.symtab.memref_for(pc_of(w)) == nullptr) {
+        add(Severity::Error, pc_of(w), rule::kMissingDescriptor,
+            std::string(info.mnemonic) + " has no data descriptor in the symbol table");
+      }
+    }
+  }
+
+  /// dwarf contract: every direct branch/call target — and every call-return
+  /// join — appears in the branch-target table the analyzer uses to validate
+  /// apropos backtracking (a missing join silently weakens verification).
+  void rule_branch_targets() {
+    if (!img_.symtab.has_branch_targets()) return;
+    const auto& targets = img_.symtab.branch_targets();
+    auto in_table = [&](u64 t) {
+      return std::binary_search(targets.begin(), targets.end(), t);
+    };
+    for (size_t w = 0; w < code_.size(); ++w) {
+      const isa::Instr& ins = code_[w];
+      if (ins.op != isa::Op::BR && ins.op != isa::Op::CALL) continue;
+      const u64 target = pc_of(w) + static_cast<u64>(ins.disp);
+      if (in_text(target) && !in_table(target)) {
+        add(Severity::Error, pc_of(w), rule::kBranchTargetMissing,
+            std::string(ins.op == isa::Op::CALL ? "call" : "branch") + " target " +
+                hex(target) + " absent from the branch-target table");
+      }
+      if (ins.op == isa::Op::CALL) {
+        const u64 join = pc_of(w) + 8;
+        if (in_text(join) && !in_table(join)) {
+          add(Severity::Error, pc_of(w), rule::kBranchTargetMissing,
+              "call-return join " + hex(join) + " absent from the branch-target table");
+        }
+      }
+    }
+  }
+
+  /// Line table sanity: entries strictly increasing by PC with nonzero line
+  /// numbers (order is enforced at build time but not on deserialization),
+  /// and every function other than the _start shim covered from its entry.
+  void rule_line_table() {
+    const auto& lines = img_.symtab.lines();
+    for (size_t i = 0; i < lines.size(); ++i) {
+      if (lines[i].line == 0) {
+        add(Severity::Error, lines[i].pc, rule::kLineTableOrder,
+            "line-table entry with line number 0");
+      }
+      if (i > 0 && lines[i].pc <= lines[i - 1].pc) {
+        add(Severity::Error, lines[i].pc, rule::kLineTableOrder,
+            "line-table PCs not strictly increasing (" + hex(lines[i - 1].pc) +
+                " then " + hex(lines[i].pc) + ")");
+      }
+    }
+    for (const auto& f : img_.symtab.functions()) {
+      if (f.name == "_start") continue;
+      u64 first = 0;
+      for (const auto& e : lines) {
+        if (e.pc >= f.lo && e.pc < f.hi) {
+          first = e.pc;
+          break;
+        }
+      }
+      if (first == 0) {
+        add(Severity::Warning, f.lo, rule::kLineTableGap,
+            "function '" + f.name + "' has no line-table entries");
+      } else if (first != f.lo) {
+        add(Severity::Warning, f.lo, rule::kLineTableGap,
+            "function '" + f.name + "' uncovered from " + hex(f.lo) + " to " + hex(first));
+      }
+    }
+  }
+
+  /// Text not reachable from the entry point (warning: uncalled functions
+  /// are legal; pure nop padding — e.g. the _start shim's trailing slot —
+  /// is exempt).
+  void rule_unreachable() {
+    for (const auto& blk : cfg_.blocks()) {
+      if (blk.reachable) continue;
+      size_t non_nop = 0;
+      for (u64 pc = blk.lo; pc < blk.hi; pc += 4) {
+        if (code_[word_of(pc)] != isa::nop()) ++non_nop;
+      }
+      if (non_nop == 0) continue;
+      const sym::FuncInfo* f = img_.symtab.find_function(blk.lo);
+      add(Severity::Warning, blk.lo, rule::kUnreachableText,
+          "unreachable block of " + std::to_string((blk.hi - blk.lo) / 4) +
+              " instruction(s)" + (f ? " in '" + f->name + "'" : ""));
+    }
+  }
+
+  /// A load that overwrites its own base/index register makes its effective
+  /// address statically unrecoverable: if sampled, backtracking must report
+  /// the EA unknown (the paper's unprofilable pattern, predictable here at
+  /// compile time — scc never emits it).
+  void rule_self_clobber() {
+    for (size_t w = 0; w < code_.size(); ++w) {
+      const isa::Instr& ins = code_[w];
+      const isa::OpInfo& info = isa::op_info(ins.op);
+      if (!info.is_load || ins.rd == 0) continue;
+      const auto ea = isa::ea_expr(ins);
+      if (!ea) continue;
+      if (ins.rd == ea->rs1 || (!ea->has_imm && ins.rd == ea->rs2)) {
+        add(Severity::Warning, pc_of(w), rule::kEaSelfClobber,
+            std::string(info.mnemonic) +
+                " overwrites its own address register: EA unrecoverable if sampled");
+      }
+    }
+  }
+
+  const sym::Image& img_;
+  const Cfg& cfg_;
+  LintOptions opt_;
+  std::vector<isa::Instr> code_;
+  std::vector<Diag> out_;
+};
+
+}  // namespace
+
+std::vector<Diag> lint(const sym::Image& img, const Cfg& cfg, const LintOptions& opt) {
+  return Linter(img, cfg, opt).run();
+}
+
+}  // namespace dsprof::sa

@@ -1,0 +1,67 @@
+// hwcprof invariant linter (paper §2.1, statically checked).
+//
+// The data-space profiling pipeline only works when the compiler kept its
+// side of the contract: memory ops never sit in branch delay slots, nop
+// padding separates memory ops from join nodes, every memory-reference PC
+// carries a data descriptor, and the branch-target table names every join.
+// The tests exercise these dynamically; this linter proves them (or names
+// the violation) from the image alone, so a bad toolchain configuration is
+// caught before any simulation time is spent.
+//
+// Each rule has a stable string id (used by tests and by s3verify's JSON
+// output) and a fixed severity. "Lint-clean" means *no error-severity
+// diagnostics*: warnings cover soft properties (unreachable code, line-table
+// gaps, statically-unprofilable loads) that legal images may exhibit.
+//
+// Rule gating follows what the image claims about itself:
+//   - hwcprof()            gates the codegen-contract rules (delay slot,
+//                          nop pad, descriptors) — a non-hwcprof compile
+//                          never promised them (paper: "(Unascertainable)");
+//   - has_branch_targets() gates the join-table rules — without dwarf there
+//                          is no table to check ("(Unverifiable)").
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "sa/cfg.hpp"
+
+namespace dsprof::sa {
+
+enum class Severity : u8 { Info = 0, Warning = 1, Error = 2 };
+
+const char* severity_name(Severity s);
+
+/// Stable rule identifiers (see lint.cpp for the exact predicate of each).
+namespace rule {
+inline constexpr const char* kMemOpInDelaySlot = "mem-op-in-delay-slot";
+inline constexpr const char* kMissingNopPad = "missing-nop-pad";
+inline constexpr const char* kMissingDescriptor = "missing-descriptor";
+inline constexpr const char* kBranchTargetMissing = "branch-target-missing";
+inline constexpr const char* kLineTableOrder = "line-table-order";
+inline constexpr const char* kLineTableGap = "line-table-gap";
+inline constexpr const char* kUnreachableText = "unreachable-text";
+inline constexpr const char* kEaSelfClobber = "ea-self-clobber";
+}  // namespace rule
+
+struct Diag {
+  Severity severity = Severity::Warning;
+  u64 pc = 0;           // offending PC (0 when the finding is not PC-specific)
+  std::string rule;     // stable id from sa::rule
+  std::string message;  // human-readable detail
+};
+
+struct LintOptions {
+  /// Expected minimum non-memory instruction distance between a memory op
+  /// and any join node (must match the compiler's CompileOptions::pad_nops).
+  u32 pad_nops = 2;
+};
+
+/// Run every rule over `img`, using `cfg` for delay-slot and reachability
+/// facts. Diagnostics come back sorted by (pc, rule id).
+std::vector<Diag> lint(const sym::Image& img, const Cfg& cfg, const LintOptions& opt = {});
+
+/// Convenience: count of diagnostics at exactly `s`.
+size_t count_severity(const std::vector<Diag>& diags, Severity s);
+
+}  // namespace dsprof::sa

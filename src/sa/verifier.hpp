@@ -1,0 +1,69 @@
+// s3verify: one-call static verification of a compiled image.
+//
+// Bundles the three sa passes — CFG reconstruction, backtrack-table
+// precomputation, and the hwcprof invariant lint — into a single report
+// with human-readable and JSON renderings (examples/s3verify.cpp is the
+// CLI front end; scripts/check.sh runs it over the example images and
+// fails the build on any error-severity diagnostic).
+#pragma once
+
+#include <string>
+
+#include "sa/backtrack_table.hpp"
+#include "sa/lint.hpp"
+
+namespace dsprof::sa {
+
+struct VerifyOptions {
+  /// Backtracking window for table statistics (CollectOptions default).
+  u32 backtrack_window = 16;
+  LintOptions lint;
+};
+
+struct VerifyReport {
+  // Image facts.
+  std::string name;  // caller-supplied label for the report header
+  u64 text_base = 0;
+  u64 entry = 0;
+  size_t text_words = 0;
+  size_t num_functions = 0;
+  bool hwcprof = false;
+  bool has_branch_targets = false;
+  size_t num_branch_targets = 0;
+
+  // CFG facts.
+  size_t num_blocks = 0;
+  size_t reachable_blocks = 0;
+  size_t num_edges = 0;
+  size_t reachable_instrs = 0;
+  size_t delay_slots = 0;
+
+  // Backtrack-table coverage: of all deliverable PCs, how many resolve to a
+  // candidate / to a statically recomputable EA, per trigger kind.
+  u32 backtrack_window = 0;
+  size_t table_bytes = 0;
+  size_t load_found = 0;
+  size_t load_ea_static = 0;
+  size_t loadstore_found = 0;
+  size_t loadstore_ea_static = 0;
+
+  // Lint results.
+  std::vector<Diag> diags;
+
+  size_t errors() const { return count_severity(diags, Severity::Error); }
+  size_t warnings() const { return count_severity(diags, Severity::Warning); }
+  bool clean() const { return errors() == 0; }
+};
+
+/// Run all passes over `img`. `name` labels the report (e.g. the image file
+/// or builtin name).
+VerifyReport verify(const sym::Image& img, const std::string& name,
+                    const VerifyOptions& opt = {});
+
+/// Human-readable multi-line report (er_print style).
+std::string to_text(const VerifyReport& r);
+
+/// Single JSON object (stable keys; diagnostics as an array).
+std::string to_json(const VerifyReport& r);
+
+}  // namespace dsprof::sa

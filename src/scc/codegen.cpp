@@ -121,7 +121,7 @@ class Codegen {
   /// -xhwcprof: keep `pad_nops` non-memory instructions between the last
   /// memory op and any join node (paper §2.1).
   void pad_before_join(u32 line) {
-    if (!opt_.hwcprof) return;
+    if (!opt_.hwcprof || opt_.mutate_skip_nop_pad) return;
     while (since_mem_ < opt_.pad_nops) emit(isa::nop(), line);
   }
   void bind(LabelId l, u32 line) {
@@ -132,9 +132,28 @@ class Codegen {
   /// Emit a control transfer and fill its delay slot (with a hoisted
   /// preceding instruction when legal, else a nop).
   void transfer(const std::function<void()>& emit_transfer, u32 line) {
-    pad_before_join(line);
     std::optional<std::pair<Instr, u64>> slot;
-    if (opt_.fill_delay_slots) {
+    if (opt_.mutate_mem_in_delay_slot && opt_.fill_delay_slots) {
+      // Mutation hook (testing only): hoist a trailing memory op into the
+      // delay slot *before* the join padding runs — under the normal
+      // ordering the pads land between the memory op and the transfer, so
+      // the op could never reach the slot even with the hwcprof restriction
+      // below disabled. since_mem_ is forced past the pad threshold so the
+      // only violated invariant is the delay-slot one (rule isolation).
+      slot = asm_.pop_last_plain();
+      if (slot) {
+        const isa::OpInfo& info = isa::op_info(slot->first.op);
+        const bool is_mem = info.is_load || info.is_store || info.is_prefetch;
+        if (is_mem) {
+          since_mem_ = 1000;
+        } else {
+          asm_.emit(slot->first, slot->second);  // put it back
+          slot.reset();
+        }
+      }
+    }
+    pad_before_join(line);
+    if (!slot && opt_.fill_delay_slots) {
       slot = asm_.pop_last_plain();
       if (slot) {
         const isa::OpInfo& info = isa::op_info(slot->first.op);
@@ -276,7 +295,7 @@ class Codegen {
 };
 
 sym::Image Codegen::run() {
-  emit_memrefs_ = opt_.hwcprof && opt_.dwarf;
+  emit_memrefs_ = opt_.hwcprof && opt_.dwarf && !opt_.mutate_skip_memref;
 
   for (const auto& f : m_.functions()) {
     func_labels_[f.get()] = asm_.new_label(f->name());
@@ -326,8 +345,10 @@ sym::Image Codegen::run() {
     }
   }
 
-  // Symbol tables.
-  symtab_.set_hwcprof(emit_memrefs_);
+  // Symbol tables. The hwcprof flag states what the compiler *claims*
+  // (mutate_skip_memref keeps the claim while breaking the contract, so the
+  // linter's missing-descriptor rule can catch the mismatch).
+  symtab_.set_hwcprof(opt_.hwcprof && opt_.dwarf);
   symtab_.set_has_branch_targets(opt_.dwarf);
   if (opt_.dwarf) {
     symtab_.set_branch_targets(std::move(out.branch_targets));

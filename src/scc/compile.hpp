@@ -25,6 +25,22 @@ struct CompileOptions {
   /// Fill branch delay slots with a preceding instruction when legal
   /// (always nop under hwcprof if the candidate is a memory op).
   bool fill_delay_slots = true;
+
+  // --- mutation hooks (testing only) ----------------------------------------
+  // Each deliberately breaks exactly one hwcprof codegen pass while leaving
+  // the symbol-table flags claiming the contract holds, so the sa linter's
+  // corresponding rule — and only that rule — must fire
+  // (tests/sa_test.cpp mutation tests). All default off; default-compiled
+  // output is byte-identical to before these hooks existed.
+  /// Disable the nop padding between memory ops and join nodes
+  /// (lint rule: missing-nop-pad).
+  bool mutate_skip_nop_pad = false;
+  /// Let the delay-slot filler hoist memory ops into branch delay slots
+  /// (lint rule: mem-op-in-delay-slot).
+  bool mutate_mem_in_delay_slot = false;
+  /// Drop data descriptors while still flagging the image as hwcprof
+  /// (lint rule: missing-descriptor).
+  bool mutate_skip_memref = false;
 };
 
 /// Compile `m` to an executable image. The module must define a function

@@ -82,7 +82,9 @@ class ByteReader {
     pos_ += sizeof(T);
     return v;
   }
-  void need(u64 n) { DSP_CHECK(pos_ + n <= size_, "bytestream underrun"); }
+  // Overflow-safe: `pos_ + n <= size_` would wrap for hostile blob lengths
+  // near 2^64 and wave the read through.
+  void need(u64 n) { DSP_CHECK(n <= size_ - pos_, "bytestream underrun"); }
 
   const u8* buf_;
   size_t size_;

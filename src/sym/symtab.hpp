@@ -63,6 +63,9 @@ class SymbolTable {
   const FuncInfo* find_function(u64 pc) const;
   const std::vector<FuncInfo>& functions() const { return funcs_; }
   std::optional<u32> line_for(u64 pc) const;
+  /// Raw line table, pc-sorted at build time (order is *not* re-validated on
+  /// deserialization — the sa linter checks it: rule line-table-order).
+  const std::vector<LineEntry>& lines() const { return lines_; }
   /// nullptr when the compiler emitted no descriptor for this PC.
   const MemRef* memref_for(u64 pc) const;
   /// First branch-target address t with lo < t <= hi, or nullopt.

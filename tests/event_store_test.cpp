@@ -139,6 +139,172 @@ TEST(EventStore, TruncatedStreamIsRejected) {
   EXPECT_THROW(EventStore::deserialize(r), Error);
 }
 
+// --- corruption robustness ---------------------------------------------------
+// A truncated or corrupt experiment directory must surface as an Error that
+// names the offending file — never as UB, an OOM-sized allocation, or an
+// uncontextualized bounds failure.
+
+template <typename T>
+void put_col(ByteWriter& w, const std::vector<T>& col) {
+  w.put_u64(col.size());
+  w.put_blob(col.data(), col.size() * sizeof(T));
+}
+
+TEST(EventStoreCorruption, OutOfRangeArenaHandleIsRejected) {
+  ByteWriter w;
+  put_col<u8>(w, {0});        // pic
+  put_col<u8>(w, {3});        // event
+  put_col<u64>(w, {1});       // weight
+  put_col<u64>(w, {0x1000});  // delivered_pc
+  put_col<u8>(w, {0});        // flags
+  put_col<u64>(w, {0});       // candidate_pc
+  put_col<u64>(w, {0});       // ea
+  put_col<u64>(w, {0});       // seq
+  put_col<u64>(w, {4});       // cs_offset: outside the 1-word arena below
+  put_col<u32>(w, {2});       // cs_len
+  put_col<u64>(w, {0xdead});  // arena (1 word)
+  ByteReader r(w.bytes());
+  EXPECT_THROW(EventStore::deserialize(r), Error);
+}
+
+TEST(EventStoreCorruption, WrappingArenaHandleIsRejected) {
+  // offset + len wraps past 2^64: the overflow-safe form must still reject.
+  ByteWriter w;
+  put_col<u8>(w, {0});
+  put_col<u8>(w, {3});
+  put_col<u64>(w, {1});
+  put_col<u64>(w, {0x1000});
+  put_col<u8>(w, {0});
+  put_col<u64>(w, {0});
+  put_col<u64>(w, {0});
+  put_col<u64>(w, {0});
+  put_col<u64>(w, {~u64{0}});  // cs_offset near 2^64
+  put_col<u32>(w, {8});        // cs_len: offset + len wraps
+  put_col<u64>(w, {0xdead});
+  ByteReader r(w.bytes());
+  EXPECT_THROW(EventStore::deserialize(r), Error);
+}
+
+TEST(EventStoreCorruption, InconsistentColumnLengthsAreRejected) {
+  ByteWriter w;
+  put_col<u8>(w, {0, 0});  // pic: two rows
+  put_col<u8>(w, {3});     // every other column: one row
+  put_col<u64>(w, {1});
+  put_col<u64>(w, {0x1000});
+  put_col<u8>(w, {0});
+  put_col<u64>(w, {0});
+  put_col<u64>(w, {0});
+  put_col<u64>(w, {0});
+  put_col<u64>(w, {0});
+  put_col<u32>(w, {0});
+  put_col<u64>(w, {});
+  ByteReader r(w.bytes());
+  EXPECT_THROW(EventStore::deserialize(r), Error);
+}
+
+class ExperimentCorruption : public ::testing::Test {
+ protected:
+  static Experiment tiny_experiment() {
+    scc::Module m;
+    scc::Function* main = m.add_function("main");
+    {
+      scc::FunctionBuilder fb(m, *main);
+      fb.ret(scc::Val(i64{0}));
+    }
+    Experiment ex;
+    ex.image = scc::compile(m);
+    ex.log = "tiny";
+    ex.events = make_store({{0x10, 0x20}, {}, {0x10, 0x20}});
+    return ex;
+  }
+
+  /// Save `ex`, apply `mutate` to the bytes of `file`, and expect load() to
+  /// throw an Error whose message names the file and the directory.
+  static void expect_corrupt(const Experiment& ex, FileFormat fmt, const char* file,
+                             const std::function<void(std::vector<u8>&)>& mutate) {
+    const std::string dir = "/tmp/dsp_corrupt_exp";
+    ex.save(dir, fmt);
+    std::vector<u8> bytes = read_file(dir + "/" + file);
+    mutate(bytes);
+    write_file(dir + "/" + file, bytes);
+    try {
+      Experiment::load(dir);
+      FAIL() << "expected Error loading mutated " << file;
+    } catch (const Error& e) {
+      const std::string msg = e.what();
+      EXPECT_NE(msg.find(file), std::string::npos) << msg;
+      EXPECT_NE(msg.find(dir), std::string::npos) << msg;
+    }
+  }
+};
+
+TEST_F(ExperimentCorruption, BadMagicIsRejected) {
+  expect_corrupt(tiny_experiment(), FileFormat::Columnar, "events.bin",
+                 [](std::vector<u8>& b) { b[0] ^= 0xFF; });
+}
+
+TEST_F(ExperimentCorruption, TruncatedHeaderIsRejected) {
+  expect_corrupt(tiny_experiment(), FileFormat::Columnar, "events.bin",
+                 [](std::vector<u8>& b) { b.resize(6); });
+}
+
+TEST_F(ExperimentCorruption, ImplausibleCounterCountIsRejected) {
+  // The 32-bit counter count sits right after the magic; a huge value must be
+  // rejected by the plausibility check, not drive allocation.
+  for (const FileFormat fmt : {FileFormat::Columnar, FileFormat::Legacy}) {
+    expect_corrupt(tiny_experiment(), fmt, "events.bin", [](std::vector<u8>& b) {
+      b[4] = b[5] = b[6] = b[7] = 0xFF;
+    });
+  }
+}
+
+TEST_F(ExperimentCorruption, TruncatedColumnIsRejected) {
+  expect_corrupt(tiny_experiment(), FileFormat::Columnar, "events.bin",
+                 [](std::vector<u8>& b) { b.resize(b.size() * 3 / 4); });
+}
+
+TEST_F(ExperimentCorruption, TruncatedLegacyEventsAreRejected) {
+  expect_corrupt(tiny_experiment(), FileFormat::Legacy, "events.bin",
+                 [](std::vector<u8>& b) { b.resize(b.size() * 3 / 4); });
+}
+
+TEST_F(ExperimentCorruption, HugeLegacyEventCountIsRejectedBeforeAllocation) {
+  // Header with zero counters is 52 bytes; the legacy event count follows at
+  // offset 56. A count far beyond the bytes present must fail the
+  // min-record-size plausibility check (and must not reserve gigabytes).
+  expect_corrupt(tiny_experiment(), FileFormat::Legacy, "events.bin",
+                 [](std::vector<u8>& b) {
+                   ASSERT_GE(b.size(), 60u);
+                   b[56] = 0xFF;
+                   b[57] = 0xFF;
+                   b[58] = 0xFF;
+                   b[59] = 0x7F;
+                 });
+}
+
+TEST_F(ExperimentCorruption, TrailingBytesAfterTrailerAreRejected) {
+  expect_corrupt(tiny_experiment(), FileFormat::Columnar, "events.bin",
+                 [](std::vector<u8>& b) { b.push_back(0); });
+}
+
+TEST_F(ExperimentCorruption, CorruptLoadobjectsIsRejectedWithContext) {
+  expect_corrupt(tiny_experiment(), FileFormat::Columnar, "loadobjects.bin",
+                 [](std::vector<u8>& b) { b.resize(b.size() / 2); });
+}
+
+TEST_F(ExperimentCorruption, BothFormatsStillRoundTripAfterHardening) {
+  const Experiment ex = tiny_experiment();
+  for (const FileFormat fmt : {FileFormat::Columnar, FileFormat::Legacy}) {
+    const std::string dir = "/tmp/dsp_corrupt_rt";
+    ex.save(dir, fmt);
+    const Experiment back = Experiment::load(dir);
+    ASSERT_EQ(back.events.size(), ex.events.size());
+    for (size_t i = 0; i < ex.events.size(); ++i) {
+      EXPECT_TRUE(back.events.callstack(i) == ex.events.callstack(i));
+    }
+  }
+}
+
 // --- experiment round trips in both on-disk layouts -------------------------
 
 class StoreRoundTrip : public ::testing::Test {

@@ -3,7 +3,9 @@
 // DSL program must produce identical results on the simulated machine.
 #include <gtest/gtest.h>
 
+#include "collect/collector.hpp"
 #include "machine/cpu.hpp"
+#include "sa/lint.hpp"
 #include "scc/builder.hpp"
 #include "scc/compile.hpp"
 #include "support/rng.hpp"
@@ -227,6 +229,86 @@ TEST_P(ExprFuzz, StructArrayProgramsMatchHostMirror) {
   const std::vector<i64> trace = run_and_trace(m);
   ASSERT_EQ(trace.size(), 1u);
   EXPECT_EQ(static_cast<u64>(trace[0]), host_sum) << "seed " << GetParam();
+}
+
+// Property: on random compiled images, the precomputed sa::BacktrackTable is
+// bit-identical to the dynamic reference search for every deliverable PC,
+// trigger kind, window size, and register file — and the default-compiled
+// output stays hwcprof-lint-clean (no error-severity diagnostics).
+TEST_P(ExprFuzz, BacktrackTableMatchesDynamicOnRandomImages) {
+  Xoshiro256 rng(GetParam() * 6364136223846793005ULL + 3);
+  constexpr i64 kCells = 48;
+
+  // Random control flow over a struct array: loops, branches, loads/stores
+  // in bodies and tails — the shapes that stress delay-slot filling, nop
+  // padding, and the skid-gap clobber scan.
+  Module m;
+  StructDef* cell = m.add_struct("cell");
+  cell->field("a", Type::i64()).field("b", Type::i64());
+  Function* mal = add_runtime(m);
+  Function* main = m.add_function("main");
+  FunctionBuilder fb(m, *main);
+  auto arr = fb.local("arr", Type::ptr(cell));
+  auto i = fb.local("i", Type::i64());
+  auto acc = fb.local("acc", Type::i64());
+  fb.set(arr, cast(fb.call(mal, {Val(kCells * static_cast<i64>(cell->size()))}),
+                   Type::ptr(cell)));
+  fb.set(acc, 0);
+  for (int s = 0; s < 20; ++s) {
+    const i64 j = static_cast<i64>(rng.below(kCells));
+    const i64 c = static_cast<i64>(rng.next() % 257) - 128;
+    switch (rng.below(4)) {
+      case 0:  // loop whose body ends with a store
+        fb.set(i, 0);
+        fb.while_(i < 1 + static_cast<i64>(rng.below(6)), [&] {
+          fb.set((arr + j)["a"], (arr + j)["a"] + c);
+          fb.set(i, i + 1);
+        });
+        break;
+      case 1:  // branch with memory on one side
+        fb.if_else(acc < c, [&] { fb.set(acc, acc + (arr + j)["b"]); },
+                   [&] { fb.set(acc, acc - c); });
+        break;
+      case 2:  // straight-line load/store pair
+        fb.set((arr + j)["b"], (arr + j)["a"] ^ c);
+        break;
+      default:  // ALU-only stretch (varies the pad/skid distances)
+        fb.set(acc, acc * 3 + c);
+        break;
+    }
+  }
+  fb.ret(acc & 0x7F);
+  const sym::Image img = compile(m);
+
+  // Lint: unmodified compiler output must be free of error diagnostics.
+  const sa::Cfg cfg = sa::Cfg::build(img);
+  const auto diags = sa::lint(img, cfg);
+  EXPECT_EQ(sa::count_severity(diags, sa::Severity::Error), 0u) << "seed " << GetParam();
+
+  // Bit-identity sweep: every deliverable PC x both searchable kinds, with
+  // fresh random registers per PC, across two window sizes.
+  std::array<u64, 32> regs{};
+  for (const u32 window : {4u, 16u}) {
+    const sa::BacktrackTable table = sa::BacktrackTable::build(img, window);
+    for (size_t w = 0; w <= img.text_words.size(); ++w) {
+      for (size_t r = 1; r < 32; ++r) regs[r] = rng.next();
+      const u64 pc = img.text_base + 4 * w;
+      for (const auto kind :
+           {machine::TriggerKind::Load, machine::TriggerKind::LoadStore}) {
+        const sa::BacktrackAnswer d =
+            collect::backtrack_dynamic(img, pc, kind, regs, window);
+        const sa::BacktrackAnswer t = table.query(pc, kind, regs);
+        ASSERT_EQ(d.found, t.found)
+            << "seed " << GetParam() << " window " << window << " pc " << std::hex << pc;
+        ASSERT_EQ(d.candidate_pc, t.candidate_pc)
+            << "seed " << GetParam() << " window " << window << " pc " << std::hex << pc;
+        ASSERT_EQ(d.ea_known, t.ea_known)
+            << "seed " << GetParam() << " window " << window << " pc " << std::hex << pc;
+        ASSERT_EQ(d.ea, t.ea)
+            << "seed " << GetParam() << " window " << window << " pc " << std::hex << pc;
+      }
+    }
+  }
 }
 
 INSTANTIATE_TEST_SUITE_P(Seeds, ExprFuzz, ::testing::Range<u64>(1, 21));

@@ -1,0 +1,166 @@
+// dsprof_send — collector-side streaming client for dsprofd.
+//
+// Collects the paper's MCF workload (§3.1, first counter pair) and streams
+// the events to a running dsprofd *during the run* via the Collector's
+// batch_export hook — the live-ingest path — then flushes, fetches a
+// snapshot, and closes. Alternatively replays a saved experiment directory.
+//
+// Usage:
+//   dsprof_send --socket <path> [--dir <experiment-dir>]
+//               [--workload mcf|mcf-small] [--batch N]
+//               [--save <dir>] [--report <file>] [--stats]
+//
+//   --socket <path>  dsprofd socket (required)
+//   --dir <dir>      replay a saved experiment instead of collecting
+//   --workload       which MCF setup to collect (default mcf-small)
+//   --batch N        events per EventBatch frame (default 4096)
+//   --save <dir>     also save the collected experiment (for offline diff:
+//                    `er_print <dir> -J` must equal the streamed snapshot)
+//   --report <file>  write the snapshot JSON to <file>
+//   --stats          print the daemon's stats frame
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <string>
+
+#include "mcfsim/experiments.hpp"
+#include "serve/client.hpp"
+
+using namespace dsprof;
+
+int main(int argc, char** argv) {
+  std::string socket_path, dir, save_dir, report_path;
+  std::string workload = "mcf-small";
+  size_t batch = 4096;
+  bool want_stats = false;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--socket" && i + 1 < argc) socket_path = argv[++i];
+    else if (arg == "--dir" && i + 1 < argc) dir = argv[++i];
+    else if (arg == "--workload" && i + 1 < argc) workload = argv[++i];
+    else if (arg == "--batch" && i + 1 < argc) batch = std::stoul(argv[++i]);
+    else if (arg == "--save" && i + 1 < argc) save_dir = argv[++i];
+    else if (arg == "--report" && i + 1 < argc) report_path = argv[++i];
+    else if (arg == "--stats") want_stats = true;
+    else {
+      std::printf("unknown argument: %s\n", arg.c_str());
+      return 2;
+    }
+  }
+  if (socket_path.empty()) {
+    std::puts(
+        "usage: dsprof_send --socket <path> [--dir <experiment-dir>]\n"
+        "                   [--workload mcf|mcf-small] [--batch N]\n"
+        "                   [--save <dir>] [--report <file>] [--stats]");
+    return 2;
+  }
+
+  serve::Status st;
+  auto transport = serve::uds_connect(socket_path, st);
+  if (!transport) {
+    std::printf("dsprof_send: %s\n", st.to_string().c_str());
+    return 1;
+  }
+  serve::ClientOptions copt;
+  copt.client_name = "dsprof_send";
+  serve::Client client(std::move(transport), copt);
+
+  experiment::Experiment ex;
+  serve::Accounting acct;
+  if (!dir.empty()) {
+    // Replay a saved collect run.
+    ex = experiment::Experiment::load(dir);
+    std::printf("dsprof_send: replaying %s (%zu events)\n", dir.c_str(), ex.events.size());
+    st = serve::stream_experiment(client, ex, batch, acct);
+    if (!st.ok()) {
+      std::printf("dsprof_send: stream failed: %s\n", st.to_string().c_str());
+      return 1;
+    }
+  } else {
+    // Live collection: stream batches out of the overflow handler as the
+    // simulated MCF run produces them.
+    const auto setup =
+        workload == "mcf" ? mcfsim::PaperSetup::standard() : mcfsim::PaperSetup::small();
+    const sym::Image image = mcfsim::build_mcf_image(setup.build);
+
+    collect::CollectOptions opt;
+    opt.hw = "+ecstall,20011,+ecrm,211";  // the paper's first counter pair
+    opt.clock = "hi";
+    opt.cpu = setup.cpu;
+
+    // Handshake before the run: the image and counter specs are known as
+    // soon as the collector is configured.
+    {
+      experiment::Experiment ctx;
+      ctx.image = image;
+      ctx.counters = collect::parse_counter_spec(opt.hw);
+      ctx.clock_hz = opt.cpu.clock_hz;
+      ctx.page_size = opt.cpu.hierarchy.dtlb.page_size;
+      ctx.ec_line_size = opt.cpu.hierarchy.ecache.line_size;
+      u64 session_id = 0;
+      if (st = client.hello(ctx, session_id); !st.ok()) {
+        std::printf("dsprof_send: hello failed: %s\n", st.to_string().c_str());
+        return 1;
+      }
+    }
+
+    serve::Status stream_st;
+    opt.batch_export_events = batch;
+    opt.batch_export = [&](const experiment::EventStore& b, bool) {
+      if (!stream_st.ok()) return;  // first error wins; drain the run
+      stream_st = client.send_batch(b);
+    };
+    collect::Collector c(image, opt);
+    ex = c.run([&](machine::Cpu& cpu) { mcfsim::write_input(cpu.memory(), setup.run); });
+    if (!stream_st.ok()) {
+      std::printf("dsprof_send: stream failed: %s\n", stream_st.to_string().c_str());
+      return 1;
+    }
+    if (!ex.allocations.empty()) {
+      if (st = client.send_allocations(ex.allocations); !st.ok()) {
+        std::printf("dsprof_send: alloc send failed: %s\n", st.to_string().c_str());
+        return 1;
+      }
+    }
+    if (st = client.flush(acct); !st.ok()) {
+      std::printf("dsprof_send: flush failed: %s\n", st.to_string().c_str());
+      return 1;
+    }
+    std::printf("dsprof_send: collected and streamed %zu events\n", ex.events.size());
+  }
+
+  std::printf("dsprof_send: flushed: in=%llu reduced=%llu dropped=%llu\n",
+              static_cast<unsigned long long>(acct.events_in),
+              static_cast<unsigned long long>(acct.events_reduced),
+              static_cast<unsigned long long>(acct.events_dropped));
+
+  std::string json;
+  if (st = client.snapshot(acct, json); !st.ok()) {
+    std::printf("dsprof_send: snapshot failed: %s\n", st.to_string().c_str());
+    return 1;
+  }
+  if (!report_path.empty()) {
+    std::ofstream out(report_path);
+    out << json << "\n";
+    std::printf("dsprof_send: snapshot written to %s\n", report_path.c_str());
+  } else {
+    std::printf("%s\n", json.c_str());
+  }
+
+  if (want_stats) {
+    std::string stats_json;
+    if (st = client.server_stats(stats_json); st.ok())
+      std::printf("dsprof_send: server stats %s\n", stats_json.c_str());
+  }
+
+  if (!save_dir.empty()) {
+    ex.save(save_dir);
+    std::printf("dsprof_send: experiment saved to %s\n", save_dir.c_str());
+  }
+
+  if (st = client.close(acct); !st.ok()) {
+    std::printf("dsprof_send: close failed: %s\n", st.to_string().c_str());
+    return 1;
+  }
+  return acct.events_in == acct.events_reduced + acct.events_dropped ? 0 : 1;
+}

@@ -1,0 +1,93 @@
+// dsprofd — the profiling daemon (DESIGN.md §3.3): listen on a Unix-domain
+// socket, accept any number of concurrent collector clients (dsprof_send),
+// fold their streamed event batches into live per-session aggregates, and
+// answer snapshot/stats queries — no experiment directory round-trip.
+//
+// Usage:
+//   dsprofd --socket <path> [--once] [--queue N] [--policy drop|block]
+//
+//   --socket <path>   Unix-domain socket to listen on (required)
+//   --once            serve exactly one session, print stats, exit
+//                     (what the scripts/check.sh smoke gate uses)
+//   --queue N         bounded per-session batch queue depth (default 64)
+//   --policy drop|block
+//                     overload policy: drop-oldest with exact drop
+//                     accounting (default), or block the reader and let
+//                     backpressure reach the client
+#include <csignal>
+#include <cstdio>
+#include <cstring>
+#include <string>
+
+#include "serve/server.hpp"
+
+using namespace dsprof;
+
+namespace {
+
+serve::UdsListener* g_listener = nullptr;
+
+void handle_signal(int) {
+  if (g_listener != nullptr) g_listener->close();  // unblocks accept()
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string socket_path;
+  bool once = false;
+  serve::ServerOptions opt;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--socket" && i + 1 < argc) {
+      socket_path = argv[++i];
+    } else if (arg == "--once") {
+      once = true;
+    } else if (arg == "--queue" && i + 1 < argc) {
+      opt.max_queued_batches = std::stoul(argv[++i]);
+    } else if (arg == "--policy" && i + 1 < argc) {
+      const std::string p = argv[++i];
+      opt.overload = p == "block" ? serve::ServerOptions::Overload::Block
+                                  : serve::ServerOptions::Overload::DropOldest;
+    } else {
+      std::printf("unknown argument: %s\n", arg.c_str());
+      return 2;
+    }
+  }
+  if (socket_path.empty()) {
+    std::puts("usage: dsprofd --socket <path> [--once] [--queue N] [--policy drop|block]");
+    return 2;
+  }
+
+  try {
+    serve::UdsListener listener(socket_path);
+    g_listener = &listener;
+    std::signal(SIGINT, handle_signal);
+    std::signal(SIGTERM, handle_signal);
+    std::printf("dsprofd: listening on %s\n", socket_path.c_str());
+    std::fflush(stdout);
+
+    serve::Server server(opt);
+    if (once) {
+      serve::Status st;
+      auto t = listener.accept(st, /*timeout_ms=*/-1);
+      if (!t) {
+        std::printf("dsprofd: accept failed: %s\n", st.to_string().c_str());
+        return 1;
+      }
+      const u64 id = server.add_session(std::move(t));
+      server.wait_session(id);
+    } else {
+      server.serve(listener);  // returns when the listener is closed
+      server.wait_all();
+    }
+    const serve::ServerStats stats = server.stats();
+    std::printf("dsprofd: stats %s\n", stats.to_json().c_str());
+    server.stop();
+    // The smoke gate checks the daemon's own accounting too.
+    return stats.events_in == stats.events_reduced + stats.events_dropped ? 0 : 1;
+  } catch (const Error& e) {
+    std::printf("dsprofd: %s\n", e.what());
+    return 1;
+  }
+}

@@ -3,7 +3,12 @@
 // experiments from the same binary, then run report commands.
 //
 // Usage:
-//   er_print <experiment-dir>... [-c command]...
+//   er_print <experiment-dir>... [-c command]... [-J]
+//
+// -J prints the machine-diffable JSON report (analyze::render_json_report)
+// and nothing else — the same renderer dsprofd snapshots use, so
+// `er_print <dir> -J` diffs byte-for-byte against a streamed session's
+// snapshot over the same events (scripts/check.sh relies on this).
 //
 // Commands (each also works interactively via -c):
 //   overview                       Figure 1 metrics for <Total>
@@ -99,15 +104,18 @@ void run_command(const Analysis& a, const std::string& cmdline) {
 int main(int argc, char** argv) {
   std::vector<std::string> dirs;
   std::vector<std::string> commands;
+  bool json = false;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "-c") == 0 && i + 1 < argc) {
       commands.push_back(argv[++i]);
+    } else if (std::strcmp(argv[i], "-J") == 0) {
+      json = true;
     } else {
       dirs.push_back(argv[i]);
     }
   }
   if (dirs.empty()) {
-    std::puts("usage: er_print <experiment-dir>... [-c command]...");
+    std::puts("usage: er_print <experiment-dir>... [-c command]... [-J]");
     std::puts("run examples/mcf_profile first to produce ./mcf_experiment_{1,2}");
     return 2;
   }
@@ -116,10 +124,16 @@ int main(int argc, char** argv) {
   for (const auto& dir : dirs) {
     exps.push_back(
         std::make_unique<experiment::Experiment>(experiment::Experiment::load(dir)));
-    std::printf("loaded %s: %zu events\n", dir.c_str(), exps.back()->events.size());
+    if (!json) std::printf("loaded %s: %zu events\n", dir.c_str(), exps.back()->events.size());
     ptrs.push_back(exps.back().get());
   }
   Analysis a(ptrs);
+  if (json) {
+    // Exactly the JSON a dsprofd snapshot of the same events returns
+    // (zero drops): one line, nothing else on stdout.
+    std::printf("%s\n", analyze::render_json_report(a).c_str());
+    return 0;
+  }
   if (commands.empty()) commands = {"overview", "functions", "dataobjects"};
   for (const auto& c : commands) {
     std::printf("\n== %s ==\n", c.c_str());

@@ -1,14 +1,19 @@
 #!/usr/bin/env bash
 # Tier-1 verification: build + full test suite, once normally and once under
-# AddressSanitizer (DSPROF_SANITIZE=address), plus two static gates:
-#   - clang-tidy over src/sa/ (skipped with a notice when clang-tidy is not
-#     installed — the reference container does not ship it);
+# AddressSanitizer (DSPROF_SANITIZE=address), plus three static/dynamic gates:
+#   - clang-tidy over src/sa/ and src/serve/ (skipped with a notice when
+#     clang-tidy is not installed — the reference container does not ship it);
 #   - `s3verify all`, which lints every built-in compiled image and exits
-#     nonzero on any error-severity diagnostic.
+#     nonzero on any error-severity diagnostic;
+#   - the dsprofd smoke gate: spawn the daemon on a temp Unix socket, stream a
+#     live MCF collect run into it with dsprof_send, and require the streamed
+#     snapshot to be byte-identical to `er_print <saved-dir> -J` over the same
+#     events (the serve subsystem's central invariant, end to end over real
+#     processes and a real socket).
 # Usage:
 #
-#   scripts/check.sh            # both build passes + static gates
-#   scripts/check.sh --fast     # normal pass + static gates only
+#   scripts/check.sh            # both build passes + all gates
+#   scripts/check.sh --fast     # normal pass + gates only
 #   scripts/check.sh --asan     # ASan pass only
 #
 # Exits nonzero on the first failing step.
@@ -28,19 +33,19 @@ run_pass() {
   ctest --test-dir "${dir}" --output-on-failure -j "${jobs}"
 }
 
-# clang-tidy over the static-analysis subsystem (the newest code, held to the
-# strictest bar). Graceful skip when the tool is absent; any emitted
-# "error:" diagnostic fails the script (WarningsAsErrors stays off so the
-# broader tree can adopt the profile incrementally).
+# clang-tidy over the static-analysis and serve subsystems (the newest code,
+# held to the strictest bar). Graceful skip when the tool is absent; any
+# emitted "error:" diagnostic fails the script (WarningsAsErrors stays off so
+# the broader tree can adopt the profile incrementally).
 run_tidy() {
   local dir="$1"
   if ! command -v clang-tidy >/dev/null 2>&1; then
     echo "== tidy: clang-tidy not installed; skipping (install it or use -DDSPROF_TIDY=ON) =="
     return 0
   fi
-  echo "== tidy: clang-tidy over src/sa/ =="
+  echo "== tidy: clang-tidy over src/sa/ and src/serve/ =="
   cmake -B "${dir}" -S "${repo}" -DCMAKE_EXPORT_COMPILE_COMMANDS=ON >/dev/null
-  clang-tidy -p "${dir}" --quiet "${repo}"/src/sa/*.cpp
+  clang-tidy -p "${dir}" --quiet "${repo}"/src/sa/*.cpp "${repo}"/src/serve/*.cpp
 }
 
 # Static verification of every built-in compiled image (CFG + hwcprof lint +
@@ -52,11 +57,47 @@ run_s3verify() {
   "${dir}/examples/s3verify" all
 }
 
+# End-to-end dsprofd smoke gate over a real Unix-domain socket: the streamed
+# snapshot of a live collect run must be byte-identical to the offline
+# er_print -J report of the experiment directory the same run saved.
+run_dsprofd_smoke() {
+  local dir="$1"
+  echo "== dsprofd smoke: streamed snapshot vs offline er_print -J =="
+  cmake --build "${dir}" -j "${jobs}" --target dsprofd dsprof_send er_print
+  local tmp
+  tmp="$(mktemp -d)"
+  trap 'rm -rf "${tmp}"' RETURN
+  local sock="${tmp}/dsprofd.sock"
+
+  "${dir}/examples/dsprofd" --socket "${sock}" --once >"${tmp}/daemon.log" 2>&1 &
+  local daemon_pid=$!
+  for _ in $(seq 1 100); do
+    [[ -S "${sock}" ]] && break
+    sleep 0.05
+  done
+  [[ -S "${sock}" ]] || { echo "dsprofd did not come up"; cat "${tmp}/daemon.log"; return 1; }
+
+  "${dir}/examples/dsprof_send" --socket "${sock}" --workload mcf-small \
+    --save "${tmp}/exp" --report "${tmp}/online.json" >"${tmp}/send.log" 2>&1 \
+    || { echo "dsprof_send failed"; cat "${tmp}/send.log"; return 1; }
+  wait "${daemon_pid}" \
+    || { echo "dsprofd exited nonzero (accounting broke)"; cat "${tmp}/daemon.log"; return 1; }
+
+  "${dir}/examples/er_print" "${tmp}/exp" -J >"${tmp}/offline.json"
+  if ! diff -q "${tmp}/online.json" "${tmp}/offline.json" >/dev/null; then
+    echo "dsprofd smoke FAILED: streamed snapshot differs from offline report"
+    diff "${tmp}/online.json" "${tmp}/offline.json" | head -20
+    return 1
+  fi
+  echo "dsprofd smoke: streamed snapshot is byte-identical to er_print -J"
+}
+
 case "${mode}" in
   --fast|fast)
     run_pass "normal" "${repo}/build"
     run_tidy "${repo}/build"
     run_s3verify "${repo}/build"
+    run_dsprofd_smoke "${repo}/build"
     ;;
   --asan|asan)
     run_pass "asan" "${repo}/build-asan" -DDSPROF_SANITIZE=address
@@ -65,6 +106,7 @@ case "${mode}" in
     run_pass "normal" "${repo}/build"
     run_tidy "${repo}/build"
     run_s3verify "${repo}/build"
+    run_dsprofd_smoke "${repo}/build"
     run_pass "asan" "${repo}/build-asan" -DDSPROF_SANITIZE=address
     ;;
   *)

@@ -54,7 +54,17 @@ Analysis::Analysis(std::vector<const experiment::Experiment*> exps, AnalysisOpti
   }
 }
 
-const ReductionResult& Analysis::reduce() const {
+Analysis::Analysis(const experiment::Experiment& ex, ReductionResult precomputed,
+                   AnalysisOptions options)
+    : Analysis(std::vector<const experiment::Experiment*>{&ex}, options) {
+  // The dsprofd snapshot path: adopt the live aggregates of an
+  // IncrementalReducer instead of re-reducing on first view access.
+  r_ = std::make_unique<ReductionResult>(std::move(precomputed));
+  total_ = to_metric_vector(r_->total);
+  data_total_ = to_metric_vector(r_->data_total);
+}
+
+const ReductionResult& Analysis::reduce_locked() const {
   if (!r_) {
     r_ = std::make_unique<ReductionResult>(
         Reduction::run(exps_, opt_.threads, opt_.engine));
@@ -64,15 +74,22 @@ const ReductionResult& Analysis::reduce() const {
   return *r_;
 }
 
+const ReductionResult& Analysis::reduce() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return reduce_locked();
+}
+
 const std::array<bool, kNumMetrics>& Analysis::present() const { return reduce().present; }
 
 const MetricVector& Analysis::total() const {
-  reduce();
+  std::lock_guard<std::mutex> lock(mu_);
+  reduce_locked();
   return total_;
 }
 
 const MetricVector& Analysis::data_total() const {
-  reduce();
+  std::lock_guard<std::mutex> lock(mu_);
+  reduce_locked();
   return data_total_;
 }
 
@@ -82,9 +99,10 @@ const std::string& Analysis::func_name(u32 id) const { return r_->func_names[id]
 // Code-space views
 
 const std::vector<Analysis::FunctionRow>& Analysis::functions(size_t sort_metric) const {
+  std::lock_guard<std::mutex> lock(mu_);
   auto it = functions_cache_.find(sort_metric);
   if (it != functions_cache_.end()) return it->second;
-  const ReductionResult& r = reduce();
+  const ReductionResult& r = reduce_locked();
   std::vector<FunctionRow> rows;
   rows.reserve(r.func.size());
   for (const auto& e : r.func.entries()) {
@@ -99,9 +117,10 @@ const std::vector<Analysis::FunctionRow>& Analysis::functions(size_t sort_metric
 
 const std::vector<Analysis::FunctionRow>& Analysis::functions_inclusive(
     size_t sort_metric) const {
+  std::lock_guard<std::mutex> lock(mu_);
   auto it = inclusive_cache_.find(sort_metric);
   if (it != inclusive_cache_.end()) return it->second;
-  const ReductionResult& r = reduce();
+  const ReductionResult& r = reduce_locked();
   std::vector<FunctionRow> rows;
   rows.reserve(r.incl.size());
   for (const auto& e : r.incl.entries()) {
@@ -115,9 +134,10 @@ const std::vector<Analysis::FunctionRow>& Analysis::functions_inclusive(
 }
 
 const std::vector<Analysis::EdgeRow>& Analysis::callers_of(const std::string& function) const {
+  std::lock_guard<std::mutex> lock(mu_);
   auto it = callers_cache_.find(function);
   if (it != callers_cache_.end()) return it->second;
-  const ReductionResult& r = reduce();
+  const ReductionResult& r = reduce_locked();
   std::vector<EdgeRow> rows;
   for (const auto& e : r.edge.entries()) {
     const u32 callee = static_cast<u32>(e.key & 0xffffffffu);
@@ -131,9 +151,10 @@ const std::vector<Analysis::EdgeRow>& Analysis::callers_of(const std::string& fu
 }
 
 const std::vector<Analysis::EdgeRow>& Analysis::callees_of(const std::string& function) const {
+  std::lock_guard<std::mutex> lock(mu_);
   auto it = callees_cache_.find(function);
   if (it != callees_cache_.end()) return it->second;
-  const ReductionResult& r = reduce();
+  const ReductionResult& r = reduce_locked();
   std::vector<EdgeRow> rows;
   for (const auto& e : r.edge.entries()) {
     const u32 caller = static_cast<u32>(e.key >> 32);
@@ -148,9 +169,10 @@ const std::vector<Analysis::EdgeRow>& Analysis::callees_of(const std::string& fu
 }
 
 const std::vector<Analysis::PcRow>& Analysis::pcs(size_t sort_metric) const {
+  std::lock_guard<std::mutex> lock(mu_);
   auto it = pcs_cache_.find(sort_metric);
   if (it != pcs_cache_.end()) return it->second;
-  const ReductionResult& r = reduce();
+  const ReductionResult& r = reduce_locked();
   std::vector<PcRow> rows;
   rows.reserve(r.pc.size());
   for (const auto& e : r.pc.entries()) {
@@ -178,9 +200,10 @@ std::string Analysis::pc_name(u64 pc) const {
 
 const std::vector<Analysis::LineRow>& Analysis::annotated_source(
     const std::string& function) const {
+  std::lock_guard<std::mutex> lock(mu_);
   auto it = source_cache_.find(function);
   if (it != source_cache_.end()) return it->second;
-  const ReductionResult& r = reduce();
+  const ReductionResult& r = reduce_locked();
   const sym::SymbolTable& st = image_->symtab;
   const sym::FuncInfo* fi = nullptr;
   for (const auto& f : st.functions()) {
@@ -211,9 +234,10 @@ const std::vector<Analysis::LineRow>& Analysis::annotated_source(
 
 const std::vector<Analysis::DisasmRow>& Analysis::annotated_disassembly(
     const std::string& function) const {
+  std::lock_guard<std::mutex> lock(mu_);
   auto it = disasm_cache_.find(function);
   if (it != disasm_cache_.end()) return it->second;
-  const ReductionResult& r = reduce();
+  const ReductionResult& r = reduce_locked();
   const sym::SymbolTable& st = image_->symtab;
   const sym::FuncInfo* fi = nullptr;
   for (const auto& f : st.functions()) {
@@ -251,9 +275,10 @@ const std::vector<Analysis::DisasmRow>& Analysis::annotated_disassembly(
 // Data-space views
 
 const std::vector<Analysis::DataObjectRow>& Analysis::data_objects(size_t sort_metric) const {
+  std::lock_guard<std::mutex> lock(mu_);
   auto it = data_objects_cache_.find(sort_metric);
   if (it != data_objects_cache_.end()) return it->second;
-  const ReductionResult& r = reduce();
+  const ReductionResult& r = reduce_locked();
   std::vector<DataObjectRow> rows;
   rows.reserve(r.data.size());
   for (const auto& e : r.data.entries()) {
@@ -276,9 +301,10 @@ const std::vector<Analysis::DataObjectRow>& Analysis::data_objects(size_t sort_m
 }
 
 const std::vector<Analysis::MemberRow>& Analysis::members(const std::string& struct_name) const {
+  std::lock_guard<std::mutex> lock(mu_);
   auto it = members_cache_.find(struct_name);
   if (it != members_cache_.end()) return it->second;
-  const ReductionResult& r = reduce();
+  const ReductionResult& r = reduce_locked();
   const sym::TypeTable& tt = image_->symtab.types();
   const sym::TypeId sid = tt.find_struct(struct_name);
   DSP_CHECK(sid != sym::kInvalidType, "no such struct: " + struct_name);
@@ -303,8 +329,9 @@ const std::vector<Analysis::MemberRow>& Analysis::members(const std::string& str
 }
 
 const std::vector<Analysis::EffectivenessRow>& Analysis::effectiveness() const {
+  std::lock_guard<std::mutex> lock(mu_);
   if (effectiveness_cache_) return *effectiveness_cache_;
-  const ReductionResult& r = reduce();
+  const ReductionResult& r = reduce_locked();
   std::vector<EffectivenessRow> rows;
   for (size_t metric = 0; metric < machine::kNumHwEvents; ++metric) {
     if (!r.present[metric]) continue;
@@ -340,8 +367,9 @@ const char* classify_segment(const sym::Image& img, u64 ea) {
 }  // namespace
 
 const std::vector<Analysis::AddrRow>& Analysis::segments() const {
+  std::lock_guard<std::mutex> lock(mu_);
   if (segments_cache_) return *segments_cache_;
-  const ReductionResult& r = reduce();
+  const ReductionResult& r = reduce_locked();
   std::map<std::string, MetricVector> acc;
   for (const auto& s : r.ea_samples) {
     add_to(acc[classify_segment(*image_, s.ea)], s.metric, s.w);
@@ -354,9 +382,10 @@ const std::vector<Analysis::AddrRow>& Analysis::segments() const {
 
 const std::vector<Analysis::AddrRow>& Analysis::pages(size_t sort_metric, size_t top_n) const {
   const auto key = std::make_pair(sort_metric, top_n);
+  std::lock_guard<std::mutex> lock(mu_);
   auto it = pages_cache_.find(key);
   if (it != pages_cache_.end()) return it->second;
-  const ReductionResult& r = reduce();
+  const ReductionResult& r = reduce_locked();
   std::map<u64, MetricVector> acc;
   for (const auto& s : r.ea_samples) add_to(acc[s.ea / page_size_ * page_size_], s.metric, s.w);
   std::vector<AddrRow> rows;
@@ -375,9 +404,10 @@ const std::vector<Analysis::AddrRow>& Analysis::pages(size_t sort_metric, size_t
 const std::vector<Analysis::AddrRow>& Analysis::cache_lines(size_t sort_metric,
                                                             size_t top_n) const {
   const auto key = std::make_pair(sort_metric, top_n);
+  std::lock_guard<std::mutex> lock(mu_);
   auto it = cache_lines_cache_.find(key);
   if (it != cache_lines_cache_.end()) return it->second;
-  const ReductionResult& r = reduce();
+  const ReductionResult& r = reduce_locked();
   std::map<u64, MetricVector> acc;
   for (const auto& s : r.ea_samples) {
     add_to(acc[s.ea / ec_line_size_ * ec_line_size_], s.metric, s.w);
@@ -398,9 +428,10 @@ const std::vector<Analysis::AddrRow>& Analysis::cache_lines(size_t sort_metric,
 const std::vector<Analysis::InstanceRow>& Analysis::instances(size_t sort_metric,
                                                               size_t top_n) const {
   const auto key = std::make_pair(sort_metric, top_n);
+  std::lock_guard<std::mutex> lock(mu_);
   auto it = instances_cache_.find(key);
   if (it != instances_cache_.end()) return it->second;
-  const ReductionResult& r = reduce();
+  const ReductionResult& r = reduce_locked();
   std::vector<InstanceRow> rows;
   if (!allocations_.empty()) {
     // Allocations from a bump allocator are address-sorted; be safe anyway.

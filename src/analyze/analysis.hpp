@@ -16,12 +16,20 @@
 // shards, controlled by DSPROF_THREADS), and every rendered view is memoized
 // so repeated render_* calls do not re-sort.
 //
+// Thread safety: the lazy reduction and every memoized view are guarded by
+// one internal mutex, so concurrent readers (e.g. two dsprofd snapshot
+// requests, or two report renderers sharing one Analysis) may call any
+// const view accessor from any thread. The returned references stay valid
+// for the lifetime of the Analysis — caches only grow, they are never
+// invalidated.
+//
 // Lifetime: the analyzed experiments must outlive the Analysis (it keeps
 // pointers, not copies — experiments can hold millions of events).
 #pragma once
 
 #include <map>
 #include <memory>
+#include <mutex>
 #include <optional>
 #include <vector>
 
@@ -64,6 +72,16 @@ class Analysis {
                     AnalysisOptions options = {});
   explicit Analysis(const experiment::Experiment& ex, AnalysisOptions options = {})
       : Analysis(std::vector<const experiment::Experiment*>{&ex}, options) {}
+
+  /// Wrap a *precomputed* reduction: views render from `precomputed` without
+  /// re-reducing. This is the dsprofd snapshot path — the server folds
+  /// batches into an IncrementalReducer as they arrive and hands a copy of
+  /// the live aggregates here, so a snapshot renders the exact views an
+  /// offline Analysis over the same events would (reduction.hpp documents
+  /// why the two are bit-identical). `ex` supplies the image, clock, and
+  /// allocation context and must outlive this Analysis.
+  Analysis(const experiment::Experiment& ex, ReductionResult precomputed,
+           AnalysisOptions options = {});
 
   const sym::SymbolTable& symtab() const { return image_->symtab; }
   const sym::Image& image() const { return *image_; }
@@ -195,6 +213,8 @@ class Analysis {
   const ReductionResult& reduce() const;
 
  private:
+  /// The reduction body; callers must hold mu_.
+  const ReductionResult& reduce_locked() const;
   const std::string& func_name(u32 id) const;
 
   std::vector<const experiment::Experiment*> exps_;
@@ -207,12 +227,17 @@ class Analysis {
   u64 ec_line_size_ = 512;
   std::vector<std::pair<u64, u64>> allocations_;
 
+  // Guards the lazy reduction and every memoized view below: two threads
+  // triggering the first view access race on r_ and the caches otherwise
+  // (tests/analyze_test.cpp ConcurrentReaders, run under ASan/TSan).
+  mutable std::mutex mu_;
+
   // Reduction output + converted totals, built on first access.
   mutable std::unique_ptr<ReductionResult> r_;
   mutable MetricVector total_{};
   mutable MetricVector data_total_{};
 
-  // Memoized views (Analysis is not thread-safe; the parallelism lives
+  // Memoized views (guarded by mu_; the reduction's parallelism lives
   // inside the reduction pass).
   mutable std::map<size_t, std::vector<FunctionRow>> functions_cache_;
   mutable std::map<size_t, std::vector<FunctionRow>> inclusive_cache_;

@@ -30,29 +30,33 @@ enum : u8 {
   kCatUnverifiable = 6,
 };
 
-/// Thread-local partial aggregates for one shard of events.
+/// Thread-local partial aggregates for one shard of events: a plain
+/// ReductionResult (the fold target everywhere — shard partials, the merged
+/// offline result, and the IncrementalReducer's live aggregates are the same
+/// shape) plus reused per-event scratch.
 struct Partial {
-  std::array<bool, kNumMetrics> present{};
-  MetricCounts total{};
-  MetricCounts data_total{};
-  FlatHashU64Map<MetricCounts> pc;
-  FlatHashU64Map<MetricCounts> func;
-  FlatHashU64Map<MetricCounts> incl;
-  FlatHashU64Map<MetricCounts> edge;
-  FlatHashU64Map<MetricCounts> line;
-  FlatHashU64Map<MetricCounts> data;
-  FlatHashU64Map<MetricCounts> member;
-  std::vector<EaSample> ea;
-
-  // Reused per-event scratch (frame function ids, leaf included).
-  std::vector<u32> frames;
+  ReductionResult r;
+  std::vector<u32> frames;  // frame function ids, leaf included
 };
 
-/// Immutable per-experiment context shared by all shards.
-struct ExpContext {
-  const Experiment* ex;
+/// Immutable fold context: which events, which symbols, which PICs were
+/// collected with apropos backtracking. Built per experiment by the offline
+/// engines and per session by the IncrementalReducer.
+struct FoldContext {
+  const EventStore* events = nullptr;
+  const sym::SymbolTable* symtab = nullptr;
   std::array<bool, machine::kNumPics> backtrack_by_pic{};
 };
+
+FoldContext context_of(const Experiment& ex) {
+  FoldContext c;
+  c.events = &ex.events;
+  c.symtab = &ex.image.symtab;
+  for (const auto& spec : ex.counters) {
+    if (spec.pic < machine::kNumPics) c.backtrack_by_pic[spec.pic] = spec.backtrack;
+  }
+  return c;
+}
 
 u32 func_id_for(const sym::SymbolTable& st, u64 pc, u32 unknown_id) {
   const sym::FuncInfo* f = st.find_function(pc);
@@ -66,35 +70,39 @@ void add_counts(FlatHashU64Map<MetricCounts>& m, u64 key, size_t metric, u64 w) 
 
 /// Code-space attribution for one event: PC, function, line, inclusive
 /// functions (recursion-safe) and caller->callee edges from the callstack.
-void attribute_code(Partial& p, const sym::SymbolTable& st, u32 unknown_id, u64 pc,
-                    bool artificial, size_t metric, u64 w,
+void attribute_code(ReductionResult& r, std::vector<u32>& frames, const sym::SymbolTable& st,
+                    u32 unknown_id, u64 pc, bool artificial, size_t metric, u64 w,
                     const experiment::CallstackRef& callstack) {
-  add_counts(p.pc, pc_key(pc, artificial), metric, w);
+  add_counts(r.pc, pc_key(pc, artificial), metric, w);
   const u32 leaf = func_id_for(st, pc, unknown_id);
-  add_counts(p.func, leaf, metric, w);
-  if (auto line = st.line_for(pc)) add_counts(p.line, *line, metric, w);
+  add_counts(r.func, leaf, metric, w);
+  if (auto line = st.line_for(pc)) add_counts(r.line, *line, metric, w);
 
-  p.frames.clear();
-  for (u64 site : callstack) p.frames.push_back(func_id_for(st, site, unknown_id));
-  p.frames.push_back(leaf);
+  frames.clear();
+  for (u64 site : callstack) frames.push_back(func_id_for(st, site, unknown_id));
+  frames.push_back(leaf);
 
   // Each function on the stack gets the weight once (recursion-safe).
-  for (size_t i = 0; i < p.frames.size(); ++i) {
+  for (size_t i = 0; i < frames.size(); ++i) {
     bool dup = false;
-    for (size_t j = 0; j < i; ++j) dup |= p.frames[j] == p.frames[i];
-    if (!dup) add_counts(p.incl, p.frames[i], metric, w);
+    for (size_t j = 0; j < i; ++j) dup |= frames[j] == frames[i];
+    if (!dup) add_counts(r.incl, frames[i], metric, w);
   }
-  for (size_t i = 0; i + 1 < p.frames.size(); ++i) {
-    add_counts(p.edge, edge_key(p.frames[i], p.frames[i + 1]), metric, w);
+  for (size_t i = 0; i + 1 < frames.size(); ++i) {
+    add_counts(r.edge, edge_key(frames[i], frames[i + 1]), metric, w);
   }
 }
 
-/// Fold one event into the partial — the exact attribution pipeline of the
-/// paper's §2.3 (candidate validation against branch targets, the <Unknown>
-/// breakdown of §3.2.5), matching the seed Analysis event-for-event.
-void fold_event(Partial& p, const ExpContext& ctx, u32 unknown_id, size_t i) {
-  const EventStore& ev = ctx.ex->events;
-  const sym::SymbolTable& st = ctx.ex->image.symtab;
+/// Fold one event into the aggregates — the exact attribution pipeline of
+/// the paper's §2.3 (candidate validation against branch targets, the
+/// <Unknown> breakdown of §3.2.5), matching the seed Analysis
+/// event-for-event. Shared verbatim by the offline sharded engine and the
+/// online IncrementalReducer, which is what makes the streamed and offline
+/// views bit-identical by construction.
+void fold_event(ReductionResult& r, std::vector<u32>& frames, const FoldContext& ctx,
+                u32 unknown_id, size_t i) {
+  const EventStore& ev = *ctx.events;
+  const sym::SymbolTable& st = *ctx.symtab;
 
   const u8 pic = ev.pic_col()[i];
   const u64 w = ev.weight_col()[i];
@@ -104,15 +112,15 @@ void fold_event(Partial& p, const ExpContext& ctx, u32 unknown_id, size_t i) {
   if (pic == machine::kClockPic) {
     // Clock-profile sample: code-space only; skid cannot be corrected
     // (paper §3.2.3 — User CPU shows against unlikely instructions).
-    p.present[kUserCpuMetric] = true;
-    p.total[kUserCpuMetric] += w;
-    attribute_code(p, st, unknown_id, delivered_pc, false, kUserCpuMetric, w, stack);
+    r.present[kUserCpuMetric] = true;
+    r.total[kUserCpuMetric] += w;
+    attribute_code(r, frames, st, unknown_id, delivered_pc, false, kUserCpuMetric, w, stack);
     return;
   }
 
   const auto metric = static_cast<size_t>(ev.event_col()[i]);
-  p.present[metric] = true;
-  p.total[metric] += w;
+  r.present[metric] = true;
+  r.total[metric] += w;
 
   const u8 flags = ev.flags_col()[i];
   const bool has_candidate = (flags & EventStore::kHasCandidate) != 0;
@@ -121,21 +129,21 @@ void fold_event(Partial& p, const ExpContext& ctx, u32 unknown_id, size_t i) {
   const bool backtracked = pic < machine::kNumPics && ctx.backtrack_by_pic[pic];
 
   auto data_bucket = [&](u8 cat, u32 sid) {
-    add_counts(p.data, data_key(cat, sid), metric, w);
-    p.data_total[metric] += w;
+    add_counts(r.data, data_key(cat, sid), metric, w);
+    r.data_total[metric] += w;
   };
 
   if (!backtracked || !has_candidate) {
     // No candidate trigger: attribute code space to the delivered PC; the
     // data object cannot be determined.
-    attribute_code(p, st, unknown_id, delivered_pc, false, metric, w, stack);
+    attribute_code(r, frames, st, unknown_id, delivered_pc, false, metric, w, stack);
     data_bucket(kCatUnresolvable, sym::kInvalidType);
     return;
   }
 
   if (!st.has_branch_targets()) {
     // Cannot validate the candidate (no branch-target info, e.g. STABS).
-    attribute_code(p, st, unknown_id, candidate_pc, false, metric, w, stack);
+    attribute_code(r, frames, st, unknown_id, candidate_pc, false, metric, w, stack);
     data_bucket(kCatUnverifiable, sym::kInvalidType);
     return;
   }
@@ -144,13 +152,13 @@ void fold_event(Partial& p, const ExpContext& ctx, u32 unknown_id, size_t i) {
     // A branch target between the candidate and the delivered PC: the path
     // to the interrupt is unknown. Attribute to an artificial branch-target
     // PC (paper §2.3, the `*<branch target>` rows of Figure 4).
-    attribute_code(p, st, unknown_id, *target, true, metric, w, stack);
+    attribute_code(r, frames, st, unknown_id, *target, true, metric, w, stack);
     data_bucket(kCatUnresolvable, sym::kInvalidType);
     return;
   }
 
   // Validated trigger PC.
-  attribute_code(p, st, unknown_id, candidate_pc, false, metric, w, stack);
+  attribute_code(r, frames, st, unknown_id, candidate_pc, false, metric, w, stack);
 
   if (!st.hwcprof()) {
     data_bucket(kCatUnascertainable, sym::kInvalidType);
@@ -170,11 +178,11 @@ void fold_event(Partial& p, const ExpContext& ctx, u32 unknown_id, size_t i) {
       break;
     case sym::MemRef::Kind::StructMember:
       data_bucket(kCatStruct, ref->aggregate);
-      add_counts(p.member, member_key(ref->aggregate, ref->member), metric, w);
+      add_counts(r.member, member_key(ref->aggregate, ref->member), metric, w);
       break;
   }
   if (has_ea) {
-    p.ea.push_back({ev.ea_col()[i], metric, static_cast<double>(w)});
+    r.ea_samples.push_back({ev.ea_col()[i], metric, static_cast<double>(w)});
   }
 }
 
@@ -187,25 +195,25 @@ void merge_map(FlatHashU64Map<MetricCounts>& into, const FlatHashU64Map<MetricCo
 
 void merge_partial(ReductionResult& r, Partial&& p) {
   for (size_t m = 0; m < kNumMetrics; ++m) {
-    r.present[m] = r.present[m] || p.present[m];
-    r.total[m] += p.total[m];
-    r.data_total[m] += p.data_total[m];
+    r.present[m] = r.present[m] || p.r.present[m];
+    r.total[m] += p.r.total[m];
+    r.data_total[m] += p.r.data_total[m];
   }
-  merge_map(r.pc, p.pc);
-  merge_map(r.func, p.func);
-  merge_map(r.incl, p.incl);
-  merge_map(r.edge, p.edge);
-  merge_map(r.line, p.line);
-  merge_map(r.data, p.data);
-  merge_map(r.member, p.member);
-  r.ea_samples.insert(r.ea_samples.end(), p.ea.begin(), p.ea.end());
+  merge_map(r.pc, p.r.pc);
+  merge_map(r.func, p.r.func);
+  merge_map(r.incl, p.r.incl);
+  merge_map(r.edge, p.r.edge);
+  merge_map(r.line, p.r.line);
+  merge_map(r.data, p.r.data);
+  merge_map(r.member, p.r.member);
+  r.ea_samples.insert(r.ea_samples.end(), p.r.ea_samples.begin(), p.r.ea_samples.end());
 }
 
-ReductionResult reduce_sharded(const std::vector<ExpContext>& ctxs, u32 unknown_id,
+ReductionResult reduce_sharded(const std::vector<FoldContext>& ctxs, u32 unknown_id,
                                unsigned threads) {
   // Global event index space: experiments concatenated in order.
   std::vector<size_t> prefix{0};
-  for (const auto& c : ctxs) prefix.push_back(prefix.back() + c.ex->events.size());
+  for (const auto& c : ctxs) prefix.push_back(prefix.back() + c.events->size());
   const size_t n = prefix.back();
 
   const size_t min_shard = 4096;  // don't spin threads for tiny stores
@@ -223,7 +231,7 @@ ReductionResult reduce_sharded(const std::vector<ExpContext>& ctxs, u32 unknown_
     while (prefix[e + 1] <= lo) ++e;
     for (size_t g = lo; g < hi; ++g) {
       while (prefix[e + 1] <= g) ++e;
-      fold_event(p, ctxs[e], unknown_id, g - prefix[e]);
+      fold_event(p.r, p.frames, ctxs[e], unknown_id, g - prefix[e]);
     }
   };
 
@@ -293,9 +301,9 @@ void baseline_attribute_code(BaselineState& st, const sym::SymbolTable& symtab, 
   }
 }
 
-void baseline_fold_event(BaselineState& bs, const ExpContext& ctx, size_t i) {
-  const EventStore& ev = ctx.ex->events;
-  const sym::SymbolTable& st = ctx.ex->image.symtab;
+void baseline_fold_event(BaselineState& bs, const FoldContext& ctx, size_t i) {
+  const EventStore& ev = *ctx.events;
+  const sym::SymbolTable& st = *ctx.symtab;
   const experiment::EventView e = ev[i];
   const double w = static_cast<double>(e.weight);
 
@@ -362,16 +370,16 @@ MetricCounts counts_of(const MetricVector& v) {
   return c;
 }
 
-ReductionResult reduce_baseline(const std::vector<ExpContext>& ctxs, u32 unknown_id) {
+ReductionResult reduce_baseline(const std::vector<FoldContext>& ctxs, u32 unknown_id) {
   BaselineState bs;
   size_t n = 0;
   for (const auto& ctx : ctxs) {
-    n += ctx.ex->events.size();
-    for (size_t i = 0; i < ctx.ex->events.size(); ++i) baseline_fold_event(bs, ctx, i);
+    n += ctx.events->size();
+    for (size_t i = 0; i < ctx.events->size(); ++i) baseline_fold_event(bs, ctx, i);
   }
 
   // Convert the string-keyed maps into the packed-key result form.
-  const sym::SymbolTable& st = ctxs[0].ex->image.symtab;
+  const sym::SymbolTable& st = *ctxs[0].symtab;
   auto id_of = [&](const std::string& name) -> u32 {
     for (size_t f = 0; f < st.functions().size(); ++f) {
       if (st.functions()[f].name == name) return static_cast<u32>(f);
@@ -418,16 +426,9 @@ unsigned Reduction::resolve_threads(unsigned requested) {
 ReductionResult Reduction::run(const std::vector<const Experiment*>& exps, unsigned threads,
                                Engine engine) {
   DSP_CHECK(!exps.empty(), "no experiments to analyze");
-  std::vector<ExpContext> ctxs;
+  std::vector<FoldContext> ctxs;
   ctxs.reserve(exps.size());
-  for (const auto* ex : exps) {
-    ExpContext c;
-    c.ex = ex;
-    for (const auto& spec : ex->counters) {
-      if (spec.pic < machine::kNumPics) c.backtrack_by_pic[spec.pic] = spec.backtrack;
-    }
-    ctxs.push_back(c);
-  }
+  for (const auto* ex : exps) ctxs.push_back(context_of(*ex));
   const sym::SymbolTable& st = exps[0]->image.symtab;
   const u32 unknown_id = static_cast<u32>(st.functions().size());
 
@@ -439,6 +440,34 @@ ReductionResult Reduction::run(const std::vector<const Experiment*>& exps, unsig
   for (const auto& f : st.functions()) r.func_names.push_back(f.name);
   r.func_names.push_back("<unknown code>");
   return r;
+}
+
+// ---------------------------------------------------------------------------
+// IncrementalReducer — the dsprofd online path.
+
+IncrementalReducer::IncrementalReducer(const sym::SymbolTable& symtab,
+                                       const std::vector<experiment::CounterSpec>& counters)
+    : symtab_(&symtab) {
+  for (const auto& spec : counters) {
+    if (spec.pic < machine::kNumPics) backtrack_by_pic_[spec.pic] = spec.backtrack;
+  }
+  unknown_id_ = static_cast<u32>(symtab.functions().size());
+  // func_names exactly as Reduction::run fills them, so a snapshot
+  // ReductionResult is indistinguishable from an offline one.
+  r_.func_names.reserve(symtab.functions().size() + 1);
+  for (const auto& f : symtab.functions()) r_.func_names.push_back(f.name);
+  r_.func_names.push_back("<unknown code>");
+}
+
+void IncrementalReducer::fold(const experiment::EventStore& events, size_t begin,
+                              size_t end) {
+  DSP_CHECK(begin <= end && end <= events.size(), "fold range outside event store");
+  FoldContext ctx;
+  ctx.events = &events;
+  ctx.symtab = symtab_;
+  ctx.backtrack_by_pic = backtrack_by_pic_;
+  for (size_t i = begin; i < end; ++i) fold_event(r_, frames_, ctx, unknown_id_, i);
+  r_.events_reduced += end - begin;
 }
 
 }  // namespace dsprof::analyze

@@ -99,4 +99,47 @@ class Reduction {
                              unsigned threads = 0, Engine engine = Engine::Sharded);
 };
 
+/// Online incremental reduction: the dsprofd streaming path (src/serve/).
+///
+/// Batches of events are folded into a live ReductionResult as they arrive,
+/// using the exact per-event attribution pipeline of Reduction::run. Because
+/// every aggregate accumulates integer weights (u64) — associative and
+/// commutative — the result after folding batches [0,a), [a,b), ... [y,n)
+/// is bit-identical to one offline reduction over [0,n) for any batching,
+/// and per-event EA samples concatenate in event order exactly as the
+/// offline shard merge does. That is the serve subsystem's
+/// online-vs-offline invariant (DESIGN.md §3.3); tests/serve_test.cpp and
+/// the streamed-session integration test enforce it end to end.
+///
+/// Not thread-safe: one reducer per session, fold() called from a single
+/// ingest thread. snapshot() returns a deep copy that Analysis can render
+/// views from while folding continues.
+class IncrementalReducer {
+ public:
+  /// `symtab` must outlive the reducer. `counters` supplies the per-PIC
+  /// backtracking flags exactly as an Experiment's counter specs would.
+  IncrementalReducer(const sym::SymbolTable& symtab,
+                     const std::vector<experiment::CounterSpec>& counters);
+
+  /// Fold events [begin, end) of `events` into the live aggregates.
+  /// CallstackRefs resolve against `events`, so the store must stay alive
+  /// (and un-moved) only for the duration of the call.
+  void fold(const experiment::EventStore& events, size_t begin, size_t end);
+
+  /// The live aggregates (valid until the next fold()).
+  const ReductionResult& result() const { return r_; }
+
+  /// Deep copy of the live aggregates for snapshot rendering.
+  ReductionResult snapshot() const { return r_; }
+
+  size_t events_folded() const { return r_.events_reduced; }
+
+ private:
+  const sym::SymbolTable* symtab_;
+  std::array<bool, machine::kNumPics> backtrack_by_pic_{};
+  u32 unknown_id_ = 0;
+  ReductionResult r_;
+  std::vector<u32> frames_;  // reused per-event scratch
+};
+
 }  // namespace dsprof::analyze

@@ -1,6 +1,7 @@
 #include "analyze/reports.hpp"
 
 #include <algorithm>
+#include <cstdio>
 #include <sstream>
 
 #include "support/table.hpp"
@@ -336,6 +337,117 @@ std::string render_member_expansion(const Analysis& a, const std::string& struct
     table.add_row(std::move(cells));
   }
   return table.render();
+}
+
+namespace {
+
+/// Minimal JSON string escaping: quote, backslash, and control characters.
+std::string json_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size() + 2);
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      case '\r': out += "\\r"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+/// {"ucpu":123,"ecstall":456} over the present columns. Every metric weight
+/// is an integral count (reduction.hpp: integer accumulation), so rendering
+/// through fmt_count is exact and stable across platforms.
+std::string json_metrics(const MetricVector& mv, const std::vector<size_t>& cols) {
+  std::string out = "{";
+  bool first = true;
+  for (size_t m : cols) {
+    if (!first) out += ",";
+    first = false;
+    out += "\"" + metric_short_name(m) + "\":" + std::to_string(static_cast<u64>(mv[m]));
+  }
+  out += "}";
+  return out;
+}
+
+}  // namespace
+
+std::string render_json_report(const Analysis& a, u64 dropped_events) {
+  const std::vector<size_t> cols = present_columns(a);
+  const size_t sort_metric = cols.empty() ? kUserCpuMetric : cols.front();
+  std::ostringstream os;
+  os << "{\"schema\":\"dsprof-report-v1\"";
+  os << ",\"sort_metric\":\"" << metric_short_name(sort_metric) << "\"";
+  os << ",\"events\":" << a.reduce().events_reduced;
+  os << ",\"dropped_events\":" << dropped_events;
+  os << ",\"totals\":" << json_metrics(a.total(), cols);
+  os << ",\"data_totals\":" << json_metrics(a.data_total(), cols);
+
+  os << ",\"functions\":[";
+  bool first = true;
+  for (const auto& f : a.functions(sort_metric)) {
+    if (!first) os << ",";
+    first = false;
+    os << "{\"name\":\"" << json_escape(f.name) << "\",\"metrics\":" << json_metrics(f.mv, cols)
+       << "}";
+  }
+  if (dropped_events != 0) {
+    if (!first) os << ",";
+    os << "{\"name\":\"(Dropped)\",\"events\":" << dropped_events << "}";
+  }
+  os << "]";
+
+  os << ",\"pcs\":[";
+  first = true;
+  for (const auto& p : a.pcs(sort_metric)) {
+    if (!first) os << ",";
+    first = false;
+    char pc_hex[32];
+    std::snprintf(pc_hex, sizeof(pc_hex), "0x%llx", static_cast<unsigned long long>(p.pc));
+    os << "{\"pc\":\"" << pc_hex << "\",\"artificial\":" << (p.artificial ? "true" : "false")
+       << ",\"metrics\":" << json_metrics(p.mv, cols) << "}";
+  }
+  os << "]";
+
+  // Source lines straight from the reduction aggregates, ascending by line
+  // number (the per-function annotated views slice this same map).
+  os << ",\"lines\":[";
+  {
+    std::vector<std::pair<u64, MetricVector>> lines;
+    lines.reserve(a.reduce().line.size());
+    for (const auto& e : a.reduce().line.entries())
+      lines.emplace_back(e.key, to_metric_vector(e.value));
+    std::sort(lines.begin(), lines.end(),
+              [](const auto& x, const auto& y) { return x.first < y.first; });
+    first = true;
+    for (const auto& [line, mv] : lines) {
+      if (!first) os << ",";
+      first = false;
+      os << "{\"line\":" << line << ",\"metrics\":" << json_metrics(mv, cols) << "}";
+    }
+  }
+  os << "]";
+
+  os << ",\"data_objects\":[";
+  first = true;
+  for (const auto& d : a.data_objects(sort_metric)) {
+    if (!first) os << ",";
+    first = false;
+    os << "{\"name\":\"" << json_escape(d.name) << "\",\"metrics\":" << json_metrics(d.mv, cols)
+       << "}";
+  }
+  os << "]}";
+  return os.str();
 }
 
 std::string render_effectiveness(const Analysis& a) {

@@ -38,6 +38,18 @@ std::string render_member_expansion(const Analysis& a, const std::string& struct
 /// §3.2.5: apropos backtracking effectiveness per counter.
 std::string render_effectiveness(const Analysis& a);
 
+/// Machine-diffable JSON report: totals, function list, hot PCs, source
+/// lines, and data objects, each with the present metrics as integral
+/// counts. `er_print -J` and dsprofd snapshot frames share this renderer
+/// byte-for-byte, which is what lets scripts/check.sh diff a streamed
+/// session against an offline analysis of the same events mechanically.
+///
+/// `dropped_events` is the serve-path overload counter; when nonzero a
+/// "(Dropped)" pseudo-row is appended to the function list (and the count
+/// recorded at top level). Offline reports pass 0, so the zero-drop output
+/// is bit-identical between the two paths.
+std::string render_json_report(const Analysis& a, u64 dropped_events = 0);
+
 /// §4 future work: metrics by memory segment / page / E$ line / instance.
 std::string render_segments(const Analysis& a);
 std::string render_pages(const Analysis& a, size_t sort_metric, size_t top_n = 10);

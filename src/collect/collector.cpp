@@ -230,6 +230,20 @@ void Collector::on_overflow(const machine::OverflowDelivery& d) {
   events_.append(static_cast<u8>(d.pic), d.event, d.interval, d.delivered_pc, r.found,
                  r.candidate_pc, r.ea_known, r.ea, d.callstack.data(), d.callstack.size(),
                  d.seq);
+  if (opt_.batch_export && events_.size() - exported_ >= opt_.batch_export_events) {
+    export_pending(/*last=*/false);
+  }
+}
+
+void Collector::export_pending(bool last) {
+  if (!opt_.batch_export) return;
+  if (exported_ == events_.size() && !last) return;
+  // Re-pack the pending range into a self-contained batch store (own arena)
+  // so the consumer may keep or encode it independently of events_.
+  experiment::EventStore batch;
+  batch.append_range(events_, exported_, events_.size());
+  exported_ = events_.size();
+  opt_.batch_export(batch, last);
 }
 
 experiment::Experiment Collector::run(const std::function<void(machine::Cpu&)>& setup) {
@@ -256,7 +270,9 @@ experiment::Experiment Collector::run(const std::function<void(machine::Cpu&)>& 
   if (setup) setup(*cpu_);
 
   events_.clear();
+  exported_ = 0;
   const machine::RunResult rr = cpu_->run(opt_.max_instructions);
+  export_pending(/*last=*/true);
 
   experiment::Experiment ex;
   ex.image = image_;

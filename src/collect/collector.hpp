@@ -50,6 +50,15 @@ struct CollectOptions {
   /// Instructions to search when backtracking from the delivered PC.
   u32 backtrack_window = 16;
   BacktrackEngine backtrack_engine = BacktrackEngine::Table;
+
+  /// Streaming export hook (the dsprofd ingest path, src/serve/): when set,
+  /// the collector hands off a batch of events every `batch_export_events`
+  /// recorded overflows, plus the final partial batch (`last = true`) at
+  /// run end. The batch store is only valid for the duration of the call —
+  /// a client typically encodes it onto the wire immediately. The run's
+  /// Experiment still contains every event; streaming is additive.
+  std::function<void(const experiment::EventStore& batch, bool last)> batch_export;
+  size_t batch_export_events = 4096;
 };
 
 /// Reference apropos backtracking search (paper §2.2.3): walk backward from
@@ -89,6 +98,8 @@ class Collector {
  private:
   sa::BacktrackAnswer backtrack(const machine::OverflowDelivery& d);
   void on_overflow(const machine::OverflowDelivery& d);
+  /// Hand events [exported_, size) to opt_.batch_export as one batch.
+  void export_pending(bool last);
 
   const sym::Image& image_;
   CollectOptions opt_;
@@ -106,6 +117,8 @@ class Collector {
   std::unique_ptr<machine::Cpu> cpu_;
   /// Columnar event store filled during the run (zero per-event allocations).
   experiment::EventStore events_;
+  /// Events already handed to opt_.batch_export.
+  size_t exported_ = 0;
 };
 
 }  // namespace dsprof::collect

@@ -111,6 +111,21 @@ void EventStore::clear() {
   has_empty_ = false;
 }
 
+void EventStore::append_range(const EventStore& other, size_t begin, size_t end) {
+  DSP_CHECK(begin <= end && end <= other.size(), "append_range outside source store");
+  DSP_CHECK(&other != this, "append_range from self");
+  reserve(size() + (end - begin));
+  // Worst case every source callstack is new to this arena; reserving the
+  // source arena's word count keeps re-interning allocation-free too.
+  arena_.reserve(arena_.size() + other.arena_.size());
+  for (size_t i = begin; i < end; ++i) {
+    append(other.pic_[i], static_cast<machine::HwEvent>(other.event_[i]), other.weight_[i],
+           other.delivered_pc_[i], (other.flags_[i] & kHasCandidate) != 0,
+           other.candidate_pc_[i], (other.flags_[i] & kHasEa) != 0, other.ea_[i],
+           other.arena_.data() + other.cs_offset_[i], other.cs_len_[i], other.seq_[i]);
+  }
+}
+
 void EventStore::serialize(ByteWriter& w) const {
   put_pod_column(w, pic_);
   put_pod_column(w, event_);

@@ -119,6 +119,13 @@ class EventStore {
   void reserve(size_t n);
   void clear();
 
+  /// Bulk-append events [begin, end) of `other` (callstacks re-interned
+  /// into this store's arena). Reserves up front, so the batch paths —
+  /// collect's batch export, the dsprofd wire codec, bench replay — pay
+  /// amortized column growth once instead of per event.
+  void append_range(const EventStore& other, size_t begin, size_t end);
+  void append_store(const EventStore& other) { append_range(other, 0, other.size()); }
+
   // --- iteration ------------------------------------------------------------
   class const_iterator {
    public:

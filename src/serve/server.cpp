@@ -1,0 +1,389 @@
+#include "serve/server.hpp"
+
+#include <chrono>
+
+#include "analyze/analysis.hpp"
+#include "analyze/reports.hpp"
+
+namespace dsprof::serve {
+
+namespace {
+
+u64 now_ns() {
+  return static_cast<u64>(std::chrono::duration_cast<std::chrono::nanoseconds>(
+                              std::chrono::steady_clock::now().time_since_epoch())
+                              .count());
+}
+
+Status send_frame(Transport& t, FrameType type, const std::vector<u8>& payload) {
+  const std::vector<u8> bytes = encode_frame(type, payload);
+  return t.send(bytes.data(), bytes.size());
+}
+
+}  // namespace
+
+std::string ServerStats::to_json() const {
+  std::string s = "{";
+  const auto field = [&s](const char* k, u64 v, bool last = false) {
+    s += std::string("\"") + k + "\":" + std::to_string(v) + (last ? "" : ",");
+  };
+  field("sessions_total", sessions_total);
+  field("sessions_active", sessions_active);
+  field("frames_in", frames_in);
+  field("batches_in", batches_in);
+  field("events_in", events_in);
+  field("events_reduced", events_reduced);
+  field("events_dropped", events_dropped);
+  field("snapshots", snapshots);
+  field("max_queue_depth", max_queue_depth);
+  field("reduce_calls", reduce_calls);
+  field("reduce_ns", reduce_ns, /*last=*/true);
+  s += "}";
+  return s;
+}
+
+struct Server::Session {
+  u64 id = 0;
+  std::unique_ptr<Transport> transport;
+  FrameReader frames;
+
+  // Handshake result: the rendering context a snapshot Analysis needs.
+  bool hello_done = false;
+  bool closing = false;
+  experiment::Experiment ex;  // events stay empty; batches live in the queue
+  std::unique_ptr<analyze::IncrementalReducer> reducer;
+
+  // Bounded batch queue, reader -> reducer.
+  std::mutex qmu;
+  std::condition_variable qcv;       // reducer waits: batch available or stop
+  std::condition_variable space_cv;  // reader waits under Block policy
+  std::condition_variable drain_cv;  // reader waits: queue empty + reducer idle
+  std::deque<experiment::EventStore> queue;
+  bool reducing = false;
+  bool stop = false;
+
+  // Accounting (guarded by qmu; events_reduced mirrors the reducer's fold
+  // counter so stats can be read while a fold is in flight). The invariant —
+  // after any drain, events_in == events_reduced + events_dropped — holds
+  // because every enqueued event is eventually either folded or
+  // evicted-and-counted.
+  u64 events_in = 0;
+  u64 events_reduced = 0;
+  u64 events_dropped = 0;
+  u64 batches_in = 0;
+  u64 frames_in = 0;
+  u64 snapshots = 0;
+  u64 max_queue_depth = 0;
+  u64 reduce_calls = 0;
+  u64 reduce_ns = 0;
+
+  bool finalized = false;
+  std::thread reader_thread;
+  std::thread reducer_thread;
+
+  /// Wait until every queued batch has been folded (the snapshot barrier).
+  void drain() {
+    std::unique_lock<std::mutex> lock(qmu);
+    drain_cv.wait(lock, [&] { return queue.empty() && !reducing; });
+  }
+
+  Accounting accounting() {
+    std::lock_guard<std::mutex> lock(qmu);
+    return {events_in, events_reduced, events_dropped};
+  }
+};
+
+Server::Server(ServerOptions options) : opt_(options) {}
+
+Server::~Server() { stop(); }
+
+u64 Server::add_session(std::unique_ptr<Transport> transport) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto s = std::make_unique<Session>();
+  s->id = next_session_id_++;
+  s->transport = std::move(transport);
+  Session& ref = *s;
+  sessions_.push_back(std::move(s));
+  ref.reducer_thread = std::thread([this, &ref] { reducer_main(ref); });
+  ref.reader_thread = std::thread([this, &ref] { reader_main(ref); });
+  return ref.id;
+}
+
+void Server::serve(UdsListener& listener) {
+  while (!stopping_.load()) {
+    Status st;
+    auto t = listener.accept(st, /*timeout_ms=*/200);
+    if (t) {
+      add_session(std::move(t));
+      continue;
+    }
+    if (st.code == StatusCode::Timeout) continue;  // poll the stop flag
+    break;  // listener closed or failed
+  }
+}
+
+void Server::reader_main(Session& s) {
+  std::vector<u8> buf(64 * 1024);
+
+  const auto handle_frame = [&](const Frame& f) -> Status {
+    switch (f.type) {
+      case FrameType::Hello: {
+        if (s.hello_done)
+          return Status::make(StatusCode::Refused, "duplicate Hello");
+        HelloPayload h;
+        if (Status st = decode_hello(f.payload, h); !st.ok()) return st;
+        s.ex.log = "dsprofd streamed session from '" + h.client_name + "'";
+        s.ex.image = std::move(h.image);
+        s.ex.counters = h.counters;
+        s.ex.clock_interval = h.clock_interval;
+        s.ex.clock_hz = h.clock_hz;
+        s.ex.page_size = h.page_size;
+        s.ex.ec_line_size = h.ec_line_size;
+        s.ex.total_cycles = h.total_cycles;
+        s.ex.total_instructions = h.total_instructions;
+        s.reducer = std::make_unique<analyze::IncrementalReducer>(s.ex.image.symtab,
+                                                                  s.ex.counters);
+        s.hello_done = true;
+        return send_frame(*s.transport, FrameType::HelloAck, encode_hello_ack(s.id));
+      }
+      case FrameType::EventBatch: {
+        if (!s.hello_done)
+          return Status::make(StatusCode::Refused, "EventBatch before Hello");
+        experiment::EventStore batch;
+        if (Status st = decode_event_batch(f.payload, batch); !st.ok()) return st;
+        if (opt_.max_batch_events != 0 && batch.size() > opt_.max_batch_events)
+          return Status::make(StatusCode::Refused,
+                              "batch of " + std::to_string(batch.size()) +
+                                  " events exceeds per-batch cap");
+        const u64 n = batch.size();
+        std::unique_lock<std::mutex> lock(s.qmu);
+        if (s.queue.size() >= opt_.max_queued_batches) {
+          if (opt_.overload == ServerOptions::Overload::DropOldest) {
+            // Evict the oldest queued batch; its events are accounted as
+            // dropped, which the snapshot surfaces as "(Dropped)".
+            s.events_dropped += s.queue.front().size();
+            s.queue.pop_front();
+          } else {
+            // Block: stop reading until the reducer makes room. The pipe /
+            // socket buffer fills behind us — that is the backpressure the
+            // client feels.
+            s.space_cv.wait(lock, [&] {
+              return s.stop || s.queue.size() < opt_.max_queued_batches;
+            });
+            if (s.stop) return Status::make(StatusCode::Disconnected, "session stopping");
+          }
+        }
+        s.events_in += n;
+        s.batches_in += 1;
+        s.queue.push_back(std::move(batch));
+        s.max_queue_depth = std::max<u64>(s.max_queue_depth, s.queue.size());
+        s.qcv.notify_one();
+        return {};
+      }
+      case FrameType::Alloc: {
+        if (!s.hello_done)
+          return Status::make(StatusCode::Refused, "Alloc before Hello");
+        std::vector<std::pair<u64, u64>> allocs;
+        if (Status st = decode_allocs(f.payload, allocs); !st.ok()) return st;
+        s.ex.allocations.insert(s.ex.allocations.end(), allocs.begin(), allocs.end());
+        return {};
+      }
+      case FrameType::Flush: {
+        if (!s.hello_done) return Status::make(StatusCode::Refused, "Flush before Hello");
+        s.drain();
+        return send_frame(*s.transport, FrameType::FlushAck,
+                          encode_flush_ack(s.accounting()));
+      }
+      case FrameType::SnapshotReq: {
+        if (!s.hello_done)
+          return Status::make(StatusCode::Refused, "SnapshotReq before Hello");
+        s.drain();
+        const Accounting acct = s.accounting();
+        // Deep-copy the live aggregates between folds and render through the
+        // same Analysis + render_json_report path `er_print -J` uses: the
+        // snapshot is byte-identical to an offline report over these events.
+        analyze::Analysis a(s.ex, s.reducer->snapshot());
+        const std::string json = analyze::render_json_report(a, acct.events_dropped);
+        {
+          std::lock_guard<std::mutex> lock(s.qmu);
+          s.snapshots += 1;
+        }
+        return send_frame(*s.transport, FrameType::Snapshot, encode_snapshot(acct, json));
+      }
+      case FrameType::StatsReq:
+        return send_frame(*s.transport, FrameType::Stats, encode_stats(stats().to_json()));
+      case FrameType::Close: {
+        if (s.hello_done) s.drain();  // final accounting must be complete
+        s.closing = true;
+        return send_frame(*s.transport, FrameType::CloseAck,
+                          encode_flush_ack(s.accounting()));
+      }
+      default:
+        return Status::make(StatusCode::Refused,
+                            std::string("unexpected frame type ") +
+                                frame_type_name(f.type));
+    }
+  };
+
+  for (;;) {
+    size_t got = 0;
+    Status st = s.transport->recv_some(buf.data(), buf.size(), got, /*timeout_ms=*/-1);
+    if (!st.ok()) break;  // disconnect / shutdown: finalize below
+    st = s.frames.feed(buf.data(), got);
+    {
+      std::lock_guard<std::mutex> lock(s.qmu);
+      s.frames_in = s.frames.frames_decoded();
+    }
+    bool fatal = false;
+    if (!st.ok()) {
+      // Framing corruption: tell the client why, then drop the session.
+      (void)send_frame(*s.transport, FrameType::Error, encode_error(st));
+      fatal = true;
+    } else {
+      Frame f;
+      while (s.frames.next_frame(f)) {
+        try {
+          st = handle_frame(f);
+        } catch (const Error& e) {
+          // Analyzer invariants tripped by hostile payloads surface as a
+          // clean per-session error, never a daemon crash.
+          st = Status::make(StatusCode::Malformed, e.what());
+        }
+        if (!st.ok()) {
+          if (st.code != StatusCode::Disconnected)
+            (void)send_frame(*s.transport, FrameType::Error, encode_error(st));
+          fatal = true;
+          break;
+        }
+        if (s.closing) break;
+      }
+    }
+    if (fatal || s.closing) break;
+  }
+
+  // A partial frame still buffered here is the mid-batch disconnect case:
+  // those bytes never decoded into events, so they are simply discarded —
+  // they appear in no counter, keeping the accounting exact.
+  finalize(s);
+}
+
+void Server::reducer_main(Session& s) {
+  for (;;) {
+    experiment::EventStore batch;
+    {
+      std::unique_lock<std::mutex> lock(s.qmu);
+      s.qcv.wait(lock, [&] { return s.stop || !s.queue.empty(); });
+      if (s.queue.empty()) break;  // stop requested and fully drained
+      batch = std::move(s.queue.front());
+      s.queue.pop_front();
+      s.reducing = true;
+      s.space_cv.notify_one();
+    }
+    if (opt_.before_reduce) opt_.before_reduce(s.id);
+    const u64 t0 = now_ns();
+    u64 folded = batch.size();
+    try {
+      s.reducer->fold(batch, 0, batch.size());
+    } catch (const Error&) {
+      // Defensive: EventStore::deserialize already validated the batch, but
+      // a long-lived daemon must not die on a fold invariant. The batch is
+      // accounted as dropped (fold bumps its counter only on success), so
+      // events_in == events_reduced + events_dropped still holds.
+      folded = 0;
+    }
+    const u64 t1 = now_ns();
+    {
+      std::lock_guard<std::mutex> lock(s.qmu);
+      s.reducing = false;
+      if (folded != 0) s.events_reduced += folded;
+      else s.events_dropped += batch.size();
+      s.reduce_calls += 1;
+      s.reduce_ns += t1 - t0;
+      if (s.queue.empty()) s.drain_cv.notify_all();
+    }
+  }
+  std::lock_guard<std::mutex> lock(s.qmu);
+  s.drain_cv.notify_all();
+}
+
+void Server::finalize(Session& s) {
+  {
+    std::lock_guard<std::mutex> lock(s.qmu);
+    s.stop = true;
+    s.qcv.notify_all();
+    s.space_cv.notify_all();
+  }
+  s.reducer_thread.join();  // drains the queue first (fold-before-exit)
+  s.transport->shutdown();
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    s.finalized = true;
+  }
+  session_done_cv_.notify_all();
+}
+
+void Server::wait_session(u64 id) {
+  std::unique_lock<std::mutex> lock(mu_);
+  session_done_cv_.wait(lock, [&] {
+    for (const auto& s : sessions_)
+      if (s->id == id) return s->finalized;
+    return true;  // unknown id: nothing to wait for
+  });
+}
+
+void Server::wait_all() {
+  std::unique_lock<std::mutex> lock(mu_);
+  session_done_cv_.wait(lock, [&] {
+    for (const auto& s : sessions_)
+      if (!s->finalized) return false;
+    return true;
+  });
+}
+
+void Server::stop() {
+  stopping_.store(true);
+  std::vector<Session*> open;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    for (const auto& s : sessions_) open.push_back(s.get());
+  }
+  for (Session* s : open) s->transport->shutdown();  // unblock readers
+  for (Session* s : open) {
+    if (s->reader_thread.joinable()) s->reader_thread.join();
+    // finalize() already joined the reducer from the reader thread.
+  }
+}
+
+size_t Server::active_sessions() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  size_t n = 0;
+  for (const auto& s : sessions_)
+    if (!s->finalized) ++n;
+  return n;
+}
+
+ServerStats Server::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return stats_locked();
+}
+
+ServerStats Server::stats_locked() const {
+  ServerStats st;
+  st.sessions_total = sessions_.size();
+  for (const auto& s : sessions_) {
+    if (!s->finalized) ++st.sessions_active;
+    std::lock_guard<std::mutex> lock(s->qmu);
+    st.frames_in += s->frames_in;
+    st.batches_in += s->batches_in;
+    st.events_in += s->events_in;
+    st.events_reduced += s->events_reduced;
+    st.events_dropped += s->events_dropped;
+    st.snapshots += s->snapshots;
+    st.max_queue_depth = std::max(st.max_queue_depth, s->max_queue_depth);
+    st.reduce_calls += s->reduce_calls;
+    st.reduce_ns += s->reduce_ns;
+  }
+  return st;
+}
+
+}  // namespace dsprof::serve

@@ -1,0 +1,131 @@
+// dsprofd: the profiling daemon (DESIGN.md §3.3).
+//
+// A Server owns any number of concurrent Sessions, one per connected
+// collector client. Each session runs two threads:
+//
+//   reader   recv bytes -> FrameReader -> decode frames. Control frames
+//            (Flush/SnapshotReq/StatsReq/Close) are answered inline;
+//            EventBatch/Alloc frames are validated and enqueued.
+//   reducer  pops decoded batches from a bounded queue and folds them into
+//            an IncrementalReducer (analyze/reduction.hpp) — the *online*
+//            aggregates. Because the fold accumulates integer weights, the
+//            live aggregates after any batch split are bit-identical to one
+//            offline reduction over the same events (the serve subsystem's
+//            central invariant; tests/serve_test.cpp proves it property-
+//            style, tests/integration_test.cpp on the MCF workload).
+//
+// Overload: the batch queue holds at most `max_queued_batches`. When the
+// reducer falls behind, the policy decides:
+//
+//   DropOldest  (default) evict the oldest queued batch and count its
+//               events as dropped. Snapshots stay available under overload
+//               and the loss is surfaced: the accounting triple satisfies
+//               events_in == events_reduced + events_dropped exactly, and
+//               the JSON report grows a "(Dropped)" row (reports.hpp).
+//   Block       the reader stops reading; backpressure propagates through
+//               the transport to the client's send() (a full pipe/socket),
+//               which either waits or times out and retries. No loss.
+//
+// Snapshot protocol: SnapshotReq first *drains* (waits until the queue is
+// empty and the reducer is idle), then renders views from a deep copy of
+// the live aggregates via Analysis's precomputed-result constructor. The
+// drain barrier means a client that sends batches then SnapshotReq sees
+// every event it sent (minus accounted drops) — no torn reads, because the
+// copy is taken between folds, never during one.
+//
+// Disconnect mid-batch: the partial frame buffered in the FrameReader is
+// discarded, complete frames already queued are still folded, and the
+// session finalizes with the accounting invariant intact.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "analyze/reduction.hpp"
+#include "serve/transport.hpp"
+#include "serve/wire.hpp"
+
+namespace dsprof::serve {
+
+struct ServerOptions {
+  /// Bounded per-session batch queue (the backpressure window).
+  size_t max_queued_batches = 64;
+
+  enum class Overload { DropOldest, Block };
+  Overload overload = Overload::DropOldest;
+
+  /// Reject event batches larger than this many events (0 = no cap).
+  size_t max_batch_events = 0;
+
+  /// Test seam: called by the reducer thread before each fold. Stalling
+  /// here makes the queue overflow deterministically (overload tests).
+  std::function<void(u64 session_id)> before_reduce;
+};
+
+/// Aggregated introspection counters (the Stats frame payload).
+struct ServerStats {
+  u64 sessions_total = 0;
+  u64 sessions_active = 0;
+  u64 frames_in = 0;
+  u64 batches_in = 0;
+  u64 events_in = 0;
+  u64 events_reduced = 0;
+  u64 events_dropped = 0;
+  u64 snapshots = 0;
+  u64 max_queue_depth = 0;
+  u64 reduce_calls = 0;
+  u64 reduce_ns = 0;  // cumulative wall time inside fold()
+
+  std::string to_json() const;
+};
+
+class Server {
+ public:
+  explicit Server(ServerOptions options = {});
+  ~Server();
+  Server(const Server&) = delete;
+  Server& operator=(const Server&) = delete;
+
+  /// Adopt a connected transport as a new session (threads start
+  /// immediately). Returns the session id the HelloAck will carry.
+  u64 add_session(std::unique_ptr<Transport> transport);
+
+  /// Accept loop over a Unix-domain listener; returns when the listener is
+  /// closed or stop() is called. Each accepted connection becomes a session.
+  void serve(UdsListener& listener);
+
+  /// Block until session `id` has finalized (client closed/disconnected).
+  void wait_session(u64 id);
+
+  /// Block until every session so far has finalized.
+  void wait_all();
+
+  /// Shut down every session (transports included) and join all threads.
+  void stop();
+
+  size_t active_sessions() const;
+  ServerStats stats() const;
+
+ private:
+  struct Session;
+
+  void reader_main(Session& s);
+  void reducer_main(Session& s);
+  void finalize(Session& s);
+  ServerStats stats_locked() const;
+
+  ServerOptions opt_;
+  mutable std::mutex mu_;
+  std::condition_variable session_done_cv_;
+  std::vector<std::unique_ptr<Session>> sessions_;
+  u64 next_session_id_ = 1;
+  std::atomic<bool> stopping_{false};
+};
+
+}  // namespace dsprof::serve

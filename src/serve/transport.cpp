@@ -1,0 +1,259 @@
+#include "serve/transport.hpp"
+
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <chrono>
+#include <condition_variable>
+#include <cstring>
+#include <deque>
+#include <mutex>
+#include <poll.h>
+#include <vector>
+
+namespace dsprof::serve {
+
+// --- in-process pipe --------------------------------------------------------
+
+namespace {
+
+/// One direction of the pipe: a bounded byte queue with blocking producer
+/// and consumer sides. shutdown() wakes both.
+class PipeDuct {
+ public:
+  explicit PipeDuct(size_t capacity) : capacity_(capacity) {}
+
+  Status send(const u8* data, size_t n) {
+    std::unique_lock<std::mutex> lock(mu_);
+    size_t off = 0;
+    while (off < n) {
+      space_cv_.wait(lock, [&] { return closed_ || bytes_.size() < capacity_; });
+      if (closed_) return Status::make(StatusCode::Disconnected, "pipe closed");
+      const size_t room = capacity_ - bytes_.size();
+      const size_t take = std::min(room, n - off);
+      bytes_.insert(bytes_.end(), data + off, data + off + take);
+      off += take;
+      data_cv_.notify_all();
+    }
+    return {};
+  }
+
+  Status recv_some(u8* buf, size_t cap, size_t& got, int timeout_ms) {
+    got = 0;
+    std::unique_lock<std::mutex> lock(mu_);
+    const auto ready = [&] { return closed_ || !bytes_.empty(); };
+    if (timeout_ms < 0) {
+      data_cv_.wait(lock, ready);
+    } else if (!data_cv_.wait_for(lock, std::chrono::milliseconds(timeout_ms), ready)) {
+      return Status::make(StatusCode::Timeout, "pipe recv timed out");
+    }
+    if (bytes_.empty()) {
+      // closed_ must be set (ready() held with no data).
+      return Status::make(StatusCode::Disconnected, "pipe closed");
+    }
+    const size_t take = std::min(cap, bytes_.size());
+    std::copy(bytes_.begin(), bytes_.begin() + take, buf);
+    bytes_.erase(bytes_.begin(), bytes_.begin() + take);
+    got = take;
+    space_cv_.notify_all();
+    return {};
+  }
+
+  void close() {
+    std::lock_guard<std::mutex> lock(mu_);
+    closed_ = true;
+    data_cv_.notify_all();
+    space_cv_.notify_all();
+  }
+
+ private:
+  const size_t capacity_;
+  std::mutex mu_;
+  std::condition_variable data_cv_;   // consumer waits: data or close
+  std::condition_variable space_cv_;  // producer waits: space or close
+  std::deque<u8> bytes_;
+  bool closed_ = false;
+};
+
+class PipeTransport final : public Transport {
+ public:
+  PipeTransport(std::shared_ptr<PipeDuct> out, std::shared_ptr<PipeDuct> in)
+      : out_(std::move(out)), in_(std::move(in)) {}
+  ~PipeTransport() override { shutdown(); }
+
+  Status send(const u8* data, size_t n) override { return out_->send(data, n); }
+  Status recv_some(u8* buf, size_t cap, size_t& got, int timeout_ms) override {
+    return in_->recv_some(buf, cap, got, timeout_ms);
+  }
+  void shutdown() override {
+    out_->close();
+    in_->close();
+  }
+
+ private:
+  std::shared_ptr<PipeDuct> out_;
+  std::shared_ptr<PipeDuct> in_;
+};
+
+}  // namespace
+
+std::pair<std::unique_ptr<Transport>, std::unique_ptr<Transport>> make_pipe_pair(
+    size_t capacity) {
+  auto a_to_b = std::make_shared<PipeDuct>(capacity);
+  auto b_to_a = std::make_shared<PipeDuct>(capacity);
+  auto a = std::make_unique<PipeTransport>(a_to_b, b_to_a);
+  auto b = std::make_unique<PipeTransport>(b_to_a, a_to_b);
+  return {std::move(a), std::move(b)};
+}
+
+// --- unix-domain sockets ----------------------------------------------------
+
+namespace {
+
+class UdsTransport final : public Transport {
+ public:
+  explicit UdsTransport(int fd) : fd_(fd) {}
+  ~UdsTransport() override {
+    shutdown();
+    if (fd_ >= 0) ::close(fd_);
+  }
+
+  Status send(const u8* data, size_t n) override {
+    size_t off = 0;
+    while (off < n) {
+      const ssize_t w = ::send(fd_, data + off, n - off, MSG_NOSIGNAL);
+      if (w < 0) {
+        if (errno == EINTR) continue;
+        if (errno == EPIPE || errno == ECONNRESET)
+          return Status::make(StatusCode::Disconnected, "peer closed");
+        return Status::make(StatusCode::IoError, std::string("send: ") + std::strerror(errno));
+      }
+      off += static_cast<size_t>(w);
+    }
+    return {};
+  }
+
+  Status recv_some(u8* buf, size_t cap, size_t& got, int timeout_ms) override {
+    got = 0;
+    struct pollfd pfd {fd_, POLLIN, 0};
+    for (;;) {
+      const int pr = ::poll(&pfd, 1, timeout_ms);
+      if (pr < 0) {
+        if (errno == EINTR) continue;
+        return Status::make(StatusCode::IoError, std::string("poll: ") + std::strerror(errno));
+      }
+      if (pr == 0) return Status::make(StatusCode::Timeout, "socket recv timed out");
+      break;
+    }
+    for (;;) {
+      const ssize_t r = ::recv(fd_, buf, cap, 0);
+      if (r < 0) {
+        if (errno == EINTR) continue;
+        if (errno == ECONNRESET)
+          return Status::make(StatusCode::Disconnected, "peer reset");
+        return Status::make(StatusCode::IoError, std::string("recv: ") + std::strerror(errno));
+      }
+      if (r == 0) return Status::make(StatusCode::Disconnected, "peer closed");
+      got = static_cast<size_t>(r);
+      return {};
+    }
+  }
+
+  void shutdown() override {
+    if (fd_ >= 0) ::shutdown(fd_, SHUT_RDWR);
+  }
+
+ private:
+  int fd_;
+};
+
+}  // namespace
+
+UdsListener::UdsListener(const std::string& path) : path_(path) {
+  DSP_CHECK(path.size() < sizeof(sockaddr_un{}.sun_path), "socket path too long");
+  fd_ = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  DSP_CHECK(fd_ >= 0, std::string("socket: ") + std::strerror(errno));
+  ::unlink(path.c_str());
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  std::strncpy(addr.sun_path, path.c_str(), sizeof(addr.sun_path) - 1);
+  if (::bind(fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    const std::string err = std::strerror(errno);
+    ::close(fd_);
+    fd_ = -1;
+    fail("bind " + path + ": " + err);
+  }
+  if (::listen(fd_, 64) != 0) {
+    const std::string err = std::strerror(errno);
+    ::close(fd_);
+    fd_ = -1;
+    fail("listen " + path + ": " + err);
+  }
+}
+
+UdsListener::~UdsListener() { close(); }
+
+std::unique_ptr<Transport> UdsListener::accept(Status& status, int timeout_ms) {
+  status = {};
+  if (fd_ < 0) {
+    status = Status::make(StatusCode::Disconnected, "listener closed");
+    return nullptr;
+  }
+  struct pollfd pfd {fd_, POLLIN, 0};
+  for (;;) {
+    const int pr = ::poll(&pfd, 1, timeout_ms);
+    if (pr < 0) {
+      if (errno == EINTR) continue;
+      status = Status::make(StatusCode::IoError, std::string("poll: ") + std::strerror(errno));
+      return nullptr;
+    }
+    if (pr == 0) {
+      status = Status::make(StatusCode::Timeout, "accept timed out");
+      return nullptr;
+    }
+    break;
+  }
+  const int cfd = ::accept(fd_, nullptr, nullptr);
+  if (cfd < 0) {
+    status = Status::make(fd_ < 0 ? StatusCode::Disconnected : StatusCode::IoError,
+                          std::string("accept: ") + std::strerror(errno));
+    return nullptr;
+  }
+  return std::make_unique<UdsTransport>(cfd);
+}
+
+void UdsListener::close() {
+  if (fd_ >= 0) {
+    ::shutdown(fd_, SHUT_RDWR);
+    ::close(fd_);
+    fd_ = -1;
+    ::unlink(path_.c_str());
+  }
+}
+
+std::unique_ptr<Transport> uds_connect(const std::string& path, Status& status) {
+  status = {};
+  if (path.size() >= sizeof(sockaddr_un{}.sun_path)) {
+    status = Status::make(StatusCode::IoError, "socket path too long");
+    return nullptr;
+  }
+  const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (fd < 0) {
+    status = Status::make(StatusCode::IoError, std::string("socket: ") + std::strerror(errno));
+    return nullptr;
+  }
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  std::strncpy(addr.sun_path, path.c_str(), sizeof(addr.sun_path) - 1);
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    status = Status::make(StatusCode::IoError,
+                          "connect " + path + ": " + std::strerror(errno));
+    ::close(fd);
+    return nullptr;
+  }
+  return std::make_unique<UdsTransport>(fd);
+}
+
+}  // namespace dsprof::serve

@@ -1,0 +1,73 @@
+// Byte transports for the dsprofd wire protocol.
+//
+// Two implementations behind one interface:
+//
+//   * PipeTransport — an in-process, bidirectional byte pipe built on two
+//     bounded chunk queues. Hermetic (no OS sockets), so the whole
+//     client/server stack runs inside one test process under ASan/TSan.
+//     The bounded capacity is real backpressure: when the daemon stops
+//     draining (e.g. the test stalls the reducer), the client's send()
+//     blocks exactly like a full socket buffer would.
+//
+//   * Unix-domain sockets — UdsListener::accept() / uds_connect() for the
+//     dsprofd + dsprof_send CLI pair. SIGPIPE is avoided via MSG_NOSIGNAL.
+//
+// Semantics shared by both:
+//   send()      writes all n bytes or fails; blocks on backpressure.
+//   recv_some() returns at least 1 byte, or Timeout after timeout_ms
+//               (timeout_ms < 0 = block forever), or Disconnected once the
+//               peer has closed AND the stream is drained.
+//   shutdown()  unblocks both directions; subsequent I/O on either end
+//               completes with Disconnected. Safe to call from any thread
+//               (that is how the server interrupts a blocked reader).
+#pragma once
+
+#include <memory>
+#include <string>
+#include <utility>
+
+#include "serve/status.hpp"
+
+namespace dsprof::serve {
+
+class Transport {
+ public:
+  virtual ~Transport() = default;
+  virtual Status send(const u8* data, size_t n) = 0;
+  virtual Status recv_some(u8* buf, size_t cap, size_t& got, int timeout_ms) = 0;
+  virtual void shutdown() = 0;
+};
+
+/// Create a connected in-process pair (client end, server end). `capacity`
+/// bounds each direction's buffered bytes — the backpressure knob.
+std::pair<std::unique_ptr<Transport>, std::unique_ptr<Transport>> make_pipe_pair(
+    size_t capacity = 1u << 20);
+
+/// Listening Unix-domain socket. The path is unlinked on bind and on close.
+class UdsListener {
+ public:
+  /// Bind and listen; throws dsprof::Error on failure (daemon startup is
+  /// fail-fast — there is no session to degrade yet).
+  explicit UdsListener(const std::string& path);
+  ~UdsListener();
+  UdsListener(const UdsListener&) = delete;
+  UdsListener& operator=(const UdsListener&) = delete;
+
+  /// Accept one connection; nullptr with non-Ok status on timeout/close.
+  /// timeout_ms < 0 blocks until a client arrives or close() is called.
+  std::unique_ptr<Transport> accept(Status& status, int timeout_ms = -1);
+
+  /// Unblock accept() and stop listening.
+  void close();
+
+  const std::string& path() const { return path_; }
+
+ private:
+  std::string path_;
+  int fd_ = -1;
+};
+
+/// Connect to a listening dsprofd socket.
+std::unique_ptr<Transport> uds_connect(const std::string& path, Status& status);
+
+}  // namespace dsprof::serve

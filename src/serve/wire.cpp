@@ -1,0 +1,294 @@
+#include "serve/wire.hpp"
+
+#include <cstring>
+
+namespace dsprof::serve {
+
+const char* status_code_name(StatusCode c) {
+  switch (c) {
+    case StatusCode::Ok: return "ok";
+    case StatusCode::Timeout: return "timeout";
+    case StatusCode::Disconnected: return "disconnected";
+    case StatusCode::BadMagic: return "bad magic";
+    case StatusCode::BadVersion: return "bad version";
+    case StatusCode::FrameTooLarge: return "frame too large";
+    case StatusCode::Malformed: return "malformed";
+    case StatusCode::Overloaded: return "overloaded";
+    case StatusCode::Refused: return "refused";
+    case StatusCode::IoError: return "io error";
+  }
+  return "?";
+}
+
+const char* frame_type_name(FrameType t) {
+  switch (t) {
+    case FrameType::Hello: return "Hello";
+    case FrameType::HelloAck: return "HelloAck";
+    case FrameType::EventBatch: return "EventBatch";
+    case FrameType::Alloc: return "Alloc";
+    case FrameType::Flush: return "Flush";
+    case FrameType::FlushAck: return "FlushAck";
+    case FrameType::SnapshotReq: return "SnapshotReq";
+    case FrameType::Snapshot: return "Snapshot";
+    case FrameType::StatsReq: return "StatsReq";
+    case FrameType::Stats: return "Stats";
+    case FrameType::Close: return "Close";
+    case FrameType::CloseAck: return "CloseAck";
+    case FrameType::Error: return "Error";
+  }
+  return "?";
+}
+
+std::vector<u8> encode_frame(FrameType type, const std::vector<u8>& payload, u16 flags) {
+  DSP_CHECK(payload.size() <= kMaxPayload, "frame payload exceeds cap");
+  ByteWriter w;
+  w.put_u32(kWireMagic);
+  w.put_u8(kWireVersion);
+  w.put_u8(static_cast<u8>(type));
+  w.put_u16(flags);
+  w.put_u32(static_cast<u32>(payload.size()));
+  std::vector<u8> out = w.take();
+  out.insert(out.end(), payload.begin(), payload.end());
+  return out;
+}
+
+Status FrameReader::feed(const u8* data, size_t n) {
+  if (poisoned_) return Status::make(StatusCode::Malformed, "frame stream already poisoned");
+  buf_.insert(buf_.end(), data, data + n);
+  for (;;) {
+    if (buf_.size() < kFrameHeaderSize) return {};
+    u32 magic = 0, len = 0;
+    u16 flags = 0;
+    std::memcpy(&magic, buf_.data(), 4);
+    const u8 version = buf_[4];
+    const u8 type = buf_[5];
+    std::memcpy(&flags, buf_.data() + 6, 2);
+    std::memcpy(&len, buf_.data() + 8, 4);
+    if (magic != kWireMagic) {
+      poisoned_ = true;
+      return Status::make(StatusCode::BadMagic, "frame magic mismatch");
+    }
+    if (version != kWireVersion) {
+      poisoned_ = true;
+      return Status::make(StatusCode::BadVersion,
+                          "protocol version " + std::to_string(version) + " unsupported");
+    }
+    if (len > max_payload_) {
+      poisoned_ = true;
+      return Status::make(StatusCode::FrameTooLarge,
+                          "payload length " + std::to_string(len) + " exceeds cap");
+    }
+    if (buf_.size() < kFrameHeaderSize + len) return {};
+    Frame f;
+    f.type = static_cast<FrameType>(type);
+    f.flags = flags;
+    f.payload.assign(buf_.begin() + kFrameHeaderSize, buf_.begin() + kFrameHeaderSize + len);
+    buf_.erase(buf_.begin(), buf_.begin() + kFrameHeaderSize + len);
+    ready_.push_back(std::move(f));
+    ++frames_decoded_;
+  }
+}
+
+bool FrameReader::next_frame(Frame& out) {
+  if (ready_.empty()) return false;
+  out = std::move(ready_.front());
+  ready_.pop_front();
+  return true;
+}
+
+// --- payload codecs ---------------------------------------------------------
+
+namespace {
+
+/// Run a ByteReader decode body, converting bytestream underruns (thrown as
+/// dsprof::Error by DSP_CHECK) into a clean Malformed status. This is the
+/// subsystem boundary described in status.hpp.
+template <typename Fn>
+Status guarded_decode(const char* what, Fn&& fn) {
+  try {
+    fn();
+  } catch (const Error& e) {
+    return Status::make(StatusCode::Malformed, std::string(what) + ": " + e.what());
+  }
+  return {};
+}
+
+}  // namespace
+
+std::vector<u8> encode_hello(const HelloPayload& h) {
+  ByteWriter w;
+  w.put_string(h.client_name);
+  h.image.serialize(w);
+  w.put_u32(static_cast<u32>(h.counters.size()));
+  for (const auto& c : h.counters) {
+    w.put_u8(static_cast<u8>(c.event));
+    w.put_u64(c.interval);
+    w.put_u8(c.backtrack ? 1 : 0);
+    w.put_u8(static_cast<u8>(c.pic));
+  }
+  w.put_u64(h.clock_interval);
+  w.put_u64(h.clock_hz);
+  w.put_u64(h.page_size);
+  w.put_u64(h.ec_line_size);
+  w.put_u64(h.total_cycles);
+  w.put_u64(h.total_instructions);
+  return w.take();
+}
+
+Status decode_hello(const std::vector<u8>& payload, HelloPayload& out) {
+  return guarded_decode("hello", [&] {
+    ByteReader r(payload);
+    out.client_name = r.get_string();
+    out.image = sym::Image::deserialize(r);
+    const u32 n = r.get_u32();
+    out.counters.clear();
+    out.counters.reserve(n);
+    for (u32 i = 0; i < n; ++i) {
+      experiment::CounterSpec c;
+      c.event = static_cast<machine::HwEvent>(r.get_u8());
+      c.interval = r.get_u64();
+      c.backtrack = r.get_u8() != 0;
+      c.pic = r.get_u8();
+      out.counters.push_back(c);
+    }
+    out.clock_interval = r.get_u64();
+    out.clock_hz = r.get_u64();
+    out.page_size = r.get_u64();
+    out.ec_line_size = r.get_u64();
+    out.total_cycles = r.get_u64();
+    out.total_instructions = r.get_u64();
+    DSP_CHECK(r.at_end(), "trailing bytes after hello payload");
+  });
+}
+
+std::vector<u8> encode_hello_ack(u64 session_id) {
+  ByteWriter w;
+  w.put_u64(session_id);
+  return w.take();
+}
+
+Status decode_hello_ack(const std::vector<u8>& payload, u64& session_id) {
+  return guarded_decode("hello_ack", [&] {
+    ByteReader r(payload);
+    session_id = r.get_u64();
+    DSP_CHECK(r.at_end(), "trailing bytes after hello_ack payload");
+  });
+}
+
+std::vector<u8> encode_event_batch(const experiment::EventStore& events) {
+  ByteWriter w;
+  events.serialize(w);
+  return w.take();
+}
+
+Status decode_event_batch(const std::vector<u8>& payload, experiment::EventStore& out) {
+  return guarded_decode("event batch", [&] {
+    ByteReader r(payload);
+    out = experiment::EventStore::deserialize(r);
+    DSP_CHECK(r.at_end(), "trailing bytes after event batch payload");
+  });
+}
+
+std::vector<u8> encode_allocs(const std::vector<std::pair<u64, u64>>& allocs) {
+  ByteWriter w;
+  w.put_u64(allocs.size());
+  for (const auto& [base, size] : allocs) {
+    w.put_u64(base);
+    w.put_u64(size);
+  }
+  return w.take();
+}
+
+Status decode_allocs(const std::vector<u8>& payload, std::vector<std::pair<u64, u64>>& out) {
+  return guarded_decode("alloc log", [&] {
+    ByteReader r(payload);
+    const u64 n = r.get_u64();
+    DSP_CHECK(n <= r.remaining() / 16, "alloc count exceeds payload");
+    out.clear();
+    out.reserve(n);
+    for (u64 i = 0; i < n; ++i) {
+      const u64 base = r.get_u64();
+      const u64 size = r.get_u64();
+      out.emplace_back(base, size);
+    }
+    DSP_CHECK(r.at_end(), "trailing bytes after alloc payload");
+  });
+}
+
+namespace {
+
+void put_accounting(ByteWriter& w, const Accounting& a) {
+  w.put_u64(a.events_in);
+  w.put_u64(a.events_reduced);
+  w.put_u64(a.events_dropped);
+}
+
+void get_accounting(ByteReader& r, Accounting& a) {
+  a.events_in = r.get_u64();
+  a.events_reduced = r.get_u64();
+  a.events_dropped = r.get_u64();
+}
+
+}  // namespace
+
+std::vector<u8> encode_flush_ack(const Accounting& a) {
+  ByteWriter w;
+  put_accounting(w, a);
+  return w.take();
+}
+
+Status decode_flush_ack(const std::vector<u8>& payload, Accounting& out) {
+  return guarded_decode("flush_ack", [&] {
+    ByteReader r(payload);
+    get_accounting(r, out);
+    DSP_CHECK(r.at_end(), "trailing bytes after flush_ack payload");
+  });
+}
+
+std::vector<u8> encode_snapshot(const Accounting& a, const std::string& json_report) {
+  ByteWriter w;
+  put_accounting(w, a);
+  w.put_string(json_report);
+  return w.take();
+}
+
+Status decode_snapshot(const std::vector<u8>& payload, Accounting& a, std::string& json_report) {
+  return guarded_decode("snapshot", [&] {
+    ByteReader r(payload);
+    get_accounting(r, a);
+    json_report = r.get_string();
+    DSP_CHECK(r.at_end(), "trailing bytes after snapshot payload");
+  });
+}
+
+std::vector<u8> encode_stats(const std::string& json) {
+  ByteWriter w;
+  w.put_string(json);
+  return w.take();
+}
+
+Status decode_stats(const std::vector<u8>& payload, std::string& json) {
+  return guarded_decode("stats", [&] {
+    ByteReader r(payload);
+    json = r.get_string();
+    DSP_CHECK(r.at_end(), "trailing bytes after stats payload");
+  });
+}
+
+std::vector<u8> encode_error(const Status& s) {
+  ByteWriter w;
+  w.put_u8(static_cast<u8>(s.code));
+  w.put_string(s.message);
+  return w.take();
+}
+
+Status decode_error(const std::vector<u8>& payload, Status& out) {
+  return guarded_decode("error frame", [&] {
+    ByteReader r(payload);
+    out.code = static_cast<StatusCode>(r.get_u8());
+    out.message = r.get_string();
+    DSP_CHECK(r.at_end(), "trailing bytes after error payload");
+  });
+}
+
+}  // namespace dsprof::serve

@@ -1,0 +1,153 @@
+// dsprofd wire protocol (DESIGN.md §3.3): length-prefixed, versioned frames
+// carrying columnar event batches from collector clients to the daemon.
+//
+// Frame layout (little-endian, 12-byte header):
+//
+//   offset  size  field
+//   ------  ----  -----------------------------------------------
+//        0     4  magic     0x44535257 ("DSRW" read as LE u32)
+//        4     1  version   kWireVersion (currently 1)
+//        5     1  type      FrameType
+//        6     2  flags     frame-type specific (0 for now)
+//        8     4  len       payload length; <= kMaxPayload (64 MB)
+//       12   len  payload   type-specific encoding (below)
+//
+// Payload encodings reuse the experiment layer's ByteWriter/ByteReader and,
+// for event batches, the EventStore columnar (DSPF) codec itself — the
+// batch bytes on the wire are the same columns events.bin stores on disk,
+// so the PR 2 corruption hardening applies to the socket too. The decoders
+// here convert any bytestream Error into Status{Malformed}: a hostile
+// client can kill its session, never the daemon.
+//
+// Conversation (client side):
+//   Hello -> HelloAck, then any number of EventBatch / Alloc frames,
+//   Flush -> FlushAck (server has folded everything received),
+//   SnapshotReq -> Snapshot (rendered JSON report, see reports.hpp),
+//   StatsReq -> Stats, Close -> CloseAck. The server answers a protocol
+//   violation with an Error frame and closes the session.
+#pragma once
+
+#include <deque>
+#include <vector>
+
+#include "experiment/experiment.hpp"
+#include "serve/status.hpp"
+#include "support/bytestream.hpp"
+
+namespace dsprof::serve {
+
+inline constexpr u32 kWireMagic = 0x44535257;  // "WRSD" on disk -> "DSRW" LE
+inline constexpr u8 kWireVersion = 1;
+inline constexpr size_t kFrameHeaderSize = 12;
+inline constexpr size_t kMaxPayload = 64u << 20;  // 64 MB
+
+enum class FrameType : u8 {
+  Hello = 1,     // image identity + counter specs (handshake)
+  HelloAck,      // session id
+  EventBatch,    // columnar EventStore bytes
+  Alloc,         // allocation log entries (address, size) pairs
+  Flush,         // barrier: fold everything received so far
+  FlushAck,      // events_in / events_reduced / events_dropped at barrier
+  SnapshotReq,   // render the live aggregates
+  Snapshot,      // JSON report + accounting
+  StatsReq,      // server-wide introspection
+  Stats,         // JSON stats
+  Close,         // finalize the session
+  CloseAck,      //
+  Error,         // status code + message (server -> client, then close)
+};
+
+const char* frame_type_name(FrameType t);
+
+struct Frame {
+  FrameType type = FrameType::Error;
+  u16 flags = 0;
+  std::vector<u8> payload;
+};
+
+/// Encode one frame (header + payload) into a contiguous byte string.
+std::vector<u8> encode_frame(FrameType type, const std::vector<u8>& payload, u16 flags = 0);
+
+/// Incremental frame parser: feed() raw transport bytes in any chunking;
+/// complete frames queue up for next_frame(). Corruption (bad magic, bad
+/// version, oversized length) is detected from the header alone and
+/// reported once — the stream is poisoned afterwards (a framing error
+/// leaves no way to resynchronize).
+class FrameReader {
+ public:
+  explicit FrameReader(size_t max_payload = kMaxPayload) : max_payload_(max_payload) {}
+
+  /// Consume `n` bytes; returns non-Ok on a framing error (stream poisoned).
+  Status feed(const u8* data, size_t n);
+
+  /// Pop the next complete frame, if any.
+  bool next_frame(Frame& out);
+
+  /// True if a frame header or payload is partially buffered — i.e. the
+  /// peer disconnected mid-frame and the partial bytes must be discarded.
+  bool mid_frame() const { return !buf_.empty(); }
+
+  size_t frames_decoded() const { return frames_decoded_; }
+
+ private:
+  size_t max_payload_;
+  std::vector<u8> buf_;     // partial frame bytes
+  std::deque<Frame> ready_;
+  bool poisoned_ = false;
+  size_t frames_decoded_ = 0;
+};
+
+// --- payload codecs ---------------------------------------------------------
+// Encoders return the payload bytes; decoders return Status and never throw
+// (bytestream underruns are caught and mapped to Malformed).
+
+/// Handshake: everything Analysis needs as rendering context besides the
+/// events themselves — the image (symbol tables), counter specs (backtrack
+/// flags select the attribution path), clock and machine geometry, and the
+/// run totals when the client replays a finished collection.
+struct HelloPayload {
+  std::string client_name;
+  sym::Image image;
+  std::vector<experiment::CounterSpec> counters;
+  u64 clock_interval = 0;
+  u64 clock_hz = 900'000'000;
+  u64 page_size = 8 * 1024;
+  u64 ec_line_size = 512;
+  u64 total_cycles = 0;
+  u64 total_instructions = 0;
+};
+
+std::vector<u8> encode_hello(const HelloPayload& h);
+Status decode_hello(const std::vector<u8>& payload, HelloPayload& out);
+
+std::vector<u8> encode_hello_ack(u64 session_id);
+Status decode_hello_ack(const std::vector<u8>& payload, u64& session_id);
+
+/// Event batches are the EventStore columnar codec verbatim.
+std::vector<u8> encode_event_batch(const experiment::EventStore& events);
+Status decode_event_batch(const std::vector<u8>& payload, experiment::EventStore& out);
+
+std::vector<u8> encode_allocs(const std::vector<std::pair<u64, u64>>& allocs);
+Status decode_allocs(const std::vector<u8>& payload, std::vector<std::pair<u64, u64>>& out);
+
+/// FlushAck / Snapshot both carry the session accounting triple; Snapshot
+/// adds the rendered JSON report.
+struct Accounting {
+  u64 events_in = 0;
+  u64 events_reduced = 0;
+  u64 events_dropped = 0;
+};
+
+std::vector<u8> encode_flush_ack(const Accounting& a);
+Status decode_flush_ack(const std::vector<u8>& payload, Accounting& out);
+
+std::vector<u8> encode_snapshot(const Accounting& a, const std::string& json_report);
+Status decode_snapshot(const std::vector<u8>& payload, Accounting& a, std::string& json_report);
+
+std::vector<u8> encode_stats(const std::string& json);
+Status decode_stats(const std::vector<u8>& payload, std::string& json);
+
+std::vector<u8> encode_error(const Status& s);
+Status decode_error(const std::vector<u8>& payload, Status& out);
+
+}  // namespace dsprof::serve

@@ -1,5 +1,7 @@
 #include <gtest/gtest.h>
 
+#include <thread>
+
 #include "analyze/feedback.hpp"
 #include "analyze/reports.hpp"
 #include "dsl_fixtures.hpp"
@@ -295,6 +297,43 @@ TEST(AnalyzeUnits, UnverifiableWithoutDwarf) {
   const auto objs = a.data_objects(static_cast<size_t>(HwEvent::DC_rd_miss));
   ASSERT_FALSE(objs.empty());
   EXPECT_EQ(objs[0].cat, DataCat::Unverifiable);
+}
+
+TEST(AnalyzeUnits, ConcurrentReaders) {
+  // The Analysis view accessors are safe to call from multiple threads: the
+  // first caller triggers the lazy reduction under the internal mutex, every
+  // later caller sees the same memoized result (analysis.hpp documents this
+  // contract, dsprofd relies on it when several snapshot requests race).
+  auto mod = testfix::make_chase_module(800, 4, 4096);
+  const sym::Image img = scc::compile(*mod);
+  auto ex = testfix::quick_collect(img, "+ecstall,1009,+ecrm,97", "hi");
+
+  // What a single-threaded pass over the same events produces.
+  Analysis reference(ex);
+  const std::string expected = render_json_report(reference);
+
+  Analysis shared(ex);  // fresh: the reduction has not run yet
+  constexpr int kThreads = 8;
+  std::vector<std::string> reports(kThreads);
+  std::vector<double> totals(kThreads, -1.0);
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      // Mix of view entry points so several lazy paths race.
+      const auto funcs = shared.functions(kUserCpuMetric);
+      totals[t] = shared.total()[kUserCpuMetric];
+      (void)shared.pcs(static_cast<size_t>(HwEvent::EC_rd_miss));
+      (void)shared.data_objects(static_cast<size_t>(HwEvent::EC_rd_miss));
+      reports[t] = render_json_report(shared);
+      ASSERT_FALSE(funcs.empty());
+    });
+  }
+  for (auto& th : threads) th.join();
+  for (int t = 0; t < kThreads; ++t) {
+    EXPECT_EQ(reports[t], expected) << "thread " << t;
+    EXPECT_DOUBLE_EQ(totals[t], reference.total()[kUserCpuMetric]);
+  }
 }
 
 TEST(AnalyzeUnits, MixedExperimentsMustShareBinary) {

@@ -157,6 +157,48 @@ TEST_F(CollectorEndToEnd, RecordsEventsAndRunsToCompletion) {
   EXPECT_TRUE(any_clock);
 }
 
+TEST_F(CollectorEndToEnd, BatchExportStreamsEveryEventExactlyOnce) {
+  // The live-streaming hook (dsprof_send's path into dsprofd): batches handed
+  // to batch_export during the run, concatenated, must equal the experiment's
+  // final event store field for field — nothing duplicated, nothing missed.
+  collect::CollectOptions opt;
+  opt.hw = "+dcrm,97";
+  opt.clock = "on";
+  opt.batch_export_events = 32;
+  experiment::EventStore seen;
+  size_t batches = 0, last_flags = 0;
+  opt.batch_export = [&](const experiment::EventStore& b, bool last) {
+    ++batches;
+    if (last) {
+      ++last_flags;
+    } else {
+      // Non-final batches fire exactly at the threshold.
+      EXPECT_EQ(b.size(), opt.batch_export_events);
+    }
+    seen.append_store(b);
+  };
+  collect::Collector c(*image_, opt);
+  auto ex = c.run();
+
+  EXPECT_EQ(last_flags, 1u) << "the final flush fires exactly once";
+  EXPECT_GT(batches, 2u) << "threshold of 32 must split this run";
+  ASSERT_EQ(seen.size(), ex.events.size());
+  for (size_t i = 0; i < seen.size(); ++i) {
+    const auto e = ex.events[i];
+    const auto s = seen[i];
+    ASSERT_EQ(s.seq, e.seq) << "event " << i;
+    EXPECT_EQ(s.pic, e.pic);
+    EXPECT_EQ(s.event, e.event);
+    EXPECT_EQ(s.weight, e.weight);
+    EXPECT_EQ(s.delivered_pc, e.delivered_pc);
+    EXPECT_EQ(s.has_candidate, e.has_candidate);
+    EXPECT_EQ(s.candidate_pc, e.candidate_pc);
+    EXPECT_EQ(s.has_ea, e.has_ea);
+    EXPECT_EQ(s.ea, e.ea);
+    EXPECT_TRUE(s.callstack == e.callstack.to_vector());
+  }
+}
+
 TEST_F(CollectorEndToEnd, BacktrackingFindsTriggersWithGroundTruthAccuracy) {
   auto ex = testfix::quick_collect(*image_, "+dcrm,89");
   std::map<u64, machine::TruthRecord> truth;

@@ -66,6 +66,52 @@ TEST(EventStoreInterning, EmptyCallstacksCostNoArena) {
   EXPECT_TRUE(s.callstack(2).empty());
 }
 
+TEST(EventStoreBulk, AppendRangePreservesEveryFieldAndReinterns) {
+  const std::vector<u64> a = {0x100, 0x200};
+  const std::vector<u64> b = {0x300};
+  EventStore src = make_store({a, b, a, {}, b, a});
+
+  EventStore dst;
+  dst.append_range(src, 1, 5);  // b, a, {}, b
+  ASSERT_EQ(dst.size(), 4u);
+  for (size_t i = 0; i < dst.size(); ++i) {
+    const EventView e = src[i + 1];
+    const EventView d = dst[i];
+    EXPECT_EQ(d.pic, e.pic);
+    EXPECT_EQ(d.event, e.event);
+    EXPECT_EQ(d.weight, e.weight);
+    EXPECT_EQ(d.delivered_pc, e.delivered_pc);
+    EXPECT_EQ(d.has_candidate, e.has_candidate);
+    EXPECT_EQ(d.candidate_pc, e.candidate_pc);
+    EXPECT_EQ(d.has_ea, e.has_ea);
+    EXPECT_EQ(d.ea, e.ea);
+    EXPECT_TRUE(d.callstack == e.callstack.to_vector());
+    EXPECT_EQ(d.seq, e.seq);
+  }
+  // The destination arena is rebuilt by re-interning, not copied wholesale:
+  // only the stacks that actually occur in the range are stored, once each.
+  EXPECT_EQ(dst.unique_callstacks(), 3u);  // a, b, and the empty stack
+  EXPECT_EQ(dst.arena_words(), a.size() + b.size());
+
+  // append_store == append_range over the whole source.
+  EventStore whole;
+  whole.append_store(src);
+  whole.append_store(src);
+  ASSERT_EQ(whole.size(), 2 * src.size());
+  for (size_t i = 0; i < src.size(); ++i) {
+    EXPECT_EQ(whole[i].seq, src[i].seq);
+    EXPECT_EQ(whole[src.size() + i].delivered_pc, src[i].delivered_pc);
+    EXPECT_TRUE(whole[src.size() + i].callstack == src[i].callstack.to_vector());
+  }
+  EXPECT_EQ(whole.unique_callstacks(), src.unique_callstacks());
+  EXPECT_EQ(whole.arena_words(), src.arena_words());
+
+  // Out-of-range and inverted ranges are rejected, as is appending from self.
+  EXPECT_THROW(dst.append_range(src, 4, 3), Error);
+  EXPECT_THROW(dst.append_range(src, 0, src.size() + 1), Error);
+  EXPECT_THROW(dst.append_range(dst, 0, dst.size()), Error);
+}
+
 TEST(EventStore, ViewsMaterializeEveryField) {
   EventStore s;
   s.append(machine::kClockPic, HwEvent::Cycle_cnt, 900'001, 0xabc, false, 0, false, 0,

@@ -5,6 +5,8 @@
 #include "analyze/reports.hpp"
 #include "collect/collector.hpp"
 #include "mcfsim/experiments.hpp"
+#include "serve/client.hpp"
+#include "serve/server.hpp"
 
 namespace dsprof {
 namespace {
@@ -135,6 +137,33 @@ TEST_F(PaperWorkflow, OverviewReportsStallAndDtlbCost) {
   EXPECT_NE(overview.find("E$ Stall"), std::string::npos);
   EXPECT_NE(overview.find("DTLB miss cost"), std::string::npos);
   EXPECT_NE(overview.find("E$ Read Miss rate"), std::string::npos);
+}
+
+TEST_F(PaperWorkflow, StreamedSessionsMatchOfflineAnalysisBitForBit) {
+  // The dsprofd acceptance bar on the paper's own workloads: stream each of
+  // the two collect runs into its own live session and require the rendered
+  // snapshot to be byte-identical to the offline report over the same events
+  // (`er_print <dir> -J`). Integer metric accumulation is associative, so
+  // the batch split (here an uneven 777 events per frame) must not matter.
+  serve::Server server;
+  for (const experiment::Experiment* ex : {&exps_->ex1, &exps_->ex2}) {
+    auto [client_end, server_end] = serve::make_pipe_pair();
+    server.add_session(std::move(server_end));
+    serve::Client client(std::move(client_end));
+
+    serve::Accounting acct;
+    ASSERT_TRUE(serve::stream_experiment(client, *ex, /*batch_events=*/777, acct).ok());
+    ASSERT_EQ(acct.events_in, ex->events.size());
+    ASSERT_EQ(acct.events_reduced, ex->events.size());
+    ASSERT_EQ(acct.events_dropped, 0u);
+
+    std::string streamed;
+    ASSERT_TRUE(client.snapshot(acct, streamed).ok());
+    Analysis offline(*ex);
+    EXPECT_EQ(streamed, analyze::render_json_report(offline));
+    ASSERT_TRUE(client.close(acct).ok());
+  }
+  server.stop();
 }
 
 }  // namespace

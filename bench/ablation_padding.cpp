@@ -4,15 +4,20 @@
 // This motivates the codegen change the paper describes.
 #include <cstdio>
 
+#include <string>
+
 #include "analyze/analysis.hpp"
+#include "bench_json.hpp"
 #include "mcfsim/experiments.hpp"
 
 using namespace dsprof;
 
-int main() {
+int main(int argc, char** argv) {
+  const bench::JsonSink json_out(argc, argv, "ablation_padding");
   std::puts("== ABL1: nop-padding ablation (pad_nops sweep) ==");
   std::puts("  pad  ecstall-eff  ecrm-eff  instr-overhead");
   u64 base_instr = 0;
+  std::string rows;
   for (u32 pad : {0u, 1u, 2u, 4u}) {
     auto setup = mcfsim::PaperSetup::small();
     setup.build.compile.pad_nops = pad;
@@ -33,8 +38,15 @@ int main() {
                                 1.0);
     std::printf("  %3u    %7.1f%%    %6.1f%%        %+5.2f%%\n", pad, 100.0 * eff_stall,
                 100.0 * eff_rm, ovh);
+    char row[160];
+    std::snprintf(row, sizeof(row),
+                  "%s{\"pad_nops\":%u,\"eff_ecstall_pct\":%.2f,\"eff_ecrm_pct\":%.2f,"
+                  "\"instr_overhead_pct\":%.3f}",
+                  rows.empty() ? "" : ",", pad, 100.0 * eff_stall, 100.0 * eff_rm, ovh);
+    rows += row;
   }
   std::puts("\nMore padding -> higher effectiveness at a small instruction cost;");
   std::puts("the paper ships with padding on under -xhwcprof.");
+  json_out.emit("{\"bench\":\"ablation_padding\",\"sweep\":[%s]}", rows.c_str());
   return 0;
 }

@@ -4,14 +4,19 @@
 // validation rejects more candidates.
 #include <cstdio>
 
+#include <string>
+
 #include "analyze/analysis.hpp"
+#include "bench_json.hpp"
 #include "mcfsim/experiments.hpp"
 
 using namespace dsprof;
 
-int main() {
+int main(int argc, char** argv) {
+  const bench::JsonSink json_out(argc, argv, "ablation_skid");
   std::puts("== ABL2: counter-skid ablation (skid_scale sweep) ==");
   std::puts("  scale  ecstall-eff  ecrm-eff  ecref-eff");
+  std::string rows;
   for (double scale : {0.0, 0.5, 1.0, 2.0, 4.0}) {
     auto setup = mcfsim::PaperSetup::small();
     setup.cpu.skid_scale = scale;
@@ -23,9 +28,19 @@ int main() {
                 100.0 * eff[static_cast<size_t>(machine::HwEvent::EC_stall_cycles)],
                 100.0 * eff[static_cast<size_t>(machine::HwEvent::EC_rd_miss)],
                 100.0 * eff[static_cast<size_t>(machine::HwEvent::EC_ref)]);
+    char row[160];
+    std::snprintf(row, sizeof(row),
+                  "%s{\"skid_scale\":%.1f,\"eff_ecstall_pct\":%.2f,\"eff_ecrm_pct\":%.2f,"
+                  "\"eff_ecref_pct\":%.2f}",
+                  rows.empty() ? "" : ",", scale,
+                  100.0 * eff[static_cast<size_t>(machine::HwEvent::EC_stall_cycles)],
+                  100.0 * eff[static_cast<size_t>(machine::HwEvent::EC_rd_miss)],
+                  100.0 * eff[static_cast<size_t>(machine::HwEvent::EC_ref)]);
+    rows += row;
   }
   std::puts("\nZero skid -> 100% everywhere (a precise-trap chip would not need");
   std::puts("backtracking); increasing skid degrades E$ refs fastest, matching the");
   std::puts("paper's observation that refs have the greatest skid.");
+  json_out.emit("{\"bench\":\"ablation_skid\",\"sweep\":[%s]}", rows.c_str());
   return 0;
 }

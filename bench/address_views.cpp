@@ -3,22 +3,32 @@
 #include <cstdio>
 
 #include "analyze/reports.hpp"
+#include "bench_json.hpp"
 #include "mcfsim/experiments.hpp"
 
 using namespace dsprof;
 
-int main() {
+int main(int argc, char** argv) {
+  const bench::JsonSink json_out(argc, argv, "address_views");
   std::puts("== FW2: address-space aggregation views (paper §4) ==");
   const auto setup = mcfsim::PaperSetup::standard();
   const auto exps = mcfsim::collect_paper_experiments(setup);
   analyze::Analysis a({&exps.ex1, &exps.ex2});
   const auto stall = static_cast<size_t>(machine::HwEvent::EC_stall_cycles);
-  std::fputs(analyze::render_segments(a).c_str(), stdout);
+  const std::string segments = analyze::render_segments(a);
+  const std::string pages = analyze::render_pages(a, stall, 10);
+  const std::string lines = analyze::render_cache_lines(a, stall, 10);
+  std::fputs(segments.c_str(), stdout);
   std::puts("");
-  std::fputs(analyze::render_pages(a, stall, 10).c_str(), stdout);
+  std::fputs(pages.c_str(), stdout);
   std::puts("");
-  std::fputs(analyze::render_cache_lines(a, stall, 10).c_str(), stdout);
+  std::fputs(lines.c_str(), stdout);
   std::puts("\nAll of MCF's costly references are heap accesses, spread over many");
   std::puts("pages — the concentration justifies the §3.3 large-page experiment.");
+  json_out.emit(
+      "{\"bench\":\"address_views\",\"events\":%zu,\"segments_bytes\":%zu,"
+      "\"pages_bytes\":%zu,\"cache_lines_bytes\":%zu}",
+      exps.ex1.events.size() + exps.ex2.events.size(), segments.size(), pages.size(),
+      lines.size());
   return 0;
 }

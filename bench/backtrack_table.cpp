@@ -16,6 +16,7 @@
 #include <cstdio>
 #include <vector>
 
+#include "bench_json.hpp"
 #include "collect/collector.hpp"
 #include "mcfsim/mcfsim.hpp"
 #include "sa/backtrack_table.hpp"
@@ -52,7 +53,8 @@ struct Query {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  const bench::JsonSink json_out(argc, argv, "backtrack_table");
   std::puts("== BACKTRACK: table-driven vs dynamic backtracking (MCF image) ==");
   const sym::Image img = mcfsim::build_mcf_image();
   constexpr u32 kWindow = 16;
@@ -141,11 +143,11 @@ int main() {
   std::printf("\ntable vs dynamic speedup: %.2fx %s   break-even: %.0f queries\n", speedup,
               speedup >= 2.0 ? "(>= 2x: PASS)" : "(< 2x: FAIL)", breakeven);
 
-  std::printf(
-      "{\"workload\":\"mcf-image\",\"queries\":%zu,\"window\":%u,"
-      "\"table_bytes\":%zu,\"build_ms\":%.3f,"
+  json_out.emit(
+      "{\"bench\":\"backtrack_table\",\"workload\":\"mcf-image\",\"queries\":%zu,"
+      "\"window\":%u,\"table_bytes\":%zu,\"build_ms\":%.3f,"
       "\"dynamic_queries_per_sec\":%.6e,\"table_queries_per_sec\":%.6e,"
-      "\"speedup\":%.3f,\"breakeven_queries\":%.0f,\"agree\":true}\n",
+      "\"speedup\":%.3f,\"breakeven_queries\":%.0f,\"agree\":true}",
       queries.size(), kWindow, table.size_bytes(), t_build * 1e3, dyn_qps, tab_qps,
       speedup, breakeven);
   return speedup >= 2.0 ? 0 : 1;

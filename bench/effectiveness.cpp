@@ -9,11 +9,13 @@
 #include <map>
 
 #include "analyze/reports.hpp"
+#include "bench_json.hpp"
 #include "mcfsim/experiments.hpp"
 
 using namespace dsprof;
 
-int main() {
+int main(int argc, char** argv) {
+  const bench::JsonSink json_out(argc, argv, "effectiveness");
   std::puts("== EFF: backtracking effectiveness & ground-truth accuracy ==");
   const auto setup = mcfsim::PaperSetup::standard();
   const auto exps = mcfsim::collect_paper_experiments(setup);
@@ -22,6 +24,7 @@ int main() {
 
   std::puts("\n-- ground truth (simulator-only oracle) --");
   const sym::SymbolTable& st = exps.ex1.image.symtab;
+  u64 gt_events = 0, gt_exact = 0, gt_object = 0;
   for (const experiment::Experiment* ex : {&exps.ex1, &exps.ex2}) {
     std::map<u64, machine::TruthRecord> truth;
     for (const auto& t : ex->truth) truth[t.seq] = t;
@@ -41,7 +44,24 @@ int main() {
                   machine::hw_event_info(ev).name, static_cast<unsigned long long>(c[0]),
                   100.0 * static_cast<double>(c[1]) / static_cast<double>(c[0]),
                   100.0 * static_cast<double>(c[2]) / static_cast<double>(c[0]));
+      gt_events += c[0];
+      gt_exact += c[1];
+      gt_object += c[2];
     }
   }
+  double eff[analyze::kNumMetrics] = {};
+  for (const auto& r : a.effectiveness()) eff[r.metric] = r.effectiveness();
+  json_out.emit(
+      "{\"bench\":\"effectiveness\",\"eff_ecstall_pct\":%.2f,\"eff_ecrm_pct\":%.2f,"
+      "\"eff_ecref_pct\":%.2f,\"eff_dtlbm_pct\":%.2f,\"ground_truth_events\":%llu,"
+      "\"exact_pc_pct\":%.2f,\"same_object_pct\":%.2f}",
+      100.0 * eff[static_cast<size_t>(machine::HwEvent::EC_stall_cycles)],
+      100.0 * eff[static_cast<size_t>(machine::HwEvent::EC_rd_miss)],
+      100.0 * eff[static_cast<size_t>(machine::HwEvent::EC_ref)],
+      100.0 * eff[static_cast<size_t>(machine::HwEvent::DTLB_miss)],
+      static_cast<unsigned long long>(gt_events),
+      gt_events ? 100.0 * static_cast<double>(gt_exact) / static_cast<double>(gt_events) : 0.0,
+      gt_events ? 100.0 * static_cast<double>(gt_object) / static_cast<double>(gt_events)
+                : 0.0);
   return 0;
 }

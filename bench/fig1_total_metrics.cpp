@@ -9,11 +9,13 @@
 #include <cstdio>
 
 #include "analyze/reports.hpp"
+#include "bench_json.hpp"
 #include "mcfsim/experiments.hpp"
 
 using namespace dsprof;
 
-int main() {
+int main(int argc, char** argv) {
+  const bench::JsonSink json_out(argc, argv, "fig1_total_metrics");
   std::puts("== FIG1: <Total> metrics (paper Figure 1) ==");
   const auto setup = mcfsim::PaperSetup::standard();
   const auto exps = mcfsim::collect_paper_experiments(setup);
@@ -33,5 +35,12 @@ int main() {
               ecref > 0 ? 100.0 * ecrm / ecref : 0.0);
   std::printf("DTLB cost / run:        paper ~5%%    measured %.1f%%\n",
               100.0 * dtlb * 100.0 / static_cast<double>(a.run_cycles()));
+  json_out.emit(
+      "{\"bench\":\"fig1_total_metrics\",\"ecstall_over_ucpu\":%.4f,"
+      "\"ec_rd_miss_rate_pct\":%.2f,\"dtlb_cost_pct\":%.2f,"
+      "\"paper_ecstall_over_ucpu\":0.54,\"paper_ec_rd_miss_rate_pct\":6.4,"
+      "\"paper_dtlb_cost_pct\":5.0}",
+      ucpu > 0 ? stall / ucpu : 0.0, ecref > 0 ? 100.0 * ecrm / ecref : 0.0,
+      100.0 * dtlb * 100.0 / static_cast<double>(a.run_cycles()));
   return 0;
 }

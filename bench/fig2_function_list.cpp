@@ -7,11 +7,13 @@
 #include <cstdio>
 
 #include "analyze/reports.hpp"
+#include "bench_json.hpp"
 #include "mcfsim/experiments.hpp"
 
 using namespace dsprof;
 
-int main() {
+int main(int argc, char** argv) {
+  const bench::JsonSink json_out(argc, argv, "fig2_function_list");
   std::puts("== FIG2: function list (paper Figure 2) ==");
   const auto setup = mcfsim::PaperSetup::standard();
   const auto exps = mcfsim::collect_paper_experiments(setup);
@@ -22,9 +24,12 @@ int main() {
   std::puts("\n-- E$ read miss rates --");
   const auto ecrm = static_cast<size_t>(machine::HwEvent::EC_rd_miss);
   const auto ecref = static_cast<size_t>(machine::HwEvent::EC_ref);
+  double refresh_rate = 0.0, primal_rate = 0.0;
   for (const auto& f : a.functions(ecrm)) {
     if (f.mv[ecref] <= 0) continue;
     const double rate = 100.0 * f.mv[ecrm] / f.mv[ecref];
+    if (f.name == "refresh_potential") refresh_rate = rate;
+    if (f.name == "primal_bea_mpp") primal_rate = rate;
     if (f.mv[ecref] / a.total()[ecref] > 0.01) {
       std::printf("  %-24s %6.1f%%\n", f.name.c_str(), rate);
     }
@@ -35,5 +40,12 @@ int main() {
   // The §2.3 callers-callees view for the top function.
   std::puts("");
   std::fputs(analyze::render_callers_callees(a, "refresh_potential").c_str(), stdout);
+  const auto& top = a.functions(analyze::kUserCpuMetric);
+  json_out.emit(
+      "{\"bench\":\"fig2_function_list\",\"top_function\":\"%s\","
+      "\"refresh_potential_miss_rate_pct\":%.2f,"
+      "\"primal_bea_mpp_miss_rate_pct\":%.2f,"
+      "\"paper_miss_rates_pct\":[10.3,0.6]}",
+      top.empty() ? "" : top.front().name.c_str(), refresh_rate, primal_rate);
   return 0;
 }

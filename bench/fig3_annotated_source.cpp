@@ -3,17 +3,24 @@
 #include <cstdio>
 
 #include "analyze/reports.hpp"
+#include "bench_json.hpp"
 #include "mcfsim/experiments.hpp"
 
 using namespace dsprof;
 
-int main() {
+int main(int argc, char** argv) {
+  const bench::JsonSink json_out(argc, argv, "fig3_annotated_source");
   std::puts("== FIG3: annotated source of refresh_potential (paper Figure 3) ==");
   const auto setup = mcfsim::PaperSetup::standard();
   const auto exps = mcfsim::collect_paper_experiments(setup);
   analyze::Analysis a({&exps.ex1, &exps.ex2});
-  std::fputs(analyze::render_annotated_source(a, "refresh_potential").c_str(), stdout);
+  const std::string report = analyze::render_annotated_source(a, "refresh_potential");
+  std::fputs(report.c_str(), stdout);
   std::puts("\npaper: the potential-update lines (node->potential = "
             "node->basic_arc->cost ...) carry the bulk of E$ stall time.");
+  json_out.emit(
+      "{\"bench\":\"fig3_annotated_source\",\"function\":\"refresh_potential\","
+      "\"events\":%zu,\"render_bytes\":%zu}",
+      exps.ex1.events.size() + exps.ex2.events.size(), report.size());
   return 0;
 }

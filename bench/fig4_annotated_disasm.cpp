@@ -6,20 +6,27 @@
 #include <cstdio>
 
 #include "analyze/reports.hpp"
+#include "bench_json.hpp"
 #include "mcfsim/experiments.hpp"
 
 using namespace dsprof;
 
-int main() {
+int main(int argc, char** argv) {
+  const bench::JsonSink json_out(argc, argv, "fig4_annotated_disasm");
   std::puts("== FIG4: annotated disassembly of refresh_potential (paper Figure 4) ==");
   const auto setup = mcfsim::PaperSetup::standard();
   const auto exps = mcfsim::collect_paper_experiments(setup);
   analyze::Analysis a({&exps.ex1, &exps.ex2});
-  std::fputs(analyze::render_annotated_disassembly(a, "refresh_potential").c_str(), stdout);
+  const std::string report = analyze::render_annotated_disassembly(a, "refresh_potential");
+  std::fputs(report.c_str(), stdout);
   std::puts("\npaper observations reproduced here:");
   std::puts(" * E$ stall lands on ldx instructions (backtracking found the trigger)");
   std::puts(" * User CPU appears on unlikely instructions (clock skid, uncorrectable)");
   std::puts(" * starred <branch target> rows absorb events blocked by control flow");
   std::puts(" * nop padding separates memory ops from join nodes (-xhwcprof)");
+  json_out.emit(
+      "{\"bench\":\"fig4_annotated_disasm\",\"function\":\"refresh_potential\","
+      "\"events\":%zu,\"render_bytes\":%zu}",
+      exps.ex1.events.size() + exps.ex2.events.size(), report.size());
   return 0;
 }

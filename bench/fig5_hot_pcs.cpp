@@ -7,18 +7,23 @@
 #include <cstdio>
 
 #include "analyze/reports.hpp"
+#include "bench_json.hpp"
 #include "mcfsim/experiments.hpp"
 
 using namespace dsprof;
 
-int main() {
+int main(int argc, char** argv) {
+  const bench::JsonSink json_out(argc, argv, "fig5_hot_pcs");
   std::puts("== FIG5: hot PCs by E$ Read Misses (paper Figure 5) ==");
   const auto setup = mcfsim::PaperSetup::standard();
   const auto exps = mcfsim::collect_paper_experiments(setup);
   analyze::Analysis a({&exps.ex1, &exps.ex2});
-  std::fputs(
-      analyze::render_hot_pcs(a, static_cast<size_t>(machine::HwEvent::EC_rd_miss), 17)
-          .c_str(),
-      stdout);
+  const std::string report =
+      analyze::render_hot_pcs(a, static_cast<size_t>(machine::HwEvent::EC_rd_miss), 17);
+  std::fputs(report.c_str(), stdout);
+  json_out.emit(
+      "{\"bench\":\"fig5_hot_pcs\",\"metric\":\"ecrm\",\"top_n\":17,"
+      "\"events\":%zu,\"render_bytes\":%zu}",
+      exps.ex1.events.size() + exps.ex2.events.size(), report.size());
   return 0;
 }

@@ -8,11 +8,13 @@
 #include <cstdio>
 
 #include "analyze/reports.hpp"
+#include "bench_json.hpp"
 #include "mcfsim/experiments.hpp"
 
 using namespace dsprof;
 
-int main() {
+int main(int argc, char** argv) {
+  const bench::JsonSink json_out(argc, argv, "fig6_data_objects");
   std::puts("== FIG6: data objects by E$ Stall Cycles (paper Figure 6) ==");
   const auto setup = mcfsim::PaperSetup::standard();
   const auto exps = mcfsim::collect_paper_experiments(setup);
@@ -25,5 +27,15 @@ int main() {
   std::fputs(analyze::render_effectiveness(a).c_str(), stdout);
   std::puts("\npaper: arc+node carry ~98% of stalls; effectiveness 100% (dtlb),");
   std::puts("       ~100% (ecrm), >99% (ecstall), ~94% (ecref, largest skid).");
+  double eff[analyze::kNumMetrics] = {};
+  for (const auto& r : a.effectiveness()) eff[r.metric] = r.effectiveness();
+  json_out.emit(
+      "{\"bench\":\"fig6_data_objects\",\"eff_ecstall_pct\":%.2f,"
+      "\"eff_ecrm_pct\":%.2f,\"eff_ecref_pct\":%.2f,\"eff_dtlbm_pct\":%.2f,"
+      "\"paper_eff_pct\":[99.0,100.0,94.0,100.0]}",
+      100.0 * eff[static_cast<size_t>(machine::HwEvent::EC_stall_cycles)],
+      100.0 * eff[static_cast<size_t>(machine::HwEvent::EC_rd_miss)],
+      100.0 * eff[static_cast<size_t>(machine::HwEvent::EC_ref)],
+      100.0 * eff[static_cast<size_t>(machine::HwEvent::DTLB_miss)]);
   return 0;
 }

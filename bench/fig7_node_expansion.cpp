@@ -8,11 +8,13 @@
 #include <cstdio>
 
 #include "analyze/reports.hpp"
+#include "bench_json.hpp"
 #include "mcfsim/experiments.hpp"
 
 using namespace dsprof;
 
-int main() {
+int main(int argc, char** argv) {
+  const bench::JsonSink json_out(argc, argv, "fig7_node_expansion");
   std::puts("== FIG7: structure:node member expansion (paper Figure 7) ==");
   const auto setup = mcfsim::PaperSetup::standard();
   const auto exps = mcfsim::collect_paper_experiments(setup);
@@ -23,6 +25,7 @@ int main() {
 
   // Split-object statistic: the node array is the second allocation
   // (network struct is first).
+  double split_pct = 0.0, split128_pct = 0.0;
   if (a.allocations().size() >= 2) {
     const auto [base, size] = a.allocations()[1];
     const u64 count = size / 120;
@@ -32,6 +35,12 @@ int main() {
                 100.0 * frac, static_cast<unsigned long long>(count));
     const double frac128 = analyze::Analysis::split_fraction(base & ~u64{511}, 128, count, 512);
     std::printf("after pad-to-128 + array alignment: %.0f%%\n", 100.0 * frac128);
+    split_pct = 100.0 * frac;
+    split128_pct = 100.0 * frac128;
   }
+  json_out.emit(
+      "{\"bench\":\"fig7_node_expansion\",\"node_split_pct\":%.1f,"
+      "\"node_split_after_pad128_pct\":%.1f,\"paper_split_pct\":28.0}",
+      split_pct, split128_pct);
   return 0;
 }

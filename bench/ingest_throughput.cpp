@@ -26,6 +26,7 @@
 
 #include "analyze/analysis.hpp"
 #include "analyze/reports.hpp"
+#include "bench_json.hpp"
 #include "mcfsim/experiments.hpp"
 #include "serve/client.hpp"
 #include "serve/server.hpp"
@@ -73,7 +74,8 @@ double stream_once(const experiment::Experiment& ex, size_t batch_events,
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  const bench::JsonSink json_out(argc, argv, "ingest_throughput");
   std::puts("INGEST: dsprofd streaming ingest throughput (pipe transport)");
 
   // The paper's first MCF collect run is the workload; replicate it to get
@@ -117,10 +119,10 @@ int main() {
   const bool pass = floor <= 0.0 || eps >= floor;
   std::printf("floor: %.0f events/s -> %s\n", floor, pass ? "pass" : "FAIL");
 
-  std::printf(
+  json_out.emit(
       "{\"bench\":\"ingest_throughput\",\"events\":%zu,\"batch_events\":8192,"
       "\"events_per_sec\":%.0f,\"floor_events_per_sec\":%.0f,\"snapshot_matches_offline\":true,"
-      "\"pass\":%s}\n",
+      "\"pass\":%s}",
       n_events, eps, floor, pass ? "true" : "false");
   return pass ? 0 : 1;
 }

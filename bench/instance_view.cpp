@@ -3,21 +3,25 @@
 #include <cstdio>
 
 #include "analyze/reports.hpp"
+#include "bench_json.hpp"
 #include "mcfsim/experiments.hpp"
 
 using namespace dsprof;
 
-int main() {
+int main(int argc, char** argv) {
+  const bench::JsonSink json_out(argc, argv, "instance_view");
   std::puts("== FW3: per-instance aggregation (paper §4) ==");
   const auto setup = mcfsim::PaperSetup::standard();
   const auto exps = mcfsim::collect_paper_experiments(setup);
   analyze::Analysis a({&exps.ex1, &exps.ex2});
-  std::fputs(
-      analyze::render_instances(a, static_cast<size_t>(machine::HwEvent::EC_stall_cycles), 8)
-          .c_str(),
-      stdout);
+  const std::string report =
+      analyze::render_instances(a, static_cast<size_t>(machine::HwEvent::EC_stall_cycles), 8);
+  std::fputs(report.c_str(), stdout);
   std::puts("\nMCF's allocations are a few big arrays (read_min allocates the node,");
   std::puts("arc and dummy-arc arrays), so instances map 1:1 onto those arrays;");
   std::puts("programs with per-object allocation get per-object resolution.");
+  json_out.emit(
+      "{\"bench\":\"instance_view\",\"allocations\":%zu,\"render_bytes\":%zu}",
+      a.allocations().size(), report.size());
   return 0;
 }

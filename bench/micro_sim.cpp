@@ -2,6 +2,9 @@
 // cache model throughput, TLB throughput, and interpreter speed.
 #include <benchmark/benchmark.h>
 
+#include <string>
+#include <vector>
+
 #include "cache/hierarchy.hpp"
 #include "isa/assembler.hpp"
 #include "machine/cpu.hpp"
@@ -88,4 +91,30 @@ BENCHMARK(BM_MemoryLoad);
 
 }  // namespace
 
-BENCHMARK_MAIN();
+// Same --json [path] contract as the plain benches (bench_json.hpp),
+// translated into google-benchmark's file-reporter flags.
+int main(int argc, char** argv) {
+  std::vector<char*> args(argv, argv + argc);
+  std::string out_flag, fmt_flag;
+  for (size_t i = 1; i < args.size(); ++i) {
+    if (std::string(args[i]) == "--json") {
+      std::string path = "BENCH_micro_sim.json";
+      if (i + 1 < args.size() && args[i + 1][0] != '-') {
+        path = args[i + 1];
+        args.erase(args.begin() + static_cast<long>(i) + 1);
+      }
+      args.erase(args.begin() + static_cast<long>(i));
+      out_flag = "--benchmark_out=" + path;
+      fmt_flag = "--benchmark_out_format=json";
+      args.push_back(out_flag.data());
+      args.push_back(fmt_flag.data());
+      break;
+    }
+  }
+  int bench_argc = static_cast<int>(args.size());
+  benchmark::Initialize(&bench_argc, args.data());
+  if (benchmark::ReportUnrecognizedArguments(bench_argc, args.data())) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -6,11 +6,13 @@
 //   3. both                                       (paper: 20.7% speedup)
 #include <cstdio>
 
+#include "bench_json.hpp"
 #include "mcfsim/experiments.hpp"
 
 using namespace dsprof;
 
-int main() {
+int main(int argc, char** argv) {
+  const bench::JsonSink json_out(argc, argv, "opt_speedups");
   std::puts("== OPT: §3.3 optimization speedups ==");
   auto base = mcfsim::PaperSetup::standard();
   // Machine regime for the §3.3 experiment. The 16.2% layout gain on the
@@ -50,5 +52,13 @@ int main() {
   report("512 kB heap pages", pages, 3.9);
   report("both optimizations", both, 20.7);
   std::puts("\npaper: 16.2% + 3.9% combine to 20.7% on MCF total execution time.");
+  auto gain = [&](u64 cycles) {
+    return 100.0 * (1.0 - static_cast<double>(cycles) / static_cast<double>(baseline));
+  };
+  json_out.emit(
+      "{\"bench\":\"opt_speedups\",\"baseline_cycles\":%llu,"
+      "\"layout_speedup_pct\":%.2f,\"pages_speedup_pct\":%.2f,"
+      "\"both_speedup_pct\":%.2f,\"paper_speedups_pct\":[16.2,3.9,20.7]}",
+      static_cast<unsigned long long>(baseline), gain(layout), gain(pages), gain(both));
   return 0;
 }

@@ -3,11 +3,13 @@
 // delay slots). Paper: MCF compiled with -xhwcprof runs ~1.3% slower.
 #include <cstdio>
 
+#include "bench_json.hpp"
 #include "mcfsim/experiments.hpp"
 
 using namespace dsprof;
 
-int main() {
+int main(int argc, char** argv) {
+  const bench::JsonSink json_out(argc, argv, "overhead_hwcprof");
   std::puts("== OVH: -xhwcprof compilation overhead (paper §2.1) ==");
   auto with = mcfsim::PaperSetup::small();
   auto without = with;
@@ -30,5 +32,9 @@ int main() {
               static_cast<unsigned long long>(rw.instructions));
   std::printf("  overhead: %+.2f%% cycles, %+.2f%% instructions (paper: ~+1.3%% runtime)\n",
               cyc_pct, ins_pct);
+  json_out.emit(
+      "{\"bench\":\"overhead_hwcprof\",\"cycles_overhead_pct\":%.3f,"
+      "\"instructions_overhead_pct\":%.3f,\"paper_runtime_overhead_pct\":1.3}",
+      cyc_pct, ins_pct);
   return 0;
 }

@@ -21,6 +21,7 @@
 #include <vector>
 
 #include "analyze/reduction.hpp"
+#include "bench_json.hpp"
 #include "collect/collector.hpp"
 #include "mcfsim/experiments.hpp"
 #include "sa/backtrack_table.hpp"
@@ -63,7 +64,8 @@ void replay(const experiment::Experiment& ex, experiment::EventStore& out) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  const bench::JsonSink json_out(argc, argv, "pipeline_throughput");
   std::puts("== PIPELINE: event-store append + reduction throughput (FIG1 workload) ==");
   const auto setup = mcfsim::PaperSetup::standard();
   const auto exps = mcfsim::collect_paper_experiments(setup);
@@ -160,13 +162,14 @@ int main() {
               speedup >= 2.0 ? "(>= 2x: PASS)" : "(< 2x: FAIL)");
   std::printf("backtrack table vs dynamic speedup: %.2fx\n", bt_speedup);
 
-  std::printf(
-      "{\"workload\":\"FIG1\",\"events\":%zu,\"unique_callstacks\":%zu,"
+  json_out.emit(
+      "{\"bench\":\"pipeline_throughput\",\"workload\":\"FIG1\",\"events\":%zu,"
+      "\"unique_callstacks\":%zu,"
       "\"append_events_per_sec\":%.6e,\"baseline_events_per_sec\":%.6e,"
       "\"sharded1_events_per_sec\":%.6e,\"sharded_events_per_sec\":%.6e,"
       "\"threads\":%u,\"speedup\":%.3f,"
       "\"backtrack_dynamic_events_per_sec\":%.6e,"
-      "\"backtrack_table_events_per_sec\":%.6e,\"backtrack_speedup\":%.3f}\n",
+      "\"backtrack_table_events_per_sec\":%.6e,\"backtrack_speedup\":%.3f}",
       n_events, n_unique, append_eps, base_eps, sh1_eps, sh_eps, threads, speedup,
       bt_dyn_eps, bt_tab_eps, bt_speedup);
   return speedup >= 2.0 ? 0 : 1;

@@ -9,11 +9,13 @@
 #include <cstdio>
 
 #include "analyze/feedback.hpp"
+#include "bench_json.hpp"
 #include "mcfsim/experiments.hpp"
 
 using namespace dsprof;
 
-int main() {
+int main(int argc, char** argv) {
+  const bench::JsonSink json_out(argc, argv, "prefetch_feedback");
   std::puts("== FW1: prefetch feedback -> recompile with prefetch insertion ==");
   auto setup = mcfsim::PaperSetup::small();
   // Disable the hardware stream prefetch so the software prefetch matters.
@@ -42,5 +44,10 @@ int main() {
   std::puts("\nThe pointer-chasing refresh_potential references remain in the");
   std::puts("feedback file but cannot be prefetched (address known too late),");
   std::puts("exactly as the paper notes for node->basic_arc->cost.");
+  json_out.emit(
+      "{\"bench\":\"prefetch_feedback\",\"feedback_entries\":%zu,"
+      "\"baseline_cycles\":%llu,\"prefetch_cycles\":%llu,\"speedup_pct\":%.2f}",
+      entries.size(), static_cast<unsigned long long>(before.cycles),
+      static_cast<unsigned long long>(after.cycles), gain);
   return 0;
 }

@@ -28,6 +28,26 @@
 
 using namespace dsprof;
 
+namespace {
+
+void print_usage() {
+  std::puts(
+      "usage: dsprof_send --socket <path> [options]\n"
+      "options:\n"
+      "  --socket <path>    dsprofd socket to connect to (required)\n"
+      "  --dir <dir>        replay a saved experiment instead of collecting\n"
+      "  --workload <name>  which MCF setup to collect: mcf or mcf-small\n"
+      "                     (default mcf-small)\n"
+      "  --batch <N>        events per EventBatch frame (default 4096)\n"
+      "  --save <dir>       also save the collected experiment for offline diff\n"
+      "  --report <file>    write the snapshot JSON to <file>\n"
+      "  --stats            print the daemon's stats frame (includes the\n"
+      "                     daemon's obs self-profile)\n"
+      "  --help             print this help and exit");
+}
+
+}  // namespace
+
 int main(int argc, char** argv) {
   std::string socket_path, dir, save_dir, report_path;
   std::string workload = "mcf-small";
@@ -42,16 +62,16 @@ int main(int argc, char** argv) {
     else if (arg == "--save" && i + 1 < argc) save_dir = argv[++i];
     else if (arg == "--report" && i + 1 < argc) report_path = argv[++i];
     else if (arg == "--stats") want_stats = true;
-    else {
+    else if (arg == "--help") {
+      print_usage();
+      return 0;
+    } else {
       std::printf("unknown argument: %s\n", arg.c_str());
       return 2;
     }
   }
   if (socket_path.empty()) {
-    std::puts(
-        "usage: dsprof_send --socket <path> [--dir <experiment-dir>]\n"
-        "                   [--workload mcf|mcf-small] [--batch N]\n"
-        "                   [--save <dir>] [--report <file>] [--stats]");
+    print_usage();
     return 2;
   }
 

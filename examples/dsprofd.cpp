@@ -5,20 +5,18 @@
 //
 // Usage:
 //   dsprofd --socket <path> [--once] [--queue N] [--policy drop|block]
+//           [--trace <file>]
 //
-//   --socket <path>   Unix-domain socket to listen on (required)
-//   --once            serve exactly one session, print stats, exit
-//                     (what the scripts/check.sh smoke gate uses)
-//   --queue N         bounded per-session batch queue depth (default 64)
-//   --policy drop|block
-//                     overload policy: drop-oldest with exact drop
-//                     accounting (default), or block the reader and let
-//                     backpressure reach the client
+// The final stats line carries the daemon's self-profile (src/obs/) inside
+// the ServerStats JSON, and --trace dumps the span timeline for
+// chrome://tracing when the daemon exits.
 #include <csignal>
 #include <cstdio>
 #include <cstring>
+#include <fstream>
 #include <string>
 
+#include "obs/obs.hpp"
 #include "serve/server.hpp"
 
 using namespace dsprof;
@@ -31,10 +29,26 @@ void handle_signal(int) {
   if (g_listener != nullptr) g_listener->close();  // unblocks accept()
 }
 
+void print_usage() {
+  std::puts(
+      "usage: dsprofd --socket <path> [options]\n"
+      "options:\n"
+      "  --socket <path>       Unix-domain socket to listen on (required)\n"
+      "  --once                serve exactly one session, print stats, exit\n"
+      "  --queue <N>           bounded per-session batch queue depth (default 64)\n"
+      "  --policy <drop|block> overload policy: drop-oldest with exact drop\n"
+      "                        accounting (default), or block the reader and\n"
+      "                        let backpressure reach the client\n"
+      "  --trace <file>        write the span timeline (chrome://tracing JSON)\n"
+      "                        on exit\n"
+      "  --help                print this help and exit");
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   std::string socket_path;
+  std::string trace_path;
   bool once = false;
   serve::ServerOptions opt;
   for (int i = 1; i < argc; ++i) {
@@ -49,13 +63,18 @@ int main(int argc, char** argv) {
       const std::string p = argv[++i];
       opt.overload = p == "block" ? serve::ServerOptions::Overload::Block
                                   : serve::ServerOptions::Overload::DropOldest;
+    } else if (arg == "--trace" && i + 1 < argc) {
+      trace_path = argv[++i];
+    } else if (arg == "--help") {
+      print_usage();
+      return 0;
     } else {
       std::printf("unknown argument: %s\n", arg.c_str());
       return 2;
     }
   }
   if (socket_path.empty()) {
-    std::puts("usage: dsprofd --socket <path> [--once] [--queue N] [--policy drop|block]");
+    print_usage();
     return 2;
   }
 
@@ -84,6 +103,11 @@ int main(int argc, char** argv) {
     const serve::ServerStats stats = server.stats();
     std::printf("dsprofd: stats %s\n", stats.to_json().c_str());
     server.stop();
+    if (!trace_path.empty()) {
+      std::ofstream out(trace_path);
+      out << obs::chrome_trace_json() << "\n";
+      std::printf("dsprofd: trace written to %s\n", trace_path.c_str());
+    }
     // The smoke gate checks the daemon's own accounting too.
     return stats.events_in == stats.events_reduced + stats.events_dropped ? 0 : 1;
   } catch (const Error& e) {

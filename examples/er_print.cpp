@@ -3,12 +3,20 @@
 // experiments from the same binary, then run report commands.
 //
 // Usage:
-//   er_print <experiment-dir>... [-c command]... [-J]
+//   er_print <experiment-dir>... [-c command]... [-J] [-O] [--trace <file>]
 //
 // -J prints the machine-diffable JSON report (analyze::render_json_report)
 // and nothing else — the same renderer dsprofd snapshots use, so
 // `er_print <dir> -J` diffs byte-for-byte against a streamed session's
 // snapshot over the same events (scripts/check.sh relies on this).
+//
+// -O appends the analyzer's *self-profile* (src/obs/): counters, latency
+// histograms, and span totals for er_print's own reduction work over this
+// invocation. `-O -J` prints the self-profile as one JSON object instead of
+// the report — its "reduce.events.folded" / "serve.events.dropped" counters
+// are the cross-check against a dsprofd Stats snapshot for the same events
+// (scripts/check.sh smoke gate). --trace writes the span timeline as
+// chrome://tracing JSON.
 //
 // Commands (each also works interactively via -c):
 //   overview                       Figure 1 metrics for <Total>
@@ -28,12 +36,14 @@
 // dataobjects) is printed.
 #include <cstdio>
 #include <cstring>
+#include <fstream>
 #include <memory>
 #include <sstream>
 #include <string>
 #include <vector>
 
 #include "analyze/reports.hpp"
+#include "obs/obs.hpp"
 
 using namespace dsprof;
 using analyze::Analysis;
@@ -101,43 +111,93 @@ void run_command(const Analysis& a, const std::string& cmdline) {
 
 }  // namespace
 
+namespace {
+
+void print_usage() {
+  std::puts(
+      "usage: er_print <experiment-dir>... [options]\n"
+      "options:\n"
+      "  -c <command>    run one report command (repeatable; default:\n"
+      "                  overview + functions + dataobjects)\n"
+      "  -J              print the machine-diffable JSON report and nothing\n"
+      "                  else (byte-identical to a dsprofd snapshot)\n"
+      "  -O              self-profile report (obs counters/histograms/spans\n"
+      "                  of this er_print run); with -J, one JSON object\n"
+      "  --trace <file>  write the span timeline as chrome://tracing JSON\n"
+      "  --help          print this help and exit\n"
+      "run examples/mcf_profile first to produce ./mcf_experiment_{1,2}");
+}
+
+}  // namespace
+
 int main(int argc, char** argv) {
   std::vector<std::string> dirs;
   std::vector<std::string> commands;
   bool json = false;
+  bool self_profile = false;
+  std::string trace_path;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "-c") == 0 && i + 1 < argc) {
       commands.push_back(argv[++i]);
     } else if (std::strcmp(argv[i], "-J") == 0) {
       json = true;
+    } else if (std::strcmp(argv[i], "-O") == 0) {
+      self_profile = true;
+    } else if (std::strcmp(argv[i], "--trace") == 0 && i + 1 < argc) {
+      trace_path = argv[++i];
+    } else if (std::strcmp(argv[i], "--help") == 0) {
+      print_usage();
+      return 0;
     } else {
       dirs.push_back(argv[i]);
     }
   }
   if (dirs.empty()) {
-    std::puts("usage: er_print <experiment-dir>... [-c command]... [-J]");
-    std::puts("run examples/mcf_profile first to produce ./mcf_experiment_{1,2}");
+    print_usage();
     return 2;
   }
   std::vector<std::unique_ptr<experiment::Experiment>> exps;
   std::vector<const experiment::Experiment*> ptrs;
+  const bool quiet = json;  // both -J modes print exactly one JSON line
   for (const auto& dir : dirs) {
-    exps.push_back(
-        std::make_unique<experiment::Experiment>(experiment::Experiment::load(dir)));
-    if (!json) std::printf("loaded %s: %zu events\n", dir.c_str(), exps.back()->events.size());
+    try {
+      exps.push_back(
+          std::make_unique<experiment::Experiment>(experiment::Experiment::load(dir)));
+    } catch (const Error& e) {
+      std::fprintf(stderr, "er_print: cannot load %s: %s\n", dir.c_str(), e.what());
+      return 2;
+    }
+    if (!quiet) std::printf("loaded %s: %zu events\n", dir.c_str(), exps.back()->events.size());
     ptrs.push_back(exps.back().get());
   }
   Analysis a(ptrs);
-  if (json) {
+  if (self_profile && json) {
+    // Self-profile JSON: force the (lazy) reduction so the obs counters
+    // reflect this invocation's full analysis work, then print the obs
+    // snapshot — one line, nothing else. "reduce.events.folded" here equals
+    // the events_reduced a dsprofd Stats frame reports for the same events
+    // (and the drop counters are 0: offline analysis never sheds load).
+    (void)a.total();
+    std::printf("%s\n", obs::snapshot().to_json().c_str());
+  } else if (json) {
     // Exactly the JSON a dsprofd snapshot of the same events returns
     // (zero drops): one line, nothing else on stdout.
     std::printf("%s\n", analyze::render_json_report(a).c_str());
-    return 0;
+  } else {
+    if (commands.empty()) commands = {"overview", "functions", "dataobjects"};
+    for (const auto& c : commands) {
+      std::printf("\n== %s ==\n", c.c_str());
+      run_command(a, c);
+    }
+    if (self_profile) {
+      (void)a.total();
+      std::printf("\n== self-profile ==\n%s", obs::snapshot().to_text().c_str());
+    }
   }
-  if (commands.empty()) commands = {"overview", "functions", "dataobjects"};
-  for (const auto& c : commands) {
-    std::printf("\n== %s ==\n", c.c_str());
-    run_command(a, c);
+  if (!trace_path.empty()) {
+    std::ofstream out(trace_path);
+    out << obs::chrome_trace_json() << "\n";
+    if (!quiet) std::printf("trace written to %s\n", trace_path.c_str());
   }
   return 0;
 }

@@ -144,13 +144,22 @@ bool load_path(const std::string& path, std::vector<Target>& out) {
   return true;
 }
 
-int usage() {
+void print_usage(FILE* to) {
   std::fputs(
-      "usage: s3verify [--json] [--window N] [--pad-nops N] <target>...\n"
+      "usage: s3verify [options] <target>...\n"
       "  target: builtin image (mcf, mcf-opt, particle, chase, all),\n"
       "          an experiment directory, or a loadobjects.bin file\n"
+      "options:\n"
+      "  --json          one JSON report object per line instead of text\n"
+      "  --window N      backtracking window in instructions (default 16)\n"
+      "  --pad-nops N    hwcprof lint: required scheduling padding\n"
+      "  --help          print this help and exit\n"
       "exit: 0 lint-clean, 1 error diagnostics present, 2 usage/load failure\n",
-      stderr);
+      to);
+}
+
+int usage() {
+  print_usage(stderr);
   return 2;
 }
 
@@ -162,7 +171,10 @@ int main(int argc, char** argv) {
   std::vector<std::string> names;
   for (int i = 1; i < argc; ++i) {
     const std::string a = argv[i];
-    if (a == "--json") {
+    if (a == "--help") {
+      print_usage(stdout);
+      return 0;
+    } else if (a == "--json") {
       json = true;
     } else if (a == "--window" && i + 1 < argc) {
       opt.backtrack_window = static_cast<u32>(std::atoi(argv[++i]));

@@ -5,6 +5,8 @@
 #     clang-tidy is not installed — the reference container does not ship it);
 #   - `s3verify all`, which lints every built-in compiled image and exits
 #     nonzero on any error-severity diagnostic;
+#   - the cli-docs gate: docs/CLI.md flag tables must match each binary's
+#     live --help output in both directions;
 #   - the dsprofd smoke gate: spawn the daemon on a temp Unix socket, stream a
 #     live MCF collect run into it with dsprof_send, and require the streamed
 #     snapshot to be byte-identical to `er_print <saved-dir> -J` over the same
@@ -12,9 +14,10 @@
 #     processes and a real socket).
 # Usage:
 #
-#   scripts/check.sh            # both build passes + all gates
+#   scripts/check.sh            # both build passes + all gates + benches
 #   scripts/check.sh --fast     # normal pass + gates only
 #   scripts/check.sh --asan     # ASan pass only
+#   scripts/check.sh --bench    # benchmark sweep only (BENCH_*.json)
 #
 # Exits nonzero on the first failing step.
 set -euo pipefail
@@ -57,6 +60,67 @@ run_s3verify() {
   "${dir}/examples/s3verify" all
 }
 
+# Benchmark sweep: every bench/ target supports --json <path> (bench_json.hpp
+# contract) and is collected as BENCH_<name>.json at the repo root;
+# bench/obs_overhead doubles as the self-observability acceptance gate (< 3%
+# enabled-instrumentation overhead on the reduce and ingest hot paths) and
+# writes BENCH_obs.json. Benches with built-in acceptance bars (pipeline,
+# backtrack, ingest floor, obs) fail the script through their exit codes.
+run_bench() {
+  local dir="$1"
+  local plain=(fig1_total_metrics fig2_function_list fig3_annotated_source
+    fig4_annotated_disasm fig5_hot_pcs fig6_data_objects fig7_node_expansion
+    opt_speedups overhead_hwcprof effectiveness ablation_padding ablation_skid
+    prefetch_feedback address_views instance_view pipeline_throughput
+    backtrack_table ingest_throughput)
+  echo "== bench: run every bench target, collect BENCH_*.json =="
+  cmake --build "${dir}" -j "${jobs}" --target "${plain[@]}" obs_overhead micro_sim
+  local b log
+  log="$(mktemp)"
+  for b in "${plain[@]}"; do
+    echo "-- bench: ${b} --"
+    "${dir}/bench/${b}" --json "${repo}/BENCH_${b}.json" >"${log}" 2>&1 \
+      || { echo "bench ${b} FAILED"; cat "${log}"; rm -f "${log}"; return 1; }
+    tail -1 "${log}"
+  done
+  echo "-- bench: obs_overhead --"
+  "${dir}/bench/obs_overhead" --json "${repo}/BENCH_obs.json" >"${log}" 2>&1 \
+    || { echo "bench obs_overhead FAILED"; cat "${log}"; rm -f "${log}"; return 1; }
+  tail -1 "${log}"
+  echo "-- bench: micro_sim --"
+  "${dir}/bench/micro_sim" --json "${repo}/BENCH_micro_sim.json" >"${log}" 2>&1 \
+    || { echo "bench micro_sim FAILED"; cat "${log}"; rm -f "${log}"; return 1; }
+  rm -f "${log}"
+  echo "bench: $(ls "${repo}"/BENCH_*.json | wc -l) BENCH_*.json files collected"
+}
+
+# docs/CLI.md drift gate: every flag a binary advertises in --help must be
+# documented in that binary's section of docs/CLI.md, and every flag the
+# section documents must exist in --help. Help flag lines are formatted
+# "  --flag ..." by convention; doc flags are the backticked table rows.
+run_cli_docs() {
+  local dir="$1"
+  echo "== cli-docs: docs/CLI.md vs live --help =="
+  cmake --build "${dir}" -j "${jobs}" --target er_print s3verify dsprofd dsprof_send
+  local bin section flag ok=1
+  for bin in er_print s3verify dsprofd dsprof_send; do
+    section="$(awk "/^## ${bin}\$/{f=1;next} /^## /{f=0} f" "${repo}/docs/CLI.md")"
+    [[ -n "${section}" ]] || { echo "cli-docs: no '## ${bin}' section in docs/CLI.md"; ok=0; continue; }
+    while read -r flag; do
+      grep -qF "\`${flag}" <<<"${section}" \
+        || { echo "cli-docs: ${bin}: ${flag} in --help but not in docs/CLI.md"; ok=0; }
+    done < <("${dir}/examples/${bin}" --help 2>&1 \
+               | grep -oE '^ +-{1,2}[A-Za-z][A-Za-z0-9_-]*' | tr -d ' ' | sort -u)
+    while read -r flag; do
+      "${dir}/examples/${bin}" --help 2>&1 | grep -qE "^ +${flag}([ ,<]|\$)" \
+        || { echo "cli-docs: ${bin}: ${flag} documented but absent from --help"; ok=0; }
+    done < <(grep -oE '^\| `-{1,2}[A-Za-z][A-Za-z0-9_-]*' <<<"${section}" \
+               | sed 's/^| `//' | sort -u)
+  done
+  [[ ${ok} -eq 1 ]] || return 1
+  echo "cli-docs: flag lists match --help for all four binaries"
+}
+
 # End-to-end dsprofd smoke gate over a real Unix-domain socket: the streamed
 # snapshot of a live collect run must be byte-identical to the offline
 # er_print -J report of the experiment directory the same run saved.
@@ -90,6 +154,26 @@ run_dsprofd_smoke() {
     return 1
   fi
   echo "dsprofd smoke: streamed snapshot is byte-identical to er_print -J"
+
+  # Obs cross-check: the daemon's self-profile (Stats frame, in daemon.log)
+  # and an offline er_print -O -J over the saved directory must agree on
+  # event counts — offline folds every saved event, the daemon folded all it
+  # did not drop, so offline == daemon_folded + daemon_dropped.
+  local pick='grep -oE "\"reduce.events.folded\":[0-9]+" | head -1 | cut -d: -f2'
+  local daemon_folded daemon_dropped offline_folded
+  daemon_folded="$(eval "${pick}" <"${tmp}/daemon.log")"
+  # Counters appear in a snapshot once registered; a drop-free run may not
+  # have touched serve.events.dropped at all — treat absent as zero.
+  daemon_dropped="$(grep -oE '"serve.events.dropped":[0-9]+' "${tmp}/daemon.log" | head -1 | cut -d: -f2)"
+  daemon_dropped="${daemon_dropped:-0}"
+  offline_folded="$("${dir}/examples/er_print" "${tmp}/exp" -O -J | eval "${pick}")"
+  if [[ -z "${daemon_folded}" || -z "${offline_folded}" || \
+        "${offline_folded}" -ne $((daemon_folded + daemon_dropped)) ]]; then
+    echo "dsprofd smoke FAILED: obs self-profiles disagree" \
+         "(offline folded=${offline_folded:-?}, daemon folded=${daemon_folded:-?} dropped=${daemon_dropped:-?})"
+    return 1
+  fi
+  echo "dsprofd smoke: obs self-profiles agree (folded ${offline_folded} = ${daemon_folded} + ${daemon_dropped} dropped)"
 }
 
 case "${mode}" in
@@ -97,20 +181,27 @@ case "${mode}" in
     run_pass "normal" "${repo}/build"
     run_tidy "${repo}/build"
     run_s3verify "${repo}/build"
+    run_cli_docs "${repo}/build"
     run_dsprofd_smoke "${repo}/build"
     ;;
   --asan|asan)
     run_pass "asan" "${repo}/build-asan" -DDSPROF_SANITIZE=address
     ;;
+  --bench|bench)
+    cmake -B "${repo}/build" -S "${repo}" >/dev/null
+    run_bench "${repo}/build"
+    ;;
   all|--all)
     run_pass "normal" "${repo}/build"
     run_tidy "${repo}/build"
     run_s3verify "${repo}/build"
+    run_cli_docs "${repo}/build"
     run_dsprofd_smoke "${repo}/build"
+    run_bench "${repo}/build"
     run_pass "asan" "${repo}/build-asan" -DDSPROF_SANITIZE=address
     ;;
   *)
-    echo "usage: $0 [--fast|--asan]" >&2
+    echo "usage: $0 [--fast|--asan|--bench]" >&2
     exit 2
     ;;
 esac

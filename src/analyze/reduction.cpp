@@ -4,6 +4,8 @@
 #include <map>
 #include <thread>
 
+#include "obs/obs.hpp"
+
 namespace dsprof::analyze {
 
 namespace {
@@ -37,6 +39,33 @@ enum : u8 {
 struct Partial {
   ReductionResult r;
   std::vector<u32> frames;  // frame function ids, leaf included
+};
+
+/// Per-event attribution outcome tallies (paper §2.3 candidate validation).
+/// Plain integers bumped inside the fold loop — sub-nanosecond next to the
+/// fold itself — and flushed to obs counters once per shard / per fold()
+/// call, keeping the per-event hot path free of atomics.
+struct AttrOutcomes {
+  u64 clock = 0;          // clock-profile samples (no data attribution)
+  u64 validated = 0;      // candidate PC survived branch-target validation
+  u64 branch_target = 0;  // a branch target intervened: artificial PC row
+  u64 no_candidate = 0;   // no backtracking or no memory op in the window
+  u64 unverifiable = 0;   // no branch-target info in the symbol tables
+
+  void flush(u64 events_folded) const {
+    static const obs::Counter c_folded = obs::counter("reduce.events.folded");
+    static const obs::Counter c_clock = obs::counter("reduce.attr.clock");
+    static const obs::Counter c_validated = obs::counter("reduce.attr.validated");
+    static const obs::Counter c_branch = obs::counter("reduce.attr.branch_target");
+    static const obs::Counter c_nocand = obs::counter("reduce.attr.no_candidate");
+    static const obs::Counter c_unver = obs::counter("reduce.attr.unverifiable");
+    c_folded.add(events_folded);
+    if (clock != 0) c_clock.add(clock);
+    if (validated != 0) c_validated.add(validated);
+    if (branch_target != 0) c_branch.add(branch_target);
+    if (no_candidate != 0) c_nocand.add(no_candidate);
+    if (unverifiable != 0) c_unver.add(unverifiable);
+  }
 };
 
 /// Immutable fold context: which events, which symbols, which PICs were
@@ -100,7 +129,7 @@ void attribute_code(ReductionResult& r, std::vector<u32>& frames, const sym::Sym
 /// online IncrementalReducer, which is what makes the streamed and offline
 /// views bit-identical by construction.
 void fold_event(ReductionResult& r, std::vector<u32>& frames, const FoldContext& ctx,
-                u32 unknown_id, size_t i) {
+                u32 unknown_id, size_t i, AttrOutcomes& oc) {
   const EventStore& ev = *ctx.events;
   const sym::SymbolTable& st = *ctx.symtab;
 
@@ -112,6 +141,7 @@ void fold_event(ReductionResult& r, std::vector<u32>& frames, const FoldContext&
   if (pic == machine::kClockPic) {
     // Clock-profile sample: code-space only; skid cannot be corrected
     // (paper §3.2.3 — User CPU shows against unlikely instructions).
+    oc.clock += 1;
     r.present[kUserCpuMetric] = true;
     r.total[kUserCpuMetric] += w;
     attribute_code(r, frames, st, unknown_id, delivered_pc, false, kUserCpuMetric, w, stack);
@@ -136,6 +166,7 @@ void fold_event(ReductionResult& r, std::vector<u32>& frames, const FoldContext&
   if (!backtracked || !has_candidate) {
     // No candidate trigger: attribute code space to the delivered PC; the
     // data object cannot be determined.
+    oc.no_candidate += 1;
     attribute_code(r, frames, st, unknown_id, delivered_pc, false, metric, w, stack);
     data_bucket(kCatUnresolvable, sym::kInvalidType);
     return;
@@ -143,6 +174,7 @@ void fold_event(ReductionResult& r, std::vector<u32>& frames, const FoldContext&
 
   if (!st.has_branch_targets()) {
     // Cannot validate the candidate (no branch-target info, e.g. STABS).
+    oc.unverifiable += 1;
     attribute_code(r, frames, st, unknown_id, candidate_pc, false, metric, w, stack);
     data_bucket(kCatUnverifiable, sym::kInvalidType);
     return;
@@ -152,12 +184,14 @@ void fold_event(ReductionResult& r, std::vector<u32>& frames, const FoldContext&
     // A branch target between the candidate and the delivered PC: the path
     // to the interrupt is unknown. Attribute to an artificial branch-target
     // PC (paper §2.3, the `*<branch target>` rows of Figure 4).
+    oc.branch_target += 1;
     attribute_code(r, frames, st, unknown_id, *target, true, metric, w, stack);
     data_bucket(kCatUnresolvable, sym::kInvalidType);
     return;
   }
 
   // Validated trigger PC.
+  oc.validated += 1;
   attribute_code(r, frames, st, unknown_id, candidate_pc, false, metric, w, stack);
 
   if (!st.hwcprof()) {
@@ -220,19 +254,26 @@ ReductionResult reduce_sharded(const std::vector<FoldContext>& ctxs, u32 unknown
   size_t nshards = threads;
   if (nshards > 1 && n / nshards < min_shard) nshards = std::max<size_t>(1, n / min_shard);
 
+  static const obs::SpanName kShardSpan = obs::span_name("reduce.shard");
+  static const obs::Histogram kShardNs = obs::histogram("reduce.shard.fold_ns");
+
   std::vector<Partial> partials(nshards);
   auto work = [&](size_t s) {
     Partial& p = partials[s];
     const size_t lo = n * s / nshards;
     const size_t hi = n * (s + 1) / nshards;
     if (lo >= hi) return;  // empty shard (e.g. every experiment is empty)
+    const obs::ScopedSpan span(kShardSpan);
+    const obs::ScopedTimer timer(kShardNs);
+    AttrOutcomes oc;
     // Locate the experiment containing `lo`.
     size_t e = 0;
     while (prefix[e + 1] <= lo) ++e;
     for (size_t g = lo; g < hi; ++g) {
       while (prefix[e + 1] <= g) ++e;
-      fold_event(p.r, p.frames, ctxs[e], unknown_id, g - prefix[e]);
+      fold_event(p.r, p.frames, ctxs[e], unknown_id, g - prefix[e], oc);
     }
+    oc.flush(hi - lo);
   };
 
   if (nshards <= 1) {
@@ -244,6 +285,8 @@ ReductionResult reduce_sharded(const std::vector<FoldContext>& ctxs, u32 unknown
     for (auto& t : pool) t.join();
   }
 
+  static const obs::Histogram kMergeNs = obs::histogram("reduce.merge_ns");
+  const obs::ScopedTimer merge_timer(kMergeNs);
   ReductionResult r;
   r.events_reduced = n;
   for (auto& p : partials) merge_partial(r, std::move(p));
@@ -466,7 +509,11 @@ void IncrementalReducer::fold(const experiment::EventStore& events, size_t begin
   ctx.events = &events;
   ctx.symtab = symtab_;
   ctx.backtrack_by_pic = backtrack_by_pic_;
-  for (size_t i = begin; i < end; ++i) fold_event(r_, frames_, ctx, unknown_id_, i);
+  static const obs::Histogram kFoldNs = obs::histogram("reduce.incremental.fold_ns");
+  const obs::ScopedTimer timer(kFoldNs);
+  AttrOutcomes oc;
+  for (size_t i = begin; i < end; ++i) fold_event(r_, frames_, ctx, unknown_id_, i, oc);
+  oc.flush(end - begin);
   r_.events_reduced += end - begin;
 }
 

@@ -2,6 +2,7 @@
 
 #include <sstream>
 
+#include "obs/obs.hpp"
 #include "support/rng.hpp"
 
 namespace dsprof::collect {
@@ -212,17 +213,43 @@ sa::BacktrackAnswer backtrack_dynamic(const sym::Image& image, u64 delivered_pc,
 }
 
 sa::BacktrackAnswer Collector::backtrack(const machine::OverflowDelivery& d) {
+  // Self-observability (src/obs/): per-engine query latency plus the
+  // clobber/unresolved outcome tallies the §2.2.3 search can produce.
+  // Overflows are orders of magnitude sparser than instructions, so timing
+  // each query does not distort collection (bench/obs_overhead).
+  static const obs::Histogram kTableNs = obs::histogram("collect.backtrack.table_ns");
+  static const obs::Histogram kDynamicNs = obs::histogram("collect.backtrack.dynamic_ns");
+  static const obs::Counter kQueries = obs::counter("collect.backtrack.queries");
+  static const obs::Counter kEaRecovered = obs::counter("collect.backtrack.ea_recovered");
+  static const obs::Counter kEaClobbered = obs::counter("collect.backtrack.ea_clobbered");
+  static const obs::Counter kUnresolved = obs::counter("collect.backtrack.unresolved");
+
   const TriggerKind kind = machine::hw_event_info(d.event).trigger;
+  kQueries.add();
+  sa::BacktrackAnswer r;
   if (btable_ != nullptr) {
-    return btable_->query(d.delivered_pc, kind, d.regs);
+    const obs::ScopedTimer timer(kTableNs);
+    r = btable_->query(d.delivered_pc, kind, d.regs);
+  } else {
+    const obs::ScopedTimer timer(kDynamicNs);
+    r = backtrack_dynamic(image_, d.delivered_pc, kind, d.regs, opt_.backtrack_window);
   }
-  return backtrack_dynamic(image_, d.delivered_pc, kind, d.regs, opt_.backtrack_window);
+  if (!r.found) {
+    kUnresolved.add();
+  } else if (r.ea_known) {
+    kEaRecovered.add();
+  } else {
+    kEaClobbered.add();  // address registers written in the skid gap
+  }
+  return r;
 }
 
 void Collector::on_overflow(const machine::OverflowDelivery& d) {
   // Hot path: append straight into the columnar store. No EventRecord is
   // materialized and no per-event heap allocation happens — the callstack
   // words are interned into the store's shared arena.
+  static const obs::Counter kOverflows = obs::counter("collect.overflows");
+  kOverflows.add();
   sa::BacktrackAnswer r;
   if (d.pic != machine::kClockPic && backtrack_by_pic_[d.pic]) {
     r = backtrack(d);
@@ -238,11 +265,17 @@ void Collector::on_overflow(const machine::OverflowDelivery& d) {
 void Collector::export_pending(bool last) {
   if (!opt_.batch_export) return;
   if (exported_ == events_.size() && !last) return;
+  static const obs::SpanName kExportSpan = obs::span_name("collect.export_batch");
+  static const obs::Counter kBatches = obs::counter("collect.batches.exported");
+  static const obs::Histogram kBatchEvents = obs::histogram("collect.export.batch_events");
+  const obs::ScopedSpan span(kExportSpan);
   // Re-pack the pending range into a self-contained batch store (own arena)
   // so the consumer may keep or encode it independently of events_.
   experiment::EventStore batch;
   batch.append_range(events_, exported_, events_.size());
   exported_ = events_.size();
+  kBatches.add();
+  kBatchEvents.record(batch.size());
   opt_.batch_export(batch, last);
 }
 
@@ -254,6 +287,8 @@ experiment::Experiment Collector::run(const std::function<void(machine::Cpu&)>& 
   for (const auto& c : counters_) want_backtrack = want_backtrack || c.backtrack;
   if (opt_.backtrack_engine == BacktrackEngine::Table && want_backtrack &&
       btable_ == nullptr) {
+    static const obs::Histogram kBuildNs = obs::histogram("collect.backtrack.table_build_ns");
+    const obs::ScopedTimer timer(kBuildNs);
     btable_ = std::make_unique<sa::BacktrackTable>(
         sa::BacktrackTable::build(image_, opt_.backtrack_window));
   }
@@ -271,7 +306,12 @@ experiment::Experiment Collector::run(const std::function<void(machine::Cpu&)>& 
 
   events_.clear();
   exported_ = 0;
-  const machine::RunResult rr = cpu_->run(opt_.max_instructions);
+  static const obs::SpanName kRunSpan = obs::span_name("collect.run");
+  machine::RunResult rr;
+  {
+    const obs::ScopedSpan span(kRunSpan);
+    rr = cpu_->run(opt_.max_instructions);
+  }
   export_pending(/*last=*/true);
 
   experiment::Experiment ex;

@@ -1,18 +1,47 @@
 #include "serve/server.hpp"
 
-#include <chrono>
-
 #include "analyze/analysis.hpp"
 #include "analyze/reports.hpp"
+#include "obs/obs.hpp"
 
 namespace dsprof::serve {
 
 namespace {
 
-u64 now_ns() {
-  return static_cast<u64>(std::chrono::duration_cast<std::chrono::nanoseconds>(
-                              std::chrono::steady_clock::now().time_since_epoch())
-                              .count());
+using obs::now_ns;
+
+// Self-observability (src/obs/): per-session reader/reducer queue health.
+// Counters tally the same quantities the Accounting triple carries, so the
+// obs snapshot and the Stats frame can be cross-checked; the histograms add
+// what a single triple cannot show — queue-depth and wait-time
+// distributions under load.
+const obs::Counter& c_batches_in() {
+  static const obs::Counter c = obs::counter("serve.batches.in");
+  return c;
+}
+const obs::Counter& c_events_in() {
+  static const obs::Counter c = obs::counter("serve.events.in");
+  return c;
+}
+const obs::Counter& c_events_dropped() {
+  static const obs::Counter c = obs::counter("serve.events.dropped");
+  return c;
+}
+const obs::Counter& c_snapshots() {
+  static const obs::Counter c = obs::counter("serve.snapshots");
+  return c;
+}
+const obs::Histogram& h_queue_depth() {
+  static const obs::Histogram h = obs::histogram("serve.queue.depth");
+  return h;
+}
+const obs::Histogram& h_queue_wait_ns() {
+  static const obs::Histogram h = obs::histogram("serve.queue.wait_ns");
+  return h;
+}
+const obs::Histogram& h_reduce_ns() {
+  static const obs::Histogram h = obs::histogram("serve.reduce.fold_ns");
+  return h;
 }
 
 Status send_frame(Transport& t, FrameType type, const std::vector<u8>& payload) {
@@ -37,7 +66,11 @@ std::string ServerStats::to_json() const {
   field("snapshots", snapshots);
   field("max_queue_depth", max_queue_depth);
   field("reduce_calls", reduce_calls);
-  field("reduce_ns", reduce_ns, /*last=*/true);
+  field("reduce_ns", reduce_ns);
+  // Extended Stats frame: the daemon's own obs snapshot rides along, so a
+  // remote `dsprof_send --stats` sees queue/latency distributions, not just
+  // the aggregate triple.
+  s += "\"obs\":" + obs::snapshot().to_json();
   s += "}";
   return s;
 }
@@ -58,7 +91,12 @@ struct Server::Session {
   std::condition_variable qcv;       // reducer waits: batch available or stop
   std::condition_variable space_cv;  // reader waits under Block policy
   std::condition_variable drain_cv;  // reader waits: queue empty + reducer idle
-  std::deque<experiment::EventStore> queue;
+  /// Queued batch plus its enqueue timestamp (queue wait accounting).
+  struct QueuedBatch {
+    experiment::EventStore store;
+    u64 enq_ns = 0;
+  };
+  std::deque<QueuedBatch> queue;
   bool reducing = false;
   bool stop = false;
 
@@ -97,6 +135,13 @@ Server::Server(ServerOptions options) : opt_(options) {}
 
 Server::~Server() { stop(); }
 
+namespace {
+const obs::Gauge& g_sessions_active() {
+  static const obs::Gauge g = obs::gauge("serve.sessions.active");
+  return g;
+}
+}  // namespace
+
 u64 Server::add_session(std::unique_ptr<Transport> transport) {
   std::lock_guard<std::mutex> lock(mu_);
   auto s = std::make_unique<Session>();
@@ -104,6 +149,9 @@ u64 Server::add_session(std::unique_ptr<Transport> transport) {
   s->transport = std::move(transport);
   Session& ref = *s;
   sessions_.push_back(std::move(s));
+  i64 active = 0;
+  for (const auto& sp : sessions_) active += sp->finalized ? 0 : 1;
+  g_sessions_active().set(active);
   ref.reducer_thread = std::thread([this, &ref] { reducer_main(ref); });
   ref.reader_thread = std::thread([this, &ref] { reader_main(ref); });
   return ref.id;
@@ -161,7 +209,8 @@ void Server::reader_main(Session& s) {
           if (opt_.overload == ServerOptions::Overload::DropOldest) {
             // Evict the oldest queued batch; its events are accounted as
             // dropped, which the snapshot surfaces as "(Dropped)".
-            s.events_dropped += s.queue.front().size();
+            s.events_dropped += s.queue.front().store.size();
+            c_events_dropped().add(s.queue.front().store.size());
             s.queue.pop_front();
           } else {
             // Block: stop reading until the reducer makes room. The pipe /
@@ -175,8 +224,11 @@ void Server::reader_main(Session& s) {
         }
         s.events_in += n;
         s.batches_in += 1;
-        s.queue.push_back(std::move(batch));
+        s.queue.push_back(Session::QueuedBatch{std::move(batch), now_ns()});
         s.max_queue_depth = std::max<u64>(s.max_queue_depth, s.queue.size());
+        c_events_in().add(n);
+        c_batches_in().add();
+        h_queue_depth().record(s.queue.size());
         s.qcv.notify_one();
         return {};
       }
@@ -202,12 +254,15 @@ void Server::reader_main(Session& s) {
         // Deep-copy the live aggregates between folds and render through the
         // same Analysis + render_json_report path `er_print -J` uses: the
         // snapshot is byte-identical to an offline report over these events.
+        static const obs::SpanName kSnapshotSpan = obs::span_name("serve.snapshot");
+        const obs::ScopedSpan span(kSnapshotSpan);
         analyze::Analysis a(s.ex, s.reducer->snapshot());
         const std::string json = analyze::render_json_report(a, acct.events_dropped);
         {
           std::lock_guard<std::mutex> lock(s.qmu);
           s.snapshots += 1;
         }
+        c_snapshots().add();
         return send_frame(*s.transport, FrameType::Snapshot, encode_snapshot(acct, json));
       }
       case FrameType::StatsReq:
@@ -268,19 +323,24 @@ void Server::reader_main(Session& s) {
 }
 
 void Server::reducer_main(Session& s) {
+  static const obs::SpanName kFoldSpan = obs::span_name("serve.fold");
   for (;;) {
     experiment::EventStore batch;
+    u64 enq_ns = 0;
     {
       std::unique_lock<std::mutex> lock(s.qmu);
       s.qcv.wait(lock, [&] { return s.stop || !s.queue.empty(); });
       if (s.queue.empty()) break;  // stop requested and fully drained
-      batch = std::move(s.queue.front());
+      batch = std::move(s.queue.front().store);
+      enq_ns = s.queue.front().enq_ns;
       s.queue.pop_front();
       s.reducing = true;
       s.space_cv.notify_one();
     }
     if (opt_.before_reduce) opt_.before_reduce(s.id);
     const u64 t0 = now_ns();
+    h_queue_wait_ns().record(t0 - enq_ns);
+    const obs::ScopedSpan span(kFoldSpan);
     u64 folded = batch.size();
     try {
       s.reducer->fold(batch, 0, batch.size());
@@ -292,6 +352,7 @@ void Server::reducer_main(Session& s) {
       folded = 0;
     }
     const u64 t1 = now_ns();
+    h_reduce_ns().record(t1 - t0);
     {
       std::lock_guard<std::mutex> lock(s.qmu);
       s.reducing = false;
@@ -318,6 +379,9 @@ void Server::finalize(Session& s) {
   {
     std::lock_guard<std::mutex> lock(mu_);
     s.finalized = true;
+    i64 active = 0;
+    for (const auto& sp : sessions_) active += sp->finalized ? 0 : 1;
+    g_sessions_active().set(active);
   }
   session_done_cv_.notify_all();
 }

@@ -27,7 +27,8 @@ int main(int argc, char** argv) {
   // (network struct is first).
   double split_pct = 0.0, split128_pct = 0.0;
   if (a.allocations().size() >= 2) {
-    const auto [base, size] = a.allocations()[1];
+    const u64 base = a.allocations()[1].addr;
+    const u64 size = a.allocations()[1].size;
     const u64 count = size / 120;
     const double frac = analyze::Analysis::split_fraction(base, 120, count, 512);
     std::printf("\n%.0f%% of the %llu 120-byte node objects straddle a 512 B E$ line "

@@ -5,7 +5,7 @@
 //
 // Usage:
 //   dsprofd --socket <path> [--once] [--queue N] [--policy drop|block]
-//           [--trace <file>]
+//           [--ingest direct|queued] [--trace <file>]
 //
 // The final stats line carries the daemon's self-profile (src/obs/) inside
 // the ServerStats JSON, and --trace dumps the span timeline for
@@ -39,6 +39,11 @@ void print_usage() {
       "  --policy <drop|block> overload policy: drop-oldest with exact drop\n"
       "                        accounting (default), or block the reader and\n"
       "                        let backpressure reach the client\n"
+      "  --ingest <direct|queued>\n"
+      "                        direct (default): fold batches in the reader\n"
+      "                        thread when the reducer keeps up (queue-free\n"
+      "                        fast path); queued: always go through the\n"
+      "                        bounded queue\n"
       "  --trace <file>        write the span timeline (chrome://tracing JSON)\n"
       "                        on exit\n"
       "  --help                print this help and exit");
@@ -63,6 +68,13 @@ int main(int argc, char** argv) {
       const std::string p = argv[++i];
       opt.overload = p == "block" ? serve::ServerOptions::Overload::Block
                                   : serve::ServerOptions::Overload::DropOldest;
+    } else if (arg == "--ingest" && i + 1 < argc) {
+      const std::string p = argv[++i];
+      if (p != "direct" && p != "queued") {
+        std::printf("unknown --ingest mode: %s (want direct or queued)\n", p.c_str());
+        return 2;
+      }
+      opt.direct_fold = p == "direct";
     } else if (arg == "--trace" && i + 1 < argc) {
       trace_path = argv[++i];
     } else if (arg == "--help") {

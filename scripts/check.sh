@@ -1,8 +1,9 @@
 #!/usr/bin/env bash
 # Tier-1 verification: build + full test suite, once normally and once under
 # AddressSanitizer (DSPROF_SANITIZE=address), plus three static/dynamic gates:
-#   - clang-tidy over src/sa/ and src/serve/ (skipped with a notice when
-#     clang-tidy is not installed — the reference container does not ship it);
+#   - clang-tidy over src/sa/, src/serve/, src/experiment/ and src/analyze/
+#     (skipped with a notice when clang-tidy is not installed — the reference
+#     container does not ship it);
 #   - `s3verify all`, which lints every built-in compiled image and exits
 #     nonzero on any error-severity diagnostic;
 #   - the cli-docs gate: docs/CLI.md flag tables must match each binary's
@@ -36,19 +37,21 @@ run_pass() {
   ctest --test-dir "${dir}" --output-on-failure -j "${jobs}"
 }
 
-# clang-tidy over the static-analysis and serve subsystems (the newest code,
-# held to the strictest bar). Graceful skip when the tool is absent; any
-# emitted "error:" diagnostic fails the script (WarningsAsErrors stays off so
-# the broader tree can adopt the profile incrementally).
+# clang-tidy over the static-analysis, serve, experiment and analyze
+# subsystems (the code on the zero-copy fast path, held to the strictest
+# bar). Graceful skip when the tool is absent; any emitted "error:"
+# diagnostic fails the script (WarningsAsErrors stays off so the broader
+# tree can adopt the profile incrementally).
 run_tidy() {
   local dir="$1"
   if ! command -v clang-tidy >/dev/null 2>&1; then
     echo "== tidy: clang-tidy not installed; skipping (install it or use -DDSPROF_TIDY=ON) =="
     return 0
   fi
-  echo "== tidy: clang-tidy over src/sa/ and src/serve/ =="
+  echo "== tidy: clang-tidy over src/sa/, src/serve/, src/experiment/, src/analyze/ =="
   cmake -B "${dir}" -S "${repo}" -DCMAKE_EXPORT_COMPILE_COMMANDS=ON >/dev/null
-  clang-tidy -p "${dir}" --quiet "${repo}"/src/sa/*.cpp "${repo}"/src/serve/*.cpp
+  clang-tidy -p "${dir}" --quiet "${repo}"/src/sa/*.cpp "${repo}"/src/serve/*.cpp \
+    "${repo}"/src/experiment/*.cpp "${repo}"/src/analyze/*.cpp
 }
 
 # Static verification of every built-in compiled image (CFG + hwcprof lint +
@@ -123,17 +126,21 @@ run_cli_docs() {
 
 # End-to-end dsprofd smoke gate over a real Unix-domain socket: the streamed
 # snapshot of a live collect run must be byte-identical to the offline
-# er_print -J report of the experiment directory the same run saved.
+# er_print -J report of the experiment directory the same run saved. Runs
+# once per ingest mode ($2: direct = queue-free reader-thread folds, queued =
+# every batch through the bounded queue) — the snapshot and the obs
+# accounting cross-check must hold identically in both.
 run_dsprofd_smoke() {
-  local dir="$1"
-  echo "== dsprofd smoke: streamed snapshot vs offline er_print -J =="
+  local dir="$1" ingest="${2:-direct}"
+  echo "== dsprofd smoke (--ingest ${ingest}): streamed snapshot vs offline er_print -J =="
   cmake --build "${dir}" -j "${jobs}" --target dsprofd dsprof_send er_print
   local tmp
   tmp="$(mktemp -d)"
   trap 'rm -rf "${tmp}"' RETURN
   local sock="${tmp}/dsprofd.sock"
 
-  "${dir}/examples/dsprofd" --socket "${sock}" --once >"${tmp}/daemon.log" 2>&1 &
+  "${dir}/examples/dsprofd" --socket "${sock}" --once --ingest "${ingest}" \
+    >"${tmp}/daemon.log" 2>&1 &
   local daemon_pid=$!
   for _ in $(seq 1 100); do
     [[ -S "${sock}" ]] && break
@@ -163,8 +170,9 @@ run_dsprofd_smoke() {
   local daemon_folded daemon_dropped offline_folded
   daemon_folded="$(eval "${pick}" <"${tmp}/daemon.log")"
   # Counters appear in a snapshot once registered; a drop-free run may not
-  # have touched serve.events.dropped at all — treat absent as zero.
-  daemon_dropped="$(grep -oE '"serve.events.dropped":[0-9]+' "${tmp}/daemon.log" | head -1 | cut -d: -f2)"
+  # have touched serve.events.dropped at all — treat absent as zero. The
+  # grep legitimately matches nothing then, so shield it from pipefail.
+  daemon_dropped="$(grep -oE '"serve.events.dropped":[0-9]+' "${tmp}/daemon.log" | head -1 | cut -d: -f2 || true)"
   daemon_dropped="${daemon_dropped:-0}"
   offline_folded="$("${dir}/examples/er_print" "${tmp}/exp" -O -J | eval "${pick}")"
   if [[ -z "${daemon_folded}" || -z "${offline_folded}" || \
@@ -174,6 +182,21 @@ run_dsprofd_smoke() {
     return 1
   fi
   echo "dsprofd smoke: obs self-profiles agree (folded ${offline_folded} = ${daemon_folded} + ${daemon_dropped} dropped)"
+
+  # Mode check: direct ingest must actually take the queue-free path (the
+  # first batch always can — queue empty, reducer idle), queued must never.
+  local direct_folds
+  direct_folds="$(grep -oE '"direct_folds":[0-9]+' "${tmp}/daemon.log" | head -1 | cut -d: -f2)"
+  direct_folds="${direct_folds:-0}"
+  if [[ "${ingest}" == direct && "${direct_folds}" -eq 0 ]]; then
+    echo "dsprofd smoke FAILED: --ingest direct but no batch took the queue-free path"
+    return 1
+  fi
+  if [[ "${ingest}" == queued && "${direct_folds}" -ne 0 ]]; then
+    echo "dsprofd smoke FAILED: --ingest queued but ${direct_folds} batches folded inline"
+    return 1
+  fi
+  echo "dsprofd smoke: ingest mode ${ingest} honored (direct_folds=${direct_folds})"
 }
 
 case "${mode}" in
@@ -182,7 +205,8 @@ case "${mode}" in
     run_tidy "${repo}/build"
     run_s3verify "${repo}/build"
     run_cli_docs "${repo}/build"
-    run_dsprofd_smoke "${repo}/build"
+    run_dsprofd_smoke "${repo}/build" direct
+    run_dsprofd_smoke "${repo}/build" queued
     ;;
   --asan|asan)
     run_pass "asan" "${repo}/build-asan" -DDSPROF_SANITIZE=address
@@ -196,7 +220,8 @@ case "${mode}" in
     run_tidy "${repo}/build"
     run_s3verify "${repo}/build"
     run_cli_docs "${repo}/build"
-    run_dsprofd_smoke "${repo}/build"
+    run_dsprofd_smoke "${repo}/build" direct
+    run_dsprofd_smoke "${repo}/build" queued
     run_bench "${repo}/build"
     run_pass "asan" "${repo}/build-asan" -DDSPROF_SANITIZE=address
     ;;

@@ -434,20 +434,41 @@ const std::vector<Analysis::InstanceRow>& Analysis::instances(size_t sort_metric
   const ReductionResult& r = reduce_locked();
   std::vector<InstanceRow> rows;
   if (!allocations_.empty()) {
+    // Name instances the paper's way — allocating function + per-function
+    // ordinal in allocation order ("mcf_arena[0]", "mcf_arena[1]", ...);
+    // "alloc[k]" when no site PC was recorded (legacy experiment files).
+    struct Named {
+      u64 addr, size, orig;
+      std::string name;
+    };
+    std::vector<Named> allocs;
+    allocs.reserve(allocations_.size());
+    std::map<std::string, u64> ordinal;
+    for (size_t i = 0; i < allocations_.size(); ++i) {
+      const auto& a = allocations_[i];
+      std::string fn = "alloc";
+      if (a.site_pc != 0) {
+        if (const sym::FuncInfo* f = symtab().find_function(a.site_pc)) fn = f->name;
+      }
+      const u64 k = ordinal[fn]++;
+      allocs.push_back({a.addr, a.size, i, fn + "[" + std::to_string(k) + "]"});
+    }
     // Allocations from a bump allocator are address-sorted; be safe anyway.
-    std::vector<std::pair<u64, u64>> allocs = allocations_;
-    std::sort(allocs.begin(), allocs.end());
+    std::sort(allocs.begin(), allocs.end(),
+              [](const Named& a, const Named& b) { return a.addr < b.addr; });
     std::map<size_t, MetricVector> acc;
     for (const auto& s : r.ea_samples) {
-      auto ub = std::upper_bound(allocs.begin(), allocs.end(), std::make_pair(s.ea, ~u64{0}));
+      auto ub = std::upper_bound(allocs.begin(), allocs.end(), s.ea,
+                                 [](u64 ea, const Named& a) { return ea < a.addr; });
       if (ub == allocs.begin()) continue;
       --ub;
-      if (s.ea >= ub->first && s.ea < ub->first + ub->second) {
+      if (s.ea >= ub->addr && s.ea < ub->addr + ub->size) {
         add_to(acc[static_cast<size_t>(ub - allocs.begin())], s.metric, s.w);
       }
     }
     for (const auto& [idx, mv] : acc) {
-      rows.push_back({allocs[idx].first, allocs[idx].second, idx, mv});
+      rows.push_back({allocs[idx].addr, allocs[idx].size, allocs[idx].orig,
+                      allocs[idx].name, mv});
     }
     std::sort(rows.begin(), rows.end(), [&](const InstanceRow& a, const InstanceRow& b) {
       return a.mv[sort_metric] > b.mv[sort_metric];

@@ -58,9 +58,10 @@ struct AnalysisOptions {
   /// 1 = serial. Any value produces bit-identical results (the reduction
   /// accumulates integer weights).
   unsigned threads = 0;
-  /// Reduction engine; Baseline is the seed-equivalent std::map reference
-  /// used by equivalence tests and bench/pipeline_throughput.
-  Reduction::Engine engine = Reduction::Engine::Sharded;
+  /// Reduction engine; Auto resolves DSPROF_REDUCE_ENGINE (default Radix).
+  /// Baseline is the seed-equivalent std::map reference used by equivalence
+  /// tests and bench/pipeline_throughput.
+  Reduction::Engine engine = Reduction::Engine::Auto;
 };
 
 class Analysis {
@@ -89,7 +90,7 @@ class Analysis {
   /// Cycles/instructions of the (first) profiled run.
   u64 run_cycles() const { return run_cycles_; }
   u64 run_instructions() const { return run_instructions_; }
-  const std::vector<std::pair<u64, u64>>& allocations() const { return allocations_; }
+  const std::vector<machine::AllocRecord>& allocations() const { return allocations_; }
   u64 page_size() const { return page_size_; }
   u64 ec_line_size() const { return ec_line_size_; }
 
@@ -196,10 +197,14 @@ class Analysis {
   /// Hottest pages / E$ lines by `sort_metric`.
   const std::vector<AddrRow>& pages(size_t sort_metric, size_t top_n) const;
   const std::vector<AddrRow>& cache_lines(size_t sort_metric, size_t top_n) const;
-  /// Hottest allocated object instances (via the allocation log).
+  /// Hottest allocated object instances (via the allocation log). `name` is
+  /// the paper's "mcf_arena[k]" style: the allocating function (from the
+  /// recorded allocation-site PC) with a per-function ordinal; "alloc[k]"
+  /// when no site was recorded (legacy experiment files).
   struct InstanceRow {
     u64 base = 0, size = 0;
     u64 alloc_index = 0;
+    std::string name;
     MetricVector mv{};
   };
   const std::vector<InstanceRow>& instances(size_t sort_metric, size_t top_n) const;
@@ -225,7 +230,7 @@ class Analysis {
   u64 clock_hz_ = 900'000'000;
   u64 page_size_ = 8192;
   u64 ec_line_size_ = 512;
-  std::vector<std::pair<u64, u64>> allocations_;
+  std::vector<machine::AllocRecord> allocations_;
 
   // Guards the lazy reduction and every memoized view below: two threads
   // triggering the first view access race on r_ and the caches otherwise

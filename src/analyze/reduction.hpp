@@ -21,11 +21,29 @@
 // hardware concurrency; 1 = deterministic serial — which, by the argument
 // above, produces the same bits anyway).
 //
-// Engine::Baseline re-implements the seed's std::map/string fold verbatim;
-// it exists as the reference for equivalence tests and as the comparison
-// baseline for bench/pipeline_throughput.
+// Three engines share the shard scaffolding and produce bit-identical
+// results (equivalence- and property-tested in tests/event_store_test.cpp):
+//
+//   Engine::Radix     the default. Per-event hash-map probes are replaced by
+//                     radix partitioning over the SoA columns: each batch of
+//                     events is first partitioned into dense decision ids
+//                     (unique (candidate_pc, delivered_pc, pic/event/flags)
+//                     tuples — symbol lookups and candidate validation run
+//                     once per unique tuple, not per event) and dense path
+//                     ids (unique (callstack, leaf) pairs), then a tight
+//                     accumulation loop adds weights into per-shard dense
+//                     arrays indexed by those ids. The id arrays expand into
+//                     the hash-keyed ReductionResult once per fold call.
+//   Engine::Sharded   the previous flat-hash fold (one probe per aggregate
+//                     per event), kept as the reference hash engine.
+//   Engine::Baseline  the seed's serial std::map/string fold verbatim — the
+//                     equivalence reference and benchmark baseline.
+//
+// Engine::Auto resolves DSPROF_REDUCE_ENGINE (radix | sharded | baseline),
+// defaulting to Radix.
 #pragma once
 
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -85,19 +103,42 @@ struct ReductionResult {
 class Reduction {
  public:
   enum class Engine {
-    Sharded,   // flat partial aggregates, optionally parallel
+    Auto,      // DSPROF_REDUCE_ENGINE if set, else Radix
+    Radix,     // radix-partitioned dense fold (default production engine)
+    Sharded,   // flat-hash partial aggregates (reference hash engine)
     Baseline,  // the seed's serial std::map fold (reference/benchmark)
+  };
+
+  /// Knobs for one reduction run. `threads` as in resolve_threads (the
+  /// Baseline engine is always serial).
+  struct ReduceOptions {
+    unsigned threads = 0;
+    Engine engine = Engine::Auto;
   };
 
   /// Resolve the thread count: `requested` if nonzero, else $DSPROF_THREADS,
   /// else std::thread::hardware_concurrency() (min 1).
   static unsigned resolve_threads(unsigned requested = 0);
 
-  /// Reduce all events of `exps` (which must share one binary). `threads`
-  /// as in resolve_threads; the Baseline engine is always serial.
+  /// Resolve Engine::Auto against $DSPROF_REDUCE_ENGINE (radix | sharded |
+  /// baseline; anything else is an Error), defaulting to Radix. Non-Auto
+  /// engines pass through.
+  static Engine resolve_engine(Engine requested = Engine::Auto);
+
+  /// Reduce all events of `exps` (which must share one binary).
   static ReductionResult run(const std::vector<const experiment::Experiment*>& exps,
-                             unsigned threads = 0, Engine engine = Engine::Sharded);
+                             const ReduceOptions& options);
+  static ReductionResult run(const std::vector<const experiment::Experiment*>& exps,
+                             unsigned threads = 0, Engine engine = Engine::Auto) {
+    return run(exps, ReduceOptions{threads, engine});
+  }
 };
+
+/// The radix fold state shared by the offline Engine::Radix shards and the
+/// online IncrementalReducer (defined in reduction.cpp). Caches decisions
+/// (per unique event tuple) and paths (per unique callstack+leaf) so the
+/// per-event work is a few probes plus dense array adds.
+class RadixFolder;
 
 /// Online incremental reduction: the dsprofd streaming path (src/serve/).
 ///
@@ -120,10 +161,15 @@ class IncrementalReducer {
   /// backtracking flags exactly as an Experiment's counter specs would.
   IncrementalReducer(const sym::SymbolTable& symtab,
                      const std::vector<experiment::CounterSpec>& counters);
+  ~IncrementalReducer();
+  IncrementalReducer(IncrementalReducer&&) noexcept;
+  IncrementalReducer& operator=(IncrementalReducer&&) noexcept;
 
-  /// Fold events [begin, end) of `events` into the live aggregates.
-  /// CallstackRefs resolve against `events`, so the store must stay alive
-  /// (and un-moved) only for the duration of the call.
+  /// Fold events [begin, end) of `events` into the live aggregates (via the
+  /// radix folder — bit-identical to every offline engine by construction).
+  /// The store must stay alive (and un-moved) only for the duration of the
+  /// call; each call re-derives callstack identities, so stores may come
+  /// and go between calls (the dsprofd batch decode path).
   void fold(const experiment::EventStore& events, size_t begin, size_t end);
 
   /// The live aggregates (valid until the next fold()).
@@ -139,7 +185,7 @@ class IncrementalReducer {
   std::array<bool, machine::kNumPics> backtrack_by_pic_{};
   u32 unknown_id_ = 0;
   ReductionResult r_;
-  std::vector<u32> frames_;  // reused per-event scratch
+  std::unique_ptr<RadixFolder> folder_;  // persistent decision/path caches
 };
 
 }  // namespace dsprof::analyze

@@ -513,11 +513,10 @@ std::string render_instances(const Analysis& a, size_t sort_metric, size_t top_n
   std::vector<Analysis::AddrRow> addr_rows;
   for (const auto& r : rows) {
     char buf[96];
-    std::snprintf(buf, sizeof buf, "alloc #%llu @0x%llx (%llu bytes)",
-                  static_cast<unsigned long long>(r.alloc_index),
+    std::snprintf(buf, sizeof buf, " @0x%llx (%llu bytes)",
                   static_cast<unsigned long long>(r.base),
                   static_cast<unsigned long long>(r.size));
-    addr_rows.push_back({buf, r.base, r.mv});
+    addr_rows.push_back({r.name + buf, r.base, r.mv});
   }
   return "Hottest allocated instances:\n" + render_addr_rows(a, addr_rows, "Instance");
 }

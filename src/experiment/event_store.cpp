@@ -1,5 +1,6 @@
 #include "experiment/event_store.hpp"
 
+#include <algorithm>
 #include <cstring>
 
 namespace dsprof::experiment {
@@ -15,7 +16,7 @@ u64 hash_words(const u64* p, u32 n) {
 }
 
 template <typename T>
-void put_pod_column(ByteWriter& w, const std::vector<T>& col) {
+void put_pod_column(ByteWriter& w, Column<T> col) {
   w.put_u64(col.size());
   if (!col.empty()) {
     const auto* p = reinterpret_cast<const u8*>(col.data());
@@ -36,6 +37,35 @@ std::vector<T> get_pod_column(ByteReader& r) {
   std::vector<T> col(static_cast<size_t>(n));
   if (n != 0) std::memcpy(col.data(), raw.data(), raw.size());
   return col;
+}
+
+template <typename T>
+void put_pod_column_aligned(ByteWriter& w, Column<T> col) {
+  w.put_u64(col.size());
+  w.align_to(8);
+  if (!col.empty()) {
+    const auto* p = reinterpret_cast<const u8*>(col.data());
+    w.put_raw(p, col.size() * sizeof(T));
+  }
+}
+
+/// Parse one aligned column as a view into the reader's buffer. No copy;
+/// bounds- and overflow-checked like the blob path.
+template <typename T>
+Column<T> view_pod_column_aligned(ByteReader& r) {
+  const u64 n = r.get_u64();
+  r.align_to(8);
+  DSP_CHECK(n <= r.remaining() / sizeof(T), "event column size mismatch");
+  const u8* p = r.cursor();
+  r.skip(n * sizeof(T));
+  return Column<T>(reinterpret_cast<const T*>(p), static_cast<size_t>(n));
+}
+
+template <typename T>
+std::vector<T> to_vector(Column<T> col) {
+  std::vector<T> v(col.size());
+  if (!col.empty()) std::memcpy(v.data(), col.data(), col.size() * sizeof(T));
+  return v;
 }
 
 }  // namespace
@@ -69,6 +99,7 @@ u64 EventStore::intern(const u64* stack, u32 len) {
 void EventStore::append(u8 pic, machine::HwEvent event, u64 weight, u64 delivered_pc,
                         bool has_candidate, u64 candidate_pc, bool has_ea, u64 ea,
                         const u64* stack, size_t stack_len, u64 seq) {
+  DSP_CHECK(!frozen_, "append to a frozen EventStore");
   const u64 off = intern(stack, static_cast<u32>(stack_len));
   pic_.push_back(pic);
   event_.push_back(static_cast<u8>(event));
@@ -109,6 +140,31 @@ void EventStore::clear() {
   arena_.clear();
   intern_.clear();
   has_empty_ = false;
+  // Dropping mapped/frozen state turns the store back into an empty owning
+  // one (and releases the file mapping).
+  mapped_ = false;
+  mapped_rows_ = 0;
+  mapping_.reset();
+  frozen_ = false;
+  frozen_unique_valid_ = false;
+}
+
+size_t EventStore::unique_callstacks() const {
+  if (!frozen_) return intern_.size() + (has_empty_ ? 1 : 0);
+  if (!frozen_unique_valid_) {
+    // No interning table to consult: count distinct {offset,len} handles.
+    // Only stats displays ask for this, so O(n log n) on demand is fine.
+    const auto off = cs_offset_col();
+    const auto len = cs_len_col();
+    std::vector<std::pair<u64, u32>> handles;
+    handles.reserve(off.size());
+    for (size_t i = 0; i < off.size(); ++i) handles.emplace_back(off[i], len[i]);
+    std::sort(handles.begin(), handles.end());
+    frozen_unique_ = static_cast<size_t>(
+        std::unique(handles.begin(), handles.end()) - handles.begin());
+    frozen_unique_valid_ = true;
+  }
+  return frozen_unique_;
 }
 
 void EventStore::append_range(const EventStore& other, size_t begin, size_t end) {
@@ -117,30 +173,178 @@ void EventStore::append_range(const EventStore& other, size_t begin, size_t end)
   reserve(size() + (end - begin));
   // Worst case every source callstack is new to this arena; reserving the
   // source arena's word count keeps re-interning allocation-free too.
-  arena_.reserve(arena_.size() + other.arena_.size());
+  const auto o_pic = other.pic_col();
+  const auto o_event = other.event_col();
+  const auto o_weight = other.weight_col();
+  const auto o_dpc = other.delivered_pc_col();
+  const auto o_flags = other.flags_col();
+  const auto o_cpc = other.candidate_pc_col();
+  const auto o_ea = other.ea_col();
+  const auto o_seq = other.seq_col();
+  const auto o_off = other.cs_offset_col();
+  const auto o_len = other.cs_len_col();
+  const auto o_arena = other.arena();
+  arena_.reserve(arena_.size() + o_arena.size());
   for (size_t i = begin; i < end; ++i) {
-    append(other.pic_[i], static_cast<machine::HwEvent>(other.event_[i]), other.weight_[i],
-           other.delivered_pc_[i], (other.flags_[i] & kHasCandidate) != 0,
-           other.candidate_pc_[i], (other.flags_[i] & kHasEa) != 0, other.ea_[i],
-           other.arena_.data() + other.cs_offset_[i], other.cs_len_[i], other.seq_[i]);
+    append(o_pic[i], static_cast<machine::HwEvent>(o_event[i]), o_weight[i], o_dpc[i],
+           (o_flags[i] & kHasCandidate) != 0, o_cpc[i], (o_flags[i] & kHasEa) != 0, o_ea[i],
+           o_arena.data() + o_off[i], o_len[i], o_seq[i]);
   }
 }
 
 void EventStore::serialize(ByteWriter& w) const {
-  put_pod_column(w, pic_);
-  put_pod_column(w, event_);
-  put_pod_column(w, weight_);
-  put_pod_column(w, delivered_pc_);
-  put_pod_column(w, flags_);
-  put_pod_column(w, candidate_pc_);
-  put_pod_column(w, ea_);
-  put_pod_column(w, seq_);
-  put_pod_column(w, cs_offset_);
-  put_pod_column(w, cs_len_);
-  put_pod_column(w, arena_);
+  put_pod_column(w, pic_col());
+  put_pod_column(w, event_col());
+  put_pod_column(w, weight_col());
+  put_pod_column(w, delivered_pc_col());
+  put_pod_column(w, flags_col());
+  put_pod_column(w, candidate_pc_col());
+  put_pod_column(w, ea_col());
+  put_pod_column(w, seq_col());
+  put_pod_column(w, cs_offset_col());
+  put_pod_column(w, cs_len_col());
+  put_pod_column(w, arena());
 }
 
-EventStore EventStore::deserialize(ByteReader& r) {
+void EventStore::remap_slice(size_t begin, size_t end, std::vector<u64>& slice_off,
+                             std::vector<u64>& slice_arena) const {
+  const size_t n = end - begin;
+  const auto src_off = cs_offset_col();
+  const auto src_len = cs_len_col();
+  const auto src_arena = arena();
+
+  // Remap each referenced arena range into a compact slice arena. Handles
+  // repeat heavily (that is the point of interning), so this is one hash
+  // probe per event and one memcpy per *unique* stack in the slice. Keyed
+  // by source offset; a len mismatch (possible only in hand-built stores
+  // where handles overlap) falls through to the collision chain.
+  struct Remap {
+    u64 dest = 0;
+    u32 len = 0;  // 0 = empty slot
+  };
+  FlatHashU64Map<Remap> remap;
+  slice_off.assign(n, 0);
+  for (size_t i = 0; i < n; ++i) {
+    const u32 len = src_len[begin + i];
+    if (len == 0) {
+      slice_off[i] = 0;
+      continue;
+    }
+    const u64 off = src_off[begin + i];
+    u64 key = mix_u64(off);
+    for (;;) {
+      Remap& slot = remap[key];
+      if (slot.len == 0) {
+        slot.dest = slice_arena.size();
+        slot.len = len;
+        slice_arena.insert(slice_arena.end(), src_arena.data() + off,
+                           src_arena.data() + off + len);
+        slice_off[i] = slot.dest;
+        break;
+      }
+      if (slot.len == len &&
+          std::memcmp(slice_arena.data() + slot.dest, src_arena.data() + off,
+                      len * sizeof(u64)) == 0) {
+        slice_off[i] = slot.dest;
+        break;
+      }
+      key = mix_u64(key + 0x9e3779b97f4a7c15ULL);
+    }
+  }
+}
+
+void EventStore::serialize_range(ByteWriter& w, size_t begin, size_t end) const {
+  DSP_CHECK(begin <= end && end <= size(), "serialize_range outside store");
+  const size_t n = end - begin;
+  std::vector<u64> slice_off, slice_arena;
+  remap_slice(begin, end, slice_off, slice_arena);
+
+  put_pod_column(w, Column<u8>(pic_col().data() + begin, n));
+  put_pod_column(w, Column<u8>(event_col().data() + begin, n));
+  put_pod_column(w, Column<u64>(weight_col().data() + begin, n));
+  put_pod_column(w, Column<u64>(delivered_pc_col().data() + begin, n));
+  put_pod_column(w, Column<u8>(flags_col().data() + begin, n));
+  put_pod_column(w, Column<u64>(candidate_pc_col().data() + begin, n));
+  put_pod_column(w, Column<u64>(ea_col().data() + begin, n));
+  put_pod_column(w, Column<u64>(seq_col().data() + begin, n));
+  put_pod_column(w, Column<u64>(slice_off));
+  put_pod_column(w, Column<u32>(cs_len_col().data() + begin, n));
+  put_pod_column(w, Column<u64>(slice_arena));
+}
+
+void EventStore::serialize_range_aligned(ByteWriter& w, size_t begin, size_t end) const {
+  DSP_CHECK(begin <= end && end <= size(), "serialize_range outside store");
+  const size_t n = end - begin;
+  std::vector<u64> slice_off, slice_arena;
+  remap_slice(begin, end, slice_off, slice_arena);
+
+  put_pod_column_aligned(w, Column<u8>(pic_col().data() + begin, n));
+  put_pod_column_aligned(w, Column<u8>(event_col().data() + begin, n));
+  put_pod_column_aligned(w, Column<u64>(weight_col().data() + begin, n));
+  put_pod_column_aligned(w, Column<u64>(delivered_pc_col().data() + begin, n));
+  put_pod_column_aligned(w, Column<u8>(flags_col().data() + begin, n));
+  put_pod_column_aligned(w, Column<u64>(candidate_pc_col().data() + begin, n));
+  put_pod_column_aligned(w, Column<u64>(ea_col().data() + begin, n));
+  put_pod_column_aligned(w, Column<u64>(seq_col().data() + begin, n));
+  put_pod_column_aligned(w, Column<u64>(slice_off));
+  put_pod_column_aligned(w, Column<u32>(cs_len_col().data() + begin, n));
+  put_pod_column_aligned(w, Column<u64>(slice_arena));
+}
+
+void EventStore::serialize_aligned(ByteWriter& w) const {
+  put_pod_column_aligned(w, pic_col());
+  put_pod_column_aligned(w, event_col());
+  put_pod_column_aligned(w, weight_col());
+  put_pod_column_aligned(w, delivered_pc_col());
+  put_pod_column_aligned(w, flags_col());
+  put_pod_column_aligned(w, candidate_pc_col());
+  put_pod_column_aligned(w, ea_col());
+  put_pod_column_aligned(w, seq_col());
+  put_pod_column_aligned(w, cs_offset_col());
+  put_pod_column_aligned(w, cs_len_col());
+  put_pod_column_aligned(w, arena());
+}
+
+void EventStore::validate_and_adopt(bool rebuild_intern) {
+  const size_t n = pic_.size();
+  DSP_CHECK(event_.size() == n && weight_.size() == n && delivered_pc_.size() == n &&
+                flags_.size() == n && candidate_pc_.size() == n && ea_.size() == n &&
+                seq_.size() == n && cs_offset_.size() == n && cs_len_.size() == n,
+            "event columns have inconsistent lengths");
+  for (size_t i = 0; i < n; ++i) {
+    // Overflow-safe form: offset + len can wrap past the arena size.
+    DSP_CHECK(cs_offset_[i] <= arena_.size() && cs_len_[i] <= arena_.size() - cs_offset_[i],
+              "callstack handle outside arena");
+  }
+  if (!rebuild_intern) {
+    frozen_ = true;
+    return;
+  }
+  // Rebuild the interning table so further appends keep deduplicating.
+  for (size_t i = 0; i < n; ++i) {
+    if (cs_len_[i] == 0) {
+      has_empty_ = true;
+      continue;
+    }
+    const u64* p = arena_.data() + cs_offset_[i];
+    u64 key = hash_words(p, cs_len_[i]);
+    for (;;) {
+      Interned& slot = intern_[key];
+      if (slot.len == 0) {
+        slot.offset = cs_offset_[i];
+        slot.len = cs_len_[i];
+        break;
+      }
+      if (slot.len == cs_len_[i] &&
+          std::memcmp(arena_.data() + slot.offset, p, slot.len * sizeof(u64)) == 0) {
+        break;
+      }
+      key = mix_u64(key + 0x9e3779b97f4a7c15ULL);
+    }
+  }
+}
+
+EventStore EventStore::deserialize(ByteReader& r, bool rebuild_intern) {
   EventStore s;
   s.pic_ = get_pod_column<u8>(r);
   s.event_ = get_pod_column<u8>(r);
@@ -153,39 +357,68 @@ EventStore EventStore::deserialize(ByteReader& r) {
   s.cs_offset_ = get_pod_column<u64>(r);
   s.cs_len_ = get_pod_column<u32>(r);
   s.arena_ = get_pod_column<u64>(r);
-  const size_t n = s.pic_.size();
-  DSP_CHECK(s.event_.size() == n && s.weight_.size() == n && s.delivered_pc_.size() == n &&
-                s.flags_.size() == n && s.candidate_pc_.size() == n && s.ea_.size() == n &&
-                s.seq_.size() == n && s.cs_offset_.size() == n && s.cs_len_.size() == n,
-            "event columns have inconsistent lengths");
-  for (size_t i = 0; i < n; ++i) {
-    // Overflow-safe form: offset + len can wrap past the arena size.
-    DSP_CHECK(s.cs_offset_[i] <= s.arena_.size() &&
-                  s.cs_len_[i] <= s.arena_.size() - s.cs_offset_[i],
-              "callstack handle outside arena");
-  }
-  // Rebuild the interning table so further appends keep deduplicating.
-  for (size_t i = 0; i < n; ++i) {
-    if (s.cs_len_[i] == 0) {
-      s.has_empty_ = true;
-      continue;
+  s.validate_and_adopt(rebuild_intern);
+  return s;
+}
+
+EventStore EventStore::deserialize_aligned(ByteReader& r,
+                                           std::shared_ptr<const void> keepalive) {
+  // Parse the column views first (bounds-checked against the reader), then
+  // either adopt them zero-copy or deep-copy into owning vectors.
+  const Column<u8> pic = view_pod_column_aligned<u8>(r);
+  const Column<u8> event = view_pod_column_aligned<u8>(r);
+  const Column<u64> weight = view_pod_column_aligned<u64>(r);
+  const Column<u64> delivered_pc = view_pod_column_aligned<u64>(r);
+  const Column<u8> flags = view_pod_column_aligned<u8>(r);
+  const Column<u64> candidate_pc = view_pod_column_aligned<u64>(r);
+  const Column<u64> ea = view_pod_column_aligned<u64>(r);
+  const Column<u64> seq = view_pod_column_aligned<u64>(r);
+  const Column<u64> cs_offset = view_pod_column_aligned<u64>(r);
+  const Column<u32> cs_len = view_pod_column_aligned<u32>(r);
+  const Column<u64> arena = view_pod_column_aligned<u64>(r);
+
+  EventStore s;
+  if (keepalive != nullptr) {
+    const size_t n = pic.size();
+    DSP_CHECK(event.size() == n && weight.size() == n && delivered_pc.size() == n &&
+                  flags.size() == n && candidate_pc.size() == n && ea.size() == n &&
+                  seq.size() == n && cs_offset.size() == n && cs_len.size() == n,
+              "event columns have inconsistent lengths");
+    for (size_t i = 0; i < n; ++i) {
+      DSP_CHECK(cs_offset[i] <= arena.size() && cs_len[i] <= arena.size() - cs_offset[i],
+                "callstack handle outside arena");
     }
-    const u64* p = s.arena_.data() + s.cs_offset_[i];
-    u64 key = hash_words(p, s.cs_len_[i]);
-    for (;;) {
-      Interned& slot = s.intern_[key];
-      if (slot.len == 0) {
-        slot.offset = s.cs_offset_[i];
-        slot.len = s.cs_len_[i];
-        break;
-      }
-      if (slot.len == s.cs_len_[i] &&
-          std::memcmp(s.arena_.data() + slot.offset, p, slot.len * sizeof(u64)) == 0) {
-        break;
-      }
-      key = mix_u64(key + 0x9e3779b97f4a7c15ULL);
-    }
+    s.mapped_ = true;
+    s.frozen_ = true;
+    s.mapped_rows_ = n;
+    s.m_pic_ = pic;
+    s.m_event_ = event;
+    s.m_weight_ = weight;
+    s.m_delivered_pc_ = delivered_pc;
+    s.m_flags_ = flags;
+    s.m_candidate_pc_ = candidate_pc;
+    s.m_ea_ = ea;
+    s.m_seq_ = seq;
+    s.m_cs_offset_ = cs_offset;
+    s.m_cs_len_ = cs_len;
+    s.m_arena_ = arena;
+    s.mapping_ = std::move(keepalive);
+    return s;
   }
+
+  // Stream fallback: copy the views out and build a full owning store.
+  s.pic_ = to_vector(pic);
+  s.event_ = to_vector(event);
+  s.weight_ = to_vector(weight);
+  s.delivered_pc_ = to_vector(delivered_pc);
+  s.flags_ = to_vector(flags);
+  s.candidate_pc_ = to_vector(candidate_pc);
+  s.ea_ = to_vector(ea);
+  s.seq_ = to_vector(seq);
+  s.cs_offset_ = to_vector(cs_offset);
+  s.cs_len_ = to_vector(cs_len);
+  s.arena_ = to_vector(arena);
+  s.validate_and_adopt(/*rebuild_intern=*/true);
   return s;
 }
 

@@ -8,18 +8,53 @@
 // (the common case — a hot loop delivers thousands of events from the same
 // call chain) are stored once and addressed by {offset,len} handles.
 //
-// The store is append-only. After warm-up, appending an event performs no
-// heap allocation beyond amortized column growth; interning an already-seen
-// callstack is a hash probe plus one memcmp.
+// Storage comes in two flavors behind one interface (Column<T> views):
+//
+//   owning   the default: std::vector columns + a live interning table.
+//            Append-only; after warm-up, appending an event performs no
+//            heap allocation beyond amortized column growth.
+//   mapped   zero-copy views into a read-only file mapping (the DSPG
+//            aligned on-disk layout, experiment.hpp). Columns are read
+//            straight from the page cache; the store holds the mapping
+//            alive via shared_ptr. Mapped stores are frozen: append()
+//            is an error, reduction and serialization work unchanged.
+//
+// A store deserialized with rebuild_intern=false (the dsprofd batch decode
+// path, which only folds and discards) is owning but also frozen — it skips
+// the O(events) interning-table rebuild that appending would need.
 #pragma once
 
+#include <memory>
 #include <vector>
 
 #include "machine/counters.hpp"
 #include "support/bytestream.hpp"
 #include "support/flat_hash.hpp"
+#include "support/mmap_file.hpp"
 
 namespace dsprof::experiment {
+
+/// Non-owning typed view of one column: either a window over an owning
+/// std::vector or a slice of a read-only file mapping. Valid as long as the
+/// owning EventStore is alive (and, for owning stores, un-appended).
+template <typename T>
+class Column {
+ public:
+  Column() = default;
+  Column(const T* p, size_t n) : ptr_(p), n_(n) {}
+  explicit Column(const std::vector<T>& v) : ptr_(v.data()), n_(v.size()) {}
+
+  size_t size() const { return n_; }
+  bool empty() const { return n_ == 0; }
+  const T& operator[](size_t i) const { return ptr_[i]; }
+  const T* data() const { return ptr_; }
+  const T* begin() const { return ptr_; }
+  const T* end() const { return ptr_ + n_; }
+
+ private:
+  const T* ptr_ = nullptr;
+  size_t n_ = 0;
+};
 
 /// Non-owning view of an interned callstack (call-site PCs, outermost
 /// first). Valid as long as the owning EventStore is alive and un-moved.
@@ -71,50 +106,64 @@ class EventStore {
   static constexpr u8 kHasCandidate = 1;
   static constexpr u8 kHasEa = 2;
 
-  size_t size() const { return pic_.size(); }
-  bool empty() const { return pic_.empty(); }
+  size_t size() const { return mapped_ ? mapped_rows_ : pic_.size(); }
+  bool empty() const { return size() == 0; }
+
+  /// True for zero-copy stores over a file mapping.
+  bool is_mapped() const { return mapped_; }
+  /// True when the store cannot accept appends: mapped stores, and stores
+  /// deserialized without an interning table (the fold-and-discard path).
+  bool is_frozen() const { return frozen_; }
 
   /// Append one event; the callstack words are interned into the arena.
   /// No per-event allocation once columns/arena capacity has warmed up
-  /// (growth is amortized).
+  /// (growth is amortized). Error on a frozen store.
   void append(u8 pic, machine::HwEvent event, u64 weight, u64 delivered_pc, bool has_candidate,
               u64 candidate_pc, bool has_ea, u64 ea, const u64* stack, size_t stack_len, u64 seq);
 
   EventView operator[](size_t i) const {
     EventView v;
-    v.pic = pic_[i];
-    v.event = static_cast<machine::HwEvent>(event_[i]);
-    v.weight = weight_[i];
-    v.delivered_pc = delivered_pc_[i];
-    v.has_candidate = (flags_[i] & kHasCandidate) != 0;
-    v.candidate_pc = candidate_pc_[i];
-    v.has_ea = (flags_[i] & kHasEa) != 0;
-    v.ea = ea_[i];
+    v.pic = pic_col()[i];
+    v.event = static_cast<machine::HwEvent>(event_col()[i]);
+    v.weight = weight_col()[i];
+    v.delivered_pc = delivered_pc_col()[i];
+    v.has_candidate = (flags_col()[i] & kHasCandidate) != 0;
+    v.candidate_pc = candidate_pc_col()[i];
+    v.has_ea = (flags_col()[i] & kHasEa) != 0;
+    v.ea = ea_col()[i];
     v.callstack = callstack(i);
-    v.seq = seq_[i];
+    v.seq = seq_col()[i];
     return v;
   }
 
   CallstackRef callstack(size_t i) const {
-    return CallstackRef{arena_.data() + cs_offset_[i], cs_len_[i]};
+    return CallstackRef{arena().data() + cs_offset_col()[i], cs_len_col()[i]};
   }
 
   // --- raw columns (reduction engine / serializer) --------------------------
-  const std::vector<u8>& pic_col() const { return pic_; }
-  const std::vector<u8>& event_col() const { return event_; }
-  const std::vector<u64>& weight_col() const { return weight_; }
-  const std::vector<u64>& delivered_pc_col() const { return delivered_pc_; }
-  const std::vector<u8>& flags_col() const { return flags_; }
-  const std::vector<u64>& candidate_pc_col() const { return candidate_pc_; }
-  const std::vector<u64>& ea_col() const { return ea_; }
-  const std::vector<u64>& seq_col() const { return seq_; }
-  const std::vector<u64>& cs_offset_col() const { return cs_offset_; }
-  const std::vector<u32>& cs_len_col() const { return cs_len_; }
-  const std::vector<u64>& arena() const { return arena_; }
+  // Views into whichever storage backs the store; cheap to construct, so hot
+  // loops should still hoist .data() out of the loop.
+  Column<u8> pic_col() const { return mapped_ ? m_pic_ : Column<u8>(pic_); }
+  Column<u8> event_col() const { return mapped_ ? m_event_ : Column<u8>(event_); }
+  Column<u64> weight_col() const { return mapped_ ? m_weight_ : Column<u64>(weight_); }
+  Column<u64> delivered_pc_col() const {
+    return mapped_ ? m_delivered_pc_ : Column<u64>(delivered_pc_);
+  }
+  Column<u8> flags_col() const { return mapped_ ? m_flags_ : Column<u8>(flags_); }
+  Column<u64> candidate_pc_col() const {
+    return mapped_ ? m_candidate_pc_ : Column<u64>(candidate_pc_);
+  }
+  Column<u64> ea_col() const { return mapped_ ? m_ea_ : Column<u64>(ea_); }
+  Column<u64> seq_col() const { return mapped_ ? m_seq_ : Column<u64>(seq_); }
+  Column<u64> cs_offset_col() const { return mapped_ ? m_cs_offset_ : Column<u64>(cs_offset_); }
+  Column<u32> cs_len_col() const { return mapped_ ? m_cs_len_ : Column<u32>(cs_len_); }
+  Column<u64> arena() const { return mapped_ ? m_arena_ : Column<u64>(arena_); }
 
   /// Number of distinct interned callstacks (arena dedup effectiveness).
-  size_t unique_callstacks() const { return intern_.size() + (has_empty_ ? 1 : 0); }
-  size_t arena_words() const { return arena_.size(); }
+  /// For frozen stores (no interning table) this is computed on first call
+  /// by scanning the handle columns.
+  size_t unique_callstacks() const;
+  size_t arena_words() const { return arena().size(); }
 
   void reserve(size_t n);
   void clear();
@@ -122,7 +171,8 @@ class EventStore {
   /// Bulk-append events [begin, end) of `other` (callstacks re-interned
   /// into this store's arena). Reserves up front, so the batch paths —
   /// collect's batch export, the dsprofd wire codec, bench replay — pay
-  /// amortized column growth once instead of per event.
+  /// amortized column growth once instead of per event. `other` may be
+  /// mapped or frozen; `this` must not be.
   void append_range(const EventStore& other, size_t begin, size_t end);
   void append_store(const EventStore& other) { append_range(other, 0, other.size()); }
 
@@ -156,16 +206,55 @@ class EventStore {
   const_iterator begin() const { return const_iterator(this, 0); }
   const_iterator end() const { return const_iterator(this, size()); }
 
-  /// Serialize the columns + arena (the v2 "DSP2" events layout).
+  /// Serialize the columns + arena (the "DSPF" unaligned events layout).
   void serialize(ByteWriter& w) const;
-  static EventStore deserialize(ByteReader& r);
+
+  /// Serialize events [begin, end) as a self-contained store in the same
+  /// layout serialize() writes: only the arena ranges the slice references
+  /// are emitted (each once), with handles remapped. This is the wire batch
+  /// encoder's fast path — one hash probe per event to remap the handle,
+  /// no per-event word hashing as append_range + serialize would pay.
+  void serialize_range(ByteWriter& w, size_t begin, size_t end) const;
+
+  /// Serialize with every column's payload padded to an 8-byte file offset
+  /// (the "DSPG" aligned layout, zero-copy mappable). `w` must hold the
+  /// whole file from offset 0 for the alignment to be meaningful on disk.
+  void serialize_aligned(ByteWriter& w) const;
+
+  /// serialize_range's remap-the-arena slice encoding, in the aligned
+  /// layout: the wire batch encoder writes this so the receiver can fold
+  /// straight out of the frame payload without copying a column.
+  void serialize_range_aligned(ByteWriter& w, size_t begin, size_t end) const;
+
+  /// Read the serialize() layout back into an owning store. With
+  /// rebuild_intern=false the interning table is not rebuilt: the store is
+  /// frozen (fold/serialize fine, append an error) and deserialization
+  /// skips an O(events) hashing pass — the dsprofd batch decode path.
+  static EventStore deserialize(ByteReader& r, bool rebuild_intern = true);
+
+  /// Read the serialize_aligned() layout. With a non-null `keepalive` whose
+  /// bytes back `r` (a file mapping, a wire frame payload, ...), the result
+  /// is a zero-copy mapped store holding that storage alive; with
+  /// keepalive == nullptr the columns are copied into an owning store (the
+  /// stream fallback, DSPROF_MMAP=0).
+  static EventStore deserialize_aligned(ByteReader& r, std::shared_ptr<const void> keepalive);
 
  private:
   /// Intern `stack` into the arena, returning its offset. Identical stacks
   /// share one arena range.
   u64 intern(const u64* stack, u32 len);
 
-  // Per-event columns, all size() long.
+  /// Validate column-length agreement and every callstack handle, then
+  /// (optionally) rebuild the interning table. Shared by every loader.
+  void validate_and_adopt(bool rebuild_intern);
+
+  /// The serialize_range slice encoding: remap each referenced arena range
+  /// of [begin, end) into a compact slice arena (one hash probe per event,
+  /// one memcpy per unique stack). Shared by both range serializers.
+  void remap_slice(size_t begin, size_t end, std::vector<u64>& slice_off,
+                   std::vector<u64>& slice_arena) const;
+
+  // Per-event columns, all size() long (owning storage).
   std::vector<u8> pic_;
   std::vector<u8> event_;
   std::vector<u64> weight_;
@@ -179,6 +268,15 @@ class EventStore {
 
   std::vector<u64> arena_;  // concatenated unique callstacks
 
+  // Mapped storage: views into `mapping_` (all mapped_rows_ long).
+  bool mapped_ = false;
+  size_t mapped_rows_ = 0;
+  Column<u8> m_pic_, m_event_, m_flags_;
+  Column<u64> m_weight_, m_delivered_pc_, m_candidate_pc_, m_ea_, m_seq_, m_cs_offset_;
+  Column<u32> m_cs_len_;
+  Column<u64> m_arena_;
+  std::shared_ptr<const void> mapping_;  // file mapping or frame payload
+
   // Interning table: hash of stack words -> arena {offset,len} candidates.
   struct Interned {
     u64 offset;
@@ -186,6 +284,11 @@ class EventStore {
   };
   FlatHashU64Map<Interned> intern_;
   bool has_empty_ = false;  // an empty callstack has been appended
+  bool frozen_ = false;     // no interning table: append() is an error
+
+  // unique_callstacks() cache for frozen stores (computed on demand).
+  mutable size_t frozen_unique_ = 0;
+  mutable bool frozen_unique_valid_ = false;
 };
 
 }  // namespace dsprof::experiment

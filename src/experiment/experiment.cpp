@@ -1,6 +1,9 @@
 #include "experiment/experiment.hpp"
 
+#include <cstdlib>
 #include <filesystem>
+
+#include "support/mmap_file.hpp"
 
 namespace dsprof::experiment {
 
@@ -8,6 +11,14 @@ namespace {
 
 constexpr u32 kMagicLegacy = 0x44535045;    // 'DSPE' — seed row layout
 constexpr u32 kMagicColumnar = 0x44535046;  // 'DSPF' — columnar layout
+constexpr u32 kMagicAligned = 0x44535047;   // 'DSPG' — aligned columnar, mmap-able
+
+/// DSPROF_MMAP=0 turns the zero-copy loader off; anything else (including
+/// unset) leaves it on for "DSPG" files.
+bool mmap_enabled() {
+  const char* env = std::getenv("DSPROF_MMAP");
+  return env == nullptr || std::string(env) != "0";
+}
 
 void put_counter(ByteWriter& w, const CounterSpec& c) {
   w.put_u8(static_cast<u8>(c.event));
@@ -51,11 +62,14 @@ void get_header(ByteReader& r, Experiment& ex) {
   ex.total_instructions = r.get_u64();
 }
 
-void put_trailer(ByteWriter& w, const Experiment& ex) {
+// Older layouts ("DSPE"/"DSPF") carry (addr, size) allocation pairs; the
+// "DSPG" trailer adds the allocation site PC so reports can name instances.
+void put_trailer(ByteWriter& w, const Experiment& ex, bool with_site) {
   w.put_u32(static_cast<u32>(ex.allocations.size()));
-  for (const auto& [addr, size] : ex.allocations) {
-    w.put_u64(addr);
-    w.put_u64(size);
+  for (const auto& a : ex.allocations) {
+    w.put_u64(a.addr);
+    w.put_u64(a.size);
+    if (with_site) w.put_u64(a.site_pc);
   }
   w.put_u32(static_cast<u32>(ex.truth.size()));
   for (const auto& t : ex.truth) {
@@ -69,12 +83,14 @@ void put_trailer(ByteWriter& w, const Experiment& ex) {
   }
 }
 
-void get_trailer(ByteReader& r, Experiment& ex) {
+void get_trailer(ByteReader& r, Experiment& ex, bool with_site) {
   const u32 na = r.get_u32();
   for (u32 i = 0; i < na; ++i) {
-    const u64 addr = r.get_u64();
-    const u64 size = r.get_u64();
-    ex.allocations.emplace_back(addr, size);
+    machine::AllocRecord a;
+    a.addr = r.get_u64();
+    a.size = r.get_u64();
+    if (with_site) a.site_pc = r.get_u64();
+    ex.allocations.push_back(a);
   }
   const u32 nt = r.get_u32();
   for (u32 i = 0; i < nt; ++i) {
@@ -157,12 +173,16 @@ void Experiment::save(const std::string& dir, FileFormat format) const {
     w.put_u32(kMagicLegacy);
     put_header(w, *this);
     put_events_legacy(w, events);
-  } else {
+  } else if (format == FileFormat::Columnar) {
     w.put_u32(kMagicColumnar);
     put_header(w, *this);
     events.serialize(w);
+  } else {
+    w.put_u32(kMagicAligned);
+    put_header(w, *this);
+    events.serialize_aligned(w);
   }
-  put_trailer(w, *this);
+  put_trailer(w, *this, /*with_site=*/format == FileFormat::ColumnarAligned);
   write_file(dir + "/events.bin", w.bytes());
 }
 
@@ -184,18 +204,23 @@ Experiment Experiment::load(const std::string& dir) {
   }
 
   try {
-    const auto evbytes = read_file(dir + "/events.bin");
-    ByteReader r(evbytes);
+    // One read-only mapping serves every layout (a buffered read on
+    // platforms without mmap); only the "DSPG" path keeps it alive past
+    // load() by handing the EventStore zero-copy views into it.
+    const auto mf = MappedFile::open(dir + "/events.bin");
+    ByteReader r(mf->data(), mf->size());
     const u32 magic = r.get_u32();
-    DSP_CHECK(magic == kMagicColumnar || magic == kMagicLegacy,
-              "bad events.bin magic (expected DSPF or DSPE)");
+    DSP_CHECK(magic == kMagicAligned || magic == kMagicColumnar || magic == kMagicLegacy,
+              "bad events.bin magic (expected DSPG, DSPF or DSPE)");
     get_header(r, ex);
-    if (magic == kMagicColumnar) {
+    if (magic == kMagicAligned) {
+      ex.events = EventStore::deserialize_aligned(r, mmap_enabled() ? mf : nullptr);
+    } else if (magic == kMagicColumnar) {
       ex.events = EventStore::deserialize(r);
     } else {
       get_events_legacy(r, ex.events);
     }
-    get_trailer(r, ex);
+    get_trailer(r, ex, /*with_site=*/magic == kMagicAligned);
     DSP_CHECK(r.at_end(), std::to_string(r.remaining()) + " trailing byte(s) after trailer");
   } catch (const Error& e) {
     fail("corrupt experiment events.bin in '" + dir + "': " + e.what());

@@ -5,9 +5,13 @@
 //
 // Events are held in a columnar EventStore (event_store.hpp): one column per
 // field, callstacks interned into a shared arena. The on-disk events.bin has
-// two layouts: the current columnar "DSPF" layout (written by default) and
-// the seed's row-oriented "DSPE" layout, which load() still reads and
-// save(..., FileFormat::Legacy) still writes for compatibility.
+// three layouts: the aligned columnar "DSPG" layout (written by default;
+// every column payload 8-byte aligned so load() can mmap the file and hand
+// out zero-copy column views), the unaligned columnar "DSPF" layout, and the
+// seed's row-oriented "DSPE" layout — load() auto-detects all three, and
+// save(..., FileFormat::...) still writes the older two for compatibility.
+// DSPROF_MMAP=0 disables the zero-copy path (DSPG files are then streamed
+// through the same validation into an owning store).
 #pragma once
 
 #include <array>
@@ -49,8 +53,9 @@ struct EventRecord {
 
 /// On-disk events.bin layouts.
 enum class FileFormat {
-  Columnar,  // current: "DSPF" columns + callstack arena
-  Legacy,    // seed: "DSPE" row-oriented records
+  ColumnarAligned,  // current: "DSPG" 8-byte-aligned columns, mmap-able
+  Columnar,         // "DSPF" columns + callstack arena (unaligned)
+  Legacy,           // seed: "DSPE" row-oriented records
 };
 
 struct Experiment {
@@ -63,8 +68,9 @@ struct Experiment {
   u64 ec_line_size = 512;
 
   EventStore events;
-  /// Heap allocations in order (address, size) — for the instance view.
-  std::vector<std::pair<u64, u64>> allocations;
+  /// Heap allocations in order — for the instance view. `site_pc` names the
+  /// allocation call site ("DSPG" files carry it; older layouts load as 0).
+  std::vector<machine::AllocRecord> allocations;
 
   // Run totals (from the run, not estimated from samples).
   u64 total_cycles = 0;
@@ -85,8 +91,10 @@ struct Experiment {
   }
 
   /// Write the experiment directory (log.txt, loadobjects.bin, events.bin).
-  void save(const std::string& dir, FileFormat format = FileFormat::Columnar) const;
+  void save(const std::string& dir, FileFormat format = FileFormat::ColumnarAligned) const;
   /// Read an experiment directory; auto-detects the events.bin layout.
+  /// "DSPG" files are mmap'd for zero-copy column views unless DSPROF_MMAP=0
+  /// (or the platform cannot map, in which case the stream loader runs).
   static Experiment load(const std::string& dir);
 };
 

@@ -75,6 +75,22 @@ struct OverflowDelivery {
   u64 seq = 0;                  // event id, joinable with the ground truth log
 };
 
+/// One dynamic heap allocation noted by the program under test (the
+/// NoteAlloc host call). `site_pc` is the allocation call site — the PC of
+/// the call into the runtime allocator (the noting instruction itself when
+/// noted at top level). The analyzer symbolizes it to name instances the
+/// way the paper does ("mcf_arena[k]": allocating function plus per-site
+/// ordinal).
+struct AllocRecord {
+  u64 addr = 0;
+  u64 size = 0;
+  u64 site_pc = 0;
+
+  friend bool operator==(const AllocRecord& a, const AllocRecord& b) {
+    return a.addr == b.addr && a.size == b.size && a.site_pc == b.site_pc;
+  }
+};
+
 /// What actually happened — recorded by the simulator for validation only.
 /// The collector must never read this; tests use it to measure backtracking
 /// accuracy against ground truth (something the paper's authors could only

@@ -183,7 +183,7 @@ void Cpu::set_cc_sub(u64 a, u64 b, u64 r) {
   cc_c_ = a < b;  // borrow
 }
 
-void Cpu::exec_hcall(i64 code) {
+void Cpu::exec_hcall(i64 code, u64 pc) {
   switch (static_cast<HostCall>(code)) {
     case HostCall::Exit:
       halted_ = true;
@@ -202,7 +202,11 @@ void Cpu::exec_hcall(i64 code) {
       trace_.push_back(static_cast<i64>(regs_[isa::O0]));
       break;
     case HostCall::NoteAlloc:
-      allocs_.emplace_back(regs_[isa::O0], regs_[isa::O1]);
+      // Attribute to the allocator's call site, not the allocator itself:
+      // every allocation flows through the runtime malloc, so the noting
+      // instruction's own PC would name them all "malloc[k]".
+      allocs_.push_back(AllocRecord{regs_[isa::O0], regs_[isa::O1],
+                                    call_stack_.empty() ? pc : call_stack_.back()});
       break;
     default:
       fail("unknown hcall code " + std::to_string(code));
@@ -368,7 +372,7 @@ void Cpu::step() {
       break;
     }
     case Op::HCALL:
-      exec_hcall(ins.imm);
+      exec_hcall(ins.imm, pc);
       break;
     default:
       fail("unhandled opcode");

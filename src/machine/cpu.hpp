@@ -76,8 +76,9 @@ class Cpu {
   const std::vector<i64>& trace() const { return trace_; }
 
   /// Heap allocations the program reported via HostCall::NoteAlloc, in
-  /// allocation order: (address, size).
-  const std::vector<std::pair<u64, u64>>& allocations() const { return allocs_; }
+  /// allocation order; each carries the PC of the noting instruction so the
+  /// analyzer can name the allocation site.
+  const std::vector<AllocRecord>& allocations() const { return allocs_; }
 
   const cache::MemoryHierarchy& hierarchy() const { return hier_; }
   mem::Memory& memory() { return mem_; }
@@ -103,7 +104,7 @@ class Cpu {
   void count_outcome(const cache::AccessOutcome& out, u64 pc, u64 ea);
   u32 draw_skid(HwEvent ev);
   const isa::Instr& decoded(u64 pc);
-  void exec_hcall(i64 code);
+  void exec_hcall(i64 code, u64 pc);
   bool eval_cond(isa::Cond c) const;
   void set_cc_add(u64 a, u64 b, u64 r);
   void set_cc_sub(u64 a, u64 b, u64 r);
@@ -144,7 +145,7 @@ class Cpu {
   std::vector<TruthRecord> truth_;
   std::string output_;
   std::vector<i64> trace_;
-  std::vector<std::pair<u64, u64>> allocs_;
+  std::vector<AllocRecord> allocs_;
 
   // Decode cache over the text segment.
   u64 text_base_ = 0;

@@ -73,17 +73,12 @@ Status Client::hello(const experiment::Experiment& ex, u64& session_id) {
 }
 
 Status Client::send_batch(const experiment::EventStore& events, size_t begin, size_t end) {
-  const experiment::EventStore* src = &events;
-  experiment::EventStore slice;
-  if (begin != 0 || end != events.size()) {
-    slice.append_range(events, begin, end);
-    src = &slice;
-  }
-  const std::vector<u8> bytes = encode_frame(FrameType::EventBatch, encode_event_batch(*src));
+  const std::vector<u8> bytes =
+      encode_frame(FrameType::EventBatch, encode_event_batch(events, begin, end));
   return transport_->send(bytes.data(), bytes.size());
 }
 
-Status Client::send_allocations(const std::vector<std::pair<u64, u64>>& allocs) {
+Status Client::send_allocations(const std::vector<machine::AllocRecord>& allocs) {
   const std::vector<u8> bytes = encode_frame(FrameType::Alloc, encode_allocs(allocs));
   return transport_->send(bytes.data(), bytes.size());
 }

@@ -44,14 +44,16 @@ class Client {
   /// Convenience: build the HelloPayload from an experiment's context.
   Status hello(const experiment::Experiment& ex, u64& session_id);
 
-  /// Stream events [begin, end) of `events` as one EventBatch frame.
-  /// Fire-and-forget: blocks only on transport backpressure.
+  /// Stream events [begin, end) of `events` as one EventBatch frame,
+  /// serialized straight from the source store's columns (serialize_range —
+  /// no intermediate sub-store). Fire-and-forget: blocks only on transport
+  /// backpressure.
   Status send_batch(const experiment::EventStore& events, size_t begin, size_t end);
   Status send_batch(const experiment::EventStore& events) {
     return send_batch(events, 0, events.size());
   }
 
-  Status send_allocations(const std::vector<std::pair<u64, u64>>& allocs);
+  Status send_allocations(const std::vector<machine::AllocRecord>& allocs);
 
   /// Barrier: returns once the server has folded everything sent so far.
   Status flush(Accounting& acct);

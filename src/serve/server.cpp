@@ -43,6 +43,17 @@ const obs::Histogram& h_reduce_ns() {
   static const obs::Histogram h = obs::histogram("serve.reduce.fold_ns");
   return h;
 }
+const obs::Counter& c_direct_folds() {
+  static const obs::Counter c = obs::counter("serve.direct_folds");
+  return c;
+}
+const obs::SpanName& fold_span() {
+  // Shared by the reducer thread and the reader's queue-free path: either
+  // way a fold is a "serve.fold" span, so span-based gates see one fold per
+  // batch regardless of which thread ran it.
+  static const obs::SpanName s = obs::span_name("serve.fold");
+  return s;
+}
 
 Status send_frame(Transport& t, FrameType type, const std::vector<u8>& payload) {
   const std::vector<u8> bytes = encode_frame(type, payload);
@@ -67,6 +78,7 @@ std::string ServerStats::to_json() const {
   field("max_queue_depth", max_queue_depth);
   field("reduce_calls", reduce_calls);
   field("reduce_ns", reduce_ns);
+  field("direct_folds", direct_folds);
   // Extended Stats frame: the daemon's own obs snapshot rides along, so a
   // remote `dsprof_send --stats` sees queue/latency distributions, not just
   // the aggregate triple.
@@ -114,6 +126,7 @@ struct Server::Session {
   u64 max_queue_depth = 0;
   u64 reduce_calls = 0;
   u64 reduce_ns = 0;
+  u64 direct_folds = 0;
 
   bool finalized = false;
   std::thread reader_thread;
@@ -173,7 +186,7 @@ void Server::serve(UdsListener& listener) {
 void Server::reader_main(Session& s) {
   std::vector<u8> buf(64 * 1024);
 
-  const auto handle_frame = [&](const Frame& f) -> Status {
+  const auto handle_frame = [&](Frame& f) -> Status {
     switch (f.type) {
       case FrameType::Hello: {
         if (s.hello_done)
@@ -198,13 +211,53 @@ void Server::reader_main(Session& s) {
         if (!s.hello_done)
           return Status::make(StatusCode::Refused, "EventBatch before Hello");
         experiment::EventStore batch;
-        if (Status st = decode_event_batch(f.payload, batch); !st.ok()) return st;
+        if (Status st = decode_event_batch(std::move(f.payload), batch); !st.ok()) return st;
         if (opt_.max_batch_events != 0 && batch.size() > opt_.max_batch_events)
           return Status::make(StatusCode::Refused,
                               "batch of " + std::to_string(batch.size()) +
                                   " events exceeds per-batch cap");
         const u64 n = batch.size();
         std::unique_lock<std::mutex> lock(s.qmu);
+        // Queue-free fast path: the reducer is idle and nothing is queued,
+        // so fold right here in the reader thread and skip the queue hop
+        // entirely. Holding `reducing` keeps the drain barrier honest; the
+        // reader is the only enqueuer, so the queue stays empty until the
+        // fold finishes and fold order is preserved. The before_reduce test
+        // seam forces the queued path — overload tests rely on stalling the
+        // reducer thread while the reader keeps enqueuing.
+        if (opt_.direct_fold && !opt_.before_reduce && s.queue.empty() && !s.reducing) {
+          s.events_in += n;
+          s.batches_in += 1;
+          s.reducing = true;
+          lock.unlock();
+          c_events_in().add(n);
+          c_batches_in().add();
+          const u64 t0 = now_ns();
+          u64 folded = n;
+          {
+            const obs::ScopedSpan span(fold_span());
+            try {
+              s.reducer->fold(batch, 0, batch.size());
+            } catch (const Error&) {
+              // Same defensive stance as the reducer thread: a fold
+              // invariant accounts the batch as dropped, never kills the
+              // daemon (fold bumps its counter only on success).
+              folded = 0;
+            }
+          }
+          const u64 t1 = now_ns();
+          h_reduce_ns().record(t1 - t0);
+          lock.lock();
+          s.reducing = false;
+          if (folded != 0) s.events_reduced += folded;
+          else s.events_dropped += n;
+          s.reduce_calls += 1;
+          s.reduce_ns += t1 - t0;
+          s.direct_folds += 1;
+          c_direct_folds().add();
+          if (s.queue.empty()) s.drain_cv.notify_all();
+          return {};
+        }
         if (s.queue.size() >= opt_.max_queued_batches) {
           if (opt_.overload == ServerOptions::Overload::DropOldest) {
             // Evict the oldest queued batch; its events are accounted as
@@ -235,7 +288,7 @@ void Server::reader_main(Session& s) {
       case FrameType::Alloc: {
         if (!s.hello_done)
           return Status::make(StatusCode::Refused, "Alloc before Hello");
-        std::vector<std::pair<u64, u64>> allocs;
+        std::vector<machine::AllocRecord> allocs;
         if (Status st = decode_allocs(f.payload, allocs); !st.ok()) return st;
         s.ex.allocations.insert(s.ex.allocations.end(), allocs.begin(), allocs.end());
         return {};
@@ -323,7 +376,6 @@ void Server::reader_main(Session& s) {
 }
 
 void Server::reducer_main(Session& s) {
-  static const obs::SpanName kFoldSpan = obs::span_name("serve.fold");
   for (;;) {
     experiment::EventStore batch;
     u64 enq_ns = 0;
@@ -340,7 +392,7 @@ void Server::reducer_main(Session& s) {
     if (opt_.before_reduce) opt_.before_reduce(s.id);
     const u64 t0 = now_ns();
     h_queue_wait_ns().record(t0 - enq_ns);
-    const obs::ScopedSpan span(kFoldSpan);
+    const obs::ScopedSpan span(fold_span());
     u64 folded = batch.size();
     try {
       s.reducer->fold(batch, 0, batch.size());
@@ -446,6 +498,7 @@ ServerStats Server::stats_locked() const {
     st.max_queue_depth = std::max(st.max_queue_depth, s->max_queue_depth);
     st.reduce_calls += s->reduce_calls;
     st.reduce_ns += s->reduce_ns;
+    st.direct_folds += s->direct_folds;
   }
   return st;
 }

@@ -177,39 +177,56 @@ Status decode_hello_ack(const std::vector<u8>& payload, u64& session_id) {
 
 std::vector<u8> encode_event_batch(const experiment::EventStore& events) {
   ByteWriter w;
-  events.serialize(w);
+  events.serialize_aligned(w);
   return w.take();
 }
 
-Status decode_event_batch(const std::vector<u8>& payload, experiment::EventStore& out) {
+std::vector<u8> encode_event_batch(const experiment::EventStore& events, size_t begin,
+                                   size_t end) {
+  ByteWriter w;
+  events.serialize_range_aligned(w, begin, end);
+  return w.take();
+}
+
+Status decode_event_batch(std::vector<u8>&& payload, experiment::EventStore& out) {
   return guarded_decode("event batch", [&] {
-    ByteReader r(payload);
-    out = experiment::EventStore::deserialize(r);
+    // Zero-copy: move the payload into shared storage and let the store's
+    // column views point straight at it. The aligned layout guarantees the
+    // u64/u32 columns sit on 8-byte offsets, and a heap vector's data() is
+    // at least 8-aligned, so the views are properly aligned. Validation
+    // (column-length agreement, every callstack handle) runs inside
+    // deserialize_aligned before the views are adopted.
+    const auto keep = std::make_shared<const std::vector<u8>>(std::move(payload));
+    ByteReader r(*keep);
+    out = experiment::EventStore::deserialize_aligned(r, keep);
     DSP_CHECK(r.at_end(), "trailing bytes after event batch payload");
   });
 }
 
-std::vector<u8> encode_allocs(const std::vector<std::pair<u64, u64>>& allocs) {
+std::vector<u8> encode_allocs(const std::vector<machine::AllocRecord>& allocs) {
   ByteWriter w;
   w.put_u64(allocs.size());
-  for (const auto& [base, size] : allocs) {
-    w.put_u64(base);
-    w.put_u64(size);
+  for (const auto& a : allocs) {
+    w.put_u64(a.addr);
+    w.put_u64(a.size);
+    w.put_u64(a.site_pc);
   }
   return w.take();
 }
 
-Status decode_allocs(const std::vector<u8>& payload, std::vector<std::pair<u64, u64>>& out) {
+Status decode_allocs(const std::vector<u8>& payload, std::vector<machine::AllocRecord>& out) {
   return guarded_decode("alloc log", [&] {
     ByteReader r(payload);
     const u64 n = r.get_u64();
-    DSP_CHECK(n <= r.remaining() / 16, "alloc count exceeds payload");
+    DSP_CHECK(n <= r.remaining() / 24, "alloc count exceeds payload");
     out.clear();
     out.reserve(n);
     for (u64 i = 0; i < n; ++i) {
-      const u64 base = r.get_u64();
-      const u64 size = r.get_u64();
-      out.emplace_back(base, size);
+      machine::AllocRecord a;
+      a.addr = r.get_u64();
+      a.size = r.get_u64();
+      a.site_pc = r.get_u64();
+      out.push_back(a);
     }
     DSP_CHECK(r.at_end(), "trailing bytes after alloc payload");
   });

@@ -6,18 +6,24 @@
 //   offset  size  field
 //   ------  ----  -----------------------------------------------
 //        0     4  magic     0x44535257 ("DSRW" read as LE u32)
-//        4     1  version   kWireVersion (currently 1)
+//        4     1  version   kWireVersion (currently 3: EventBatch payloads
+//                           use the aligned columnar layout so the daemon
+//                           folds straight out of the frame bytes; v2 grew
+//                           an allocation-site PC on Alloc entries. Peers
+//                           on another version are rejected)
 //        5     1  type      FrameType
 //        6     2  flags     frame-type specific (0 for now)
 //        8     4  len       payload length; <= kMaxPayload (64 MB)
 //       12   len  payload   type-specific encoding (below)
 //
 // Payload encodings reuse the experiment layer's ByteWriter/ByteReader and,
-// for event batches, the EventStore columnar (DSPF) codec itself — the
-// batch bytes on the wire are the same columns events.bin stores on disk,
-// so the PR 2 corruption hardening applies to the socket too. The decoders
-// here convert any bytestream Error into Status{Malformed}: a hostile
-// client can kill its session, never the daemon.
+// for event batches, the EventStore aligned columnar (DSPG-style) codec
+// itself — the batch bytes on the wire are the same 8-byte-aligned columns
+// events.bin stores on disk, so the corruption hardening applies to the
+// socket too, and the receiver adopts the columns as zero-copy views into
+// the frame payload (no per-event decode work). The decoders here convert
+// any bytestream Error into Status{Malformed}: a hostile client can kill
+// its session, never the daemon.
 //
 // Conversation (client side):
 //   Hello -> HelloAck, then any number of EventBatch / Alloc frames,
@@ -37,7 +43,7 @@
 namespace dsprof::serve {
 
 inline constexpr u32 kWireMagic = 0x44535257;  // "WRSD" on disk -> "DSRW" LE
-inline constexpr u8 kWireVersion = 1;
+inline constexpr u8 kWireVersion = 3;
 inline constexpr size_t kFrameHeaderSize = 12;
 inline constexpr size_t kMaxPayload = 64u << 20;  // 64 MB
 
@@ -45,7 +51,7 @@ enum class FrameType : u8 {
   Hello = 1,     // image identity + counter specs (handshake)
   HelloAck,      // session id
   EventBatch,    // columnar EventStore bytes
-  Alloc,         // allocation log entries (address, size) pairs
+  Alloc,         // allocation log entries (address, size, site PC)
   Flush,         // barrier: fold everything received so far
   FlushAck,      // events_in / events_reduced / events_dropped at barrier
   SnapshotReq,   // render the live aggregates
@@ -123,12 +129,22 @@ Status decode_hello(const std::vector<u8>& payload, HelloPayload& out);
 std::vector<u8> encode_hello_ack(u64 session_id);
 Status decode_hello_ack(const std::vector<u8>& payload, u64& session_id);
 
-/// Event batches are the EventStore columnar codec verbatim.
+/// Event batches are the EventStore aligned columnar codec verbatim. The
+/// range form is the client's batch slicer: it emits events [begin, end)
+/// directly from the source store (serialize_range_aligned — handles
+/// remapped with one probe per event) without materializing an intermediate
+/// sub-store.
 std::vector<u8> encode_event_batch(const experiment::EventStore& events);
-Status decode_event_batch(const std::vector<u8>& payload, experiment::EventStore& out);
+std::vector<u8> encode_event_batch(const experiment::EventStore& events, size_t begin,
+                                   size_t end);
+/// Zero-copy decode: the payload is moved into the store as its backing
+/// storage and the columns become views into it — no per-event work. The
+/// result is frozen and mapped (fold/serialize fine, append an error),
+/// which is all the daemon needs for fold-and-discard.
+Status decode_event_batch(std::vector<u8>&& payload, experiment::EventStore& out);
 
-std::vector<u8> encode_allocs(const std::vector<std::pair<u64, u64>>& allocs);
-Status decode_allocs(const std::vector<u8>& payload, std::vector<std::pair<u64, u64>>& out);
+std::vector<u8> encode_allocs(const std::vector<machine::AllocRecord>& allocs);
+Status decode_allocs(const std::vector<u8>& payload, std::vector<machine::AllocRecord>& out);
 
 /// FlushAck / Snapshot both carry the session accounting triple; Snapshot
 /// adds the rendered JSON report.

@@ -31,6 +31,18 @@ class ByteWriter {
     buf_.insert(buf_.end(), p, p + n);
   }
 
+  /// Append `n` bytes with no length prefix (the aligned columnar layout
+  /// derives lengths from element counts instead of embedded blob sizes).
+  void put_raw(const void* data, size_t n) { put_bytes(data, n); }
+
+  /// Pad with zero bytes until the write position is `align`-aligned
+  /// relative to the start of the buffer (the aligned columnar on-disk
+  /// layout wants every u64 column 8-byte aligned for zero-copy mapping).
+  void align_to(size_t align) {
+    while (buf_.size() % align != 0) buf_.push_back(0);
+  }
+
+  size_t size() const { return buf_.size(); }
   const std::vector<u8>& bytes() const { return buf_; }
   std::vector<u8> take() { return std::move(buf_); }
 
@@ -72,6 +84,23 @@ class ByteReader {
 
   bool at_end() const { return pos_ == size_; }
   size_t remaining() const { return size_ - pos_; }
+
+  // --- zero-copy access (the mmap experiment loader) -----------------------
+  /// Current read offset from the start of the buffer.
+  size_t pos() const { return pos_; }
+  /// Pointer to the next unread byte. Valid while the underlying buffer
+  /// (e.g. a MappedFile) is alive; the caller checks lengths via skip().
+  const u8* cursor() const { return buf_ + pos_; }
+  /// Advance without copying; bounds-checked like every other read.
+  void skip(u64 n) {
+    need(n);
+    pos_ += n;
+  }
+  /// Skip padding until the read offset is `align`-aligned relative to the
+  /// start of the buffer (mirrors ByteWriter::align_to).
+  void align_to(size_t align) {
+    while (pos_ % align != 0) skip(1);
+  }
 
  private:
   template <typename T>

@@ -1,0 +1,57 @@
+#include "support/mmap_file.hpp"
+
+#include "support/bytestream.hpp"
+
+#if defined(__unix__) || defined(__APPLE__)
+#define DSPROF_HAVE_MMAP 1
+#include <fcntl.h>
+#include <sys/mman.h>
+#include <sys/stat.h>
+#include <unistd.h>
+#endif
+
+namespace dsprof {
+
+std::shared_ptr<const MappedFile> MappedFile::open(const std::string& path) {
+  auto mf = std::shared_ptr<MappedFile>(new MappedFile());
+#ifdef DSPROF_HAVE_MMAP
+  const int fd = ::open(path.c_str(), O_RDONLY);
+  if (fd >= 0) {
+    struct stat st {};
+    if (::fstat(fd, &st) == 0 && st.st_size >= 0) {
+      const size_t size = static_cast<size_t>(st.st_size);
+      if (size == 0) {
+        ::close(fd);
+        mf->mapped_ = true;  // an empty mapping needs no pages
+        return mf;
+      }
+      void* p = ::mmap(nullptr, size, PROT_READ, MAP_PRIVATE, fd, 0);
+      ::close(fd);
+      if (p != MAP_FAILED) {
+        mf->data_ = static_cast<const u8*>(p);
+        mf->size_ = size;
+        mf->mapped_ = true;
+        return mf;
+      }
+    } else {
+      ::close(fd);
+    }
+  }
+#endif
+  // Fallback: buffered read (read_file throws Error with the path on
+  // failure, which is the contract callers rely on for missing files).
+  mf->fallback_ = read_file(path);
+  mf->data_ = mf->fallback_.data();
+  mf->size_ = mf->fallback_.size();
+  return mf;
+}
+
+MappedFile::~MappedFile() {
+#ifdef DSPROF_HAVE_MMAP
+  if (mapped_ && data_ != nullptr) {
+    ::munmap(const_cast<u8*>(data_), size_);
+  }
+#endif
+}
+
+}  // namespace dsprof

@@ -1,0 +1,43 @@
+// Read-only memory-mapped files for the zero-copy experiment loader.
+//
+// A MappedFile owns one read-only mapping of a whole file. Consumers keep a
+// shared_ptr to it and hand out raw pointers into the mapping (EventStore
+// column views); the mapping outlives every view because the views' owner
+// holds the shared_ptr. On platforms without mmap (or when the map fails)
+// the same class falls back to reading the file into an owned heap buffer —
+// callers see identical semantics either way, only `mapped()` differs.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "support/common.hpp"
+
+namespace dsprof {
+
+class MappedFile {
+ public:
+  /// Map (or read) `path`. Throws Error if the file cannot be opened/read.
+  static std::shared_ptr<const MappedFile> open(const std::string& path);
+
+  ~MappedFile();
+  MappedFile(const MappedFile&) = delete;
+  MappedFile& operator=(const MappedFile&) = delete;
+
+  const u8* data() const { return data_; }
+  size_t size() const { return size_; }
+  /// True when the bytes come from a real mmap (page-cache backed), false
+  /// when the fallback buffered read was used.
+  bool mapped() const { return mapped_; }
+
+ private:
+  MappedFile() = default;
+
+  const u8* data_ = nullptr;
+  size_t size_ = 0;
+  bool mapped_ = false;
+  std::vector<u8> fallback_;  // owns the bytes when !mapped_
+};
+
+}  // namespace dsprof

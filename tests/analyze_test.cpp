@@ -1,5 +1,6 @@
 #include <gtest/gtest.h>
 
+#include <set>
 #include <thread>
 
 #include "analyze/feedback.hpp"
@@ -196,6 +197,31 @@ TEST_F(AnalyzeEndToEnd, InstanceViewMapsToAllocations) {
     EXPECT_GE(r.base, mem::kHeapBase);
     EXPECT_GT(r.size, 0u);
   }
+}
+
+TEST_F(AnalyzeEndToEnd, InstancesCarryPaperStyleNames) {
+  // The paper names dynamic allocations by allocating function plus ordinal
+  // ("mcf_arena[0]"). The chase fixture allocates twice from main: the node
+  // array then the long array, so the instance view must show main[0] and
+  // main[1] — not the legacy "alloc[k]" fallback for missing site PCs.
+  const size_t stall = static_cast<size_t>(HwEvent::EC_stall_cycles);
+  const auto rows = analysis_->instances(stall, 10);
+  ASSERT_EQ(rows.size(), 2u);  // both heap objects take E$ stalls
+  std::set<std::string> names;
+  for (const auto& r : rows) names.insert(r.name);
+  EXPECT_TRUE(names.count("main[0]")) << render_instances(*analysis_, stall);
+  EXPECT_TRUE(names.count("main[1]")) << render_instances(*analysis_, stall);
+  // Allocation order ties the ordinal to the record: main[0] is the node
+  // array (larger object, allocated first).
+  for (const auto& r : rows) {
+    if (r.name == "main[0]") {
+      EXPECT_EQ(r.alloc_index, 0u);
+    }
+    if (r.name == "main[1]") {
+      EXPECT_EQ(r.alloc_index, 1u);
+    }
+  }
+  EXPECT_NE(render_instances(*analysis_, stall).find("main[0]"), std::string::npos);
 }
 
 TEST_F(AnalyzeEndToEnd, ReportsRenderWithoutError) {

@@ -280,9 +280,10 @@ TEST_F(CollectorEndToEnd, AllocationLogCaptured) {
   auto ex = testfix::quick_collect(*image_, "+dcrm,997");
   // One node array + one long array.
   EXPECT_EQ(ex.allocations.size(), 2u);
-  for (const auto& [addr, size] : ex.allocations) {
-    EXPECT_GE(addr, mem::kHeapBase);
-    EXPECT_GT(size, 0u);
+  for (const auto& a : ex.allocations) {
+    EXPECT_GE(a.addr, mem::kHeapBase);
+    EXPECT_GT(a.size, 0u);
+    EXPECT_NE(a.site_pc, 0u);  // noted from inside the program's text
   }
 }
 

@@ -1,16 +1,20 @@
 // Columnar EventStore: callstack-arena interning, save/load round trips in
-// both on-disk layouts, and bit-identical determinism of the sharded
-// reduction across thread counts and against the seed-equivalent Baseline
-// engine.
+// all three on-disk layouts (including the zero-copy mmap'd DSPG path),
+// and bit-identical determinism of the reduction engines — radix, sharded,
+// and the seed-equivalent Baseline — across thread counts, random stores,
+// and the mapped-vs-streamed loaders.
 #include <gtest/gtest.h>
 
 #include <cstdio>
+#include <cstdlib>
+#include <random>
 
 #include "analyze/reports.hpp"
 #include "dsl_fixtures.hpp"
 #include "experiment/experiment.hpp"
 #include "scc/compile.hpp"
 #include "support/bytestream.hpp"
+#include "support/mmap_file.hpp"
 
 namespace dsprof::experiment {
 namespace {
@@ -351,6 +355,168 @@ TEST_F(ExperimentCorruption, BothFormatsStillRoundTripAfterHardening) {
   }
 }
 
+// --- corruption hardening over the zero-copy aligned layout ------------------
+// Every mutation above must also be rejected by the DSPG path — both by the
+// mmap'd view validation (DSPROF_MMAP unset) and by the stream fallback
+// (DSPROF_MMAP=0). RAII env guard so a failing assertion cannot leak the
+// override into later tests.
+
+class ScopedMmapEnv {
+ public:
+  explicit ScopedMmapEnv(const char* value) {
+    const char* old = std::getenv("DSPROF_MMAP");
+    had_old_ = old != nullptr;
+    if (had_old_) old_ = old;
+    if (value == nullptr) unsetenv("DSPROF_MMAP");
+    else setenv("DSPROF_MMAP", value, 1);
+  }
+  ~ScopedMmapEnv() {
+    if (had_old_) setenv("DSPROF_MMAP", old_.c_str(), 1);
+    else unsetenv("DSPROF_MMAP");
+  }
+
+ private:
+  bool had_old_ = false;
+  std::string old_;
+};
+
+class AlignedCorruption : public ExperimentCorruption {
+ protected:
+  static void expect_corrupt_both_loaders(
+      const char* file, const std::function<void(std::vector<u8>&)>& mutate) {
+    for (const char* mm : {static_cast<const char*>(nullptr), "0"}) {
+      const ScopedMmapEnv env(mm);
+      expect_corrupt(tiny_experiment(), FileFormat::ColumnarAligned, file, mutate);
+    }
+  }
+};
+
+TEST_F(AlignedCorruption, BadMagicIsRejected) {
+  expect_corrupt_both_loaders("events.bin", [](std::vector<u8>& b) { b[0] ^= 0xFF; });
+}
+
+TEST_F(AlignedCorruption, TruncatedHeaderIsRejected) {
+  expect_corrupt_both_loaders("events.bin", [](std::vector<u8>& b) { b.resize(6); });
+}
+
+TEST_F(AlignedCorruption, ImplausibleCounterCountIsRejected) {
+  expect_corrupt_both_loaders("events.bin", [](std::vector<u8>& b) {
+    b[4] = b[5] = b[6] = b[7] = 0xFF;
+  });
+}
+
+TEST_F(AlignedCorruption, TruncatedColumnIsRejected) {
+  expect_corrupt_both_loaders("events.bin",
+                              [](std::vector<u8>& b) { b.resize(b.size() * 3 / 4); });
+}
+
+TEST_F(AlignedCorruption, HugeColumnCountIsRejectedBeforeAllocation) {
+  // The first aligned column count sits right after the header; a count far
+  // beyond the bytes present must fail the overflow-safe per-column bound
+  // (count <= remaining / sizeof(T)), not drive a huge allocation or an
+  // out-of-bounds view.
+  expect_corrupt_both_loaders("events.bin", [](std::vector<u8>& b) {
+    // Header with zero counters is 4 (magic) + 4 (count) + 48 = 56 bytes;
+    // the pic column count follows.
+    ASSERT_GE(b.size(), 64u);
+    for (size_t i = 56; i < 64; ++i) b[i] = 0xFF;
+  });
+}
+
+TEST_F(AlignedCorruption, TrailingBytesAfterTrailerAreRejected) {
+  expect_corrupt_both_loaders("events.bin", [](std::vector<u8>& b) { b.push_back(0); });
+}
+
+TEST_F(AlignedCorruption, CorruptLoadobjectsIsRejectedWithContext) {
+  expect_corrupt_both_loaders("loadobjects.bin",
+                              [](std::vector<u8>& b) { b.resize(b.size() / 2); });
+}
+
+TEST_F(AlignedCorruption, AlignedFormatStillRoundTripsAfterHardening) {
+  const Experiment ex = tiny_experiment();
+  for (const char* mm : {static_cast<const char*>(nullptr), "0"}) {
+    const ScopedMmapEnv env(mm);
+    const std::string dir = "/tmp/dsp_corrupt_rt_aligned";
+    ex.save(dir, FileFormat::ColumnarAligned);
+    const Experiment back = Experiment::load(dir);
+    ASSERT_EQ(back.events.size(), ex.events.size());
+    for (size_t i = 0; i < ex.events.size(); ++i) {
+      EXPECT_TRUE(back.events.callstack(i) == ex.events.callstack(i));
+    }
+    // The zero-copy loader produces a frozen mapped store; the stream
+    // fallback produces a live owning one. Same contents either way.
+    EXPECT_EQ(back.events.is_mapped(), mm == nullptr);
+  }
+}
+
+/// Build aligned EventStore bytes with hand-written columns (count, pad to
+/// 8, raw bytes — the serialize_aligned layout) so hostile handles can be
+/// injected, then run them through the real mmap path via a temp file.
+template <typename T>
+void put_aligned_col(ByteWriter& w, const std::vector<T>& col) {
+  w.put_u64(col.size());
+  w.align_to(8);
+  w.put_raw(col.data(), col.size() * sizeof(T));
+}
+
+void expect_mapped_rejects(const std::function<void(ByteWriter&)>& write_columns) {
+  ByteWriter w;
+  write_columns(w);
+  const std::string path = "/tmp/dsp_mapped_hostile.bin";
+  write_file(path, w.bytes());
+  const auto mf = MappedFile::open(path);
+  ByteReader r(mf->data(), mf->size());
+  EXPECT_THROW(EventStore::deserialize_aligned(r, mf), Error);
+}
+
+TEST(AlignedCorruption2, OutOfRangeArenaHandleIsRejectedByMappedValidation) {
+  expect_mapped_rejects([](ByteWriter& w) {
+    put_aligned_col<u8>(w, {0});        // pic
+    put_aligned_col<u8>(w, {3});        // event
+    put_aligned_col<u64>(w, {1});       // weight
+    put_aligned_col<u64>(w, {0x1000});  // delivered_pc
+    put_aligned_col<u8>(w, {0});        // flags
+    put_aligned_col<u64>(w, {0});       // candidate_pc
+    put_aligned_col<u64>(w, {0});       // ea
+    put_aligned_col<u64>(w, {0});       // seq
+    put_aligned_col<u64>(w, {4});       // cs_offset: outside the 1-word arena
+    put_aligned_col<u32>(w, {2});       // cs_len
+    put_aligned_col<u64>(w, {0xdead});  // arena (1 word)
+  });
+}
+
+TEST(AlignedCorruption2, WrappingArenaHandleIsRejectedByMappedValidation) {
+  expect_mapped_rejects([](ByteWriter& w) {
+    put_aligned_col<u8>(w, {0});
+    put_aligned_col<u8>(w, {3});
+    put_aligned_col<u64>(w, {1});
+    put_aligned_col<u64>(w, {0x1000});
+    put_aligned_col<u8>(w, {0});
+    put_aligned_col<u64>(w, {0});
+    put_aligned_col<u64>(w, {0});
+    put_aligned_col<u64>(w, {0});
+    put_aligned_col<u64>(w, {~u64{0}});  // cs_offset near 2^64: offset+len wraps
+    put_aligned_col<u32>(w, {8});
+    put_aligned_col<u64>(w, {0xdead});
+  });
+}
+
+TEST(AlignedCorruption2, InconsistentColumnLengthsAreRejectedByMappedValidation) {
+  expect_mapped_rejects([](ByteWriter& w) {
+    put_aligned_col<u8>(w, {0, 0});  // pic: two rows
+    put_aligned_col<u8>(w, {3});     // every other column: one row
+    put_aligned_col<u64>(w, {1});
+    put_aligned_col<u64>(w, {0x1000});
+    put_aligned_col<u8>(w, {0});
+    put_aligned_col<u64>(w, {0});
+    put_aligned_col<u64>(w, {0});
+    put_aligned_col<u64>(w, {0});
+    put_aligned_col<u64>(w, {0});
+    put_aligned_col<u32>(w, {0});
+    put_aligned_col<u64>(w, {});
+  });
+}
+
 // --- experiment round trips in both on-disk layouts -------------------------
 
 class StoreRoundTrip : public ::testing::Test {
@@ -409,7 +575,13 @@ TEST_F(StoreRoundTrip, ColumnarFormatRoundTrips) {
   expect_same_events(*ex_, back);
   EXPECT_EQ(back.events.unique_callstacks(), ex_->events.unique_callstacks());
   EXPECT_EQ(back.total_cycles, ex_->total_cycles);
-  EXPECT_EQ(back.allocations, ex_->allocations);
+  // DSPF predates allocation-site PCs: addr/size round-trip, site loads as 0.
+  ASSERT_EQ(back.allocations.size(), ex_->allocations.size());
+  for (size_t i = 0; i < back.allocations.size(); ++i) {
+    EXPECT_EQ(back.allocations[i].addr, ex_->allocations[i].addr);
+    EXPECT_EQ(back.allocations[i].size, ex_->allocations[i].size);
+    EXPECT_EQ(back.allocations[i].site_pc, 0u);
+  }
 }
 
 TEST_F(StoreRoundTrip, LegacyFormatRoundTripsAndAgreesWithColumnar) {
@@ -471,11 +643,205 @@ TEST_F(StoreRoundTrip, ShardedMatchesSeedEquivalentBaselineEngine) {
   analyze::Analysis ab(*ex_, base);
   analyze::AnalysisOptions shard;
   shard.threads = 4;
+  shard.engine = analyze::Reduction::Engine::Sharded;
   analyze::Analysis as(*ex_, shard);
   EXPECT_EQ(all_views(ab), all_views(as));
   EXPECT_EQ(ab.total(), as.total());
   EXPECT_EQ(ab.data_total(), as.data_total());
   EXPECT_EQ(ab.reduce().events_reduced, as.reduce().events_reduced);
+}
+
+// --- zero-copy aligned layout + mmap loading ---------------------------------
+
+TEST_F(StoreRoundTrip, AlignedFormatIsTheDefaultAndRoundTripsZeroCopy) {
+  const std::string dir = "/tmp/dsp_store_rt_aligned";
+  ex_->save(dir);  // default format
+  EXPECT_EQ(events_magic(dir), 0x44535047u);  // 'DSPG'
+  const Experiment back = Experiment::load(dir);
+  EXPECT_TRUE(back.events.is_mapped());
+  EXPECT_TRUE(back.events.is_frozen());
+  expect_same_events(*ex_, back);
+  EXPECT_EQ(back.events.unique_callstacks(), ex_->events.unique_callstacks());
+  EXPECT_EQ(back.total_cycles, ex_->total_cycles);
+  EXPECT_EQ(back.allocations, ex_->allocations);  // site PCs survive DSPG
+}
+
+TEST_F(StoreRoundTrip, MappedAndStreamedLoadsAgree) {
+  const std::string dir = "/tmp/dsp_store_rt_aligned_eq";
+  ex_->save(dir, FileFormat::ColumnarAligned);
+  const Experiment mapped = Experiment::load(dir);
+  ASSERT_TRUE(mapped.events.is_mapped());
+  Experiment streamed;
+  {
+    const ScopedMmapEnv env("0");
+    streamed = Experiment::load(dir);
+  }
+  ASSERT_FALSE(streamed.events.is_mapped());
+  expect_same_events(mapped, streamed);
+  EXPECT_EQ(mapped.events.unique_callstacks(), streamed.events.unique_callstacks());
+  // Both loaders feed the analyzer identically — and identically to the
+  // original in-memory experiment.
+  analyze::Analysis am(mapped), as(streamed), ao(*ex_);
+  EXPECT_EQ(analyze::render_json_report(am), analyze::render_json_report(as));
+  EXPECT_EQ(analyze::render_json_report(am), analyze::render_json_report(ao));
+}
+
+TEST_F(StoreRoundTrip, MappedStoreIsFrozenAndRefusesAppend) {
+  const std::string dir = "/tmp/dsp_store_rt_aligned_frozen";
+  ex_->save(dir, FileFormat::ColumnarAligned);
+  Experiment back = Experiment::load(dir);
+  ASSERT_TRUE(back.events.is_frozen());
+  const u64 pc = 0x1000;
+  EXPECT_THROW(back.events.append(0, machine::HwEvent::EC_rd_miss, 1, pc, false, 0, false,
+                                  0, nullptr, 0, 0),
+               Error);
+  // A frozen store can still be copied into a live one, re-interning.
+  EventStore live;
+  live.append_range(back.events, 0, back.events.size());
+  EXPECT_EQ(live.size(), back.events.size());
+  EXPECT_EQ(live.unique_callstacks(), back.events.unique_callstacks());
+}
+
+TEST_F(StoreRoundTrip, SerializeRangeMatchesAppendRangeSlice) {
+  const auto& ev = ex_->events;
+  ASSERT_GT(ev.size(), 50u);
+  std::mt19937_64 rng(7);
+  for (int iter = 0; iter < 8; ++iter) {
+    const size_t begin = rng() % ev.size();
+    const size_t end = begin + rng() % (ev.size() - begin + 1);
+    ByteWriter w;
+    ev.serialize_range(w, begin, end);
+    ByteReader r(w.bytes());
+    const EventStore got = EventStore::deserialize(r);
+    EventStore want;
+    want.append_range(ev, begin, end);
+    ASSERT_EQ(got.size(), want.size()) << "[" << begin << "," << end << ")";
+    for (size_t i = 0; i < got.size(); ++i) {
+      const EventView a = got[i], b = want[i];
+      ASSERT_EQ(a.pic, b.pic);
+      ASSERT_EQ(a.weight, b.weight);
+      ASSERT_EQ(a.delivered_pc, b.delivered_pc);
+      ASSERT_EQ(a.candidate_pc, b.candidate_pc);
+      ASSERT_EQ(a.ea, b.ea);
+      ASSERT_EQ(a.seq, b.seq);
+      ASSERT_TRUE(a.callstack == b.callstack) << "event " << i;
+    }
+    EXPECT_EQ(got.unique_callstacks(), want.unique_callstacks());
+  }
+}
+
+// --- radix engine equivalence ------------------------------------------------
+
+TEST_F(StoreRoundTrip, RadixMatchesBaselineAndShardedForAnyThreadCount) {
+  analyze::AnalysisOptions base;
+  base.engine = analyze::Reduction::Engine::Baseline;
+  analyze::Analysis ab(*ex_, base);
+  const std::string base_views = all_views(ab);
+  for (unsigned t : {1u, 2u, 3u, 8u}) {
+    analyze::AnalysisOptions opt;
+    opt.engine = analyze::Reduction::Engine::Radix;
+    opt.threads = t;
+    analyze::Analysis ar(*ex_, opt);
+    EXPECT_EQ(all_views(ar), base_views) << "threads=" << t;
+    EXPECT_EQ(ar.total(), ab.total()) << "threads=" << t;
+    EXPECT_EQ(ar.data_total(), ab.data_total()) << "threads=" << t;
+    EXPECT_EQ(ar.reduce().events_reduced, ab.reduce().events_reduced);
+  }
+}
+
+TEST_F(StoreRoundTrip, RadixMatchesOnMappedExperiments) {
+  // The fast path end to end: a DSPG experiment loaded through mmap views,
+  // reduced by the radix engine, must render exactly what the owning store
+  // and the baseline engine produce.
+  const std::string dir = "/tmp/dsp_store_rt_aligned_radix";
+  ex_->save(dir, FileFormat::ColumnarAligned);
+  const Experiment mapped = Experiment::load(dir);
+  ASSERT_TRUE(mapped.events.is_mapped());
+  analyze::AnalysisOptions radix;
+  radix.engine = analyze::Reduction::Engine::Radix;
+  analyze::AnalysisOptions base;
+  base.engine = analyze::Reduction::Engine::Baseline;
+  analyze::Analysis ar(mapped, radix), ab(*ex_, base);
+  EXPECT_EQ(all_views(ar), all_views(ab));
+}
+
+TEST(ReduceEngineEnv, ResolveEngineHonorsOverride) {
+  const auto with_env = [](const char* v, analyze::Reduction::Engine want) {
+    setenv("DSPROF_REDUCE_ENGINE", v, 1);
+    EXPECT_EQ(analyze::Reduction::resolve_engine(analyze::Reduction::Engine::Auto), want)
+        << v;
+    unsetenv("DSPROF_REDUCE_ENGINE");
+  };
+  with_env("radix", analyze::Reduction::Engine::Radix);
+  with_env("sharded", analyze::Reduction::Engine::Sharded);
+  with_env("baseline", analyze::Reduction::Engine::Baseline);
+  // Unset: Auto resolves to the radix default; explicit engines pass through.
+  EXPECT_EQ(analyze::Reduction::resolve_engine(analyze::Reduction::Engine::Auto),
+            analyze::Reduction::Engine::Radix);
+  EXPECT_EQ(analyze::Reduction::resolve_engine(analyze::Reduction::Engine::Baseline),
+            analyze::Reduction::Engine::Baseline);
+  setenv("DSPROF_REDUCE_ENGINE", "bogus", 1);
+  EXPECT_THROW(analyze::Reduction::resolve_engine(analyze::Reduction::Engine::Auto), Error);
+  unsetenv("DSPROF_REDUCE_ENGINE");
+}
+
+// --- engine equivalence as a property over random stores ---------------------
+
+TEST_F(StoreRoundTrip, EnginesAgreeOnRandomStoresAndThreadCounts) {
+  // Fuzz the fold inputs, not just one collected workload: random events
+  // (valid and wild PCs, random flags/EAs, stacks drawn from a small pool
+  // so interning kicks in), reduced by all three engines at several thread
+  // counts — every rendered view must be byte-identical.
+  std::mt19937_64 rng(0xC0FFEE);
+  const u64 text_lo = 0x1000, text_hi = 0x1000 + 8 * 1024;
+  const auto rand_pc = [&]() -> u64 {
+    switch (rng() % 4) {
+      case 0: return text_lo + (rng() % ((text_hi - text_lo) / 4)) * 4;  // in text
+      case 1: return rng();                                              // wild
+      case 2: return 0;
+      default: return text_hi + rng() % 4096;  // just past the image
+    }
+  };
+  std::vector<u64> pool(16);
+  for (auto& p : pool) p = rand_pc();
+
+  for (int round = 0; round < 3; ++round) {
+    Experiment ex;
+    ex.image = *StoreRoundTrip::image_;
+    ex.counters = ex_->counters;
+    ex.clock_interval = ex_->clock_interval;
+    ex.clock_hz = ex_->clock_hz;
+    const size_t n = 500 + rng() % 1500;
+    std::vector<u64> stack;
+    for (size_t i = 0; i < n; ++i) {
+      const unsigned pic = rng() % 3;  // 0, 1, or the clock pic
+      const machine::HwEvent event =
+          pic == 2 ? machine::HwEvent::Cycle_cnt : ex.counters[pic].event;
+      stack.clear();
+      const size_t depth = rng() % 5;
+      for (size_t d = 0; d < depth; ++d) stack.push_back(pool[rng() % pool.size()]);
+      const bool has_candidate = rng() % 2 != 0;
+      const bool has_ea = has_candidate && rng() % 2 != 0;
+      ex.events.append(pic, event, 1 + rng() % 10000, rand_pc(), has_candidate, rand_pc(),
+                       has_ea, rng() % (1u << 30), stack.data(), stack.size(), i);
+    }
+
+    std::string want;
+    for (const auto engine :
+         {analyze::Reduction::Engine::Baseline, analyze::Reduction::Engine::Sharded,
+          analyze::Reduction::Engine::Radix}) {
+      for (const unsigned threads : {1u, 3u}) {
+        analyze::AnalysisOptions opt;
+        opt.engine = engine;
+        opt.threads = threads;
+        analyze::Analysis a(ex, opt);
+        const std::string got = analyze::render_json_report(a);
+        if (want.empty()) want = got;
+        EXPECT_EQ(got, want) << "round " << round << " engine "
+                             << static_cast<int>(engine) << " threads " << threads;
+      }
+    }
+  }
 }
 
 }  // namespace

@@ -232,7 +232,11 @@ TEST(Exec, HostCallsOutputAndTrace) {
   ASSERT_EQ(tm.cpu().trace().size(), 1u);
   EXPECT_EQ(tm.cpu().trace()[0], 777);
   ASSERT_EQ(tm.cpu().allocations().size(), 1u);
-  EXPECT_EQ(tm.cpu().allocations()[0], std::make_pair(u64{0x3000}, u64{32}));
+  EXPECT_EQ(tm.cpu().allocations()[0].addr, 0x3000u);
+  EXPECT_EQ(tm.cpu().allocations()[0].size, 32u);
+  // The site PC is the NoteAlloc hcall's own PC (word 7 of the program).
+  EXPECT_EQ(tm.cpu().allocations()[0].site_pc, tm.cpu().allocations()[0].site_pc & ~u64{3});
+  EXPECT_NE(tm.cpu().allocations()[0].site_pc, 0u);
 }
 
 TEST(Exec, LoopCountsInstructionsAndCycles) {

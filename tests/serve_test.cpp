@@ -167,13 +167,13 @@ TEST(Wire, TruncatedPayloadDecodesToMalformed) {
   std::vector<u8> payload = encode_event_batch(ev);
   payload.resize(payload.size() / 2);  // truncate mid-column
   EventStore out;
-  EXPECT_EQ(decode_event_batch(payload, out).code, StatusCode::Malformed);
+  EXPECT_EQ(decode_event_batch(std::move(payload), out).code, StatusCode::Malformed);
 
   HelloPayload h;
   EXPECT_EQ(decode_hello({1, 2, 3}, h).code, StatusCode::Malformed);
   Accounting acct;
   EXPECT_EQ(decode_flush_ack({9}, acct).code, StatusCode::Malformed);
-  std::vector<std::pair<u64, u64>> allocs;
+  std::vector<machine::AllocRecord> allocs;
   // Hostile count with a tiny payload must fail cleanly, not allocate.
   std::vector<u8> bad_allocs(8, 0xFF);
   EXPECT_EQ(decode_allocs(bad_allocs, allocs).code, StatusCode::Malformed);
@@ -217,8 +217,9 @@ TEST_F(ServeTest, PayloadCodecsRoundtrip) {
     EXPECT_TRUE(decoded.callstack(i) == batch.callstack(i));
   }
 
-  const std::vector<std::pair<u64, u64>> allocs = {{0x1000, 64}, {0x2000, 128}};
-  std::vector<std::pair<u64, u64>> allocs_out;
+  const std::vector<machine::AllocRecord> allocs = {{0x1000, 64, 0x8000},
+                                                    {0x2000, 128, 0x8010}};
+  std::vector<machine::AllocRecord> allocs_out;
   ASSERT_TRUE(decode_allocs(encode_allocs(allocs), allocs_out).ok());
   EXPECT_EQ(allocs_out, allocs);
 
@@ -429,6 +430,13 @@ TEST_F(ServeTest, DropOldestAccountsEveryEvent) {
   ASSERT_GE(ex_->events.size(), kBatch * kBatches);
   for (size_t i = 0; i < kBatches; ++i) {
     ASSERT_TRUE(client.send_batch(ex_->events, i * kBatch, (i + 1) * kBatch).ok());
+  }
+  // Only release once the reader has ingested every batch: the reducer is
+  // stalled holding the first, so the tiny queue must have evicted the
+  // excess by then. (Without this the release can race the reader and the
+  // drained queue never overflows.)
+  while (server.stats().batches_in < kBatches) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
   }
   release.store(true);
 
@@ -705,6 +713,71 @@ TEST_F(ServeTest, AllocationsFlowIntoInstanceView) {
   ASSERT_TRUE(client.snapshot(acct, json).ok());
   EXPECT_EQ(json, offline_report(*ex_));
   ASSERT_TRUE(client.close(acct).ok());
+  server.stop();
+}
+
+// --- queue-free direct-fold ingest ------------------------------------------
+
+TEST_F(ServeTest, DirectFoldSnapshotBitIdenticalToQueued) {
+  // The queue-free fast path must not change a single output byte: the
+  // same stream through direct and queued ingest renders the offline
+  // report either way, across batch splits.
+  const std::string offline = offline_report(*ex_);
+  for (const size_t batch : {size_t{64}, size_t{1000}, ex_->events.size()}) {
+    ServerOptions direct;
+    direct.direct_fold = true;
+    ServerOptions queued;
+    queued.direct_fold = false;
+    EXPECT_EQ(stream_snapshot(*ex_, batch, direct), offline) << "batch " << batch;
+    EXPECT_EQ(stream_snapshot(*ex_, batch, queued), offline) << "batch " << batch;
+  }
+}
+
+TEST_F(ServeTest, DirectFoldTakesTheFastPathAndQueuedNever) {
+  const auto run = [&](bool direct_fold) {
+    ServerOptions sopt;
+    sopt.direct_fold = direct_fold;
+    Server server(sopt);
+    auto [client_end, server_end] = make_pipe_pair();
+    server.add_session(std::move(server_end));
+    Client client(std::move(client_end));
+    Accounting acct;
+    EXPECT_TRUE(stream_experiment(client, *ex_, 512, acct).ok());
+    EXPECT_TRUE(client.close(acct).ok());
+    const ServerStats st = server.stats();
+    EXPECT_EQ(st.events_in, st.events_reduced + st.events_dropped);
+    server.stop();
+    return st;
+  };
+  // Direct mode: the first batch always finds the queue empty and the
+  // reducer idle, so at least one fold runs inline in the reader.
+  const ServerStats direct = run(true);
+  EXPECT_GT(direct.direct_folds, 0u);
+  EXPECT_EQ(direct.events_dropped, 0u);
+  // Queued mode: the fast path is disabled outright.
+  const ServerStats queued = run(false);
+  EXPECT_EQ(queued.direct_folds, 0u);
+  EXPECT_EQ(queued.events_in, direct.events_in);
+  EXPECT_EQ(queued.events_reduced, direct.events_reduced);
+}
+
+TEST_F(ServeTest, BeforeReduceSeamForcesQueuedPath) {
+  // Overload tests stall the reducer through before_reduce; the fast path
+  // must not bypass the seam (or those tests would stop meaning anything).
+  ServerOptions sopt;
+  sopt.direct_fold = true;
+  std::atomic<unsigned> seam_hits{0};
+  sopt.before_reduce = [&](u64) { seam_hits.fetch_add(1); };
+  Server server(sopt);
+  auto [client_end, server_end] = make_pipe_pair();
+  server.add_session(std::move(server_end));
+  Client client(std::move(client_end));
+  Accounting acct;
+  ASSERT_TRUE(stream_experiment(client, *ex_, 512, acct).ok());
+  ASSERT_TRUE(client.close(acct).ok());
+  const ServerStats st = server.stats();
+  EXPECT_EQ(st.direct_folds, 0u);
+  EXPECT_EQ(seam_hits.load(), st.reduce_calls);
   server.stop();
 }
 

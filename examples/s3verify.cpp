@@ -15,12 +15,19 @@
 //     to a loadobjects.bin file directly.
 //
 // For every target, the tool reconstructs the CFG, precomputes the
-// backtracking table, runs the hwcprof invariant lint, and prints a report
+// backtracking table, runs the hwcprof invariant lint (including the
+// dataflow-backed attribution-coverage rules), and prints a report
 // (human-readable by default, one JSON object per line with --json).
+// --coverage adds the per-function attributable-PC fractions and the
+// loop/stride table.
 //
 // Exit status: 0 when every target is lint-clean (no error-severity
-// diagnostics), 1 when any target has errors, 2 on usage/load problems.
+// diagnostics; with --strict, no warnings either), 1 when any target has
+// errors, 2 on usage/load problems. Statuses aggregate across targets as
+// the worst seen — a failing target is never masked by a later clean one,
+// and a load failure still verifies the remaining targets.
 // scripts/check.sh runs `s3verify all` as part of tier-1 verification.
+#include <algorithm>
 #include <cstdio>
 #include <cstring>
 #include <filesystem>
@@ -151,10 +158,13 @@ void print_usage(FILE* to) {
       "          an experiment directory, or a loadobjects.bin file\n"
       "options:\n"
       "  --json          one JSON report object per line instead of text\n"
+      "  --coverage      add per-function coverage and the loop/stride table\n"
+      "  --strict        treat warning diagnostics as errors (exit 1)\n"
       "  --window N      backtracking window in instructions (default 16)\n"
       "  --pad-nops N    hwcprof lint: required scheduling padding\n"
       "  --help          print this help and exit\n"
-      "exit: 0 lint-clean, 1 error diagnostics present, 2 usage/load failure\n",
+      "exit: worst across targets — 0 lint-clean, 1 error diagnostics present\n"
+      "      (with --strict: warnings too), 2 usage/load failure\n",
       to);
 }
 
@@ -167,6 +177,7 @@ int usage() {
 
 int main(int argc, char** argv) {
   bool json = false;
+  bool strict = false;
   sa::VerifyOptions opt;
   std::vector<std::string> names;
   for (int i = 1; i < argc; ++i) {
@@ -176,6 +187,10 @@ int main(int argc, char** argv) {
       return 0;
     } else if (a == "--json") {
       json = true;
+    } else if (a == "--coverage") {
+      opt.coverage = true;
+    } else if (a == "--strict") {
+      strict = true;
     } else if (a == "--window" && i + 1 < argc) {
       opt.backtrack_window = static_cast<u32>(std::atoi(argv[++i]));
     } else if (a == "--pad-nops" && i + 1 < argc) {
@@ -188,20 +203,23 @@ int main(int argc, char** argv) {
   }
   if (names.empty()) return usage();
 
+  // Worst exit status across every target: diagnostics from an early target
+  // must never be masked by a later clean one, and a target that fails to
+  // load must not short-circuit verification of the rest.
+  int status = 0;
   std::vector<Target> targets;
   for (const auto& n : names) {
     try {
       if (load_builtin(n, targets)) continue;
       if (load_path(n, targets)) continue;
       std::fprintf(stderr, "s3verify: unknown target '%s'\n", n.c_str());
-      return 2;
+      status = 2;
     } catch (const Error& e) {
       std::fprintf(stderr, "s3verify: cannot load '%s': %s\n", n.c_str(), e.what());
-      return 2;
+      status = 2;
     }
   }
 
-  bool all_clean = true;
   for (const auto& t : targets) {
     const sa::VerifyReport report = sa::verify(t.image, t.name, opt);
     if (json) {
@@ -209,7 +227,8 @@ int main(int argc, char** argv) {
     } else {
       std::fputs(sa::to_text(report).c_str(), stdout);
     }
-    all_clean = all_clean && report.clean();
+    const bool ok = report.clean() && (!strict || report.warnings() == 0);
+    if (!ok) status = std::max(status, 1);
   }
-  return all_clean ? 0 : 1;
+  return status;
 }

@@ -1,11 +1,14 @@
 #!/usr/bin/env bash
 # Tier-1 verification: build + full test suite, once normally and once under
 # AddressSanitizer (DSPROF_SANITIZE=address), plus three static/dynamic gates:
-#   - clang-tidy over src/sa/, src/serve/, src/experiment/ and src/analyze/
-#     (skipped with a notice when clang-tidy is not installed — the reference
-#     container does not ship it);
+#   - clang-tidy over src/sa/, src/collect/, src/obs/, src/serve/,
+#     src/experiment/ and src/analyze/ (skipped with a notice when clang-tidy
+#     is not installed — the reference container does not ship it); src/sa/
+#     additionally runs with WarningsAsErrors on;
 #   - `s3verify all`, which lints every built-in compiled image and exits
-#     nonzero on any error-severity diagnostic;
+#     nonzero on any error-severity diagnostic, plus the attribution-coverage
+#     floor: every hwcprof built-in image must have >= 90% of its reachable
+#     memory ops statically attributable;
 #   - the cli-docs gate: docs/CLI.md flag tables must match each binary's
 #     live --help output in both directions;
 #   - the dsprofd smoke gate: spawn the daemon on a temp Unix socket, stream a
@@ -37,30 +40,55 @@ run_pass() {
   ctest --test-dir "${dir}" --output-on-failure -j "${jobs}"
 }
 
-# clang-tidy over the static-analysis, serve, experiment and analyze
-# subsystems (the code on the zero-copy fast path, held to the strictest
-# bar). Graceful skip when the tool is absent; any emitted "error:"
-# diagnostic fails the script (WarningsAsErrors stays off so the broader
-# tree can adopt the profile incrementally).
+# clang-tidy over the static-analysis, collect, obs, serve, experiment and
+# analyze subsystems (the code on the zero-copy fast path and the profiling
+# hot paths, held to the strictest bar). Graceful skip when the tool is
+# absent; any emitted "error:" diagnostic fails the script. src/sa/ — the
+# module this tree's static analyses live in — runs with WarningsAsErrors on;
+# the broader tree keeps warnings advisory so it can adopt the profile
+# incrementally (ROADMAP).
 run_tidy() {
   local dir="$1"
   if ! command -v clang-tidy >/dev/null 2>&1; then
     echo "== tidy: clang-tidy not installed; skipping (install it or use -DDSPROF_TIDY=ON) =="
     return 0
   fi
-  echo "== tidy: clang-tidy over src/sa/, src/serve/, src/experiment/, src/analyze/ =="
+  echo "== tidy: clang-tidy over src/sa/ (warnings-as-errors), src/collect/, src/obs/," \
+       "src/serve/, src/experiment/, src/analyze/ =="
   cmake -B "${dir}" -S "${repo}" -DCMAKE_EXPORT_COMPILE_COMMANDS=ON >/dev/null
-  clang-tidy -p "${dir}" --quiet "${repo}"/src/sa/*.cpp "${repo}"/src/serve/*.cpp \
-    "${repo}"/src/experiment/*.cpp "${repo}"/src/analyze/*.cpp
+  clang-tidy -p "${dir}" --quiet --warnings-as-errors='*' "${repo}"/src/sa/*.cpp
+  clang-tidy -p "${dir}" --quiet "${repo}"/src/collect/*.cpp "${repo}"/src/obs/*.cpp \
+    "${repo}"/src/serve/*.cpp "${repo}"/src/experiment/*.cpp "${repo}"/src/analyze/*.cpp
 }
 
 # Static verification of every built-in compiled image (CFG + hwcprof lint +
-# backtrack-table build); s3verify exits nonzero on error diagnostics.
+# backtrack-table build); s3verify exits nonzero on error diagnostics. Then
+# the attribution-coverage floor: every hwcprof image must have >= 90% of its
+# reachable memory ops classified statically attributable (the dataflow
+# coverage proof — a drop below means codegen started emitting patterns the
+# profiler cannot attribute).
 run_s3verify() {
   local dir="$1"
   echo "== s3verify: lint all built-in images =="
   cmake --build "${dir}" -j "${jobs}" --target s3verify
   "${dir}/examples/s3verify" all
+  echo "== s3verify: attribution-coverage floor (>= 90% on hwcprof images) =="
+  local line name frac ok=1
+  while IFS= read -r line; do
+    grep -q '"hwcprof":true' <<<"${line}" || continue
+    name="$(grep -oE '"name":"[^"]+"' <<<"${line}" | head -1 | cut -d'"' -f4)"
+    frac="$(grep -oE '"fraction":[0-9.eE+-]+' <<<"${line}" | head -1 | cut -d: -f2)"
+    if [[ -z "${frac}" ]]; then
+      echo "s3verify coverage FAILED: ${name:-?}: no coverage fraction in JSON"; ok=0
+      continue
+    fi
+    if awk -v f="${frac}" 'BEGIN { exit (f + 0 >= 0.90) ? 0 : 1 }'; then
+      echo "s3verify coverage: ${name} ${frac} attributable"
+    else
+      echo "s3verify coverage FAILED: ${name} fraction ${frac} < 0.90"; ok=0
+    fi
+  done < <("${dir}/examples/s3verify" --json all)
+  [[ ${ok} -eq 1 ]] || return 1
 }
 
 # Benchmark sweep: every bench/ target supports --json <path> (bench_json.hpp
@@ -75,7 +103,7 @@ run_bench() {
     fig4_annotated_disasm fig5_hot_pcs fig6_data_objects fig7_node_expansion
     opt_speedups overhead_hwcprof effectiveness ablation_padding ablation_skid
     prefetch_feedback address_views instance_view pipeline_throughput
-    backtrack_table ingest_throughput)
+    backtrack_table ingest_throughput dataflow)
   echo "== bench: run every bench target, collect BENCH_*.json =="
   cmake --build "${dir}" -j "${jobs}" --target "${plain[@]}" obs_overhead micro_sim
   local b log

@@ -115,6 +115,21 @@ BacktrackAnswer BacktrackTable::query(u64 delivered_pc, TriggerKind kind,
   return r;
 }
 
+BacktrackTable::StaticEntry BacktrackTable::static_entry(u64 delivered_pc,
+                                                         TriggerKind kind) const {
+  StaticEntry s;
+  if (kind == TriggerKind::Any) return s;
+  if (delivered_pc < text_base_ || (delivered_pc & 3) != 0) return s;
+  const u64 dw = (delivered_pc - text_base_) >> 2;
+  const std::vector<Entry>& tab = table_for(kind);
+  if (dw >= tab.size()) return s;
+  const Entry& e = tab[static_cast<size_t>(dw)];
+  s.found = (e.flags & kFound) != 0;
+  s.ea_static = (e.flags & kEaStatic) != 0;
+  if (s.found) s.candidate_pc = text_base_ + 4 * static_cast<u64>(e.candidate_word);
+  return s;
+}
+
 size_t BacktrackTable::size_bytes() const {
   return (load_.size() + loadstore_.size()) * sizeof(Entry);
 }

@@ -61,6 +61,18 @@ class BacktrackTable {
   BacktrackAnswer query(u64 delivered_pc, machine::TriggerKind kind,
                         const std::array<u64, 32>& regs) const;
 
+  /// The register-independent part of one precomputed answer: does a
+  /// candidate exist for this delivered PC, where, and did its EA expression
+  /// survive the clobber scan. The attribution-coverage classifier
+  /// (dataflow.hpp) consumes these directly so its verdicts reuse the exact
+  /// table/reference search semantics instead of re-deriving them.
+  struct StaticEntry {
+    bool found = false;
+    bool ea_static = false;
+    u64 candidate_pc = 0;  // valid iff found
+  };
+  StaticEntry static_entry(u64 delivered_pc, machine::TriggerKind kind) const;
+
   u32 window() const { return window_; }
   u64 text_base() const { return text_base_; }
   size_t num_entries() const { return load_.size() + loadstore_.size(); }

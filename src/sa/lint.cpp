@@ -1,9 +1,11 @@
 #include "sa/lint.hpp"
 
 #include <algorithm>
+#include <optional>
 #include <sstream>
 
 #include "isa/isa.hpp"
+#include "sa/dataflow.hpp"
 
 namespace dsprof::sa {
 
@@ -36,8 +38,9 @@ bool is_mem(const isa::OpInfo& info) {
 
 class Linter {
  public:
-  Linter(const sym::Image& img, const Cfg& cfg, const LintOptions& opt)
-      : img_(img), cfg_(cfg), opt_(opt) {
+  Linter(const sym::Image& img, const Cfg& cfg, const BacktrackTable& table,
+         const LintOptions& opt)
+      : img_(img), cfg_(cfg), table_(table), opt_(opt) {
     const size_t n = img.text_words.size();
     code_.resize(n);
     for (size_t i = 0; i < n; ++i) code_[i] = isa::decode(img.text_words[i]);
@@ -50,7 +53,9 @@ class Linter {
     rule_branch_targets();
     rule_line_table();
     rule_unreachable();
-    rule_self_clobber();
+    rule_unprofilable();
+    rule_dead_write();
+    rule_clobber_depth();
     std::sort(out_.begin(), out_.end(), [](const Diag& a, const Diag& b) {
       if (a.pc != b.pc) return a.pc < b.pc;
       return a.rule < b.rule;
@@ -206,36 +211,87 @@ class Linter {
     }
   }
 
-  /// A load that overwrites its own base/index register makes its effective
-  /// address statically unrecoverable: if sampled, backtracking must report
-  /// the EA unknown (the paper's unprofilable pattern, predictable here at
-  /// compile time — scc never emits it).
-  void rule_self_clobber() {
-    for (size_t w = 0; w < code_.size(); ++w) {
-      const isa::Instr& ins = code_[w];
-      const isa::OpInfo& info = isa::op_info(ins.op);
-      if (!info.is_load || ins.rd == 0) continue;
-      const auto ea = isa::ea_expr(ins);
-      if (!ea) continue;
-      if (ins.rd == ea->rs1 || (!ea->has_imm && ins.rd == ea->rs2)) {
-        add(Severity::Warning, pc_of(w), rule::kEaSelfClobber,
-            std::string(info.mnemonic) +
-                " overwrites its own address register: EA unrecoverable if sampled");
-      }
+  /// Dataflow-backed upgrade of the old ea-self-clobber heuristic: a
+  /// reachable memory op the attribution-coverage classifier cannot prove
+  /// Attributable will never appear in a profile with a valid effective
+  /// address — Clobbered ops (self-clobbering loads included) show up as
+  /// <invalid EA>, Unknown ops not at all (the paper's unprofilable
+  /// patterns, proved here at compile time; scc never emits them).
+  void rule_unprofilable() {
+    const AttributionCoverage& cov = coverage();
+    for (const MemOpFact& op : cov.mem_ops()) {
+      if (!op.reachable || op.cls == EaClass::Attributable) continue;
+      const isa::OpInfo& info = isa::op_info(code_[word_of(op.pc)].op);
+      add(Severity::Warning, op.pc, rule::kUnprofilableLoad,
+          std::string(info.mnemonic) + " statically " + ea_class_name(op.cls) +
+              (op.cls == EaClass::Clobbered
+                   ? ": every resolving delivery loses the EA registers"
+                   : ": no issue-reachable delivery resolves to it"));
     }
+  }
+
+  /// Liveness-backed: a register written by a reachable non-memory ALU
+  /// instruction and provably never read afterwards. Pure waste — and a
+  /// gratuitous clobber hazard for any memory op above it.
+  void rule_dead_write() {
+    for (const DeadWrite& dw : liveness().dead_writes()) {
+      add(Severity::Warning, dw.pc, rule::kDeadRegisterWrite,
+          std::string(isa::op_info(code_[word_of(dw.pc)].op).mnemonic) +
+              " writes " + isa::reg_name(dw.reg) + " which is never read");
+    }
+  }
+
+  /// An attributable op whose EA registers are overwritten within
+  /// clobber_depth_min following instructions: only near-zero skids keep its
+  /// samples attributable, so its profile coverage degrades first as skid
+  /// grows. Informational — the schedule is legal, just fragile.
+  void rule_clobber_depth() {
+    if (opt_.clobber_depth_min == 0) return;
+    for (const MemOpFact& op : coverage().mem_ops()) {
+      if (!op.reachable || op.cls != EaClass::Attributable) continue;
+      if (op.clobber_depth == 0 || op.clobber_depth > opt_.clobber_depth_min) continue;
+      add(Severity::Info, op.pc, rule::kEaClobberDepth,
+          std::string(isa::op_info(code_[word_of(op.pc)].op).mnemonic) +
+              " EA register overwritten " + std::to_string(op.clobber_depth) +
+              " instruction(s) later: attribution survives only shorter skids");
+    }
+  }
+
+  // The dataflow products are built lazily: the plain-image rules don't pay
+  // for them, and the two coverage rules share one build.
+  const AttributionCoverage& coverage() {
+    if (!cov_) cov_ = AttributionCoverage::build(img_, cfg_, table_);
+    return *cov_;
+  }
+  const Liveness& liveness() {
+    if (!live_) {
+      pf_ = ProgramFacts::build(img_, cfg_);
+      live_ = Liveness::build(pf_);
+    }
+    return *live_;
   }
 
   const sym::Image& img_;
   const Cfg& cfg_;
+  const BacktrackTable& table_;
   LintOptions opt_;
   std::vector<isa::Instr> code_;
+  std::optional<AttributionCoverage> cov_;
+  ProgramFacts pf_;
+  std::optional<Liveness> live_;
   std::vector<Diag> out_;
 };
 
 }  // namespace
 
 std::vector<Diag> lint(const sym::Image& img, const Cfg& cfg, const LintOptions& opt) {
-  return Linter(img, cfg, opt).run();
+  const BacktrackTable table = BacktrackTable::build(img, opt.backtrack_window);
+  return Linter(img, cfg, table, opt).run();
+}
+
+std::vector<Diag> lint(const sym::Image& img, const Cfg& cfg, const BacktrackTable& table,
+                       const LintOptions& opt) {
+  return Linter(img, cfg, table, opt).run();
 }
 
 }  // namespace dsprof::sa

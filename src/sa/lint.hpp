@@ -24,6 +24,7 @@
 #include <string>
 #include <vector>
 
+#include "sa/backtrack_table.hpp"
 #include "sa/cfg.hpp"
 
 namespace dsprof::sa {
@@ -41,7 +42,10 @@ inline constexpr const char* kBranchTargetMissing = "branch-target-missing";
 inline constexpr const char* kLineTableOrder = "line-table-order";
 inline constexpr const char* kLineTableGap = "line-table-gap";
 inline constexpr const char* kUnreachableText = "unreachable-text";
-inline constexpr const char* kEaSelfClobber = "ea-self-clobber";
+/// Dataflow-backed (dataflow.hpp AttributionCoverage / Liveness):
+inline constexpr const char* kUnprofilableLoad = "statically-unprofilable-load";
+inline constexpr const char* kDeadRegisterWrite = "dead-register-write";
+inline constexpr const char* kEaClobberDepth = "ea-clobber-depth";
 }  // namespace rule
 
 struct Diag {
@@ -55,11 +59,23 @@ struct LintOptions {
   /// Expected minimum non-memory instruction distance between a memory op
   /// and any join node (must match the compiler's CompileOptions::pad_nops).
   u32 pad_nops = 2;
+  /// Backtrack window used when the caller does not supply a prebuilt
+  /// BacktrackTable (must match the collector's backtrack_window for the
+  /// dataflow-backed rules to mirror run-time attribution exactly).
+  u32 backtrack_window = 16;
+  /// ea-clobber-depth fires when an attributable op's EA registers are
+  /// overwritten within this many following instructions (address order):
+  /// samples survive only skids shorter than the depth. 0 disables the rule.
+  u32 clobber_depth_min = 1;
 };
 
 /// Run every rule over `img`, using `cfg` for delay-slot and reachability
-/// facts. Diagnostics come back sorted by (pc, rule id).
+/// facts. Diagnostics come back sorted by (pc, rule id). The first overload
+/// builds its own BacktrackTable (window = opt.backtrack_window); the second
+/// reuses one the caller already has (the verifier does).
 std::vector<Diag> lint(const sym::Image& img, const Cfg& cfg, const LintOptions& opt = {});
+std::vector<Diag> lint(const sym::Image& img, const Cfg& cfg, const BacktrackTable& table,
+                       const LintOptions& opt = {});
 
 /// Convenience: count of diagnostics at exactly `s`.
 size_t count_severity(const std::vector<Diag>& diags, Severity s);

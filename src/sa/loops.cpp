@@ -1,0 +1,328 @@
+#include "sa/loops.hpp"
+
+#include <algorithm>
+#include <array>
+
+namespace dsprof::sa {
+
+namespace {
+
+// Internal "no idom computed yet" marker, distinct from kNoBlock (which
+// build() uses as the virtual super-root parent).
+constexpr u32 kUnprocessed = ~0u - 1;
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// Dominators
+
+DomTree DomTree::build(const ProgramFacts& pf) {
+  DomTree dt;
+  const size_t nb = pf.num_blocks();
+  dt.idom_.assign(nb, kUnprocessed);
+  if (nb == 0) return dt;
+
+  // Rank in iteration order; the virtual root ranks before everything.
+  auto rank = [&](u32 b) -> u32 { return b == kNoBlock ? 0 : pf.rpo_index[b] + 1; };
+  auto intersect = [&](u32 a, u32 b) -> u32 {
+    while (a != b) {
+      while (rank(a) > rank(b)) a = dt.idom_[a];
+      while (rank(b) > rank(a)) b = dt.idom_[b];
+    }
+    return a;
+  };
+
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    for (const u32 b : pf.rpo) {
+      u32 ni = kUnprocessed;
+      for (const u32 p : pf.preds[b]) {
+        if (dt.idom_[p] == kUnprocessed) continue;
+        ni = ni == kUnprocessed ? p : intersect(p, ni);
+      }
+      if (ni == kUnprocessed) ni = kNoBlock;  // no processed pred: a root
+      if (dt.idom_[b] != ni) {
+        dt.idom_[b] = ni;
+        changed = true;
+      }
+    }
+  }
+  return dt;
+}
+
+bool DomTree::dominates(u32 a, u32 b) const {
+  while (b != kNoBlock) {
+    if (b == a) return true;
+    b = idom_[b];
+  }
+  return false;
+}
+
+// ---------------------------------------------------------------------------
+// Affine resolution
+
+namespace {
+
+std::optional<Affine> affine_const(i64 c) {
+  Affine a;
+  a.offset = c;
+  return a;
+}
+
+std::optional<Affine> affine_combine(const Affine& x, const Affine& y, i64 sign) {
+  Affine r = x;
+  r.offset += sign * y.offset;
+  for (const Affine::Term& t : y.terms) {
+    bool merged = false;
+    for (auto it = r.terms.begin(); it != r.terms.end(); ++it) {
+      if (it->reg == t.reg) {
+        it->mult += sign * t.mult;
+        if (it->mult == 0) r.terms.erase(it);
+        merged = true;
+        break;
+      }
+    }
+    if (!merged) r.terms.push_back({t.reg, sign * t.mult});
+  }
+  if (r.terms.size() > 2) return std::nullopt;
+  return r;
+}
+
+Affine affine_scale(const Affine& x, i64 c) {
+  Affine r;
+  r.offset = x.offset * c;
+  if (c != 0) {
+    for (const Affine::Term& t : x.terms) r.terms.push_back({t.reg, t.mult * c});
+  }
+  return r;
+}
+
+constexpr int kMaxDepth = 16;
+
+std::optional<Affine> resolve_at(const ProgramFacts& pf, u8 reg, size_t w, int depth);
+
+/// Value of `rd` right after the instruction at word `d` executes, anchored
+/// at its block's entry values. nullopt outside the resolvable fragment.
+std::optional<Affine> eval_def(const ProgramFacts& pf, size_t d, int depth) {
+  if (depth >= kMaxDepth) return std::nullopt;
+  const isa::Instr& ins = pf.code[d];
+  auto lhs = [&]() { return resolve_at(pf, ins.rs1, d, depth + 1); };
+  auto rhs = [&]() -> std::optional<Affine> {
+    if (ins.has_imm) return affine_const(ins.imm);
+    return resolve_at(pf, ins.rs2, d, depth + 1);
+  };
+  switch (ins.op) {
+    case isa::Op::SETHI:
+      return affine_const(ins.imm << 14);
+    case isa::Op::ADD:
+    case isa::Op::SUB: {
+      const auto a = lhs();
+      const auto b = rhs();
+      if (!a || !b) return std::nullopt;
+      return affine_combine(*a, *b, ins.op == isa::Op::ADD ? 1 : -1);
+    }
+    case isa::Op::OR: {
+      // Only the move/constant idioms are affine: or rd, %g0, x and
+      // or rd, x, 0 (and the set64 sethi|or chain, where the low half ORs
+      // into known-zero bits of a constant — treated as addition).
+      const auto a = lhs();
+      const auto b = rhs();
+      if (!a || !b) return std::nullopt;
+      const bool a_zero = a->terms.empty() && a->offset == 0;
+      const bool b_zero = b->terms.empty() && b->offset == 0;
+      if (a_zero) return b;
+      if (b_zero) return a;
+      if (a->terms.empty() && b->terms.empty() && (a->offset & b->offset) == 0) {
+        return affine_const(a->offset | b->offset);
+      }
+      return std::nullopt;
+    }
+    case isa::Op::SLL: {
+      const auto a = lhs();
+      if (!a || !ins.has_imm || ins.imm < 0 || ins.imm > 62) return std::nullopt;
+      return affine_scale(*a, i64{1} << ins.imm);
+    }
+    case isa::Op::MULX: {
+      const auto a = lhs();
+      const auto b = rhs();
+      if (!a || !b) return std::nullopt;
+      if (b->terms.empty()) return affine_scale(*a, b->offset);
+      if (a->terms.empty()) return affine_scale(*b, a->offset);
+      return std::nullopt;
+    }
+    default:
+      return std::nullopt;  // loads, divisions, cc ops, ...: give up
+  }
+}
+
+std::optional<Affine> resolve_at(const ProgramFacts& pf, u8 reg, size_t w, int depth) {
+  if (reg == 0) return affine_const(0);
+  if (reg >= kNoReg) return std::nullopt;
+  if (depth >= kMaxDepth) return std::nullopt;
+  const BasicBlock* blk = pf.cfg->block_at(pf.pc_of(w));
+  if (blk == nullptr) return std::nullopt;
+  const size_t lo = pf.word_of(blk->lo);
+  for (size_t d = w; d-- > lo;) {
+    if (reg_facts(pf.code[d]).def != reg) continue;
+    // A definition in an annullable delay slot may not have executed.
+    if (pf.may_annul(d)) return std::nullopt;
+    return eval_def(pf, d, depth);
+  }
+  // Not defined earlier in this block: the block-entry value itself.
+  Affine a;
+  a.terms.push_back({reg, 1});
+  return a;
+}
+
+}  // namespace
+
+std::optional<Affine> LoopAnalysis::resolve_affine(const ProgramFacts& pf, u8 reg,
+                                                   size_t w) {
+  return resolve_at(pf, reg, w, 0);
+}
+
+// ---------------------------------------------------------------------------
+// Loop detection + strides
+
+LoopAnalysis LoopAnalysis::build(const ProgramFacts& pf, const sym::Image& img) {
+  LoopAnalysis la;
+  la.dom_ = DomTree::build(pf);
+  const size_t nb = pf.num_blocks();
+
+  // Back edges -> natural loop bodies, merged per head.
+  std::vector<std::pair<u32, std::vector<u8>>> heads;  // (head, in-loop flags)
+  for (u32 t = 0; t < nb; ++t) {
+    if (!pf.cfg->blocks()[t].reachable) continue;
+    for (const u32 h : pf.cfg->blocks()[t].succ) {
+      const bool retreating = pf.rpo_index[h] <= pf.rpo_index[t];
+      if (!retreating) continue;
+      if (!la.dom_.dominates(h, t)) {
+        la.irreducible_ = true;  // retreating edge into a non-dominator
+        continue;
+      }
+      auto it = std::find_if(heads.begin(), heads.end(),
+                             [&](const auto& p) { return p.first == h; });
+      if (it == heads.end()) {
+        heads.emplace_back(h, std::vector<u8>(nb, 0));
+        it = heads.end() - 1;
+        it->second[h] = 1;
+      }
+      // Reverse reachability from the tail, stopping at the head.
+      std::vector<u32> work;
+      if (!it->second[t]) {
+        it->second[t] = 1;
+        work.push_back(t);
+      }
+      while (!work.empty()) {
+        const u32 b = work.back();
+        work.pop_back();
+        for (const u32 p : pf.preds[b]) {
+          if (!it->second[p]) {
+            it->second[p] = 1;
+            work.push_back(p);
+          }
+        }
+      }
+    }
+  }
+
+  for (const auto& [h, in_loop] : heads) {
+    Loop loop;
+    loop.head_block = h;
+    loop.head_pc = pf.cfg->blocks()[h].lo;
+    loop.blocks.push_back(h);
+    for (u32 b = 0; b < nb; ++b) {
+      if (in_loop[b] && b != h) loop.blocks.push_back(b);
+    }
+    if (const sym::FuncInfo* f = img.symtab.find_function(loop.head_pc)) {
+      loop.function = f->name;
+    }
+
+    // Induction-variable steps: per register, the number of in-loop
+    // definitions and (if unique) the defining word.
+    std::array<u32, 32> def_count{};
+    std::array<size_t, 32> def_word{};
+    for (const u32 b : loop.blocks) {
+      const size_t hi = pf.block_hi_word(b);
+      for (size_t w = pf.block_lo_word(b); w < hi; ++w) {
+        const u8 r = reg_facts(pf.code[w]).def;
+        if (r == kNoReg) continue;
+        ++def_count[r];
+        def_word[r] = w;
+      }
+    }
+    // step[r]: 0 = invariant, k = induction step, nullopt = unknown.
+    std::array<std::optional<i64>, 32> step;
+    step[0] = 0;
+    for (u8 r = 1; r < 32; ++r) {
+      if (def_count[r] == 0) {
+        step[r] = 0;
+        continue;
+      }
+      if (def_count[r] != 1 || pf.may_annul(def_word[r])) continue;
+      const auto a = eval_def(pf, def_word[r], 0);
+      if (a && a->terms.size() == 1 && a->terms[0].reg == r && a->terms[0].mult == 1) {
+        step[r] = a->offset;  // r = r@entry + k every iteration
+      }
+    }
+
+    for (const u32 b : loop.blocks) {
+      const size_t hi = pf.block_hi_word(b);
+      for (size_t w = pf.block_lo_word(b); w < hi; ++w) {
+        const isa::Instr& ins = pf.code[w];
+        const isa::OpInfo& info = isa::op_info(ins.op);
+        if (!info.is_load && !info.is_store && !info.is_prefetch) continue;
+        LoopMemRef ref;
+        ref.pc = pf.pc_of(w);
+        ref.is_load = info.is_load;
+        ref.is_store = info.is_store;
+        ref.is_prefetch = info.is_prefetch;
+        const auto ea = isa::ea_expr(ins);
+        std::optional<Affine> addr;
+        if (ea) {
+          addr = resolve_at(pf, ea->rs1, w, 0);
+          if (addr) {
+            const auto off = ea->has_imm
+                                 ? affine_const(ea->imm)
+                                 : resolve_at(pf, ea->rs2, w, 0);
+            addr = off ? affine_combine(*addr, *off, 1) : std::nullopt;
+          }
+        }
+        if (addr) {
+          i64 stride = 0;
+          bool known = true;
+          for (const Affine::Term& t : addr->terms) {
+            if (!step[t.reg]) {
+              known = false;
+              break;
+            }
+            stride += t.mult * *step[t.reg];
+          }
+          ref.has_stride = known;
+          ref.stride = stride;
+        }
+        loop.mem_refs.push_back(ref);
+      }
+    }
+    std::sort(loop.mem_refs.begin(), loop.mem_refs.end(),
+              [](const LoopMemRef& a, const LoopMemRef& b) { return a.pc < b.pc; });
+    la.loops_.push_back(std::move(loop));
+  }
+
+  // Nesting depth: loop A contains loop B when B's head lies in A's body.
+  for (size_t i = 0; i < la.loops_.size(); ++i) {
+    for (size_t j = 0; j < la.loops_.size(); ++j) {
+      if (i == j) continue;
+      const auto& body = la.loops_[j].blocks;
+      if (std::find(body.begin(), body.end(), la.loops_[i].head_block) != body.end()) {
+        ++la.loops_[i].depth;
+      }
+    }
+  }
+  std::sort(la.loops_.begin(), la.loops_.end(),
+            [](const Loop& a, const Loop& b) { return a.head_pc < b.head_pc; });
+  return la;
+}
+
+}  // namespace dsprof::sa

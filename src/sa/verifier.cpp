@@ -37,7 +37,21 @@ VerifyReport verify(const sym::Image& img, const std::string& name,
   r.loadstore_found = table.count_found(TriggerKind::LoadStore);
   r.loadstore_ea_static = table.count_ea_static(TriggerKind::LoadStore);
 
-  r.diags = lint(img, cfg, opt.lint);
+  const AttributionCoverage cov = AttributionCoverage::build(img, cfg, table);
+  r.mem_ops = cov.mem_ops().size();
+  r.reachable_mem_ops = cov.reachable_mem_ops();
+  r.attributable = cov.attributable();
+  r.coverage_fraction = cov.fraction();
+  if (opt.coverage) {
+    r.coverage_detail = true;
+    r.func_coverage = cov.by_function(img);
+    const ProgramFacts pf = ProgramFacts::build(img, cfg);
+    const LoopAnalysis la = LoopAnalysis::build(pf, img);
+    r.loops = la.loops();
+    r.irreducible = la.irreducible();
+  }
+
+  r.diags = lint(img, cfg, table, opt.lint);
   return r;
 }
 
@@ -60,6 +74,39 @@ std::string to_text(const VerifyReport& r) {
      << " with static EA\n";
   os << "    load+store triggers: " << r.loadstore_found << " resolvable, "
      << r.loadstore_ea_static << " with static EA\n";
+  os << "  coverage: " << r.attributable << "/" << r.reachable_mem_ops
+     << " reachable memory ops statically attributable ("
+     << std::fixed << std::setprecision(1) << r.coverage_fraction * 100.0
+     << "%)\n";
+  os.unsetf(std::ios::fixed);
+  os << std::setprecision(6);
+  if (r.coverage_detail) {
+    for (const auto& f : r.func_coverage) {
+      os << "    " << f.name << ": " << f.attributable << "/" << f.reachable_mem_ops
+         << " attributable";
+      if (f.mem_ops != f.reachable_mem_ops) {
+        os << " (" << f.mem_ops - f.reachable_mem_ops << " unreachable)";
+      }
+      os << "\n";
+    }
+    os << "  loops: " << r.loops.size()
+       << (r.irreducible ? " (irreducible edges skipped)" : "") << "\n";
+    for (const auto& l : r.loops) {
+      os << "    head 0x" << std::hex << l.head_pc << std::dec << " depth " << l.depth
+         << ", " << l.blocks.size() << " block(s)"
+         << (l.function.empty() ? "" : " in '" + l.function + "'") << "\n";
+      for (const auto& m : l.mem_refs) {
+        os << "      0x" << std::hex << m.pc << std::dec << " "
+           << (m.is_load ? "load" : (m.is_store ? "store" : "prefetch")) << " stride ";
+        if (m.has_stride) {
+          os << (m.stride >= 0 ? "+" : "") << m.stride;
+        } else {
+          os << "?";
+        }
+        os << "\n";
+      }
+    }
+  }
   if (r.diags.empty()) {
     os << "  lint: clean\n";
   } else {
@@ -113,7 +160,46 @@ std::string to_json(const VerifyReport& r) {
      << r.backtrack_window << ",\"bytes\":" << r.table_bytes
      << ",\"load_found\":" << r.load_found << ",\"load_ea_static\":" << r.load_ea_static
      << ",\"loadstore_found\":" << r.loadstore_found
-     << ",\"loadstore_ea_static\":" << r.loadstore_ea_static << "},\"diagnostics\":[";
+     << ",\"loadstore_ea_static\":" << r.loadstore_ea_static << "},\"coverage\":{"
+     << "\"mem_ops\":" << r.mem_ops << ",\"reachable_mem_ops\":" << r.reachable_mem_ops
+     << ",\"attributable\":" << r.attributable << ",\"fraction\":" << r.coverage_fraction;
+  if (r.coverage_detail) {
+    os << ",\"functions\":[";
+    for (size_t i = 0; i < r.func_coverage.size(); ++i) {
+      const auto& f = r.func_coverage[i];
+      if (i) os << ",";
+      os << "{\"name\":";
+      json_escape(os, f.name);
+      os << ",\"lo\":" << f.lo << ",\"hi\":" << f.hi << ",\"mem_ops\":" << f.mem_ops
+         << ",\"reachable_mem_ops\":" << f.reachable_mem_ops
+         << ",\"attributable\":" << f.attributable << ",\"fraction\":" << f.fraction << "}";
+    }
+    os << "],\"irreducible\":" << (r.irreducible ? "true" : "false") << ",\"loops\":[";
+    for (size_t i = 0; i < r.loops.size(); ++i) {
+      const auto& l = r.loops[i];
+      if (i) os << ",";
+      os << "{\"head\":" << l.head_pc << ",\"depth\":" << l.depth
+         << ",\"blocks\":" << l.blocks.size() << ",\"function\":";
+      json_escape(os, l.function);
+      os << ",\"mem_refs\":[";
+      for (size_t j = 0; j < l.mem_refs.size(); ++j) {
+        const auto& m = l.mem_refs[j];
+        if (j) os << ",";
+        os << "{\"pc\":" << m.pc << ",\"kind\":\""
+           << (m.is_load ? "load" : (m.is_store ? "store" : "prefetch"))
+           << "\",\"stride\":";
+        if (m.has_stride) {
+          os << m.stride;
+        } else {
+          os << "null";
+        }
+        os << "}";
+      }
+      os << "]}";
+    }
+    os << "]";
+  }
+  os << "},\"diagnostics\":[";
   for (size_t i = 0; i < r.diags.size(); ++i) {
     const Diag& d = r.diags[i];
     if (i) os << ",";

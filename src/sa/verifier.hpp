@@ -10,13 +10,20 @@
 #include <string>
 
 #include "sa/backtrack_table.hpp"
+#include "sa/dataflow.hpp"
 #include "sa/lint.hpp"
+#include "sa/loops.hpp"
 
 namespace dsprof::sa {
 
 struct VerifyOptions {
   /// Backtracking window for table statistics (CollectOptions default).
   u32 backtrack_window = 16;
+  /// Include the detailed attribution-coverage report: per-function
+  /// attributable-PC fractions and the loop/stride table. The coverage
+  /// *summary* (reachable_mem_ops / attributable / fraction) is always
+  /// computed — check.sh's coverage floor gate reads it from the JSON.
+  bool coverage = false;
   LintOptions lint;
 };
 
@@ -46,6 +53,19 @@ struct VerifyReport {
   size_t load_ea_static = 0;
   size_t loadstore_found = 0;
   size_t loadstore_ea_static = 0;
+
+  // Attribution-coverage summary (dataflow.hpp). Always present.
+  size_t mem_ops = 0;
+  size_t reachable_mem_ops = 0;
+  size_t attributable = 0;
+  double coverage_fraction = 1.0;
+
+  // Detailed coverage (VerifyOptions::coverage): per-function rows and the
+  // loop/stride table.
+  bool coverage_detail = false;
+  std::vector<FunctionCoverage> func_coverage;
+  std::vector<Loop> loops;
+  bool irreducible = false;
 
   // Lint results.
   std::vector<Diag> diags;

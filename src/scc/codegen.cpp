@@ -481,6 +481,12 @@ RVal Codegen::gen_call(const ExprNode& e, u32 line) {
   }
   stage_top_ = stage_base;
   const Reg t = alloc_temp();
+  if (opt_.mutate_dead_register_write) {
+    // Mutation hook (testing only): this write is overwritten by the result
+    // move below before anything can read it — the liveness-backed
+    // dead-register-write rule (and only it) must flag this instruction.
+    emit(isa::mov_ri(t, 0), line);
+  }
   emit(isa::mov_rr(t, isa::O0), line);
   return {t, true};
 }
@@ -556,6 +562,16 @@ RVal Codegen::gen_expr(const ExprNode& e, u32 line) {
       const Reg t = alloc_temp();
       emit(isa::load_ri(Op::LDX, t, isa::kSp, h.frame_off), line,
            memref_scalar(cur_->vars()[e.var].type));
+      if (opt_.mutate_clobber_ea_early) {
+        // Mutation hook (testing only): an identity move of the stack
+        // pointer — value-preserving, so the program is unchanged and the
+        // load stays attributable via the delivery right after it, but the
+        // verbatim clobber scan sees a writer of the load's EA register at
+        // distance 1 (lint rule: ea-clobber-depth, and only it). Stack loads
+        // are the observable site: temp-based loads already sit at depth 1
+        // from register recycling.
+        emit(isa::mov_rr(isa::kSp, isa::kSp), line);
+      }
       return {t, true};
     }
     case K::Global:
@@ -567,6 +583,15 @@ RVal Codegen::gen_expr(const ExprNode& e, u32 line) {
       // unrecoverable for the profiler (paper §2.2.3) — and real compilers
       // avoid it for scheduling reasons anyway.
       MemAddr a = gen_mem_addr(e, line);
+      if (opt_.mutate_self_clobber_load && a.base.owned) {
+        // Mutation hook (testing only): load into the address register
+        // itself. Every delivery that resolves to this load loses the EA to
+        // the self-clobber, so the dataflow classifier must report it
+        // Clobbered (lint rule: statically-unprofilable-load, and only it).
+        emit(isa::load_ri(load_op_for(a.size), a.base.reg, a.base.reg, a.off), line,
+             a.memref);
+        return a.base;
+      }
       const Reg dst = alloc_temp();
       emit(isa::load_ri(load_op_for(a.size), dst, a.base.reg, a.off), line, a.memref);
       release(a.base);

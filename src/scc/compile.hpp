@@ -41,6 +41,19 @@ struct CompileOptions {
   /// Drop data descriptors while still flagging the image as hwcprof
   /// (lint rule: missing-descriptor).
   bool mutate_skip_memref = false;
+  /// Load into the address register itself instead of a fresh temp, making
+  /// the effective address statically unrecoverable
+  /// (lint rule: statically-unprofilable-load).
+  bool mutate_self_clobber_load = false;
+  /// Write a constant into the call-result temp right before the real result
+  /// move overwrites it (lint rule: dead-register-write).
+  bool mutate_dead_register_write = false;
+  /// Emit an identity move of the stack pointer immediately after each
+  /// stack-slot load — semantically a no-op, but a clobber-scan writer of
+  /// the load's EA register at distance 1. Temp-based loads already sit at
+  /// depth 1 from register recycling; %sp is otherwise never redefined, so
+  /// this is observable (lint rule: ea-clobber-depth).
+  bool mutate_clobber_ea_early = false;
 };
 
 /// Compile `m` to an executable image. The module must define a function

@@ -68,6 +68,14 @@ std::vector<std::string> error_rules(const std::vector<Diag>& diags) {
   return rules;
 }
 
+/// Diagnostics carrying rule id `r`, any severity (the dataflow-backed rules
+/// report at Warning/Info, which error_rules filters out).
+size_t count_rule(const std::vector<Diag>& diags, const char* r) {
+  size_t n = 0;
+  for (const auto& d : diags) n += d.rule == r ? 1 : 0;
+  return n;
+}
+
 void expect_engines_agree(const sym::Image& img, u32 window, u64 seed,
                           const char* label) {
   const BacktrackTable table = BacktrackTable::build(img, window);
@@ -356,6 +364,9 @@ TEST(Lint, MutationHooksDefaultOffAndChangeNothing) {
   explicit_off.mutate_skip_nop_pad = false;
   explicit_off.mutate_mem_in_delay_slot = false;
   explicit_off.mutate_skip_memref = false;
+  explicit_off.mutate_self_clobber_load = false;
+  explicit_off.mutate_dead_register_write = false;
+  explicit_off.mutate_clobber_ea_early = false;
   const sym::Image b = scc::compile(*m, explicit_off);
   EXPECT_EQ(a.text_words, b.text_words);
 }
@@ -385,6 +396,66 @@ TEST(Lint, SkipMemrefMutationFiresExactlyMissingDescriptor) {
   const auto rules = error_rules(diags);
   ASSERT_EQ(rules.size(), 1u) << "exactly one rule must fire";
   EXPECT_EQ(rules[0], rule::kMissingDescriptor);
+}
+
+TEST(Lint, SelfClobberMutationFiresUnprofilableLoad) {
+  // The mutation loads into the address register itself: no delivery after
+  // the load can statically recover its EA, so the coverage classifier must
+  // demote it from Attributable and the unprofilable-load rule must fire.
+  const auto clean = lint_image(scc::compile(*make_mutation_module()));
+  EXPECT_EQ(count_rule(clean, rule::kUnprofilableLoad), 0u);
+
+  scc::CompileOptions opt;
+  opt.mutate_self_clobber_load = true;
+  const auto diags = lint_image(scc::compile(*make_mutation_module(), opt));
+  EXPECT_GT(count_rule(diags, rule::kUnprofilableLoad), 0u);
+  EXPECT_EQ(count_severity(diags, Severity::Error), 0u);
+}
+
+TEST(Lint, DeadRegisterWriteMutationFiresThatRule) {
+  // The mutation writes a constant into the call-result temp one instruction
+  // before the real %o0 move overwrites it — dead on every path.
+  const auto clean = lint_image(scc::compile(*make_mutation_module()));
+  EXPECT_EQ(count_rule(clean, rule::kDeadRegisterWrite), 0u);
+
+  scc::CompileOptions opt;
+  opt.mutate_dead_register_write = true;
+  const auto diags = lint_image(scc::compile(*make_mutation_module(), opt));
+  EXPECT_GT(count_rule(diags, rule::kDeadRegisterWrite), 0u);
+  EXPECT_EQ(count_severity(diags, Severity::Error), 0u);
+}
+
+TEST(Lint, ClobberEaEarlyMutationFiresClobberDepthInfo) {
+  // The identity %sp move after each stack-slot load preserves semantics (so
+  // the load stays Attributable via the delivery right after it) but is a
+  // clobber-scan writer of the load's EA register at distance 1 — the
+  // minimum-headroom rule must flag it at Info. Needs a frame-homed local:
+  // the first 14 locals live in registers and are never loaded, and
+  // temp-based Deref loads already sit at depth 1 from register recycling,
+  // so only %sp-relative loads make the mutation observable.
+  auto make_spill_module = [] {
+    using namespace scc;
+    auto m = std::make_unique<Module>();
+    Function* main = m->add_function("main");
+    FunctionBuilder fb(*m, *main);
+    for (int k = 0; k < 14; ++k) fb.local("pad" + std::to_string(k), Type::i64());
+    auto s = fb.local("spilled", Type::i64());
+    fb.set(s, 3);
+    fb.ret(s & 0x7F);  // reading `s` is a stack load off %sp
+    return m;
+  };
+  const auto clean = lint_image(scc::compile(*make_spill_module()));
+  const size_t baseline = count_rule(clean, rule::kEaClobberDepth);
+
+  scc::CompileOptions opt;
+  opt.mutate_clobber_ea_early = true;
+  const auto diags = lint_image(scc::compile(*make_spill_module(), opt));
+  EXPECT_GT(count_rule(diags, rule::kEaClobberDepth), baseline);
+  EXPECT_EQ(count_severity(diags, Severity::Error), 0u);
+  // The identity move must not read as a dead write or demote coverage.
+  EXPECT_EQ(count_rule(diags, rule::kDeadRegisterWrite), 0u);
+  EXPECT_EQ(count_rule(diags, rule::kUnprofilableLoad),
+            count_rule(clean, rule::kUnprofilableLoad));
 }
 
 TEST(Lint, NonHwcprofImagesAreNotHeldToTheContract) {
@@ -418,7 +489,7 @@ TEST(Lint, SelfClobberingLoadIsWarnedStatically) {
   const auto diags = lint_image(img);
   bool saw = false;
   for (const auto& d : diags) {
-    if (d.rule == rule::kEaSelfClobber) {
+    if (d.rule == rule::kUnprofilableLoad) {
       saw = true;
       EXPECT_EQ(d.pc, img.text_base);
       EXPECT_EQ(d.severity, Severity::Warning);

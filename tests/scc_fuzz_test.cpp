@@ -5,6 +5,7 @@
 
 #include "collect/collector.hpp"
 #include "machine/cpu.hpp"
+#include "sa/dataflow.hpp"
 #include "sa/lint.hpp"
 #include "scc/builder.hpp"
 #include "scc/compile.hpp"
@@ -306,6 +307,91 @@ TEST_P(ExprFuzz, BacktrackTableMatchesDynamicOnRandomImages) {
             << "seed " << GetParam() << " window " << window << " pc " << std::hex << pc;
         ASSERT_EQ(d.ea, t.ea)
             << "seed " << GetParam() << " window " << window << " pc " << std::hex << pc;
+      }
+    }
+  }
+}
+
+// Property: the static attribution-coverage proof is conservative on random
+// compiled images. Ground truth comes from single-stepping the machine: every
+// PC it is about to issue (the value a counter delivery would report) must lie
+// in the static delivery set, and — since both engines are bit-identical
+// (above) — every delivered PC whose table entry statically recovers an EA
+// must have its candidate classified Attributable.
+TEST_P(ExprFuzz, StaticCoverageIsConservativeOnRandomImages) {
+  Xoshiro256 rng(GetParam() * 0x9e3779b97f4a7c15ULL + 11);
+  constexpr i64 kCells = 32;
+
+  Module m;
+  StructDef* cell = m.add_struct("cell");
+  cell->field("a", Type::i64()).field("b", Type::i64());
+  Function* mal = add_runtime(m);
+  Function* main = m.add_function("main");
+  FunctionBuilder fb(m, *main);
+  auto arr = fb.local("arr", Type::ptr(cell));
+  auto i = fb.local("i", Type::i64());
+  auto acc = fb.local("acc", Type::i64());
+  fb.set(arr, cast(fb.call(mal, {Val(kCells * static_cast<i64>(cell->size()))}),
+                   Type::ptr(cell)));
+  fb.set(acc, 0);
+  for (int s = 0; s < 12; ++s) {
+    const i64 j = static_cast<i64>(rng.below(kCells));
+    const i64 c = static_cast<i64>(rng.next() % 257) - 128;
+    switch (rng.below(3)) {
+      case 0:
+        fb.set(i, 0);
+        fb.while_(i < 1 + static_cast<i64>(rng.below(4)), [&] {
+          fb.set((arr + j)["a"], (arr + j)["a"] + c);
+          fb.set(i, i + 1);
+        });
+        break;
+      case 1:
+        fb.if_else(acc < c, [&] { fb.set(acc, acc + (arr + j)["b"]); },
+                   [&] { fb.set((arr + j)["b"], acc - c); });
+        break;
+      default:
+        fb.set(acc, acc * 5 + c);
+        break;
+    }
+  }
+  fb.ret(acc & 0x7F);
+  const sym::Image img = compile(m);
+
+  const sa::Cfg cfg = sa::Cfg::build(img);
+  const sa::BacktrackTable table = sa::BacktrackTable::build(img, 16);
+  const sa::AttributionCoverage cov = sa::AttributionCoverage::build(img, cfg, table);
+
+  // Dynamic half: single-step the program, checking the next-to-issue PC.
+  mem::Memory memory;
+  img.load_into(memory);
+  machine::Cpu cpu(memory, machine::CpuConfig{});
+  cpu.set_truth_log_enabled(false);
+  cpu.set_pc(img.entry);
+  for (size_t steps = 0; steps < 500'000; ++steps) {
+    ASSERT_TRUE(cov.is_delivery_point(cpu.pc()))
+        << "seed " << GetParam() << " issued pc " << std::hex << cpu.pc();
+    if (cpu.run(1).halted) break;
+  }
+  EXPECT_TRUE(cov.is_delivery_point(cpu.pc())) << "seed " << GetParam();
+
+  // Static half: at every delivery point, a table entry that statically
+  // recovers an EA must name an Attributable candidate; one that resolves a
+  // candidate at all must never name an op classified Unknown.
+  const std::array<u64, 32> regs{};
+  for (size_t w = 0; w <= img.text_words.size(); ++w) {
+    const u64 pc = img.text_base + 4 * w;
+    if (!cov.is_delivery_point(pc)) continue;
+    for (const auto kind :
+         {machine::TriggerKind::Load, machine::TriggerKind::LoadStore}) {
+      const sa::BacktrackAnswer t = table.query(pc, kind, regs);
+      if (!t.found) continue;
+      const sa::MemOpFact* op = cov.find(t.candidate_pc);
+      ASSERT_NE(op, nullptr) << "seed " << GetParam() << " pc " << std::hex << pc;
+      EXPECT_NE(op->cls, sa::EaClass::Unknown)
+          << "seed " << GetParam() << " pc " << std::hex << pc;
+      if (t.ea_known) {
+        EXPECT_EQ(op->cls, sa::EaClass::Attributable)
+            << "seed " << GetParam() << " candidate " << std::hex << t.candidate_pc;
       }
     }
   }

@@ -1,0 +1,73 @@
+// OPT (closed loop) — the er_opt feedback-directed layout optimizer run
+// end-to-end, compared against the hand-tuned fixes it is meant to replace:
+//   1. churn: auto plan vs the hand-written pack-the-hot-pair layout
+//      (the automatic plan must match the hand fix within 2% relative)
+//   2. mcf-small: the paper's §3.3 case study driven by the loop — the
+//      headline speedup plus the per-metric deltas with significance.
+// Exits nonzero if the auto plan falls short of the hand-tuned reference or
+// the mcf loop fails to find a significant improvement, so check.sh can gate
+// on it.
+#include <cstdio>
+
+#include "analyze/metrics.hpp"
+#include "bench_json.hpp"
+#include "opt/driver.hpp"
+
+using namespace dsprof;
+
+int main(int argc, char** argv) {
+  const bench::JsonSink json_out(argc, argv, "er_opt");
+  std::puts("== OPT: er_opt closed-loop layout optimizer ==");
+
+  // -- churn: auto vs hand-tuned -------------------------------------------
+  const opt::Workload churn = opt::make_churn_workload();
+  const opt::LoopResult cr = opt::run_loop(churn);
+  const opt::LayoutPlan hand = opt::churn_hand_plan();
+  const sym::Image hand_img = churn.build(&hand);
+  mem::Memory hand_mem;
+  hand_img.load_into(hand_mem);
+  machine::Cpu hand_cpu(hand_mem, churn.cpu_for(&hand));
+  hand_cpu.set_truth_log_enabled(false);
+  hand_cpu.set_pc(hand_img.entry);
+  const u64 hand_cycles = hand_cpu.run().cycles;
+  const double hand_pct =
+      100.0 * (1.0 - static_cast<double>(hand_cycles) /
+                         static_cast<double>(cr.baseline_cycles));
+  std::printf("  churn  baseline %llu cycles\n",
+              static_cast<unsigned long long>(cr.baseline_cycles));
+  std::printf("    auto plan  %12llu cycles   speedup %5.1f%%\n",
+              static_cast<unsigned long long>(cr.optimized_cycles), cr.speedup_pct);
+  std::printf("    hand plan  %12llu cycles   speedup %5.1f%%\n",
+              static_cast<unsigned long long>(hand_cycles), hand_pct);
+  // Acceptance: auto within 2% relative of the hand-tuned fix (or better).
+  const bool churn_ok = cr.speedup_pct >= hand_pct * 0.98;
+
+  // -- mcf-small: the full paper loop --------------------------------------
+  const opt::Workload mcf = opt::make_mcf_workload(true);
+  const opt::LoopResult mr = opt::run_loop(mcf);
+  std::printf("  mcf-small  baseline %llu cycles, speedup %.1f%% (paper: 20.7%% on mcf)\n",
+              static_cast<unsigned long long>(mr.baseline_cycles), mr.speedup_pct);
+  for (const auto& d : mr.deltas) {
+    std::printf("    %-8s %14.0f -> %14.0f   %+6.1f%%  z=%5.1f%s\n", d.name.c_str(),
+                d.before, d.after, d.delta_pct, d.z,
+                d.significant ? "  significant" : "");
+  }
+  const opt::MetricDelta* ucpu = mr.delta_for(analyze::kUserCpuMetric);
+  const bool mcf_ok = mr.speedup_pct > 0 && ucpu != nullptr && ucpu->delta_pct > 0 &&
+                      ucpu->significant;
+
+  if (!churn_ok) std::puts("FAIL: auto churn plan short of the hand-tuned reference");
+  if (!mcf_ok) std::puts("FAIL: mcf-small loop found no significant improvement");
+
+  json_out.emit(
+      "{\"bench\":\"er_opt\",\"churn\":{\"baseline_cycles\":%llu,"
+      "\"auto_speedup_pct\":%.2f,\"hand_speedup_pct\":%.2f,\"auto_within_2pct\":%s},"
+      "\"mcf_small\":{\"baseline_cycles\":%llu,\"speedup_pct\":%.2f,"
+      "\"ucpu_delta_pct\":%.2f,\"ucpu_z\":%.2f,\"significant\":%s}}",
+      static_cast<unsigned long long>(cr.baseline_cycles), cr.speedup_pct, hand_pct,
+      churn_ok ? "true" : "false",
+      static_cast<unsigned long long>(mr.baseline_cycles), mr.speedup_pct,
+      ucpu != nullptr ? ucpu->delta_pct : 0.0, ucpu != nullptr ? ucpu->z : 0.0,
+      mcf_ok ? "true" : "false");
+  return churn_ok && mcf_ok ? 0 : 1;
+}

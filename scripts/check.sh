@@ -1,10 +1,10 @@
 #!/usr/bin/env bash
 # Tier-1 verification: build + full test suite, once normally and once under
 # AddressSanitizer (DSPROF_SANITIZE=address), plus three static/dynamic gates:
-#   - clang-tidy over src/sa/, src/collect/, src/obs/, src/serve/,
+#   - clang-tidy over src/sa/, src/opt/, src/collect/, src/obs/, src/serve/,
 #     src/experiment/ and src/analyze/ (skipped with a notice when clang-tidy
 #     is not installed — the reference container does not ship it); src/sa/
-#     additionally runs with WarningsAsErrors on;
+#     and src/opt/ additionally run with WarningsAsErrors on;
 #   - `s3verify all`, which lints every built-in compiled image and exits
 #     nonzero on any error-severity diagnostic, plus the attribution-coverage
 #     floor: every hwcprof built-in image must have >= 90% of its reachable
@@ -15,7 +15,11 @@
 #     live MCF collect run into it with dsprof_send, and require the streamed
 #     snapshot to be byte-identical to `er_print <saved-dir> -J` over the same
 #     events (the serve subsystem's central invariant, end to end over real
-#     processes and a real socket).
+#     processes and a real socket);
+#   - the er_opt smoke gate: run the closed feedback loop on the builtin
+#     mcf-small workload and require a positive end-to-end speedup plus a
+#     positive, sampling-significant User-CPU delta (the optimizer must
+#     actually improve the program it claims to improve).
 # Usage:
 #
 #   scripts/check.sh            # both build passes + all gates + benches
@@ -40,23 +44,24 @@ run_pass() {
   ctest --test-dir "${dir}" --output-on-failure -j "${jobs}"
 }
 
-# clang-tidy over the static-analysis, collect, obs, serve, experiment and
-# analyze subsystems (the code on the zero-copy fast path and the profiling
-# hot paths, held to the strictest bar). Graceful skip when the tool is
-# absent; any emitted "error:" diagnostic fails the script. src/sa/ — the
-# module this tree's static analyses live in — runs with WarningsAsErrors on;
-# the broader tree keeps warnings advisory so it can adopt the profile
-# incrementally (ROADMAP).
+# clang-tidy over the static-analysis, layout-optimizer, collect, obs, serve,
+# experiment and analyze subsystems (the code on the zero-copy fast path and
+# the profiling hot paths, held to the strictest bar). Graceful skip when the
+# tool is absent; any emitted "error:" diagnostic fails the script. src/sa/
+# and src/opt/ — the modules this tree's static analyses and the feedback
+# optimizer live in — run with WarningsAsErrors on; the broader tree keeps
+# warnings advisory so it can adopt the profile incrementally (ROADMAP).
 run_tidy() {
   local dir="$1"
   if ! command -v clang-tidy >/dev/null 2>&1; then
     echo "== tidy: clang-tidy not installed; skipping (install it or use -DDSPROF_TIDY=ON) =="
     return 0
   fi
-  echo "== tidy: clang-tidy over src/sa/ (warnings-as-errors), src/collect/, src/obs/," \
-       "src/serve/, src/experiment/, src/analyze/ =="
+  echo "== tidy: clang-tidy over src/sa/, src/opt/ (warnings-as-errors), src/collect/," \
+       "src/obs/, src/serve/, src/experiment/, src/analyze/ =="
   cmake -B "${dir}" -S "${repo}" -DCMAKE_EXPORT_COMPILE_COMMANDS=ON >/dev/null
-  clang-tidy -p "${dir}" --quiet --warnings-as-errors='*' "${repo}"/src/sa/*.cpp
+  clang-tidy -p "${dir}" --quiet --warnings-as-errors='*' \
+    "${repo}"/src/sa/*.cpp "${repo}"/src/opt/*.cpp
   clang-tidy -p "${dir}" --quiet "${repo}"/src/collect/*.cpp "${repo}"/src/obs/*.cpp \
     "${repo}"/src/serve/*.cpp "${repo}"/src/experiment/*.cpp "${repo}"/src/analyze/*.cpp
 }
@@ -105,7 +110,7 @@ run_bench() {
     prefetch_feedback address_views instance_view pipeline_throughput
     backtrack_table ingest_throughput dataflow)
   echo "== bench: run every bench target, collect BENCH_*.json =="
-  cmake --build "${dir}" -j "${jobs}" --target "${plain[@]}" obs_overhead micro_sim
+  cmake --build "${dir}" -j "${jobs}" --target "${plain[@]}" bench_er_opt obs_overhead micro_sim
   local b log
   log="$(mktemp)"
   for b in "${plain[@]}"; do
@@ -114,6 +119,13 @@ run_bench() {
       || { echo "bench ${b} FAILED"; cat "${log}"; rm -f "${log}"; return 1; }
     tail -1 "${log}"
   done
+  # er_opt's bench binary is built as target bench_er_opt (the name er_opt
+  # belongs to the example); it carries its own acceptance bars — auto plan
+  # within 2% of the hand-tuned churn fix, significant mcf-small improvement.
+  echo "-- bench: er_opt --"
+  "${dir}/bench/er_opt" --json "${repo}/BENCH_er_opt.json" >"${log}" 2>&1 \
+    || { echo "bench er_opt FAILED"; cat "${log}"; rm -f "${log}"; return 1; }
+  tail -1 "${log}"
   echo "-- bench: obs_overhead --"
   "${dir}/bench/obs_overhead" --json "${repo}/BENCH_obs.json" >"${log}" 2>&1 \
     || { echo "bench obs_overhead FAILED"; cat "${log}"; rm -f "${log}"; return 1; }
@@ -132,9 +144,9 @@ run_bench() {
 run_cli_docs() {
   local dir="$1"
   echo "== cli-docs: docs/CLI.md vs live --help =="
-  cmake --build "${dir}" -j "${jobs}" --target er_print s3verify dsprofd dsprof_send
+  cmake --build "${dir}" -j "${jobs}" --target er_print er_opt s3verify dsprofd dsprof_send
   local bin section flag ok=1
-  for bin in er_print s3verify dsprofd dsprof_send; do
+  for bin in er_print er_opt s3verify dsprofd dsprof_send; do
     section="$(awk "/^## ${bin}\$/{f=1;next} /^## /{f=0} f" "${repo}/docs/CLI.md")"
     [[ -n "${section}" ]] || { echo "cli-docs: no '## ${bin}' section in docs/CLI.md"; ok=0; continue; }
     while read -r flag; do
@@ -149,7 +161,37 @@ run_cli_docs() {
                | sed 's/^| `//' | sort -u)
   done
   [[ ${ok} -eq 1 ]] || return 1
-  echo "cli-docs: flag lists match --help for all four binaries"
+  echo "cli-docs: flag lists match --help for all five binaries"
+}
+
+# er_opt smoke gate: the closed feedback loop on the builtin mcf-small
+# workload must produce a positive end-to-end speedup AND a positive,
+# sampling-significant User-CPU delta. This is the optimizer's contract — a
+# plan that does not move the total metric is a regression even if every
+# stage "worked".
+run_er_opt_smoke() {
+  local dir="$1"
+  echo "== er_opt smoke: closed loop on mcf-small must significantly improve ucpu =="
+  cmake --build "${dir}" -j "${jobs}" --target er_opt
+  local out ucpu speedup
+  out="$("${dir}/examples/er_opt" --run --workload mcf-small -J)" \
+    || { echo "er_opt smoke FAILED: loop exited nonzero"; return 1; }
+  speedup="$(grep -oE '"speedup_pct":-?[0-9.]+' <<<"${out}" | head -1 | cut -d: -f2)"
+  ucpu="$(grep -oE '\{"metric":"ucpu"[^}]*\}' <<<"${out}" | head -1)"
+  if [[ -z "${speedup}" || -z "${ucpu}" ]]; then
+    echo "er_opt smoke FAILED: no speedup_pct / ucpu delta in -J output"
+    echo "${out}" | tail -1
+    return 1
+  fi
+  if ! awk -v s="${speedup}" 'BEGIN { exit (s + 0 > 0) ? 0 : 1 }'; then
+    echo "er_opt smoke FAILED: speedup_pct ${speedup} not positive"
+    return 1
+  fi
+  if ! grep -qE '"delta_pct":[0-9.]+.*"significant":true' <<<"${ucpu}"; then
+    echo "er_opt smoke FAILED: ucpu delta not positive+significant: ${ucpu}"
+    return 1
+  fi
+  echo "er_opt smoke: mcf-small speedup ${speedup}%, ucpu delta significant"
 }
 
 # End-to-end dsprofd smoke gate over a real Unix-domain socket: the streamed
@@ -235,6 +277,7 @@ case "${mode}" in
     run_cli_docs "${repo}/build"
     run_dsprofd_smoke "${repo}/build" direct
     run_dsprofd_smoke "${repo}/build" queued
+    run_er_opt_smoke "${repo}/build"
     ;;
   --asan|asan)
     run_pass "asan" "${repo}/build-asan" -DDSPROF_SANITIZE=address
@@ -250,6 +293,7 @@ case "${mode}" in
     run_cli_docs "${repo}/build"
     run_dsprofd_smoke "${repo}/build" direct
     run_dsprofd_smoke "${repo}/build" queued
+    run_er_opt_smoke "${repo}/build"
     run_bench "${repo}/build"
     run_pass "asan" "${repo}/build-asan" -DDSPROF_SANITIZE=address
     ;;

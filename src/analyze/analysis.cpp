@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cstdio>
+#include <tuple>
 
 #include "isa/isa.hpp"
 
@@ -476,6 +477,88 @@ const std::vector<Analysis::InstanceRow>& Analysis::instances(size_t sort_metric
     if (rows.size() > top_n) rows.resize(top_n);
   }
   return instances_cache_.emplace(key, std::move(rows)).first->second;
+}
+
+// ---------------------------------------------------------------------------
+// Per-access samples (the src/opt/ feedback loop)
+
+const std::vector<Analysis::AccessSample>& Analysis::member_accesses() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (accesses_cache_) return *accesses_cache_;
+  std::vector<AccessSample> out;
+  // Window interning: (experiment, interned-callstack handle, leaf function
+  // entry). Dense ids are assigned in event order — a serial pass over the
+  // raw columns, so the result (and every plan derived from it) is
+  // independent of DSPROF_THREADS.
+  std::map<std::tuple<size_t, u64, u32, u64>, u32> windows;
+  for (size_t x = 0; x < exps_.size(); ++x) {
+    const experiment::Experiment& ex = *exps_[x];
+    const sym::SymbolTable& st = ex.image.symtab;
+    if (!st.hwcprof() || !st.has_branch_targets()) continue;
+    std::array<bool, machine::kNumPics> bt{};
+    for (const auto& spec : ex.counters) {
+      if (spec.pic < machine::kNumPics) bt[spec.pic] = spec.backtrack;
+    }
+    const experiment::EventStore& ev = ex.events;
+    const auto pic = ev.pic_col();
+    const auto event = ev.event_col();
+    const auto weight = ev.weight_col();
+    const auto delivered = ev.delivered_pc_col();
+    const auto flags = ev.flags_col();
+    const auto candidate = ev.candidate_pc_col();
+    const auto ea = ev.ea_col();
+    const auto cs_off = ev.cs_offset_col();
+    const auto cs_len = ev.cs_len_col();
+    for (size_t i = 0, n = ev.size(); i < n; ++i) {
+      const u8 p = pic[i];
+      if (p >= machine::kNumPics || !bt[p]) continue;
+      const u8 f = flags[i];
+      if ((f & experiment::EventStore::kHasCandidate) == 0) continue;
+      // The reduction's validation rule verbatim: a branch target between
+      // the candidate and the delivered PC invalidates the candidate.
+      if (st.branch_target_in(candidate[i], delivered[i])) continue;
+      const sym::MemRef* ref = st.memref_for(candidate[i]);
+      if (!ref || ref->kind != sym::MemRef::Kind::StructMember) continue;
+      const sym::FuncInfo* fn = st.find_function(candidate[i]);
+      const auto key = std::make_tuple(x, cs_off[i], cs_len[i], fn ? fn->lo : u64{0});
+      const auto ins = windows.emplace(key, static_cast<u32>(windows.size()));
+      AccessSample s;
+      s.trigger_pc = candidate[i];
+      s.has_ea = (f & experiment::EventStore::kHasEa) != 0;
+      s.ea = s.has_ea ? ea[i] : 0;
+      s.window = ins.first->second;
+      s.sid = ref->aggregate;
+      s.member = ref->member;
+      s.metric = static_cast<size_t>(event[i]);
+      s.weight = weight[i];
+      out.push_back(s);
+    }
+  }
+  access_windows_ = static_cast<u32>(windows.size());
+  accesses_cache_ = std::move(out);
+  return *accesses_cache_;
+}
+
+u32 Analysis::access_windows() const {
+  member_accesses();  // fills access_windows_
+  std::lock_guard<std::mutex> lock(mu_);
+  return access_windows_;
+}
+
+const std::array<u64, kNumMetrics>& Analysis::sample_counts() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (sample_counts_cache_) return *sample_counts_cache_;
+  std::array<u64, kNumMetrics> counts{};
+  for (const auto* ex : exps_) {
+    const auto pic = ex->events.pic_col();
+    const auto event = ex->events.event_col();
+    for (size_t i = 0, n = ex->events.size(); i < n; ++i) {
+      counts[pic[i] == machine::kClockPic ? kUserCpuMetric
+                                          : static_cast<size_t>(event[i])] += 1;
+    }
+  }
+  sample_counts_cache_ = counts;
+  return *sample_counts_cache_;
 }
 
 double Analysis::split_fraction(u64 base, u64 obj_size, u64 count, u64 line_size) {

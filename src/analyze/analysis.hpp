@@ -214,6 +214,37 @@ class Analysis {
   /// these 120-byte data objects end up split" statistic).
   static double split_fraction(u64 base, u64 obj_size, u64 count, u64 line_size);
 
+  // --- per-access samples (src/opt/ feedback loop) ---------------------------
+  /// One validated struct-member access: the trigger PC survived candidate
+  /// validation (same rule as the reduction's fold), the image is hwcprof,
+  /// and the compiler's descriptor names a structure member. `window` is a
+  /// dense id of the (callstack, leaf function) the event was delivered
+  /// under — er_opt's co-access affinity matrix counts members that share
+  /// windows. `ea` is valid only when `has_ea` (address registers survived
+  /// the skid); cache-line sharing reports require it, affinity does not.
+  struct AccessSample {
+    u64 trigger_pc = 0;
+    u64 ea = 0;
+    bool has_ea = false;
+    u32 window = 0;
+    sym::TypeId sid = sym::kInvalidType;
+    u32 member = 0;
+    size_t metric = 0;
+    u64 weight = 0;
+  };
+  /// All validated struct-member accesses in event order, aggregated in one
+  /// serial pass over the raw SoA columns (thread-count independent, so
+  /// everything derived from it — the er_opt plan in particular — is too).
+  const std::vector<AccessSample>& member_accesses() const;
+  /// Number of distinct (callstack, leaf) windows member_accesses() saw.
+  u32 access_windows() const;
+
+  /// Per-metric event (sample) counts, clock samples under kUserCpuMetric —
+  /// the n behind the er_opt delta report's sampling-error estimate: a
+  /// metric total is a sum of n samples of weight w, so its standard error
+  /// is ~ w * sqrt(n).
+  const std::array<u64, kNumMetrics>& sample_counts() const;
+
   /// Force the reduction pass now (it otherwise runs on first view access).
   const ReductionResult& reduce() const;
 
@@ -254,6 +285,9 @@ class Analysis {
   mutable std::map<std::string, std::vector<DisasmRow>> disasm_cache_;
   mutable std::map<std::string, std::vector<MemberRow>> members_cache_;
   mutable std::optional<std::vector<EffectivenessRow>> effectiveness_cache_;
+  mutable std::optional<std::vector<AccessSample>> accesses_cache_;
+  mutable u32 access_windows_ = 0;
+  mutable std::optional<std::array<u64, kNumMetrics>> sample_counts_cache_;
   mutable std::optional<std::vector<AddrRow>> segments_cache_;
   mutable std::map<std::pair<size_t, size_t>, std::vector<AddrRow>> pages_cache_;
   mutable std::map<std::pair<size_t, size_t>, std::vector<AddrRow>> cache_lines_cache_;

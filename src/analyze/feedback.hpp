@@ -27,6 +27,21 @@ std::vector<FeedbackEntry> prefetch_feedback(const Analysis& a, size_t metric,
 
 /// One line per entry: "function line struct member share".
 std::string feedback_to_text(const std::vector<FeedbackEntry>& entries);
-std::vector<FeedbackEntry> feedback_from_text(const std::string& text);
+
+/// What feedback_from_text did with each input line. A feedback file may
+/// come from an older toolchain or a hand edit, so malformed lines (wrong
+/// field count, non-numeric line/share, share outside [0, 1]) are *skipped
+/// and counted* — never folded into the result as garbage, and one bad line
+/// never discards the parseable rest.
+struct FeedbackParseStats {
+  size_t parsed = 0;        // entries returned
+  size_t skipped = 0;       // malformed lines ignored
+  std::string first_error;  // "line 3: non-numeric share 'x'" (empty if none)
+};
+
+/// Parse feedback_to_text output. Blank lines and '#' comments are ignored;
+/// malformed lines are skipped (see FeedbackParseStats). `stats` is optional.
+std::vector<FeedbackEntry> feedback_from_text(const std::string& text,
+                                              FeedbackParseStats* stats = nullptr);
 
 }  // namespace dsprof::analyze

@@ -159,6 +159,11 @@ sym::Image build_mcf_image(const BuildOptions& opt) {
   StructDef* basket_s = m.add_struct("basket");
   basket_s->field("a", Type::ptr(arc_s)).field("cost", cost_t).field("abs_cost", cost_t);
 
+  // er_opt's layout hook: every struct is declared (baseline checks above
+  // have run against declaration order), no code exists yet — layout changes
+  // made here flow into every size/offset the builders bake in below.
+  if (opt.layout_hook) opt.layout_hook(m);
+
   const Type pnode = Type::ptr(node_s);
   const Type parc = Type::ptr(arc_s);
   const Type pnet = Type::ptr(net_s);

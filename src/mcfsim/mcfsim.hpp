@@ -11,6 +11,8 @@
 // image can run many instances.
 #pragma once
 
+#include <functional>
+
 #include "mcf/generator.hpp"
 #include "scc/compile.hpp"
 
@@ -27,6 +29,13 @@ struct BuildOptions {
   /// primal_bea_mpp (pointer-chasing loads cannot be prefetched — the paper
   /// notes arc.cost is reached "too soon to be effectively prefetched").
   bool prefetch_arc_scan = false;
+  /// er_opt's entry point into the build (src/opt/apply.hpp): invoked after
+  /// the structs are declared (and the baseline-layout checks have run) but
+  /// before any code is generated, so layout directives applied here —
+  /// set_layout_order / set_pad_to — are reflected in every generated size
+  /// and offset. Composes with (and typically replaces) the hand-tuned
+  /// optimized_node_layout flag above.
+  std::function<void(scc::Module&)> layout_hook;
 };
 
 /// Build and compile the DSL MCF program.

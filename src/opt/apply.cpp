@@ -1,0 +1,46 @@
+#include "opt/apply.hpp"
+
+#include <set>
+
+namespace dsprof::opt {
+
+ApplyStats apply_plan(scc::Module& m, const LayoutPlan& plan) {
+  ApplyStats stats;
+  for (const auto& d : plan.structs) {
+    scc::StructDef* s = m.find_struct(d.struct_name);
+    if (s == nullptr) {
+      stats.skipped.push_back("struct " + d.struct_name + ": not in module");
+      continue;
+    }
+    if (!d.member_order.empty()) {
+      // Pre-validate: the order must be exactly the module's field set
+      // (set_layout_order throws on mismatch; a skipped directive is the
+      // contract here).
+      std::set<std::string> want(d.member_order.begin(), d.member_order.end());
+      std::set<std::string> have;
+      for (u32 i = 0; i < s->field_count(); ++i) have.insert(s->field_name(i));
+      if (want != have || d.member_order.size() != s->field_count()) {
+        stats.skipped.push_back("struct " + d.struct_name +
+                                ": member order does not match the module's fields");
+      } else {
+        s->set_layout_order(d.member_order);
+        ++stats.reordered;
+      }
+    }
+    if (d.pad_to != 0) {
+      if (d.pad_to < s->size()) {
+        stats.skipped.push_back("struct " + d.struct_name + ": pad " +
+                                std::to_string(d.pad_to) + " below natural size " +
+                                std::to_string(s->size()));
+      } else {
+        s->set_pad_to(d.pad_to);
+        ++stats.padded;
+      }
+    }
+    if (d.align_line) ++stats.aligned;    // workload-mapped (allocator alignment)
+    if (d.prefetch) ++stats.prefetched;   // workload-mapped (prefetch insertion)
+  }
+  return stats;
+}
+
+}  // namespace dsprof::opt

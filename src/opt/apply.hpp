@@ -1,0 +1,37 @@
+// The er_opt applier: map a LayoutPlan onto a scc::Module's StructDefs via
+// the existing layout hooks (set_layout_order / set_pad_to), before any code
+// is generated. Applying is idempotent — the directives describe an absolute
+// layout, not a delta — so applying the same plan twice (or to a rebuilt
+// module) yields byte-identical compiled images.
+//
+// Directives the module cannot honor (unknown struct, member set that does
+// not match) are skipped and reported rather than thrown: a plan produced
+// from one binary may be replayed against a newer build where a struct
+// changed, and the rest of the plan should still land.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "opt/plan.hpp"
+#include "scc/module.hpp"
+
+namespace dsprof::opt {
+
+struct ApplyStats {
+  u32 reordered = 0;   // structs whose member order was changed
+  u32 padded = 0;      // structs padded
+  u32 aligned = 0;     // directives requesting E$-line alignment
+  u32 prefetched = 0;  // directives requesting prefetch insertion
+  /// Human-readable reasons for directives that did not land.
+  std::vector<std::string> skipped;
+
+  bool clean() const { return skipped.empty(); }
+};
+
+/// Apply every directive in `plan` to `m`. Must run before any function
+/// bodies are built (struct sizes are baked into generated code); the
+/// mcfsim BuildOptions::layout_hook guarantees that window.
+ApplyStats apply_plan(scc::Module& m, const LayoutPlan& plan);
+
+}  // namespace dsprof::opt

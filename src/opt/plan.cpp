@@ -1,0 +1,445 @@
+#include "opt/plan.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+#include "opt/affinity.hpp"
+
+namespace dsprof::opt {
+
+namespace {
+
+constexpr const char* kTextHeader = "# dsprof layout plan v1";
+
+u64 next_pow2(u64 v) {
+  u64 p = 1;
+  while (p < v) p <<= 1;
+  return p;
+}
+
+std::string json_escape(const std::string& s) {
+  std::string out;
+  for (char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        out += c;
+    }
+  }
+  return out;
+}
+
+std::vector<std::string> split_ws(const std::string& s) {
+  std::vector<std::string> out;
+  std::istringstream is(s);
+  std::string tok;
+  while (is >> tok) out.push_back(tok);
+  return out;
+}
+
+u64 parse_u64_tok(const std::string& tok, const char* what) {
+  if (tok.empty() || tok[0] == '-') fail(std::string("plan: bad ") + what + ": " + tok);
+  u64 v = 0;
+  for (char c : tok) {
+    if (c < '0' || c > '9') fail(std::string("plan: bad ") + what + ": " + tok);
+    v = v * 10 + static_cast<u64>(c - '0');
+  }
+  return v;
+}
+
+// --- minimal JSON reader (plan schema only) --------------------------------
+
+class JsonReader {
+ public:
+  explicit JsonReader(const std::string& s) : s_(s) {}
+
+  void expect(char c) {
+    skip_ws();
+    if (pos_ >= s_.size() || s_[pos_] != c) {
+      fail(std::string("plan json: expected '") + c + "' at offset " +
+           std::to_string(pos_));
+    }
+    ++pos_;
+  }
+
+  bool try_consume(char c) {
+    skip_ws();
+    if (pos_ < s_.size() && s_[pos_] == c) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+
+  std::string string() {
+    expect('"');
+    std::string out;
+    while (pos_ < s_.size() && s_[pos_] != '"') {
+      char c = s_[pos_++];
+      if (c == '\\') {
+        if (pos_ >= s_.size()) break;
+        const char e = s_[pos_++];
+        switch (e) {
+          case 'n':
+            out += '\n';
+            break;
+          case 't':
+            out += '\t';
+            break;
+          default:
+            out += e;  // \" \\ \/ and anything else: literal
+        }
+      } else {
+        out += c;
+      }
+    }
+    if (pos_ >= s_.size()) fail("plan json: unterminated string");
+    ++pos_;  // closing quote
+    return out;
+  }
+
+  u64 number() {
+    skip_ws();
+    const size_t start = pos_;
+    while (pos_ < s_.size() && s_[pos_] >= '0' && s_[pos_] <= '9') ++pos_;
+    if (pos_ == start) fail("plan json: expected number at offset " + std::to_string(start));
+    return parse_u64_tok(s_.substr(start, pos_ - start), "number");
+  }
+
+  bool boolean() {
+    skip_ws();
+    if (s_.compare(pos_, 4, "true") == 0) {
+      pos_ += 4;
+      return true;
+    }
+    if (s_.compare(pos_, 5, "false") == 0) {
+      pos_ += 5;
+      return false;
+    }
+    fail("plan json: expected boolean at offset " + std::to_string(pos_));
+  }
+
+  void end() {
+    skip_ws();
+    if (pos_ != s_.size()) fail("plan json: trailing data at offset " + std::to_string(pos_));
+  }
+
+ private:
+  void skip_ws() {
+    while (pos_ < s_.size() &&
+           (s_[pos_] == ' ' || s_[pos_] == '\n' || s_[pos_] == '\t' || s_[pos_] == '\r')) {
+      ++pos_;
+    }
+  }
+
+  const std::string& s_;
+  size_t pos_ = 0;
+};
+
+StructDirective json_directive(JsonReader& r) {
+  StructDirective d;
+  r.expect('{');
+  bool first = true;
+  while (!r.try_consume('}')) {
+    if (!first) r.expect(',');
+    first = false;
+    const std::string key = r.string();
+    r.expect(':');
+    if (key == "name") {
+      d.struct_name = r.string();
+    } else if (key == "order") {
+      r.expect('[');
+      while (!r.try_consume(']')) {
+        if (!d.member_order.empty()) r.expect(',');
+        d.member_order.push_back(r.string());
+      }
+    } else if (key == "pad_to") {
+      d.pad_to = r.number();
+    } else if (key == "align_line") {
+      d.align_line = r.boolean();
+    } else if (key == "prefetch") {
+      d.prefetch = r.boolean();
+    } else if (key == "note") {
+      d.note = r.string();
+    } else {
+      fail("plan json: unknown struct key \"" + key + "\"");
+    }
+  }
+  return d;
+}
+
+}  // namespace
+
+const StructDirective* LayoutPlan::find(const std::string& struct_name) const {
+  for (const auto& d : structs) {
+    if (d.struct_name == struct_name) return &d;
+  }
+  return nullptr;
+}
+
+bool LayoutPlan::wants_align() const {
+  return std::any_of(structs.begin(), structs.end(),
+                     [](const StructDirective& d) { return d.align_line; });
+}
+
+std::string plan_to_text(const LayoutPlan& plan) {
+  std::ostringstream os;
+  os << kTextHeader << "\n";
+  if (!plan.metric.empty()) os << "metric " << plan.metric << "\n";
+  if (plan.page_size_hint != 0) os << "pagesize " << plan.page_size_hint << "\n";
+  for (const auto& d : plan.structs) {
+    os << "struct " << d.struct_name << "\n";
+    if (!d.member_order.empty()) {
+      os << "  order";
+      for (const auto& m : d.member_order) os << " " << m;
+      os << "\n";
+    }
+    if (d.pad_to != 0) os << "  pad " << d.pad_to << "\n";
+    if (d.align_line) os << "  align line\n";
+    if (d.prefetch) os << "  prefetch\n";
+    if (!d.note.empty()) os << "  note " << d.note << "\n";
+    os << "end\n";
+  }
+  return os.str();
+}
+
+LayoutPlan plan_from_text(const std::string& text) {
+  LayoutPlan plan;
+  std::istringstream is(text);
+  std::string line;
+  bool saw_header = false;
+  StructDirective cur;
+  bool in_struct = false;
+  size_t lineno = 0;
+  while (std::getline(is, line)) {
+    ++lineno;
+    const auto toks = split_ws(line);
+    if (toks.empty()) continue;
+    if (!saw_header) {
+      if (line.rfind(kTextHeader, 0) != 0) {
+        fail("plan: missing \"" + std::string(kTextHeader) + "\" header");
+      }
+      saw_header = true;
+      continue;
+    }
+    if (toks[0][0] == '#') continue;
+    const auto where = [&] { return " (line " + std::to_string(lineno) + ")"; };
+    if (toks[0] == "struct") {
+      if (in_struct) fail("plan: nested struct" + where());
+      if (toks.size() != 2) fail("plan: struct needs a name" + where());
+      cur = StructDirective{};
+      cur.struct_name = toks[1];
+      in_struct = true;
+    } else if (toks[0] == "end") {
+      if (!in_struct) fail("plan: end outside struct" + where());
+      plan.structs.push_back(std::move(cur));
+      in_struct = false;
+    } else if (toks[0] == "order") {
+      if (!in_struct) fail("plan: order outside struct" + where());
+      if (toks.size() < 2) fail("plan: empty order" + where());
+      cur.member_order.assign(toks.begin() + 1, toks.end());
+    } else if (toks[0] == "pad") {
+      if (!in_struct) fail("plan: pad outside struct" + where());
+      if (toks.size() != 2) fail("plan: pad needs one size" + where());
+      cur.pad_to = parse_u64_tok(toks[1], "pad size");
+    } else if (toks[0] == "align") {
+      if (!in_struct) fail("plan: align outside struct" + where());
+      if (toks.size() != 2 || toks[1] != "line") fail("plan: expected 'align line'" + where());
+      cur.align_line = true;
+    } else if (toks[0] == "prefetch") {
+      if (!in_struct) fail("plan: prefetch outside struct" + where());
+      if (toks.size() != 1) fail("plan: prefetch takes no arguments" + where());
+      cur.prefetch = true;
+    } else if (toks[0] == "note") {
+      if (!in_struct) fail("plan: note outside struct" + where());
+      const size_t at = line.find("note");
+      cur.note = line.substr(at + 5);
+    } else if (toks[0] == "metric") {
+      if (in_struct || toks.size() != 2) fail("plan: bad metric line" + where());
+      plan.metric = toks[1];
+    } else if (toks[0] == "pagesize") {
+      if (in_struct || toks.size() != 2) fail("plan: bad pagesize line" + where());
+      plan.page_size_hint = parse_u64_tok(toks[1], "page size");
+    } else {
+      fail("plan: unknown keyword \"" + toks[0] + "\"" + where());
+    }
+  }
+  if (!saw_header) fail("plan: empty input");
+  if (in_struct) fail("plan: unterminated struct " + cur.struct_name);
+  return plan;
+}
+
+std::string plan_to_json(const LayoutPlan& plan) {
+  std::ostringstream os;
+  os << "{\"version\":1,\"metric\":\"" << json_escape(plan.metric)
+     << "\",\"page_size_hint\":" << plan.page_size_hint << ",\"structs\":[";
+  for (size_t i = 0; i < plan.structs.size(); ++i) {
+    const auto& d = plan.structs[i];
+    if (i) os << ",";
+    os << "{\"name\":\"" << json_escape(d.struct_name) << "\",\"order\":[";
+    for (size_t j = 0; j < d.member_order.size(); ++j) {
+      if (j) os << ",";
+      os << "\"" << json_escape(d.member_order[j]) << "\"";
+    }
+    os << "],\"pad_to\":" << d.pad_to
+       << ",\"align_line\":" << (d.align_line ? "true" : "false")
+       << ",\"prefetch\":" << (d.prefetch ? "true" : "false") << ",\"note\":\""
+       << json_escape(d.note) << "\"}";
+  }
+  os << "]}";
+  return os.str();
+}
+
+LayoutPlan plan_from_json(const std::string& json) {
+  LayoutPlan plan;
+  JsonReader r(json);
+  r.expect('{');
+  bool first = true;
+  while (!r.try_consume('}')) {
+    if (!first) r.expect(',');
+    first = false;
+    const std::string key = r.string();
+    r.expect(':');
+    if (key == "version") {
+      if (r.number() != 1) fail("plan json: unsupported version");
+    } else if (key == "metric") {
+      plan.metric = r.string();
+    } else if (key == "page_size_hint") {
+      plan.page_size_hint = r.number();
+    } else if (key == "structs") {
+      r.expect('[');
+      while (!r.try_consume(']')) {
+        if (!plan.structs.empty()) r.expect(',');
+        plan.structs.push_back(json_directive(r));
+      }
+    } else {
+      fail("plan json: unknown key \"" + key + "\"");
+    }
+  }
+  r.end();
+  return plan;
+}
+
+LayoutPlan plan_layout(const AffinityReport& report, const PlanOptions& opt) {
+  LayoutPlan plan;
+  plan.metric = report.metric_name;
+
+  for (const auto& sr : report.structs) {
+    if (sr.share < opt.min_struct_share) continue;
+    const size_t n = sr.members.size();
+    if (n == 0) continue;
+
+    double wsum = 0;
+    for (const auto& m : sr.members) wsum += m.weight;
+
+    // Hot set: members carrying a meaningful share of the struct's weight.
+    std::vector<size_t> hot;
+    for (size_t i = 0; i < n; ++i) {
+      if (wsum > 0 && sr.members[i].weight >= opt.hot_member_share * wsum) {
+        hot.push_back(i);
+      }
+    }
+
+    // Greedy affinity clustering: seed with the hottest member, then grow by
+    // strongest total affinity to the already-placed prefix. Ties break by
+    // weight, then by current layout position — fully deterministic.
+    std::vector<size_t> order;
+    std::vector<bool> placed(n, false);
+    if (!hot.empty()) {
+      size_t seed = hot[0];
+      for (size_t i : hot) {
+        if (sr.members[i].weight > sr.members[seed].weight) seed = i;
+      }
+      order.push_back(seed);
+      placed[seed] = true;
+      while (order.size() < hot.size()) {
+        size_t best = static_cast<size_t>(-1);
+        double best_aff = -1;
+        for (size_t c : hot) {
+          if (placed[c]) continue;
+          double aff = 0;
+          for (size_t p : order) aff += sr.aff(p, c);
+          const bool better =
+              best == static_cast<size_t>(-1) || aff > best_aff ||
+              (aff == best_aff && sr.members[c].weight > sr.members[best].weight);
+          if (better) {
+            best = c;
+            best_aff = aff;
+          }
+        }
+        order.push_back(best);
+        placed[best] = true;
+      }
+    }
+    for (size_t i = 0; i < n; ++i) {
+      if (!placed[i]) order.push_back(i);  // cold tail keeps layout order
+    }
+
+    StructDirective d;
+    d.struct_name = sr.name;
+    bool reordered = false;
+    for (size_t i = 0; i < n; ++i) {
+      if (order[i] != i) reordered = true;
+    }
+    if (reordered) {
+      for (size_t i : order) d.member_order.push_back(sr.members[i].name);
+    }
+
+    // Pad to the next power of two when the growth is cheap, so padded
+    // objects tile E$ lines instead of straddling them (§3.3: 120 -> 128).
+    u64 padded = sr.size;
+    if (!is_pow2(sr.size)) {
+      const u64 p2 = next_pow2(sr.size);
+      if ((p2 - sr.size) * 100 <= sr.size * opt.max_pad_growth_pct) {
+        d.pad_to = p2;
+        padded = p2;
+      }
+    }
+    // Alignment makes the padding effective for heap arrays: only useful
+    // when whole objects tile the line (or span whole lines).
+    if (sr.heap_resident &&
+        (opt.line_size % padded == 0 || padded % opt.line_size == 0)) {
+      d.align_line = true;
+    }
+    // §4 prefetch feedback, static half: a proven object-by-object sweep can
+    // be prefetched ahead; pointer chases (no resolved stride) cannot.
+    if (sr.strides.streaming) d.prefetch = true;
+
+    std::ostringstream note;
+    note << "hot " << hot.size() << "/" << n << " members, "
+         << static_cast<u64>(sr.share * 100 + 0.5) << "% of " << report.metric_name;
+    if (d.pad_to != 0) note << "; pad " << sr.size << "->" << d.pad_to;
+    if (d.prefetch) note << "; streaming sweep -> prefetch";
+    d.note = note.str();
+
+    if (!d.member_order.empty() || d.pad_to != 0 || d.align_line || d.prefetch) {
+      plan.structs.push_back(std::move(d));
+    }
+  }
+
+  std::sort(plan.structs.begin(), plan.structs.end(),
+            [](const StructDirective& a, const StructDirective& b) {
+              return a.struct_name < b.struct_name;
+            });
+
+  // §3.3 optimization 2: large pages when the hot heap footprint outruns the
+  // DTLB reach (entries * page size).
+  if (opt.dtlb_entries > 0 &&
+      report.pages.heap_pages > opt.dtlb_entries) {
+    plan.page_size_hint = opt.page_hint_size;
+  }
+  return plan;
+}
+
+}  // namespace dsprof::opt

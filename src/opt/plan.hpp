@@ -1,0 +1,105 @@
+// LayoutPlan — the serializable artifact at the center of the er_opt closed
+// loop (paper §3.3, automated): the affinity analyzer reads a profile, the
+// planner emits a LayoutPlan, the applier maps it onto scc::StructDef layout
+// hooks, and the driver re-runs the workload to verify the delta.
+//
+// A plan is deliberately plain data with two interchangeable encodings
+// (line-oriented text for humans and feedback files, JSON for tooling); both
+// round-trip exactly, and directives are kept sorted by struct name so the
+// same analysis always serializes to the same bytes regardless of discovery
+// order or thread count.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "support/common.hpp"
+
+namespace dsprof::opt {
+
+struct AffinityReport;  // affinity.hpp
+
+/// Layout directives for one struct (the paper's two §3.3 fixes plus the
+/// alignment that makes padding effective for heap arrays).
+struct StructDirective {
+  std::string struct_name;
+  /// Full member permutation in the new layout order; empty = keep the
+  /// current order (pad/align-only directive).
+  std::vector<std::string> member_order;
+  /// Pad the struct to this size (0 = no padding directive).
+  u64 pad_to = 0;
+  /// Align heap arrays of this struct to the E$ line (workload-mapped:
+  /// mcf's align_heap_arrays, churn's allocator alignment).
+  bool align_line = false;
+  /// Software-prefetch the streaming sweeps over this struct (workload-
+  /// mapped: mcf's prefetch_arc_scan). Set when the static stride
+  /// cross-check proves an object-by-object sweep — the §4 prefetch
+  /// feedback folded into the loop; pointer chases never get it.
+  bool prefetch = false;
+  /// One-line planner rationale; serialized for the report, ignored by the
+  /// applier.
+  std::string note;
+
+  friend bool operator==(const StructDirective& a, const StructDirective& b) {
+    return a.struct_name == b.struct_name && a.member_order == b.member_order &&
+           a.pad_to == b.pad_to && a.align_line == b.align_line &&
+           a.prefetch == b.prefetch && a.note == b.note;
+  }
+};
+
+struct LayoutPlan {
+  /// Short name of the metric the plan was ranked by ("ecstall").
+  std::string metric;
+  /// Large-page request for the heap (§3.3's -xpagesize_heap; 0 = none).
+  u64 page_size_hint = 0;
+  /// Sorted by struct_name (serialization is deterministic).
+  std::vector<StructDirective> structs;
+
+  bool empty() const { return structs.empty() && page_size_hint == 0; }
+  const StructDirective* find(const std::string& struct_name) const;
+  /// True if any directive asks for E$-line alignment.
+  bool wants_align() const;
+
+  friend bool operator==(const LayoutPlan& a, const LayoutPlan& b) {
+    return a.metric == b.metric && a.page_size_hint == b.page_size_hint &&
+           a.structs == b.structs;
+  }
+};
+
+/// Line-oriented text form ("# dsprof layout plan v1" header). Parse throws
+/// Error on malformed input (unknown keyword, bad number, missing header).
+std::string plan_to_text(const LayoutPlan& plan);
+LayoutPlan plan_from_text(const std::string& text);
+
+/// JSON form (one object, schema {"version":1,"metric":...,"structs":[...]}).
+std::string plan_to_json(const LayoutPlan& plan);
+LayoutPlan plan_from_json(const std::string& json);
+
+/// Planner knobs. Everything is deterministic: ties in the affinity
+/// clustering break by member weight, then by current layout position.
+struct PlanOptions {
+  /// Keep a struct hot enough to plan for when its share of the
+  /// struct-category data-space total reaches this.
+  double min_struct_share = 0.05;
+  /// A member is "hot" (clustered to the front) when it carries at least
+  /// this share of its struct's member weight.
+  double hot_member_share = 0.01;
+  /// E$ line size the pad/align directives target.
+  u64 line_size = 512;
+  /// Pad to the next power of two only when the growth stays within this
+  /// percentage (node: 120 -> 128 is +6.7%).
+  u32 max_pad_growth_pct = 34;
+  /// DTLB geometry for the large-page hint; entries == 0 disables the hint
+  /// (offline plans have no machine to read it from).
+  u32 dtlb_entries = 0;
+  u64 page_hint_size = 512 * 1024;
+};
+
+/// Turn an affinity report into layout directives: greedy co-access
+/// clustering orders each hot struct's members (hottest first, then highest
+/// affinity to the already-placed set), pad-to-power-of-two when cheap, and
+/// E$-line alignment for heap-resident structs whose padded size tiles the
+/// line. Purely a function of the report — no profile re-reads.
+LayoutPlan plan_layout(const AffinityReport& report, const PlanOptions& opt = {});
+
+}  // namespace dsprof::opt

@@ -325,4 +325,26 @@ LoopAnalysis LoopAnalysis::build(const ProgramFacts& pf, const sym::Image& img) 
   return la;
 }
 
+std::vector<StructStride> export_struct_strides(const LoopAnalysis& la,
+                                                const sym::SymbolTable& st) {
+  std::vector<StructStride> out;
+  for (const Loop& loop : la.loops()) {
+    for (const LoopMemRef& ref : loop.mem_refs) {
+      if (ref.is_prefetch) continue;
+      const sym::MemRef* mr = st.memref_for(ref.pc);
+      if (!mr || mr->kind != sym::MemRef::Kind::StructMember) continue;
+      StructStride s;
+      s.sid = mr->aggregate;
+      s.member = mr->member;
+      s.pc = ref.pc;
+      s.function = loop.function;
+      s.loop_depth = loop.depth;
+      s.has_stride = ref.has_stride;
+      s.stride = ref.stride;
+      out.push_back(std::move(s));
+    }
+  }
+  return out;
+}
+
 }  // namespace dsprof::sa

@@ -81,6 +81,22 @@ struct Affine {
   i64 offset = 0;
 };
 
+/// One loop memory reference resolved to a structure member through the
+/// image's hwcprof descriptor, with its static per-iteration stride — the
+/// static half of the er_opt cross-check: a struct whose loop refs stride
+/// by >= its size is swept object-by-object, so member reordering pays;
+/// a ref with no stride is a pointer chase (layout still helps, prefetch
+/// does not).
+struct StructStride {
+  sym::TypeId sid = sym::kInvalidType;
+  u32 member = 0;
+  u64 pc = 0;
+  std::string function;
+  u32 loop_depth = 1;
+  bool has_stride = false;
+  i64 stride = 0;  // bytes per iteration, signed, valid when has_stride
+};
+
 class LoopAnalysis {
  public:
   static LoopAnalysis build(const ProgramFacts& pf, const sym::Image& img);
@@ -103,5 +119,11 @@ class LoopAnalysis {
   std::vector<Loop> loops_;
   bool irreducible_ = false;
 };
+
+/// Flatten loops() into struct-member stride records, in (loop, address)
+/// order — deterministic for a given image. Refs without a StructMember
+/// descriptor are skipped.
+std::vector<StructStride> export_struct_strides(const LoopAnalysis& la,
+                                                const sym::SymbolTable& st);
 
 }  // namespace dsprof::sa

@@ -57,6 +57,9 @@ class Module {
   /// the module (layout may be adjusted until compile time).
   StructDef* add_struct(std::string name);
   StructDef* find_struct(const std::string& name);
+  /// Every declared struct, in declaration order (the opt::apply_plan
+  /// surface: enumerate + mutate layouts before code is built).
+  const std::vector<std::unique_ptr<StructDef>>& structs() const { return structs_; }
 
   u32 add_global(std::string name, Type type, i64 init = 0);
   const std::vector<Global>& globals() const { return globals_; }

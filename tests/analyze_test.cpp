@@ -261,6 +261,44 @@ TEST_F(AnalyzeEndToEnd, PrefetchFeedbackNamesHotReference) {
   EXPECT_EQ(back[0].member, entries[0].member);
 }
 
+TEST(AnalyzeUnits, FeedbackParserSkipsMalformedLines) {
+  // A hand-edited / corrupted feedback file: each bad line is skipped and
+  // counted, never folded into the result as garbage.
+  const std::string text =
+      "# comment\n"
+      "\n"
+      "walk_list 12 pair payload 0.25\n"    // good
+      "walk_list 12 pair payload\n"         // wrong field count (4)
+      "walk_list 12 pair payload 0.25 9\n"  // wrong field count (6)
+      "walk_list xx pair payload 0.25\n"    // non-numeric line
+      "walk_list -2 pair payload 0.25\n"    // negative line
+      "walk_list 12 pair payload nan\n"     // NaN share
+      "walk_list 12 pair payload 1.75\n"    // share outside [0, 1]
+      "walk_list 12 pair payload -0.1\n"    // share outside [0, 1]
+      "scan 3 - - 0.5\n";                   // good (scalar reference)
+  FeedbackParseStats stats;
+  const auto entries = feedback_from_text(text, &stats);
+  ASSERT_EQ(entries.size(), 2u);
+  EXPECT_EQ(stats.parsed, 2u);
+  EXPECT_EQ(stats.skipped, 7u);
+  EXPECT_NE(stats.first_error.find("line 4"), std::string::npos);
+  EXPECT_EQ(entries[0].function, "walk_list");
+  EXPECT_EQ(entries[0].line, 12u);
+  EXPECT_DOUBLE_EQ(entries[0].share, 0.25);
+  EXPECT_EQ(entries[1].struct_name, "");  // "-" maps to empty
+  EXPECT_EQ(entries[1].member, "");
+}
+
+TEST(AnalyzeUnits, FeedbackParserEmptyAndCommentOnly) {
+  FeedbackParseStats stats;
+  EXPECT_TRUE(feedback_from_text("", &stats).empty());
+  EXPECT_EQ(stats.skipped, 0u);
+  EXPECT_TRUE(feedback_from_text("# nothing here\n\n", &stats).empty());
+  EXPECT_EQ(stats.skipped, 0u);
+  // stats pointer is optional.
+  EXPECT_TRUE(feedback_from_text("garbage line\n").empty());
+}
+
 TEST(AnalyzeUnits, DataCatNames) {
   EXPECT_STREQ(data_cat_name(DataCat::Unresolvable), "(Unresolvable)");
   EXPECT_STREQ(data_cat_name(DataCat::Scalars), "<Scalars>");

@@ -35,6 +35,8 @@ void print_usage() {
       "                     plan, apply, re-profile, report deltas\n"
       "  --workload <name>  builtin workload for --run (mcf | mcf-small |\n"
       "                     churn; default mcf-small)\n"
+      "  --hw <spec>        counter spec override for the --run profiling\n"
+      "                     runs; >2 counters are time-multiplexed\n"
       "  --metric <name>    rank metric short name (default ecstall)\n"
       "  --affinity         print the full affinity/hot-line/page report\n"
       "                     in offline mode (always part of --run output)\n"
@@ -63,6 +65,8 @@ int main(int argc, char** argv) {
         run = true;
       } else if (std::strcmp(argv[i], "--workload") == 0 && i + 1 < argc) {
         workload = argv[++i];
+      } else if (std::strcmp(argv[i], "--hw") == 0 && i + 1 < argc) {
+        dopt.hw = argv[++i];
       } else if (std::strcmp(argv[i], "--metric") == 0 && i + 1 < argc) {
         dopt.metric = analyze::metric_by_short_name(argv[++i]);
       } else if (std::strcmp(argv[i], "--affinity") == 0) {

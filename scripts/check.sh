@@ -1,10 +1,11 @@
 #!/usr/bin/env bash
 # Tier-1 verification: build + full test suite, once normally and once under
 # AddressSanitizer (DSPROF_SANITIZE=address), plus three static/dynamic gates:
-#   - clang-tidy over src/sa/, src/opt/, src/collect/, src/obs/, src/serve/,
-#     src/experiment/ and src/analyze/ (skipped with a notice when clang-tidy
-#     is not installed — the reference container does not ship it); src/sa/
-#     and src/opt/ additionally run with WarningsAsErrors on;
+#   - clang-tidy over src/sa/, src/opt/, src/collect/, src/machine/,
+#     src/obs/, src/serve/, src/experiment/ and src/analyze/ (skipped with a
+#     notice when clang-tidy is not installed — the reference container does
+#     not ship it); src/sa/, src/opt/, src/collect/ and src/machine/
+#     additionally run with WarningsAsErrors on;
 #   - `s3verify all`, which lints every built-in compiled image and exits
 #     nonzero on any error-severity diagnostic, plus the attribution-coverage
 #     floor: every hwcprof built-in image must have >= 90% of its reachable
@@ -19,7 +20,11 @@
 #   - the er_opt smoke gate: run the closed feedback loop on the builtin
 #     mcf-small workload and require a positive end-to-end speedup plus a
 #     positive, sampling-significant User-CPU delta (the optimizer must
-#     actually improve the program it claims to improve).
+#     actually improve the program it claims to improve);
+#   - the mpx smoke gate: list_counters --json must advertise the PIC
+#     constraints, and the er_opt loop profiled through a 4-counter
+#     time-multiplexed spec must still find a positive speedup
+#     (bench/multiplex holds the +/-5% renormalization-accuracy bar).
 # Usage:
 #
 #   scripts/check.sh            # both build passes + all gates + benches
@@ -44,25 +49,27 @@ run_pass() {
   ctest --test-dir "${dir}" --output-on-failure -j "${jobs}"
 }
 
-# clang-tidy over the static-analysis, layout-optimizer, collect, obs, serve,
-# experiment and analyze subsystems (the code on the zero-copy fast path and
-# the profiling hot paths, held to the strictest bar). Graceful skip when the
-# tool is absent; any emitted "error:" diagnostic fails the script. src/sa/
-# and src/opt/ — the modules this tree's static analyses and the feedback
-# optimizer live in — run with WarningsAsErrors on; the broader tree keeps
-# warnings advisory so it can adopt the profile incrementally (ROADMAP).
+# clang-tidy over the static-analysis, layout-optimizer, collect, machine,
+# obs, serve, experiment and analyze subsystems (the code on the zero-copy
+# fast path and the profiling hot paths, held to the strictest bar). Graceful
+# skip when the tool is absent; any emitted "error:" diagnostic fails the
+# script. src/sa/, src/opt/, src/collect/ and src/machine/ — the static
+# analyses, the feedback optimizer, and the multiplexing collector/CPU pair —
+# run with WarningsAsErrors on; the broader tree keeps warnings advisory so
+# it can adopt the profile incrementally (ROADMAP).
 run_tidy() {
   local dir="$1"
   if ! command -v clang-tidy >/dev/null 2>&1; then
     echo "== tidy: clang-tidy not installed; skipping (install it or use -DDSPROF_TIDY=ON) =="
     return 0
   fi
-  echo "== tidy: clang-tidy over src/sa/, src/opt/ (warnings-as-errors), src/collect/," \
-       "src/obs/, src/serve/, src/experiment/, src/analyze/ =="
+  echo "== tidy: clang-tidy over src/sa/, src/opt/, src/collect/, src/machine/" \
+       "(warnings-as-errors), src/obs/, src/serve/, src/experiment/, src/analyze/ =="
   cmake -B "${dir}" -S "${repo}" -DCMAKE_EXPORT_COMPILE_COMMANDS=ON >/dev/null
   clang-tidy -p "${dir}" --quiet --warnings-as-errors='*' \
-    "${repo}"/src/sa/*.cpp "${repo}"/src/opt/*.cpp
-  clang-tidy -p "${dir}" --quiet "${repo}"/src/collect/*.cpp "${repo}"/src/obs/*.cpp \
+    "${repo}"/src/sa/*.cpp "${repo}"/src/opt/*.cpp \
+    "${repo}"/src/collect/*.cpp "${repo}"/src/machine/*.cpp
+  clang-tidy -p "${dir}" --quiet "${repo}"/src/obs/*.cpp \
     "${repo}"/src/serve/*.cpp "${repo}"/src/experiment/*.cpp "${repo}"/src/analyze/*.cpp
 }
 
@@ -108,7 +115,7 @@ run_bench() {
     fig4_annotated_disasm fig5_hot_pcs fig6_data_objects fig7_node_expansion
     opt_speedups overhead_hwcprof effectiveness ablation_padding ablation_skid
     prefetch_feedback address_views instance_view pipeline_throughput
-    backtrack_table ingest_throughput dataflow)
+    backtrack_table ingest_throughput dataflow multiplex)
   echo "== bench: run every bench target, collect BENCH_*.json =="
   cmake --build "${dir}" -j "${jobs}" --target "${plain[@]}" bench_er_opt obs_overhead micro_sim
   local b log
@@ -144,9 +151,10 @@ run_bench() {
 run_cli_docs() {
   local dir="$1"
   echo "== cli-docs: docs/CLI.md vs live --help =="
-  cmake --build "${dir}" -j "${jobs}" --target er_print er_opt s3verify dsprofd dsprof_send
+  cmake --build "${dir}" -j "${jobs}" --target er_print er_opt s3verify dsprofd \
+    dsprof_send list_counters
   local bin section flag ok=1
-  for bin in er_print er_opt s3verify dsprofd dsprof_send; do
+  for bin in er_print er_opt s3verify dsprofd dsprof_send list_counters; do
     section="$(awk "/^## ${bin}\$/{f=1;next} /^## /{f=0} f" "${repo}/docs/CLI.md")"
     [[ -n "${section}" ]] || { echo "cli-docs: no '## ${bin}' section in docs/CLI.md"; ok=0; continue; }
     while read -r flag; do
@@ -161,7 +169,37 @@ run_cli_docs() {
                | sed 's/^| `//' | sort -u)
   done
   [[ ${ok} -eq 1 ]] || return 1
-  echo "cli-docs: flag lists match --help for all five binaries"
+  echo "cli-docs: flag lists match --help for all six binaries"
+}
+
+# Multiplexing smoke gate: more than two counters must time-slice end to end.
+# list_counters --json has to advertise the per-counter PIC constraints the
+# set partitioner honors, and the er_opt closed loop profiled through a
+# 4-counter multiplexed spec (three sets on this machine) must still finish
+# and find a positive end-to-end speedup — the renormalized profile has to be
+# good enough to steer the optimizer. bench/multiplex holds the tighter
+# +/-5% accuracy bar in the bench sweep.
+run_mpx_smoke() {
+  local dir="$1"
+  echo "== mpx smoke: 4-counter multiplexed profile must drive the er_opt loop =="
+  cmake --build "${dir}" -j "${jobs}" --target er_opt list_counters
+  local counters out speedup
+  counters="$("${dir}/examples/list_counters" --json)" \
+    || { echo "mpx smoke FAILED: list_counters --json exited nonzero"; return 1; }
+  for field in '"pic_mask":' '"multiplexable":' '"skid_min":'; do
+    grep -qF "${field}" <<<"${counters}" \
+      || { echo "mpx smoke FAILED: list_counters --json lacks ${field}"; return 1; }
+  done
+  out="$("${dir}/examples/er_opt" --run --workload mcf-small \
+           --hw "cycles,100003,+ecstall,on,+ecrm,on,+dtlbm,on" -J)" \
+    || { echo "mpx smoke FAILED: er_opt loop over multiplexed profile exited nonzero"; return 1; }
+  speedup="$(grep -oE '"speedup_pct":-?[0-9.]+' <<<"${out}" | head -1 | cut -d: -f2)"
+  if [[ -z "${speedup}" ]] || ! awk -v s="${speedup}" 'BEGIN { exit (s + 0 > 0) ? 0 : 1 }'; then
+    echo "mpx smoke FAILED: speedup_pct '${speedup:-missing}' not positive"
+    echo "${out}" | tail -1
+    return 1
+  fi
+  echo "mpx smoke: multiplexed 4-counter loop speedup ${speedup}%"
 }
 
 # er_opt smoke gate: the closed feedback loop on the builtin mcf-small
@@ -278,6 +316,7 @@ case "${mode}" in
     run_dsprofd_smoke "${repo}/build" direct
     run_dsprofd_smoke "${repo}/build" queued
     run_er_opt_smoke "${repo}/build"
+    run_mpx_smoke "${repo}/build"
     ;;
   --asan|asan)
     run_pass "asan" "${repo}/build-asan" -DDSPROF_SANITIZE=address
@@ -294,6 +333,7 @@ case "${mode}" in
     run_dsprofd_smoke "${repo}/build" direct
     run_dsprofd_smoke "${repo}/build" queued
     run_er_opt_smoke "${repo}/build"
+    run_mpx_smoke "${repo}/build"
     run_bench "${repo}/build"
     run_pass "asan" "${repo}/build-asan" -DDSPROF_SANITIZE=address
     ;;

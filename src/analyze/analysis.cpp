@@ -1,6 +1,7 @@
 #include "analyze/analysis.hpp"
 
 #include <algorithm>
+#include <cmath>
 #include <cstdio>
 #include <tuple>
 
@@ -53,6 +54,66 @@ Analysis::Analysis(std::vector<const experiment::Experiment*> exps, AnalysisOpti
     }
     if (allocations_.empty()) allocations_ = ex->allocations;
   }
+  compute_scales();
+}
+
+void Analysis::compute_scales() {
+  // Renormalization (paper §2.2 sampling model, extended to time-sliced
+  // counter sets): a multiplexed counter observes only the slices its set
+  // was live, so its sampled aggregates estimate live_cycles worth of the
+  // run. Scaling by total/live — summed across experiments that collected
+  // the metric — extrapolates to the full run. A counter live for the whole
+  // run (every counter of a non-multiplexed experiment, and the clock, which
+  // never rotates) gets exactly 1.0: multiplying a double by 1.0 is
+  // bit-identical, which is what keeps pre-multiplexing outputs byte-exact.
+  std::array<u64, kNumMetrics> tot{};
+  std::array<u64, kNumMetrics> live{};
+  for (const auto* ex : exps_) {
+    mpx_ = mpx_ || ex->multiplexed();
+    if (ex->clock_interval != 0) {
+      tot[kUserCpuMetric] += ex->total_cycles;
+      live[kUserCpuMetric] += ex->total_cycles;
+    }
+    for (const auto& c : ex->counters) {
+      const auto m = static_cast<size_t>(c.event);
+      tot[m] += ex->total_cycles;
+      live[m] += ex->multiplexed() && c.set < ex->slices.size()
+                     ? ex->slices[c.set].live_cycles
+                     : ex->total_cycles;
+    }
+  }
+  for (size_t m = 0; m < kNumMetrics; ++m) {
+    scale_[m] = (live[m] == 0 || tot[m] == live[m])
+                    ? 1.0
+                    : static_cast<double>(tot[m]) / static_cast<double>(live[m]);
+  }
+}
+
+MetricVector Analysis::scaled(const MetricCounts& c) const {
+  MetricVector v{};
+  for (size_t i = 0; i < kNumMetrics; ++i) v[i] = static_cast<double>(c[i]) * scale_[i];
+  return v;
+}
+
+double Analysis::metric_stderr(size_t metric) const {
+  const u64 n = sample_counts()[metric];
+  if (n == 0) return 0.0;
+  u64 interval = 0;
+  for (const auto* ex : exps_) {
+    if (metric == kUserCpuMetric) {
+      interval = ex->clock_interval;
+    } else {
+      for (const auto& c : ex->counters) {
+        if (static_cast<size_t>(c.event) == metric) {
+          interval = c.interval;
+          break;
+        }
+      }
+    }
+    if (interval != 0) break;
+  }
+  return scale_[metric] * static_cast<double>(interval) *
+         std::sqrt(static_cast<double>(n));
 }
 
 Analysis::Analysis(const experiment::Experiment& ex, ReductionResult precomputed,
@@ -61,16 +122,16 @@ Analysis::Analysis(const experiment::Experiment& ex, ReductionResult precomputed
   // The dsprofd snapshot path: adopt the live aggregates of an
   // IncrementalReducer instead of re-reducing on first view access.
   r_ = std::make_unique<ReductionResult>(std::move(precomputed));
-  total_ = to_metric_vector(r_->total);
-  data_total_ = to_metric_vector(r_->data_total);
+  total_ = scaled(r_->total);
+  data_total_ = scaled(r_->data_total);
 }
 
 const ReductionResult& Analysis::reduce_locked() const {
   if (!r_) {
     r_ = std::make_unique<ReductionResult>(
         Reduction::run(exps_, opt_.threads, opt_.engine));
-    total_ = to_metric_vector(r_->total);
-    data_total_ = to_metric_vector(r_->data_total);
+    total_ = scaled(r_->total);
+    data_total_ = scaled(r_->data_total);
   }
   return *r_;
 }
@@ -107,7 +168,7 @@ const std::vector<Analysis::FunctionRow>& Analysis::functions(size_t sort_metric
   std::vector<FunctionRow> rows;
   rows.reserve(r.func.size());
   for (const auto& e : r.func.entries()) {
-    rows.push_back({func_name(static_cast<u32>(e.key)), to_metric_vector(e.value)});
+    rows.push_back({func_name(static_cast<u32>(e.key)), scaled(e.value)});
   }
   std::sort(rows.begin(), rows.end(), [&](const FunctionRow& a, const FunctionRow& b) {
     if (a.mv[sort_metric] != b.mv[sort_metric]) return a.mv[sort_metric] > b.mv[sort_metric];
@@ -125,7 +186,7 @@ const std::vector<Analysis::FunctionRow>& Analysis::functions_inclusive(
   std::vector<FunctionRow> rows;
   rows.reserve(r.incl.size());
   for (const auto& e : r.incl.entries()) {
-    rows.push_back({func_name(static_cast<u32>(e.key)), to_metric_vector(e.value)});
+    rows.push_back({func_name(static_cast<u32>(e.key)), scaled(e.value)});
   }
   std::sort(rows.begin(), rows.end(), [&](const FunctionRow& a, const FunctionRow& b) {
     if (a.mv[sort_metric] != b.mv[sort_metric]) return a.mv[sort_metric] > b.mv[sort_metric];
@@ -143,7 +204,7 @@ const std::vector<Analysis::EdgeRow>& Analysis::callers_of(const std::string& fu
   for (const auto& e : r.edge.entries()) {
     const u32 callee = static_cast<u32>(e.key & 0xffffffffu);
     if (func_name(callee) == function) {
-      rows.push_back({func_name(static_cast<u32>(e.key >> 32)), to_metric_vector(e.value)});
+      rows.push_back({func_name(static_cast<u32>(e.key >> 32)), scaled(e.value)});
     }
   }
   std::sort(rows.begin(), rows.end(),
@@ -161,7 +222,7 @@ const std::vector<Analysis::EdgeRow>& Analysis::callees_of(const std::string& fu
     const u32 caller = static_cast<u32>(e.key >> 32);
     if (func_name(caller) == function) {
       rows.push_back(
-          {func_name(static_cast<u32>(e.key & 0xffffffffu)), to_metric_vector(e.value)});
+          {func_name(static_cast<u32>(e.key & 0xffffffffu)), scaled(e.value)});
     }
   }
   std::sort(rows.begin(), rows.end(),
@@ -177,7 +238,7 @@ const std::vector<Analysis::PcRow>& Analysis::pcs(size_t sort_metric) const {
   std::vector<PcRow> rows;
   rows.reserve(r.pc.size());
   for (const auto& e : r.pc.entries()) {
-    rows.push_back({e.key >> 1, (e.key & 1) != 0, to_metric_vector(e.value)});
+    rows.push_back({e.key >> 1, (e.key & 1) != 0, scaled(e.value)});
   }
   std::sort(rows.begin(), rows.end(), [&](const PcRow& a, const PcRow& b) {
     if (a.mv[sort_metric] != b.mv[sort_metric]) return a.mv[sort_metric] > b.mv[sort_metric];
@@ -226,7 +287,7 @@ const std::vector<Analysis::LineRow>& Analysis::annotated_source(
       LineRow row;
       row.line = line;
       if (const std::string* text = st.source_text(line)) row.text = *text;
-      if (const MetricCounts* c = r.line.find(line)) row.mv = to_metric_vector(*c);
+      if (const MetricCounts* c = r.line.find(line)) row.mv = scaled(*c);
       rows.push_back(std::move(row));
     }
   }
@@ -256,7 +317,7 @@ const std::vector<Analysis::DisasmRow>& Analysis::annotated_disassembly(
         row.artificial = true;
         row.line = st.line_for(pc).value_or(0);
         row.text = "<branch target>";
-        if (const MetricCounts* c = r.pc.find((pc << 1) | 1)) row.mv = to_metric_vector(*c);
+        if (const MetricCounts* c = r.pc.find((pc << 1) | 1)) row.mv = scaled(*c);
         rows.push_back(std::move(row));
       }
     }
@@ -266,7 +327,7 @@ const std::vector<Analysis::DisasmRow>& Analysis::annotated_disassembly(
     const u64 idx = (pc - image_->text_base) / 4;
     row.text = isa::disassemble(isa::decode(image_->text_words[idx]), pc);
     row.data_annot = st.memref_string(pc);
-    if (const MetricCounts* c = r.pc.find(pc << 1)) row.mv = to_metric_vector(*c);
+    if (const MetricCounts* c = r.pc.find(pc << 1)) row.mv = scaled(*c);
     rows.push_back(std::move(row));
   }
   return disasm_cache_.emplace(function, std::move(rows)).first->second;
@@ -286,7 +347,7 @@ const std::vector<Analysis::DataObjectRow>& Analysis::data_objects(size_t sort_m
     DataObjectRow row;
     row.cat = static_cast<DataCat>(e.key >> 32);
     row.sid = static_cast<sym::TypeId>(e.key & 0xffffffffu);
-    row.mv = to_metric_vector(e.value);
+    row.mv = scaled(e.value);
     if (row.cat == DataCat::Struct) {
       row.name = image_->symtab.types().aggregate_string(row.sid);
     } else {
@@ -320,7 +381,7 @@ const std::vector<Analysis::MemberRow>& Analysis::members(const std::string& str
     row.name = "+" + std::to_string(mem.offset) + ". {" + tt.type_string(mem.type) + " " +
                mem.name + "}";
     if (const MetricCounts* c = r.member.find((u64{sid} << 32) | m)) {
-      row.mv = to_metric_vector(*c);
+      row.mv = scaled(*c);
     }
     rows.push_back(std::move(row));
   }
@@ -340,10 +401,12 @@ const std::vector<Analysis::EffectivenessRow>& Analysis::effectiveness() const {
     row.metric = metric;
     for (const auto& e : r.data.entries()) {
       const auto cat = static_cast<DataCat>(e.key >> 32);
-      row.total += static_cast<double>(e.value[metric]);
+      // Scaled like every other view; the effectiveness ratio itself is
+      // scale-invariant (numerator and denominator share the factor).
+      row.total += static_cast<double>(e.value[metric]) * scale_[metric];
       if (cat == DataCat::Unresolvable || cat == DataCat::Unascertainable ||
           cat == DataCat::Unverifiable) {
-        row.unresolved += static_cast<double>(e.value[metric]);
+        row.unresolved += static_cast<double>(e.value[metric]) * scale_[metric];
       }
     }
     if (row.total > 0) rows.push_back(row);
@@ -373,7 +436,7 @@ const std::vector<Analysis::AddrRow>& Analysis::segments() const {
   const ReductionResult& r = reduce_locked();
   std::map<std::string, MetricVector> acc;
   for (const auto& s : r.ea_samples) {
-    add_to(acc[classify_segment(*image_, s.ea)], s.metric, s.w);
+    add_to(acc[classify_segment(*image_, s.ea)], s.metric, s.w * scale_[s.metric]);
   }
   std::vector<AddrRow> rows;
   for (const auto& [name, mv] : acc) rows.push_back({name, 0, mv});
@@ -388,7 +451,9 @@ const std::vector<Analysis::AddrRow>& Analysis::pages(size_t sort_metric, size_t
   if (it != pages_cache_.end()) return it->second;
   const ReductionResult& r = reduce_locked();
   std::map<u64, MetricVector> acc;
-  for (const auto& s : r.ea_samples) add_to(acc[s.ea / page_size_ * page_size_], s.metric, s.w);
+  for (const auto& s : r.ea_samples) {
+    add_to(acc[s.ea / page_size_ * page_size_], s.metric, s.w * scale_[s.metric]);
+  }
   std::vector<AddrRow> rows;
   for (const auto& [page, mv] : acc) {
     char buf[32];
@@ -411,7 +476,7 @@ const std::vector<Analysis::AddrRow>& Analysis::cache_lines(size_t sort_metric,
   const ReductionResult& r = reduce_locked();
   std::map<u64, MetricVector> acc;
   for (const auto& s : r.ea_samples) {
-    add_to(acc[s.ea / ec_line_size_ * ec_line_size_], s.metric, s.w);
+    add_to(acc[s.ea / ec_line_size_ * ec_line_size_], s.metric, s.w * scale_[s.metric]);
   }
   std::vector<AddrRow> rows;
   for (const auto& [line, mv] : acc) {
@@ -464,7 +529,8 @@ const std::vector<Analysis::InstanceRow>& Analysis::instances(size_t sort_metric
       if (ub == allocs.begin()) continue;
       --ub;
       if (s.ea >= ub->addr && s.ea < ub->addr + ub->size) {
-        add_to(acc[static_cast<size_t>(ub - allocs.begin())], s.metric, s.w);
+        add_to(acc[static_cast<size_t>(ub - allocs.begin())], s.metric,
+               s.w * scale_[s.metric]);
       }
     }
     for (const auto& [idx, mv] : acc) {
@@ -495,9 +561,11 @@ const std::vector<Analysis::AccessSample>& Analysis::member_accesses() const {
     const experiment::Experiment& ex = *exps_[x];
     const sym::SymbolTable& st = ex.image.symtab;
     if (!st.hwcprof() || !st.has_branch_targets()) continue;
-    std::array<bool, machine::kNumPics> bt{};
+    // Backtracking keyed by event, not register: multiplexed sets share
+    // registers across time slices (reduction.cpp documents the keying).
+    std::array<bool, machine::kNumHwEvents> bt{};
     for (const auto& spec : ex.counters) {
-      if (spec.pic < machine::kNumPics) bt[spec.pic] = spec.backtrack;
+      bt[static_cast<size_t>(spec.event)] = spec.backtrack;
     }
     const experiment::EventStore& ev = ex.events;
     const auto pic = ev.pic_col();
@@ -511,7 +579,7 @@ const std::vector<Analysis::AccessSample>& Analysis::member_accesses() const {
     const auto cs_len = ev.cs_len_col();
     for (size_t i = 0, n = ev.size(); i < n; ++i) {
       const u8 p = pic[i];
-      if (p >= machine::kNumPics || !bt[p]) continue;
+      if (p >= machine::kNumPics || !bt[static_cast<size_t>(event[i])]) continue;
       const u8 f = flags[i];
       if ((f & experiment::EventStore::kHasCandidate) == 0) continue;
       // The reduction's validation rule verbatim: a branch target between

@@ -97,6 +97,28 @@ class Analysis {
   /// Which metrics have any data.
   const std::array<bool, kNumMetrics>& present() const;
 
+  // --- multiplexing renormalization -----------------------------------------
+  /// True when any analyzed experiment time-sliced its counters across more
+  /// than one set. Every metric view is then renormalized: a counter that was
+  /// live for only live_cycles of total_cycles had its aggregates scaled by
+  /// total/live to estimate full-run counts.
+  bool multiplexed() const { return mpx_; }
+  /// The scale applied to `metric`'s aggregates. Exactly 1.0 for a metric
+  /// whose counter was live for the whole run — in particular for every
+  /// metric of a non-multiplexed experiment, where scaling by 1.0 leaves the
+  /// doubles bit-identical to the unscaled pipeline.
+  double metric_scale(size_t metric) const { return scale_[metric]; }
+  /// Standard error of `metric`'s scaled total under the sampling model: the
+  /// total is a sum of n samples of weight `interval`, so its error is
+  /// ~ scale * interval * sqrt(n) (clock samples use the clock interval).
+  double metric_stderr(size_t metric) const;
+  /// Convert raw integer aggregates to a rendered MetricVector, applying the
+  /// per-metric multiplexing scale. The single conversion point every view
+  /// goes through — renormalization happens here, never inside the integer
+  /// reduction (which stays exact and engine-agnostic). Public so report
+  /// renderers that read reduction aggregates directly share the scaling.
+  MetricVector scaled(const MetricCounts& c) const;
+
   /// Grand totals per metric (the <Total> pseudo-function).
   const MetricVector& total() const;
   /// Data-space grand totals (clock samples carry no data metrics).
@@ -252,6 +274,7 @@ class Analysis {
   /// The reduction body; callers must hold mu_.
   const ReductionResult& reduce_locked() const;
   const std::string& func_name(u32 id) const;
+  void compute_scales();
 
   std::vector<const experiment::Experiment*> exps_;
   AnalysisOptions opt_;
@@ -262,6 +285,10 @@ class Analysis {
   u64 page_size_ = 8192;
   u64 ec_line_size_ = 512;
   std::vector<machine::AllocRecord> allocations_;
+  /// Per-metric renormalization scales (all exactly 1.0 unless some
+  /// experiment multiplexed), fixed at construction from the slice tables.
+  std::array<double, kNumMetrics> scale_{};
+  bool mpx_ = false;
 
   // Guards the lazy reduction and every memoized view below: two threads
   // triggering the first view access race on r_ and the caches otherwise

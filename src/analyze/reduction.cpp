@@ -69,13 +69,17 @@ struct AttrOutcomes {
   }
 };
 
-/// Immutable fold context: which events, which symbols, which PICs were
+/// Immutable fold context: which events, which symbols, which counters were
 /// collected with apropos backtracking. Built per experiment by the offline
-/// engines and per session by the IncrementalReducer.
+/// engines and per session by the IncrementalReducer. Backtracking is keyed
+/// by event, not by PIC register: a multiplexed run time-slices several
+/// counter sets onto the same registers, so a register number no longer
+/// identifies a counter spec (for a single always-live set the two keyings
+/// are equivalent — at most one spec per register).
 struct FoldContext {
   const EventStore* events = nullptr;
   const sym::SymbolTable* symtab = nullptr;
-  std::array<bool, machine::kNumPics> backtrack_by_pic{};
+  std::array<bool, machine::kNumHwEvents> backtrack_by_event{};
 };
 
 FoldContext context_of(const Experiment& ex) {
@@ -83,7 +87,7 @@ FoldContext context_of(const Experiment& ex) {
   c.events = &ex.events;
   c.symtab = &ex.image.symtab;
   for (const auto& spec : ex.counters) {
-    if (spec.pic < machine::kNumPics) c.backtrack_by_pic[spec.pic] = spec.backtrack;
+    c.backtrack_by_event[static_cast<size_t>(spec.event)] = spec.backtrack;
   }
   return c;
 }
@@ -157,7 +161,7 @@ void fold_event(ReductionResult& r, std::vector<u32>& frames, const FoldContext&
   const bool has_candidate = (flags & EventStore::kHasCandidate) != 0;
   const bool has_ea = (flags & EventStore::kHasEa) != 0;
   const u64 candidate_pc = ev.candidate_pc_col()[i];
-  const bool backtracked = pic < machine::kNumPics && ctx.backtrack_by_pic[pic];
+  const bool backtracked = pic < machine::kNumPics && ctx.backtrack_by_event[metric];
 
   auto data_bucket = [&](u8 cat, u32 sid) {
     add_counts(r.data, data_key(cat, sid), metric, w);
@@ -362,7 +366,8 @@ void baseline_fold_event(BaselineState& bs, const FoldContext& ctx, size_t i) {
   bs.present[metric] = true;
   add_to(bs.total, metric, w);
 
-  const bool backtracked = e.pic < machine::kNumPics && ctx.backtrack_by_pic[e.pic];
+  const bool backtracked =
+      e.pic < machine::kNumPics && ctx.backtrack_by_event[static_cast<size_t>(e.event)];
   auto data_bucket = [&](u8 cat, u32 sid) {
     add_to(bs.data_map[{cat, sid}], metric, w);
     add_to(bs.data_total, metric, w);
@@ -476,13 +481,13 @@ ReductionResult reduce_baseline(const std::vector<FoldContext>& ctxs, u32 unknow
 
 class RadixFolder {
  public:
-  /// Bind a fold context (symbol table + per-PIC backtrack flags). Resets
+  /// Bind a fold context (symbol table + per-event backtrack flags). Resets
   /// every cache: decisions depend on both, so a folder is rebound at
   /// experiment boundaries.
   void bind(const sym::SymbolTable* symtab,
-            const std::array<bool, machine::kNumPics>& backtrack_by_pic, u32 unknown_id) {
+            const std::array<bool, machine::kNumHwEvents>& backtrack_by_event, u32 unknown_id) {
     st_ = symtab;
-    backtrack_by_pic_ = backtrack_by_pic;
+    backtrack_by_event_ = backtrack_by_event;
     unknown_id_ = unknown_id;
     dec_slots_.clear();
     decs_.clear();
@@ -612,7 +617,7 @@ class RadixFolder {
       set_code(del, false);
     } else {
       d.metric = static_cast<u8>((meta >> 8) & 0xff);
-      const bool backtracked = pic < machine::kNumPics && backtrack_by_pic_[pic];
+      const bool backtracked = pic < machine::kNumPics && backtrack_by_event_[d.metric];
       if (!backtracked || !has_candidate) {
         d.outcome = kOutNoCandidate;
         set_code(del, false);
@@ -818,7 +823,7 @@ class RadixFolder {
   }
 
   const sym::SymbolTable* st_ = nullptr;
-  std::array<bool, machine::kNumPics> backtrack_by_pic_{};
+  std::array<bool, machine::kNumHwEvents> backtrack_by_event_{};
   u32 unknown_id_ = 0;
 
   // Decision cache: lives from bind() to bind().
@@ -978,7 +983,7 @@ ReductionResult reduce_radix(const std::vector<FoldContext>& ctxs, u32 unknown_i
     while (g < hi) {
       while (prefix[e + 1] <= g) ++e;
       const size_t seg_end = std::min(hi, prefix[e + 1]);
-      folder.bind(ctxs[e].symtab, ctxs[e].backtrack_by_pic, unknown_id);
+      folder.bind(ctxs[e].symtab, ctxs[e].backtrack_by_event, unknown_id);
       folder.fold(p.r, *ctxs[e].events, g - prefix[e], seg_end - prefix[e], oc);
       g = seg_end;
     }
@@ -1066,12 +1071,12 @@ IncrementalReducer::IncrementalReducer(const sym::SymbolTable& symtab,
                                        const std::vector<experiment::CounterSpec>& counters)
     : symtab_(&symtab), folder_(std::make_unique<RadixFolder>()) {
   for (const auto& spec : counters) {
-    if (spec.pic < machine::kNumPics) backtrack_by_pic_[spec.pic] = spec.backtrack;
+    backtrack_by_event_[static_cast<size_t>(spec.event)] = spec.backtrack;
   }
   unknown_id_ = static_cast<u32>(symtab.functions().size());
   // One bind for the reducer's lifetime: the symbol table and backtrack
   // flags are fixed per session, so the decision cache warms across batches.
-  folder_->bind(symtab_, backtrack_by_pic_, unknown_id_);
+  folder_->bind(symtab_, backtrack_by_event_, unknown_id_);
   // func_names exactly as Reduction::run fills them, so a snapshot
   // ReductionResult is indistinguishable from an offline one.
   r_.func_names.reserve(symtab.functions().size() + 1);

@@ -157,7 +157,7 @@ class RadixFolder;
 /// views from while folding continues.
 class IncrementalReducer {
  public:
-  /// `symtab` must outlive the reducer. `counters` supplies the per-PIC
+  /// `symtab` must outlive the reducer. `counters` supplies the per-event
   /// backtracking flags exactly as an Experiment's counter specs would.
   IncrementalReducer(const sym::SymbolTable& symtab,
                      const std::vector<experiment::CounterSpec>& counters);
@@ -182,7 +182,7 @@ class IncrementalReducer {
 
  private:
   const sym::SymbolTable* symtab_;
-  std::array<bool, machine::kNumPics> backtrack_by_pic_{};
+  std::array<bool, machine::kNumHwEvents> backtrack_by_event_{};
   u32 unknown_id_ = 0;
   ReductionResult r_;
   std::unique_ptr<RadixFolder> folder_;  // persistent decision/path caches

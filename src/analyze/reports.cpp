@@ -66,6 +66,21 @@ bool any_metric(const MetricVector& mv) {
   return false;
 }
 
+/// Renormalization note for a multiplexed run: one line per scaled metric,
+/// "(Scaled ×1.97, ±1,234,567 se)". Empty (so every report is byte-identical
+/// to the pre-multiplexing output) when nothing was scaled.
+std::string mpx_note(const Analysis& a) {
+  if (!a.multiplexed()) return "";
+  std::ostringstream os;
+  os << "Counter multiplexing: metrics renormalized by per-set live time:\n";
+  for (size_t m : present_columns(a)) {
+    if (a.metric_scale(m) == 1.0) continue;
+    os << "  " << metric_name(m) << "  (Scaled x" << fmt_fixed(a.metric_scale(m), 2)
+       << ", +/-" << fmt_count(static_cast<u64>(a.metric_stderr(m))) << " se)\n";
+  }
+  return os.str();
+}
+
 }  // namespace
 
 std::string render_overview(const Analysis& a) {
@@ -109,6 +124,7 @@ std::string render_overview(const Analysis& a) {
          fmt_fixed(a.seconds(est_cycles), 3) + " secs. (" +
              fmt_percent(est_cycles / static_cast<double>(a.run_cycles())) + " % of run)");
   }
+  os << mpx_note(a);
   return os.str();
 }
 
@@ -135,7 +151,7 @@ std::string render_function_list(const Analysis& a) {
   for (const auto& f : a.functions(sort)) {
     if (any_metric(f.mv)) add(f.name, f.mv);
   }
-  return table.render();
+  return table.render() + mpx_note(a);
 }
 
 std::string render_callers_callees(const Analysis& a, const std::string& function) {
@@ -392,6 +408,23 @@ std::string render_json_report(const Analysis& a, u64 dropped_events) {
   os << ",\"dropped_events\":" << dropped_events;
   os << ",\"totals\":" << json_metrics(a.total(), cols);
   os << ",\"data_totals\":" << json_metrics(a.data_total(), cols);
+  if (a.multiplexed()) {
+    // Per-metric renormalization factors and standard errors. The field is
+    // emitted only for multiplexed runs, keeping non-multiplexed -J output
+    // byte-identical to the pre-multiplexing schema.
+    os << ",\"mpx\":{";
+    bool mfirst = true;
+    for (size_t m : cols) {
+      if (!mfirst) os << ",";
+      mfirst = false;
+      char scale_buf[32], se_buf[32];
+      std::snprintf(scale_buf, sizeof scale_buf, "%.6g", a.metric_scale(m));
+      std::snprintf(se_buf, sizeof se_buf, "%.6g", a.metric_stderr(m));
+      os << "\"" << metric_short_name(m) << "\":{\"scale\":" << scale_buf
+         << ",\"se\":" << se_buf << "}";
+    }
+    os << "}";
+  }
 
   os << ",\"functions\":[";
   bool first = true;
@@ -426,7 +459,7 @@ std::string render_json_report(const Analysis& a, u64 dropped_events) {
     std::vector<std::pair<u64, MetricVector>> lines;
     lines.reserve(a.reduce().line.size());
     for (const auto& e : a.reduce().line.entries())
-      lines.emplace_back(e.key, to_metric_vector(e.value));
+      lines.emplace_back(e.key, a.scaled(e.value));
     std::sort(lines.begin(), lines.end(),
               [](const auto& x, const auto& y) { return x.first < y.first; });
     first = true;

@@ -45,6 +45,11 @@ u64 overflow_interval(HwEvent ev, const std::string& rate) {
 }
 
 std::vector<experiment::CounterSpec> parse_counter_spec(const std::string& spec) {
+  return parse_counter_spec(spec, /*multiplex=*/false);
+}
+
+std::vector<experiment::CounterSpec> parse_counter_spec(const std::string& spec,
+                                                        bool multiplex) {
   std::vector<experiment::CounterSpec> out;
   if (spec.empty()) return out;
   // Tokenize on commas: name,rate pairs.
@@ -62,13 +67,18 @@ std::vector<experiment::CounterSpec> parse_counter_spec(const std::string& spec)
   DSP_CHECK(tok.size() % 2 == 0, "counter spec must be comma-separated name,rate pairs "
                                  "(e.g. '+ecstall,on,+ecrm,hi'), got an odd token in: " +
                                      spec);
-  DSP_CHECK(tok.size() / 2 <= machine::kNumPics,
-            "at most " + std::to_string(machine::kNumPics) +
-                " hardware counters can be collected at once (" +
-                std::to_string(machine::kNumPics) + " PIC registers), got " +
-                std::to_string(tok.size() / 2) + " in: " + spec);
+  if (!multiplex) {
+    DSP_CHECK(tok.size() / 2 <= machine::kNumPics,
+              "at most " + std::to_string(machine::kNumPics) +
+                  " hardware counters can be collected at once (" +
+                  std::to_string(machine::kNumPics) + " PIC registers), got " +
+                  std::to_string(tok.size() / 2) + " in: " + spec);
+  }
 
-  std::string pic_owner[machine::kNumPics];  // counter name that claimed each register
+  // Pass 1: resolve names, rates, backtracking requests; reject duplicates
+  // (two specs for one event would race for the same overflow stream —
+  // meaningless with or without multiplexing).
+  std::array<bool, machine::kNumHwEvents> seen{};
   for (size_t i = 0; i < tok.size(); i += 2) {
     std::string name = tok[i];
     DSP_CHECK(!name.empty(), "empty counter name in spec: " + spec);
@@ -82,32 +92,84 @@ std::vector<experiment::CounterSpec> parse_counter_spec(const std::string& spec)
                   "': a single '+' requests apropos backtracking");
     DSP_CHECK(!name.empty(), "missing counter name after '+' in spec: " + spec);
     c.event = machine::hw_event_by_name(name);
+    DSP_CHECK(!seen[static_cast<size_t>(c.event)],
+              "duplicate counter '" + name + "' in spec: " + spec);
+    seen[static_cast<size_t>(c.event)] = true;
     c.interval = overflow_interval(c.event, tok[i + 1]);
-    const HwEventInfo& info = machine::hw_event_info(c.event);
-    bool placed = false;
+    out.push_back(c);
+  }
+
+  // Pass 2: assign registers. Each set holds at most one counter per PIC
+  // register, honoring each event's pic_mask. First-fit into the lowest
+  // feasible free register, with (under multiplexing) a one-level augmenting
+  // swap — moving an already-placed counter to its other feasible register —
+  // before giving up on a set. With two registers the swap makes the greedy
+  // exact: a set rejects a counter only when no assignment exists. Without
+  // multiplexing there is a single set and a rejection is a hard error.
+  struct SetState {
+    std::array<int, machine::kNumPics> owner;  // counter index, -1 = free
+  };
+  std::vector<SetState> sets;
+  auto try_place = [&](size_t ci, SetState& s) {
+    const u8 mask = machine::hw_event_info(out[ci].event).pic_mask;
     for (unsigned pic = 0; pic < machine::kNumPics; ++pic) {
-      if ((info.pic_mask & (1u << pic)) && pic_owner[pic].empty()) {
-        pic_owner[pic] = name;
-        c.pic = pic;
-        placed = true;
-        break;
+      if ((mask & (1u << pic)) && s.owner[pic] < 0) {
+        s.owner[pic] = static_cast<int>(ci);
+        out[ci].pic = pic;
+        return true;
       }
     }
-    if (!placed) {
-      // Name the conflicting assignment precisely (as on real hardware,
-      // where the event->register constraints are fixed).
-      std::string taken;
-      for (unsigned pic = 0; pic < machine::kNumPics; ++pic) {
-        if (info.pic_mask & (1u << pic)) {
-          if (!taken.empty()) taken += ", ";
-          taken += "PIC" + std::to_string(pic) + " already counts '" + pic_owner[pic] + "'";
+    for (unsigned pic = 0; pic < machine::kNumPics; ++pic) {
+      if (!(mask & (1u << pic))) continue;
+      const size_t occ = static_cast<size_t>(s.owner[pic]);
+      const u8 omask = machine::hw_event_info(out[occ].event).pic_mask;
+      for (unsigned other = 0; other < machine::kNumPics; ++other) {
+        if (other != pic && (omask & (1u << other)) && s.owner[other] < 0) {
+          s.owner[other] = static_cast<int>(occ);
+          out[occ].pic = other;
+          s.owner[pic] = static_cast<int>(ci);
+          out[ci].pic = pic;
+          return true;
         }
       }
-      fail("counter '" + name + "' cannot be scheduled: " + taken +
-           " (each counter needs its own PIC register; see list_counters() for "
-           "each event's register constraints)");
     }
-    out.push_back(c);
+    return false;
+  };
+  for (size_t ci = 0; ci < out.size(); ++ci) {
+    bool placed = false;
+    for (size_t si = 0; si < sets.size() && !placed; ++si) {
+      if (try_place(ci, sets[si])) {
+        out[ci].set = static_cast<unsigned>(si);
+        placed = true;
+      }
+    }
+    if (placed) continue;
+    if (multiplex || sets.empty()) {
+      // Open a new set; placement into an empty set always succeeds (every
+      // event's pic_mask names at least one register).
+      SetState fresh;
+      fresh.owner.fill(-1);
+      sets.push_back(fresh);
+      DSP_CHECK(try_place(ci, sets.back()), "internal: empty set rejected a counter");
+      out[ci].set = static_cast<unsigned>(sets.size() - 1);
+      continue;
+    }
+    // Name the conflicting assignment precisely (as on real hardware,
+    // where the event->register constraints are fixed).
+    const HwEventInfo& info = machine::hw_event_info(out[ci].event);
+    std::string taken;
+    for (unsigned pic = 0; pic < machine::kNumPics; ++pic) {
+      if (info.pic_mask & (1u << pic)) {
+        if (!taken.empty()) taken += ", ";
+        const size_t occ = static_cast<size_t>(sets[0].owner[pic]);
+        taken += "PIC" + std::to_string(pic) + " already counts '" +
+                 machine::hw_event_info(out[occ].event).name + "'";
+      }
+    }
+    fail("counter '" + std::string(machine::hw_event_info(out[ci].event).name) +
+         "' cannot be scheduled: " + taken +
+         " (each counter needs its own PIC register; see list_counters() for "
+         "each event's register constraints)");
   }
   return out;
 }
@@ -130,9 +192,11 @@ std::string list_counters() {
 
 Collector::Collector(const sym::Image& image, CollectOptions opt)
     : image_(image), opt_(std::move(opt)) {
-  counters_ = parse_counter_spec(opt_.hw);
+  counters_ = parse_counter_spec(opt_.hw, /*multiplex=*/opt_.mpx_slice_cycles != 0);
   for (const auto& c : counters_) {
-    if (c.pic < machine::kNumPics) backtrack_by_pic_[c.pic] = c.backtrack;
+    backtrack_by_event_[static_cast<size_t>(c.event)] = c.backtrack;
+    set_by_event_[static_cast<size_t>(c.event)] = static_cast<u8>(c.set);
+    num_sets_ = std::max(num_sets_, c.set + 1);
   }
   if (opt_.clock != "off" && !opt_.clock.empty()) {
     clock_interval_ = overflow_interval(HwEvent::Cycle_cnt, opt_.clock);
@@ -250,15 +314,47 @@ void Collector::on_overflow(const machine::OverflowDelivery& d) {
   // words are interned into the store's shared arena.
   static const obs::Counter kOverflows = obs::counter("collect.overflows");
   kOverflows.add();
+  const bool clock_sample = d.pic == machine::kClockPic;
   sa::BacktrackAnswer r;
-  if (d.pic != machine::kClockPic && backtrack_by_pic_[d.pic]) {
+  if (!clock_sample && backtrack_by_event_[static_cast<size_t>(d.event)]) {
     r = backtrack(d);
   }
+  // Stamp the event with its counter set. A hardware overflow belongs to the
+  // set that configured its event — which may no longer be the live set if
+  // the delivery skidded across a rotation — while a clock sample belongs to
+  // whichever set is live at delivery (the clock never rotates).
+  const u8 set =
+      clock_sample ? static_cast<u8>(cur_set_) : set_by_event_[static_cast<size_t>(d.event)];
   events_.append(static_cast<u8>(d.pic), d.event, d.interval, d.delivered_pc, r.found,
                  r.candidate_pc, r.ea_known, r.ea, d.callstack.data(), d.callstack.size(),
-                 d.seq);
+                 d.seq, set);
   if (opt_.batch_export && events_.size() - exported_ >= opt_.batch_export_events) {
     export_pending(/*last=*/false);
+  }
+}
+
+void Collector::rotate_set() {
+  // Fired by the slice timer between instructions: the outgoing set's
+  // registers hold consistent residuals and no partially-counted
+  // instruction straddles the switch.
+  static const obs::Counter kSwitches = obs::counter("collect.mpx.switches");
+  kSwitches.add();
+  const u64 now = cpu_->total_cycles();
+  slices_[cur_set_].live_cycles += now - slice_start_cycles_;
+  slice_start_cycles_ = now;
+  for (size_t i = 0; i < counters_.size(); ++i) {
+    if (counters_[i].set != cur_set_) continue;
+    // Save the partially-counted interval so the counter resumes mid-count
+    // when its set comes back on duty (no samples lost to resets).
+    residuals_[i] = cpu_->pic_value(counters_[i].pic);
+    cpu_->disable_pic(counters_[i].pic);
+  }
+  cur_set_ = (cur_set_ + 1) % num_sets_;
+  slices_[cur_set_].switches += 1;
+  for (size_t i = 0; i < counters_.size(); ++i) {
+    const auto& c = counters_[i];
+    if (c.set != cur_set_) continue;
+    cpu_->configure_pic(c.pic, c.event, c.interval, residuals_[i]);
   }
 }
 
@@ -298,7 +394,22 @@ experiment::Experiment Collector::run(const std::function<void(machine::Cpu&)>& 
   cpu_ = std::make_unique<machine::Cpu>(*mem_, opt_.cpu);
   cpu_->set_pc(image_.entry);
 
-  for (const auto& c : counters_) cpu_->configure_pic(c.pic, c.event, c.interval);
+  // Arm set 0 only; under multiplexing the slice timer rotates the remaining
+  // sets onto the registers round-robin.
+  for (const auto& c : counters_) {
+    if (c.set == 0) cpu_->configure_pic(c.pic, c.event, c.interval);
+  }
+  if (num_sets_ > 1) {
+    slices_.assign(num_sets_, {});
+    slices_[0].switches = 1;  // set 0 starts on duty
+    cur_set_ = 0;
+    slice_start_cycles_ = 0;
+    residuals_.assign(counters_.size(), 0);
+    cpu_->configure_slice_timer(opt_.mpx_slice_cycles);
+    cpu_->on_slice = [this] { rotate_set(); };
+  } else {
+    slices_.clear();
+  }
   if (clock_interval_ != 0) cpu_->configure_clock_profiling(clock_interval_);
   cpu_->on_overflow = [this](const machine::OverflowDelivery& d) { on_overflow(d); };
 
@@ -314,6 +425,12 @@ experiment::Experiment Collector::run(const std::function<void(machine::Cpu&)>& 
   }
   export_pending(/*last=*/true);
 
+  if (num_sets_ > 1) {
+    // Retire the final (partial) slice so the live-cycle totals partition
+    // the whole run: sum(live_cycles) == total cycles.
+    slices_[cur_set_].live_cycles += cpu_->total_cycles() - slice_start_cycles_;
+  }
+
   experiment::Experiment ex;
   ex.image = image_;
   ex.counters = counters_;
@@ -322,6 +439,7 @@ experiment::Experiment Collector::run(const std::function<void(machine::Cpu&)>& 
   ex.page_size = opt_.cpu.hierarchy.dtlb.page_size;
   ex.ec_line_size = opt_.cpu.hierarchy.ecache.line_size;
   ex.events = std::move(events_);
+  ex.slices = slices_;
   ex.allocations = cpu_->allocations();
   ex.total_cycles = rr.cycles;
   ex.total_instructions = rr.instructions;
@@ -329,6 +447,12 @@ experiment::Experiment Collector::run(const std::function<void(machine::Cpu&)>& 
 
   std::ostringstream log;
   log << "collect: hw='" << opt_.hw << "' clock='" << opt_.clock << "'\n";
+  if (num_sets_ > 1) {
+    u64 switches = 0;
+    for (const auto& s : slices_) switches += s.switches;
+    log << "multiplex: " << num_sets_ << " counter sets, slice " << opt_.mpx_slice_cycles
+        << " cycles, " << switches << " activations\n";
+  }
   log << "target: " << image_.text_size() / 4 << " instructions of text, entry 0x" << std::hex
       << image_.entry << std::dec << "\n";
   log << "run: " << (rr.halted ? "exited" : "stopped") << ", exit code " << rr.exit_code

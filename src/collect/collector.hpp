@@ -26,6 +26,15 @@ u64 overflow_interval(machine::HwEvent ev, const std::string& rate);
 /// that need the same register is an error (as on real hardware).
 std::vector<experiment::CounterSpec> parse_counter_spec(const std::string& spec);
 
+/// As above, but with `multiplex` the register constraints bound each *set*
+/// rather than the whole spec: counters are partitioned into sets of at most
+/// kNumPics registers (honoring each event's pic_mask), and the collector
+/// time-slices the sets onto the real registers. More than one resulting set
+/// means the run multiplexes; a spec that fits one set behaves exactly as the
+/// non-multiplexed parse. Duplicate counter names are an error either way.
+std::vector<experiment::CounterSpec> parse_counter_spec(const std::string& spec,
+                                                        bool multiplex);
+
 /// Render the list of available counters (collect with no arguments).
 std::string list_counters();
 
@@ -50,6 +59,14 @@ struct CollectOptions {
   /// Instructions to search when backtracking from the delivered PC.
   u32 backtrack_window = 16;
   BacktrackEngine backtrack_engine = BacktrackEngine::Table;
+
+  /// Counter-set multiplexing slice length in cycles: when -h names more
+  /// counters than PIC registers, the collector partitions them into sets and
+  /// rotates the sets round-robin every `mpx_slice_cycles` cycles (a prime,
+  /// like the overflow intervals, to avoid phase-locking with loop periods).
+  /// 0 disables multiplexing entirely — specs needing more than one set are
+  /// then rejected exactly as before multiplexing existed.
+  u64 mpx_slice_cycles = 1'000'003;
 
   /// Streaming export hook (the dsprofd ingest path, src/serve/): when set,
   /// the collector hands off a batch of events every `batch_export_events`
@@ -98,15 +115,30 @@ class Collector {
  private:
   sa::BacktrackAnswer backtrack(const machine::OverflowDelivery& d);
   void on_overflow(const machine::OverflowDelivery& d);
+  /// Slice-timer callback: retire the live slice, save the outgoing set's
+  /// counter residuals, arm the next set's counters from theirs.
+  void rotate_set();
   /// Hand events [exported_, size) to opt_.batch_export as one batch.
   void export_pending(bool last);
 
   const sym::Image& image_;
   CollectOptions opt_;
   std::vector<experiment::CounterSpec> counters_;
-  /// Per-PIC backtracking requests, resolved once at construction so the
-  /// overflow hot path does not re-scan the counter specs per event.
-  std::array<bool, machine::kNumPics> backtrack_by_pic_{};
+  /// Per-event backtracking requests and set membership, resolved once at
+  /// construction so the overflow hot path does not re-scan the counter
+  /// specs per event. Keyed by event (not PIC): under multiplexing several
+  /// counters share a register across time slices, and a skidded delivery
+  /// can arrive after its set was rotated out.
+  std::array<bool, machine::kNumHwEvents> backtrack_by_event_{};
+  std::array<u8, machine::kNumHwEvents> set_by_event_{};
+  /// Number of counter sets the spec partitioned into (1 = no multiplexing).
+  unsigned num_sets_ = 1;
+  unsigned cur_set_ = 0;
+  /// Per-set live-cycle / switch accounting (empty when not multiplexing).
+  std::vector<experiment::SliceInfo> slices_;
+  /// Saved counter register residuals, per counter, across rotations.
+  std::vector<u64> residuals_;
+  u64 slice_start_cycles_ = 0;
   u64 clock_interval_ = 0;
   /// Precomputed backtracking answers (BacktrackEngine::Table). Built once
   /// per Collector, lazily at run(), and only when some counter actually

@@ -98,7 +98,7 @@ u64 EventStore::intern(const u64* stack, u32 len) {
 
 void EventStore::append(u8 pic, machine::HwEvent event, u64 weight, u64 delivered_pc,
                         bool has_candidate, u64 candidate_pc, bool has_ea, u64 ea,
-                        const u64* stack, size_t stack_len, u64 seq) {
+                        const u64* stack, size_t stack_len, u64 seq, u8 set) {
   DSP_CHECK(!frozen_, "append to a frozen EventStore");
   const u64 off = intern(stack, static_cast<u32>(stack_len));
   pic_.push_back(pic);
@@ -111,6 +111,7 @@ void EventStore::append(u8 pic, machine::HwEvent event, u64 weight, u64 delivere
   seq_.push_back(seq);
   cs_offset_.push_back(off);
   cs_len_.push_back(static_cast<u32>(stack_len));
+  set_.push_back(set);
 }
 
 void EventStore::reserve(size_t n) {
@@ -124,6 +125,7 @@ void EventStore::reserve(size_t n) {
   seq_.reserve(n);
   cs_offset_.reserve(n);
   cs_len_.reserve(n);
+  set_.reserve(n);
 }
 
 void EventStore::clear() {
@@ -137,6 +139,7 @@ void EventStore::clear() {
   seq_.clear();
   cs_offset_.clear();
   cs_len_.clear();
+  set_.clear();
   arena_.clear();
   intern_.clear();
   has_empty_ = false;
@@ -188,11 +191,11 @@ void EventStore::append_range(const EventStore& other, size_t begin, size_t end)
   for (size_t i = begin; i < end; ++i) {
     append(o_pic[i], static_cast<machine::HwEvent>(o_event[i]), o_weight[i], o_dpc[i],
            (o_flags[i] & kHasCandidate) != 0, o_cpc[i], (o_flags[i] & kHasEa) != 0, o_ea[i],
-           o_arena.data() + o_off[i], o_len[i], o_seq[i]);
+           o_arena.data() + o_off[i], o_len[i], o_seq[i], other.event_set(i));
   }
 }
 
-void EventStore::serialize(ByteWriter& w) const {
+void EventStore::serialize(ByteWriter& w, bool with_set) const {
   put_pod_column(w, pic_col());
   put_pod_column(w, event_col());
   put_pod_column(w, weight_col());
@@ -204,6 +207,16 @@ void EventStore::serialize(ByteWriter& w) const {
   put_pod_column(w, cs_offset_col());
   put_pod_column(w, cs_len_col());
   put_pod_column(w, arena());
+  if (with_set) {
+    if (set_col().size() == size()) {
+      put_pod_column(w, set_col());
+    } else {
+      // A mapped pre-multiplexing store has no set column: every event
+      // belongs to set 0.
+      const std::vector<u8> zeros(size(), 0);
+      put_pod_column(w, Column<u8>(zeros));
+    }
+  }
 }
 
 void EventStore::remap_slice(size_t begin, size_t end, std::vector<u64>& slice_off,
@@ -253,7 +266,7 @@ void EventStore::remap_slice(size_t begin, size_t end, std::vector<u64>& slice_o
   }
 }
 
-void EventStore::serialize_range(ByteWriter& w, size_t begin, size_t end) const {
+void EventStore::serialize_range(ByteWriter& w, size_t begin, size_t end, bool with_set) const {
   DSP_CHECK(begin <= end && end <= size(), "serialize_range outside store");
   const size_t n = end - begin;
   std::vector<u64> slice_off, slice_arena;
@@ -270,9 +283,18 @@ void EventStore::serialize_range(ByteWriter& w, size_t begin, size_t end) const 
   put_pod_column(w, Column<u64>(slice_off));
   put_pod_column(w, Column<u32>(cs_len_col().data() + begin, n));
   put_pod_column(w, Column<u64>(slice_arena));
+  if (with_set) {
+    if (set_col().size() == size()) {
+      put_pod_column(w, Column<u8>(set_col().data() + begin, n));
+    } else {
+      const std::vector<u8> zeros(n, 0);
+      put_pod_column(w, Column<u8>(zeros));
+    }
+  }
 }
 
-void EventStore::serialize_range_aligned(ByteWriter& w, size_t begin, size_t end) const {
+void EventStore::serialize_range_aligned(ByteWriter& w, size_t begin, size_t end,
+                                         bool with_set) const {
   DSP_CHECK(begin <= end && end <= size(), "serialize_range outside store");
   const size_t n = end - begin;
   std::vector<u64> slice_off, slice_arena;
@@ -289,9 +311,17 @@ void EventStore::serialize_range_aligned(ByteWriter& w, size_t begin, size_t end
   put_pod_column_aligned(w, Column<u64>(slice_off));
   put_pod_column_aligned(w, Column<u32>(cs_len_col().data() + begin, n));
   put_pod_column_aligned(w, Column<u64>(slice_arena));
+  if (with_set) {
+    if (set_col().size() == size()) {
+      put_pod_column_aligned(w, Column<u8>(set_col().data() + begin, n));
+    } else {
+      const std::vector<u8> zeros(n, 0);
+      put_pod_column_aligned(w, Column<u8>(zeros));
+    }
+  }
 }
 
-void EventStore::serialize_aligned(ByteWriter& w) const {
+void EventStore::serialize_aligned(ByteWriter& w, bool with_set) const {
   put_pod_column_aligned(w, pic_col());
   put_pod_column_aligned(w, event_col());
   put_pod_column_aligned(w, weight_col());
@@ -303,13 +333,22 @@ void EventStore::serialize_aligned(ByteWriter& w) const {
   put_pod_column_aligned(w, cs_offset_col());
   put_pod_column_aligned(w, cs_len_col());
   put_pod_column_aligned(w, arena());
+  if (with_set) {
+    if (set_col().size() == size()) {
+      put_pod_column_aligned(w, set_col());
+    } else {
+      const std::vector<u8> zeros(size(), 0);
+      put_pod_column_aligned(w, Column<u8>(zeros));
+    }
+  }
 }
 
 void EventStore::validate_and_adopt(bool rebuild_intern) {
   const size_t n = pic_.size();
   DSP_CHECK(event_.size() == n && weight_.size() == n && delivered_pc_.size() == n &&
                 flags_.size() == n && candidate_pc_.size() == n && ea_.size() == n &&
-                seq_.size() == n && cs_offset_.size() == n && cs_len_.size() == n,
+                seq_.size() == n && cs_offset_.size() == n && cs_len_.size() == n &&
+                set_.size() == n,
             "event columns have inconsistent lengths");
   for (size_t i = 0; i < n; ++i) {
     // Overflow-safe form: offset + len can wrap past the arena size.
@@ -344,7 +383,7 @@ void EventStore::validate_and_adopt(bool rebuild_intern) {
   }
 }
 
-EventStore EventStore::deserialize(ByteReader& r, bool rebuild_intern) {
+EventStore EventStore::deserialize(ByteReader& r, bool rebuild_intern, bool with_set) {
   EventStore s;
   s.pic_ = get_pod_column<u8>(r);
   s.event_ = get_pod_column<u8>(r);
@@ -357,12 +396,14 @@ EventStore EventStore::deserialize(ByteReader& r, bool rebuild_intern) {
   s.cs_offset_ = get_pod_column<u64>(r);
   s.cs_len_ = get_pod_column<u32>(r);
   s.arena_ = get_pod_column<u64>(r);
+  // Pre-multiplexing layouts have no set column: one always-live set 0.
+  s.set_ = with_set ? get_pod_column<u8>(r) : std::vector<u8>(s.pic_.size(), 0);
   s.validate_and_adopt(rebuild_intern);
   return s;
 }
 
-EventStore EventStore::deserialize_aligned(ByteReader& r,
-                                           std::shared_ptr<const void> keepalive) {
+EventStore EventStore::deserialize_aligned(ByteReader& r, std::shared_ptr<const void> keepalive,
+                                           bool with_set) {
   // Parse the column views first (bounds-checked against the reader), then
   // either adopt them zero-copy or deep-copy into owning vectors.
   const Column<u8> pic = view_pod_column_aligned<u8>(r);
@@ -376,6 +417,10 @@ EventStore EventStore::deserialize_aligned(ByteReader& r,
   const Column<u64> cs_offset = view_pod_column_aligned<u64>(r);
   const Column<u32> cs_len = view_pod_column_aligned<u32>(r);
   const Column<u64> arena = view_pod_column_aligned<u64>(r);
+  const Column<u8> set = with_set ? view_pod_column_aligned<u8>(r) : Column<u8>();
+  if (with_set) {
+    DSP_CHECK(set.size() == pic.size(), "event columns have inconsistent lengths");
+  }
 
   EventStore s;
   if (keepalive != nullptr) {
@@ -402,6 +447,7 @@ EventStore EventStore::deserialize_aligned(ByteReader& r,
     s.m_cs_offset_ = cs_offset;
     s.m_cs_len_ = cs_len;
     s.m_arena_ = arena;
+    s.m_set_ = set;  // empty for pre-multiplexing files: event_set() reads 0
     s.mapping_ = std::move(keepalive);
     return s;
   }
@@ -418,6 +464,7 @@ EventStore EventStore::deserialize_aligned(ByteReader& r,
   s.cs_offset_ = to_vector(cs_offset);
   s.cs_len_ = to_vector(cs_len);
   s.arena_ = to_vector(arena);
+  s.set_ = with_set ? to_vector(set) : std::vector<u8>(s.pic_.size(), 0);
   s.validate_and_adopt(/*rebuild_intern=*/true);
   return s;
 }

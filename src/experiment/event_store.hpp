@@ -99,6 +99,7 @@ struct EventView {
   u64 ea = 0;
   CallstackRef callstack;  // call-site PCs at delivery, outermost first
   u64 seq = 0;             // joins with the machine's ground-truth log
+  u8 set = 0;              // multiplexed counter set the event belongs to
 };
 
 class EventStore {
@@ -117,9 +118,12 @@ class EventStore {
 
   /// Append one event; the callstack words are interned into the arena.
   /// No per-event allocation once columns/arena capacity has warmed up
-  /// (growth is amortized). Error on a frozen store.
+  /// (growth is amortized). Error on a frozen store. `set` is the
+  /// multiplexed counter set the event was recorded under (0 when the run
+  /// does not multiplex).
   void append(u8 pic, machine::HwEvent event, u64 weight, u64 delivered_pc, bool has_candidate,
-              u64 candidate_pc, bool has_ea, u64 ea, const u64* stack, size_t stack_len, u64 seq);
+              u64 candidate_pc, bool has_ea, u64 ea, const u64* stack, size_t stack_len, u64 seq,
+              u8 set = 0);
 
   EventView operator[](size_t i) const {
     EventView v;
@@ -133,7 +137,15 @@ class EventStore {
     v.ea = ea_col()[i];
     v.callstack = callstack(i);
     v.seq = seq_col()[i];
+    v.set = event_set(i);
     return v;
+  }
+
+  /// Counter set of event `i`. Stores loaded from pre-multiplexing files
+  /// have no set column and report 0 for every event (one always-live set).
+  u8 event_set(size_t i) const {
+    const Column<u8> s = set_col();
+    return i < s.size() ? s[i] : 0;
   }
 
   CallstackRef callstack(size_t i) const {
@@ -158,6 +170,9 @@ class EventStore {
   Column<u64> cs_offset_col() const { return mapped_ ? m_cs_offset_ : Column<u64>(cs_offset_); }
   Column<u32> cs_len_col() const { return mapped_ ? m_cs_len_ : Column<u32>(cs_len_); }
   Column<u64> arena() const { return mapped_ ? m_arena_ : Column<u64>(arena_); }
+  /// Counter-set column. Empty (not size()-long) for mapped stores loaded
+  /// from pre-multiplexing files — use event_set() for a safe per-event read.
+  Column<u8> set_col() const { return mapped_ ? m_set_ : Column<u8>(set_); }
 
   /// Number of distinct interned callstacks (arena dedup effectiveness).
   /// For frozen stores (no interning table) this is computed on first call
@@ -206,38 +221,48 @@ class EventStore {
   const_iterator begin() const { return const_iterator(this, 0); }
   const_iterator end() const { return const_iterator(this, size()); }
 
-  /// Serialize the columns + arena (the "DSPF" unaligned events layout).
-  void serialize(ByteWriter& w) const;
+  // Every serializer/deserializer takes `with_set`: true appends the
+  // counter-set column after the arena (multiplexed on-disk revisions, and
+  // always on the v4 wire), false writes/reads the pre-multiplexing layout
+  // byte for byte (a store with no set column loads with every set = 0).
+
+  /// Serialize the columns + arena (the "DSPF" unaligned events layout;
+  /// with_set = the "DSPI" multiplexed revision).
+  void serialize(ByteWriter& w, bool with_set = false) const;
 
   /// Serialize events [begin, end) as a self-contained store in the same
   /// layout serialize() writes: only the arena ranges the slice references
   /// are emitted (each once), with handles remapped. This is the wire batch
   /// encoder's fast path — one hash probe per event to remap the handle,
   /// no per-event word hashing as append_range + serialize would pay.
-  void serialize_range(ByteWriter& w, size_t begin, size_t end) const;
+  void serialize_range(ByteWriter& w, size_t begin, size_t end, bool with_set = false) const;
 
   /// Serialize with every column's payload padded to an 8-byte file offset
-  /// (the "DSPG" aligned layout, zero-copy mappable). `w` must hold the
-  /// whole file from offset 0 for the alignment to be meaningful on disk.
-  void serialize_aligned(ByteWriter& w) const;
+  /// (the "DSPG" aligned layout, zero-copy mappable; with_set = "DSPJ").
+  /// `w` must hold the whole file from offset 0 for the alignment to be
+  /// meaningful on disk.
+  void serialize_aligned(ByteWriter& w, bool with_set = false) const;
 
   /// serialize_range's remap-the-arena slice encoding, in the aligned
   /// layout: the wire batch encoder writes this so the receiver can fold
   /// straight out of the frame payload without copying a column.
-  void serialize_range_aligned(ByteWriter& w, size_t begin, size_t end) const;
+  void serialize_range_aligned(ByteWriter& w, size_t begin, size_t end,
+                               bool with_set = false) const;
 
   /// Read the serialize() layout back into an owning store. With
   /// rebuild_intern=false the interning table is not rebuilt: the store is
   /// frozen (fold/serialize fine, append an error) and deserialization
   /// skips an O(events) hashing pass — the dsprofd batch decode path.
-  static EventStore deserialize(ByteReader& r, bool rebuild_intern = true);
+  static EventStore deserialize(ByteReader& r, bool rebuild_intern = true,
+                                bool with_set = false);
 
   /// Read the serialize_aligned() layout. With a non-null `keepalive` whose
   /// bytes back `r` (a file mapping, a wire frame payload, ...), the result
   /// is a zero-copy mapped store holding that storage alive; with
   /// keepalive == nullptr the columns are copied into an owning store (the
   /// stream fallback, DSPROF_MMAP=0).
-  static EventStore deserialize_aligned(ByteReader& r, std::shared_ptr<const void> keepalive);
+  static EventStore deserialize_aligned(ByteReader& r, std::shared_ptr<const void> keepalive,
+                                        bool with_set = false);
 
  private:
   /// Intern `stack` into the arena, returning its offset. Identical stacks
@@ -265,13 +290,15 @@ class EventStore {
   std::vector<u64> seq_;
   std::vector<u64> cs_offset_;  // into arena_
   std::vector<u32> cs_len_;
+  std::vector<u8> set_;         // multiplexed counter set per event
 
   std::vector<u64> arena_;  // concatenated unique callstacks
 
-  // Mapped storage: views into `mapping_` (all mapped_rows_ long).
+  // Mapped storage: views into `mapping_` (all mapped_rows_ long, except
+  // m_set_ which stays empty for pre-multiplexing files).
   bool mapped_ = false;
   size_t mapped_rows_ = 0;
-  Column<u8> m_pic_, m_event_, m_flags_;
+  Column<u8> m_pic_, m_event_, m_flags_, m_set_;
   Column<u64> m_weight_, m_delivered_pc_, m_candidate_pc_, m_ea_, m_seq_, m_cs_offset_;
   Column<u32> m_cs_len_;
   Column<u64> m_arena_;

@@ -12,6 +12,10 @@ namespace {
 constexpr u32 kMagicLegacy = 0x44535045;    // 'DSPE' — seed row layout
 constexpr u32 kMagicColumnar = 0x44535046;  // 'DSPF' — columnar layout
 constexpr u32 kMagicAligned = 0x44535047;   // 'DSPG' — aligned columnar, mmap-able
+// Multiplexed siblings: same layouts plus counter-set ids and a slice table.
+constexpr u32 kMagicLegacyMpx = 0x44535048;    // 'DSPH'
+constexpr u32 kMagicColumnarMpx = 0x44535049;  // 'DSPI'
+constexpr u32 kMagicAlignedMpx = 0x4453504A;   // 'DSPJ'
 
 /// DSPROF_MMAP=0 turns the zero-copy loader off; anything else (including
 /// unset) leaves it on for "DSPG" files.
@@ -20,46 +24,76 @@ bool mmap_enabled() {
   return env == nullptr || std::string(env) != "0";
 }
 
-void put_counter(ByteWriter& w, const CounterSpec& c) {
+void put_counter(ByteWriter& w, const CounterSpec& c, bool mpx) {
   w.put_u8(static_cast<u8>(c.event));
   w.put_u64(c.interval);
   w.put_u8(c.backtrack ? 1 : 0);
   w.put_u8(static_cast<u8>(c.pic));
+  if (mpx) w.put_u8(static_cast<u8>(c.set));
 }
 
-CounterSpec get_counter(ByteReader& r) {
+CounterSpec get_counter(ByteReader& r, bool mpx) {
   CounterSpec c;
   c.event = static_cast<machine::HwEvent>(r.get_u8());
   c.interval = r.get_u64();
   c.backtrack = r.get_u8() != 0;
   c.pic = r.get_u8();
+  if (mpx) c.set = r.get_u8();
   return c;
 }
 
-void put_header(ByteWriter& w, const Experiment& ex) {
+void put_header(ByteWriter& w, const Experiment& ex, bool mpx) {
   w.put_u32(static_cast<u32>(ex.counters.size()));
-  for (const auto& c : ex.counters) put_counter(w, c);
+  for (const auto& c : ex.counters) put_counter(w, c, mpx);
   w.put_u64(ex.clock_interval);
   w.put_u64(ex.clock_hz);
   w.put_u64(ex.page_size);
   w.put_u64(ex.ec_line_size);
   w.put_u64(ex.total_cycles);
   w.put_u64(ex.total_instructions);
+  if (mpx) {
+    // Slice table: per-set live cycles + switch counts.
+    w.put_u32(static_cast<u32>(ex.slices.size()));
+    for (const auto& s : ex.slices) {
+      w.put_u64(s.live_cycles);
+      w.put_u64(s.switches);
+    }
+  }
 }
 
-void get_header(ByteReader& r, Experiment& ex) {
+void get_header(ByteReader& r, Experiment& ex, bool mpx) {
   const u32 nc = r.get_u32();
-  // At most one counter per PIC register can ever be recorded; a larger
-  // count means the header is corrupt (and must not drive allocation).
-  DSP_CHECK(nc <= machine::kNumPics,
+  // Pre-multiplexing layouts record at most one counter per PIC register; a
+  // multiplexed run at most one per event type. A larger count means the
+  // header is corrupt (and must not drive allocation).
+  const u32 max_counters = mpx ? static_cast<u32>(machine::kNumHwEvents) : machine::kNumPics;
+  DSP_CHECK(nc <= max_counters,
             "implausible counter count " + std::to_string(nc) + " in header");
-  for (u32 i = 0; i < nc; ++i) ex.counters.push_back(get_counter(r));
+  for (u32 i = 0; i < nc; ++i) ex.counters.push_back(get_counter(r, mpx));
   ex.clock_interval = r.get_u64();
   ex.clock_hz = r.get_u64();
   ex.page_size = r.get_u64();
   ex.ec_line_size = r.get_u64();
   ex.total_cycles = r.get_u64();
   ex.total_instructions = r.get_u64();
+  if (mpx) {
+    const u32 ns = r.get_u32();
+    // Sets partition the counters, so there can never be more sets than
+    // counters were recorded.
+    DSP_CHECK(ns <= nc, "implausible slice-table set count " + std::to_string(ns) +
+                            " in header (only " + std::to_string(nc) + " counters)");
+    for (u32 i = 0; i < ns; ++i) {
+      SliceInfo s;
+      s.live_cycles = r.get_u64();
+      s.switches = r.get_u64();
+      ex.slices.push_back(s);
+    }
+    for (const auto& c : ex.counters) {
+      DSP_CHECK(c.set < ex.slices.size(),
+                "counter set id " + std::to_string(c.set) + " outside the " +
+                    std::to_string(ex.slices.size()) + "-entry slice table");
+    }
+  }
 }
 
 // Older layouts ("DSPE"/"DSPF") carry (addr, size) allocation pairs; the
@@ -108,7 +142,7 @@ void get_trailer(ByteReader& r, Experiment& ex, bool with_site) {
 
 /// The seed's row-oriented event section (one record at a time, each with an
 /// inline callstack).
-void put_events_legacy(ByteWriter& w, const EventStore& events) {
+void put_events_legacy(ByteWriter& w, const EventStore& events, bool with_set) {
   w.put_u32(static_cast<u32>(events.size()));
   for (size_t i = 0; i < events.size(); ++i) {
     const EventView e = events[i];
@@ -122,17 +156,19 @@ void put_events_legacy(ByteWriter& w, const EventStore& events) {
     w.put_u32(static_cast<u32>(e.callstack.size()));
     for (u64 pc : e.callstack) w.put_u64(pc);
     w.put_u64(e.seq);
+    if (with_set) w.put_u8(e.set);
   }
 }
 
-void get_events_legacy(ByteReader& r, EventStore& events) {
+void get_events_legacy(ByteReader& r, EventStore& events, bool with_set) {
   const u32 ne = r.get_u32();
   // Validate the count against the bytes actually present before reserving:
   // a corrupt count would otherwise drive a multi-gigabyte allocation long
   // before any read hits the bytestream bounds check. Every legacy record
-  // occupies at least 47 bytes (fixed fields + empty callstack).
-  constexpr u64 kMinRecordBytes = 47;
-  DSP_CHECK(ne <= r.remaining() / kMinRecordBytes,
+  // occupies at least 47 bytes (fixed fields + empty callstack); the
+  // multiplexed layout appends a set byte.
+  const u64 min_record_bytes = with_set ? 48 : 47;
+  DSP_CHECK(ne <= r.remaining() / min_record_bytes,
             "legacy event count " + std::to_string(ne) + " exceeds the " +
                 std::to_string(r.remaining()) + " bytes remaining");
   events.reserve(ne);
@@ -152,8 +188,9 @@ void get_events_legacy(ByteReader& r, EventStore& events) {
     stack.reserve(depth);
     for (u32 d = 0; d < depth; ++d) stack.push_back(r.get_u64());
     const u64 seq = r.get_u64();
+    const u8 set = with_set ? r.get_u8() : 0;
     events.append(pic, event, weight, delivered_pc, (flags & 1) != 0, candidate_pc,
-                  (flags & 2) != 0, ea, stack.data(), stack.size(), seq);
+                  (flags & 2) != 0, ea, stack.data(), stack.size(), seq, set);
   }
 }
 
@@ -168,19 +205,23 @@ void Experiment::save(const std::string& dir, FileFormat format) const {
   image.serialize(lo);
   write_file(dir + "/loadobjects.bin", lo.bytes());
 
+  // A run that never multiplexed writes the pre-multiplexing magic and
+  // layout byte for byte; only a populated slice table switches to the
+  // sibling magic that carries set ids and the slice table.
+  const bool mpx = !slices.empty();
   ByteWriter w;
   if (format == FileFormat::Legacy) {
-    w.put_u32(kMagicLegacy);
-    put_header(w, *this);
-    put_events_legacy(w, events);
+    w.put_u32(mpx ? kMagicLegacyMpx : kMagicLegacy);
+    put_header(w, *this, mpx);
+    put_events_legacy(w, events, mpx);
   } else if (format == FileFormat::Columnar) {
-    w.put_u32(kMagicColumnar);
-    put_header(w, *this);
-    events.serialize(w);
+    w.put_u32(mpx ? kMagicColumnarMpx : kMagicColumnar);
+    put_header(w, *this, mpx);
+    events.serialize(w, mpx);
   } else {
-    w.put_u32(kMagicAligned);
-    put_header(w, *this);
-    events.serialize_aligned(w);
+    w.put_u32(mpx ? kMagicAlignedMpx : kMagicAligned);
+    put_header(w, *this, mpx);
+    events.serialize_aligned(w, mpx);
   }
   put_trailer(w, *this, /*with_site=*/format == FileFormat::ColumnarAligned);
   write_file(dir + "/events.bin", w.bytes());
@@ -210,17 +251,21 @@ Experiment Experiment::load(const std::string& dir) {
     const auto mf = MappedFile::open(dir + "/events.bin");
     ByteReader r(mf->data(), mf->size());
     const u32 magic = r.get_u32();
-    DSP_CHECK(magic == kMagicAligned || magic == kMagicColumnar || magic == kMagicLegacy,
-              "bad events.bin magic (expected DSPG, DSPF or DSPE)");
-    get_header(r, ex);
-    if (magic == kMagicAligned) {
-      ex.events = EventStore::deserialize_aligned(r, mmap_enabled() ? mf : nullptr);
-    } else if (magic == kMagicColumnar) {
-      ex.events = EventStore::deserialize(r);
+    DSP_CHECK(magic == kMagicAligned || magic == kMagicColumnar || magic == kMagicLegacy ||
+                  magic == kMagicAlignedMpx || magic == kMagicColumnarMpx ||
+                  magic == kMagicLegacyMpx,
+              "bad events.bin magic (expected DSPG/DSPF/DSPE or multiplexed DSPJ/DSPI/DSPH)");
+    const bool mpx =
+        magic == kMagicAlignedMpx || magic == kMagicColumnarMpx || magic == kMagicLegacyMpx;
+    get_header(r, ex, mpx);
+    if (magic == kMagicAligned || magic == kMagicAlignedMpx) {
+      ex.events = EventStore::deserialize_aligned(r, mmap_enabled() ? mf : nullptr, mpx);
+    } else if (magic == kMagicColumnar || magic == kMagicColumnarMpx) {
+      ex.events = EventStore::deserialize(r, /*rebuild_intern=*/true, /*with_set=*/mpx);
     } else {
-      get_events_legacy(r, ex.events);
+      get_events_legacy(r, ex.events, mpx);
     }
-    get_trailer(r, ex, /*with_site=*/magic == kMagicAligned);
+    get_trailer(r, ex, /*with_site=*/magic == kMagicAligned || magic == kMagicAlignedMpx);
     DSP_CHECK(r.at_end(), std::to_string(r.remaining()) + " trailing byte(s) after trailer");
   } catch (const Error& e) {
     fail("corrupt experiment events.bin in '" + dir + "': " + e.what());

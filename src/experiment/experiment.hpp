@@ -12,6 +12,13 @@
 // save(..., FileFormat::...) still writes the older two for compatibility.
 // DSPROF_MMAP=0 disables the zero-copy path (DSPG files are then streamed
 // through the same validation into an owning store).
+//
+// Multiplexed runs (more counters than PIC registers, rotated across time
+// slices) save under sibling magics — "DSPJ"/"DSPI"/"DSPH" — that extend
+// each layout with a per-counter set id, a per-event set column, and a
+// slice table (set -> live cycles, switches). A run that does not multiplex
+// always writes the original magic byte for byte, and loading an original
+// file yields one always-live set — both directions of strict back-compat.
 #pragma once
 
 #include <array>
@@ -30,7 +37,17 @@ struct CounterSpec {
   machine::HwEvent event = machine::HwEvent::Cycle_cnt;
   u64 interval = 0;   // overflow interval (prime)
   bool backtrack = false;
-  unsigned pic = 0;   // assigned counter register
+  unsigned pic = 0;   // assigned counter register (within the set)
+  unsigned set = 0;   // multiplexed counter set (0 when not multiplexing)
+};
+
+/// Per-set live-time accounting for a multiplexed run: how many cycles the
+/// set's counters were actually armed, and how often the scheduler switched
+/// to it. The renormalizing reduction scales a set's aggregates by
+/// total_cycles / live_cycles to estimate the full-run counts.
+struct SliceInfo {
+  u64 live_cycles = 0;
+  u64 switches = 0;
 };
 
 /// A materialized (row-form) profile event. The store of record is the
@@ -49,6 +66,7 @@ struct EventRecord {
   /// inclusive metrics).
   std::vector<u64> callstack;
   u64 seq = 0;  // joins with the machine's ground-truth log (tests only)
+  u8 set = 0;   // multiplexed counter set the event was recorded under
 };
 
 /// On-disk events.bin layouts.
@@ -72,6 +90,14 @@ struct Experiment {
   /// allocation call site ("DSPG" files carry it; older layouts load as 0).
   std::vector<machine::AllocRecord> allocations;
 
+  /// Slice table of a multiplexed run, indexed by counter set. Empty means
+  /// the run did not multiplex: one set, live for all of total_cycles —
+  /// exactly what every pre-multiplexing experiment file loads as, so the
+  /// renormalizing reduction scales by 1.0 bit-identically.
+  std::vector<SliceInfo> slices;
+
+  bool multiplexed() const { return slices.size() > 1; }
+
   // Run totals (from the run, not estimated from samples).
   u64 total_cycles = 0;
   u64 total_instructions = 0;
@@ -87,7 +113,7 @@ struct Experiment {
   /// Append a materialized record into the columnar store.
   void add_event(const EventRecord& e) {
     events.append(e.pic, e.event, e.weight, e.delivered_pc, e.has_candidate, e.candidate_pc,
-                  e.has_ea, e.ea, e.callstack.data(), e.callstack.size(), e.seq);
+                  e.has_ea, e.ea, e.callstack.data(), e.callstack.size(), e.seq, e.set);
   }
 
   /// Write the experiment directory (log.txt, loadobjects.bin, events.bin).

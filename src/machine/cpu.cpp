@@ -22,14 +22,15 @@ void Cpu::set_reg(unsigned r, u64 v) {
   if (r != 0) regs_[r] = v;
 }
 
-void Cpu::configure_pic(unsigned pic, HwEvent ev, u64 interval) {
+void Cpu::configure_pic(unsigned pic, HwEvent ev, u64 interval, u64 start_value) {
   DSP_CHECK(pic < kNumPics, "bad PIC index");
   DSP_CHECK(interval > 0, "overflow interval must be positive");
+  DSP_CHECK(start_value < interval, "PIC start value must be below the interval");
   const HwEventInfo& info = hw_event_info(ev);
   DSP_CHECK(info.pic_mask & (1u << pic),
             std::string("event ") + info.name + " cannot be counted on PIC" +
                 std::to_string(pic));
-  pics_[pic] = Pic{true, ev, interval, 0};
+  pics_[pic] = Pic{true, ev, interval, start_value};
   rebuild_event_routing();
 }
 
@@ -37,6 +38,11 @@ void Cpu::disable_pic(unsigned pic) {
   DSP_CHECK(pic < kNumPics, "bad PIC index");
   pics_[pic].enabled = false;
   rebuild_event_routing();
+}
+
+u64 Cpu::pic_value(unsigned pic) const {
+  DSP_CHECK(pic < kNumPics, "bad PIC index");
+  return pics_[pic].value;
 }
 
 void Cpu::rebuild_event_routing() {
@@ -54,6 +60,11 @@ void Cpu::configure_clock_profiling(u64 interval_cycles) {
   DSP_CHECK(interval_cycles > 0, "clock interval must be positive");
   clock_interval_ = interval_cycles;
   clock_accum_ = 0;
+}
+
+void Cpu::configure_slice_timer(u64 interval_cycles) {
+  slice_interval_ = interval_cycles;
+  slice_accum_ = 0;
 }
 
 u32 Cpu::draw_skid(HwEvent ev) {
@@ -226,6 +237,10 @@ void Cpu::step() {
       clock_accum_ %= clock_interval_;
       trigger_overflow(kClockPic, pc_, false, 0);
     }
+    if (slice_interval_ != 0 && ++slice_accum_ >= slice_interval_) {
+      slice_accum_ %= slice_interval_;
+      if (on_slice) on_slice();
+    }
     pc_ = npc_;
     npc_ += 4;
     return;
@@ -388,6 +403,16 @@ void Cpu::step() {
     if (clock_accum_ >= clock_interval_) {
       clock_accum_ %= clock_interval_;
       trigger_overflow(kClockPic, pc, false, 0);
+    }
+  }
+
+  // Slice timer: fires between instructions (this one has fully counted, the
+  // next has not started), so a rotation callback sees consistent registers.
+  if (slice_interval_ != 0) {
+    slice_accum_ += cost;
+    if (slice_accum_ >= slice_interval_) {
+      slice_accum_ %= slice_interval_;
+      if (on_slice) on_slice();
     }
   }
 

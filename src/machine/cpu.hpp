@@ -46,14 +46,28 @@ class Cpu {
 
   // --- counter control -----------------------------------------------------
   /// Program PIC `pic` to count `ev`, overflowing every `interval` counts.
+  /// `start_value` pre-loads the counter register (how a multiplexing driver
+  /// resumes a partially-counted interval when its set comes back on duty).
   /// Throws Error if the event cannot be counted on that register.
-  void configure_pic(unsigned pic, HwEvent ev, u64 interval);
+  void configure_pic(unsigned pic, HwEvent ev, u64 interval, u64 start_value = 0);
   void disable_pic(unsigned pic);
+  /// Current counter register value (the residual a multiplexing driver saves
+  /// before switching the register to another event).
+  u64 pic_value(unsigned pic) const;
   /// Enable clock profiling: a sample every `interval_cycles` cycles.
   void configure_clock_profiling(u64 interval_cycles);
 
+  /// Arm the slice timer: `on_slice` fires between instructions every
+  /// `interval_cycles` cycles (0 disarms). This is the OS-timer the
+  /// counter-multiplexing scheduler rotates counter sets on; unlike the
+  /// clock-profile path it delivers precisely (no skid) — it is a timer
+  /// interrupt, not a counter overflow trap.
+  void configure_slice_timer(u64 interval_cycles);
+
   /// Invoked at each (skidded) overflow delivery and clock sample.
   std::function<void(const OverflowDelivery&)> on_overflow;
+  /// Invoked at each slice-timer expiry (see configure_slice_timer).
+  std::function<void()> on_slice;
 
   // --- execution -----------------------------------------------------------
   /// Run until HCALL Exit or `max_instructions` retired (0 = no limit).
@@ -139,6 +153,8 @@ class Cpu {
   OverflowDelivery scratch_delivery_;
   u64 clock_interval_ = 0;        // 0 = clock profiling off
   u64 clock_accum_ = 0;
+  u64 slice_interval_ = 0;        // 0 = slice timer off
+  u64 slice_accum_ = 0;
   u64 next_seq_ = 0;
 
   bool truth_enabled_ = true;

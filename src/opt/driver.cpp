@@ -76,7 +76,7 @@ LoopResult run_loop(const Workload& w, const DriverOptions& opt) {
 
   auto profile = [&](const sym::Image& img, const machine::CpuConfig& cfg) {
     collect::CollectOptions copt;
-    copt.hw = w.hw;
+    copt.hw = opt.hw.empty() ? w.hw : opt.hw;
     copt.clock = w.clock;
     copt.cpu = cfg;
     collect::Collector c(img, copt);

@@ -26,6 +26,9 @@ namespace dsprof::opt {
 struct DriverOptions {
   /// Rank metric for the affinity analysis and the plan.
   size_t metric = static_cast<size_t>(machine::HwEvent::EC_stall_cycles);
+  /// Counter spec override for the profiling runs; empty keeps the
+  /// workload's default. More than two counters multiplex (er_opt --hw).
+  std::string hw;
   /// Reduction threads (AnalysisOptions::threads); 0 = $DSPROF_THREADS.
   unsigned threads = 0;
   double min_struct_share = 0.05;

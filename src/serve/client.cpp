@@ -69,6 +69,7 @@ Status Client::hello(const experiment::Experiment& ex, u64& session_id) {
   h.ec_line_size = ex.ec_line_size;
   h.total_cycles = ex.total_cycles;
   h.total_instructions = ex.total_instructions;
+  h.slices = ex.slices;
   return hello(h, session_id);
 }
 

@@ -202,6 +202,7 @@ void Server::reader_main(Session& s) {
         s.ex.ec_line_size = h.ec_line_size;
         s.ex.total_cycles = h.total_cycles;
         s.ex.total_instructions = h.total_instructions;
+        s.ex.slices = h.slices;
         s.reducer = std::make_unique<analyze::IncrementalReducer>(s.ex.image.symtab,
                                                                   s.ex.counters);
         s.hello_done = true;

@@ -125,6 +125,7 @@ std::vector<u8> encode_hello(const HelloPayload& h) {
     w.put_u64(c.interval);
     w.put_u8(c.backtrack ? 1 : 0);
     w.put_u8(static_cast<u8>(c.pic));
+    w.put_u8(static_cast<u8>(c.set));
   }
   w.put_u64(h.clock_interval);
   w.put_u64(h.clock_hz);
@@ -132,6 +133,11 @@ std::vector<u8> encode_hello(const HelloPayload& h) {
   w.put_u64(h.ec_line_size);
   w.put_u64(h.total_cycles);
   w.put_u64(h.total_instructions);
+  w.put_u32(static_cast<u32>(h.slices.size()));
+  for (const auto& s : h.slices) {
+    w.put_u64(s.live_cycles);
+    w.put_u64(s.switches);
+  }
   return w.take();
 }
 
@@ -149,6 +155,7 @@ Status decode_hello(const std::vector<u8>& payload, HelloPayload& out) {
       c.interval = r.get_u64();
       c.backtrack = r.get_u8() != 0;
       c.pic = r.get_u8();
+      c.set = r.get_u8();
       out.counters.push_back(c);
     }
     out.clock_interval = r.get_u64();
@@ -157,6 +164,17 @@ Status decode_hello(const std::vector<u8>& payload, HelloPayload& out) {
     out.ec_line_size = r.get_u64();
     out.total_cycles = r.get_u64();
     out.total_instructions = r.get_u64();
+    const u32 ns = r.get_u32();
+    DSP_CHECK(ns <= machine::kNumHwEvents,
+              "implausible slice-table set count " + std::to_string(ns) + " in hello");
+    out.slices.clear();
+    out.slices.reserve(ns);
+    for (u32 i = 0; i < ns; ++i) {
+      experiment::SliceInfo s;
+      s.live_cycles = r.get_u64();
+      s.switches = r.get_u64();
+      out.slices.push_back(s);
+    }
     DSP_CHECK(r.at_end(), "trailing bytes after hello payload");
   });
 }
@@ -175,16 +193,19 @@ Status decode_hello_ack(const std::vector<u8>& payload, u64& session_id) {
   });
 }
 
+// v4 frames always carry the set column (zero-filled when the client did
+// not multiplex): the wire owes no byte-compat to v3, and an unconditional
+// column keeps the codec single-layout.
 std::vector<u8> encode_event_batch(const experiment::EventStore& events) {
   ByteWriter w;
-  events.serialize_aligned(w);
+  events.serialize_aligned(w, /*with_set=*/true);
   return w.take();
 }
 
 std::vector<u8> encode_event_batch(const experiment::EventStore& events, size_t begin,
                                    size_t end) {
   ByteWriter w;
-  events.serialize_range_aligned(w, begin, end);
+  events.serialize_range_aligned(w, begin, end, /*with_set=*/true);
   return w.take();
 }
 
@@ -198,7 +219,7 @@ Status decode_event_batch(std::vector<u8>&& payload, experiment::EventStore& out
     // deserialize_aligned before the views are adopted.
     const auto keep = std::make_shared<const std::vector<u8>>(std::move(payload));
     ByteReader r(*keep);
-    out = experiment::EventStore::deserialize_aligned(r, keep);
+    out = experiment::EventStore::deserialize_aligned(r, keep, /*with_set=*/true);
     DSP_CHECK(r.at_end(), "trailing bytes after event batch payload");
   });
 }

@@ -6,11 +6,19 @@
 //   offset  size  field
 //   ------  ----  -----------------------------------------------
 //        0     4  magic     0x44535257 ("DSRW" read as LE u32)
-//        4     1  version   kWireVersion (currently 3: EventBatch payloads
-//                           use the aligned columnar layout so the daemon
-//                           folds straight out of the frame bytes; v2 grew
-//                           an allocation-site PC on Alloc entries. Peers
-//                           on another version are rejected)
+//        4     1  version   kWireVersion (currently 4: Hello carries a
+//                           per-counter set id plus the multiplexing slice
+//                           table, and EventBatch payloads always include
+//                           the per-event set column; v3 adopted the aligned
+//                           columnar EventBatch layout so the daemon folds
+//                           straight out of the frame bytes; v2 grew an
+//                           allocation-site PC on Alloc entries. Peers on
+//                           another version are rejected. Unlike the on-disk
+//                           formats, the wire has no byte-compat obligation —
+//                           the invariant covers reports and snapshots, not
+//                           socket bytes — so v4 frames carry the set column
+//                           unconditionally, zero-filled when the client did
+//                           not multiplex)
 //        5     1  type      FrameType
 //        6     2  flags     frame-type specific (0 for now)
 //        8     4  len       payload length; <= kMaxPayload (64 MB)
@@ -43,7 +51,7 @@
 namespace dsprof::serve {
 
 inline constexpr u32 kWireMagic = 0x44535257;  // "WRSD" on disk -> "DSRW" LE
-inline constexpr u8 kWireVersion = 3;
+inline constexpr u8 kWireVersion = 4;
 inline constexpr size_t kFrameHeaderSize = 12;
 inline constexpr size_t kMaxPayload = 64u << 20;  // 64 MB
 
@@ -121,6 +129,11 @@ struct HelloPayload {
   u64 ec_line_size = 512;
   u64 total_cycles = 0;
   u64 total_instructions = 0;
+  /// Multiplexing slice table (set -> live cycles, switches); empty when the
+  /// client did not multiplex. The server stores it on the session experiment
+  /// so snapshot renders apply the same renormalization an offline analysis
+  /// of the saved experiment would.
+  std::vector<experiment::SliceInfo> slices;
 };
 
 std::vector<u8> encode_hello(const HelloPayload& h);

@@ -3,14 +3,17 @@
 // Collects the paper's MCF workload (§3.1, first counter pair) and streams
 // the events to a running dsprofd *during the run* via the Collector's
 // batch_export hook — the live-ingest path — then flushes, fetches a
-// snapshot, and closes. Alternatively replays a saved experiment directory.
+// snapshot, and closes. Alternatively replays a saved experiment directory,
+// or (--merged) acts as a monitoring client: fetch the daemon's merged
+// fleet view without streaming anything.
 //
 // Usage:
-//   dsprof_send --socket <path> [--dir <experiment-dir>]
+//   dsprof_send --connect <uri> [--dir <experiment-dir>]
 //               [--workload mcf|mcf-small] [--batch N]
-//               [--save <dir>] [--report <file>] [--stats]
+//               [--save <dir>] [--report <file>] [--stats] [--merged]
 //
-//   --socket <path>  dsprofd socket (required)
+//   --connect <uri>  dsprofd endpoint: unix://<path>, tcp://<host>:<port>,
+//                    or a bare path (unix). Connection retries with backoff.
 //   --dir <dir>      replay a saved experiment instead of collecting
 //   --workload       which MCF setup to collect (default mcf-small)
 //   --batch N        events per EventBatch frame (default 4096)
@@ -18,6 +21,7 @@
 //                    `er_print <dir> -J` must equal the streamed snapshot)
 //   --report <file>  write the snapshot JSON to <file>
 //   --stats          print the daemon's stats frame
+//   --merged         fetch the merged fleet view instead of streaming
 #include <cstdio>
 #include <cstring>
 #include <fstream>
@@ -32,9 +36,11 @@ namespace {
 
 void print_usage() {
   std::puts(
-      "usage: dsprof_send --socket <path> [options]\n"
+      "usage: dsprof_send --connect <uri> [options]\n"
       "options:\n"
-      "  --socket <path>    dsprofd socket to connect to (required)\n"
+      "  --connect <uri>    dsprofd endpoint: unix://<path>, tcp://<host>:<port>,\n"
+      "                     or a bare socket path (required; retries with backoff)\n"
+      "  --socket <path>    alias for --connect unix://<path>\n"
       "  --dir <dir>        replay a saved experiment instead of collecting\n"
       "  --workload <name>  which MCF setup to collect: mcf or mcf-small\n"
       "                     (default mcf-small)\n"
@@ -43,25 +49,32 @@ void print_usage() {
       "  --report <file>    write the snapshot JSON to <file>\n"
       "  --stats            print the daemon's stats frame (includes the\n"
       "                     daemon's obs self-profile)\n"
+      "  --merged           monitoring mode: fetch the merged fleet view (every\n"
+      "                     retained session on the daemon, byte-identical to an\n"
+      "                     offline multi-dir er_print -J) and exit — streams\n"
+      "                     nothing, needs no Hello\n"
       "  --help             print this help and exit");
 }
 
 }  // namespace
 
 int main(int argc, char** argv) {
-  std::string socket_path, dir, save_dir, report_path;
+  std::string connect_uri, dir, save_dir, report_path;
   std::string workload = "mcf-small";
   size_t batch = 4096;
   bool want_stats = false;
+  bool merged = false;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
-    if (arg == "--socket" && i + 1 < argc) socket_path = argv[++i];
+    if (arg == "--connect" && i + 1 < argc) connect_uri = argv[++i];
+    else if (arg == "--socket" && i + 1 < argc) connect_uri = std::string("unix://") + argv[++i];
     else if (arg == "--dir" && i + 1 < argc) dir = argv[++i];
     else if (arg == "--workload" && i + 1 < argc) workload = argv[++i];
     else if (arg == "--batch" && i + 1 < argc) batch = std::stoul(argv[++i]);
     else if (arg == "--save" && i + 1 < argc) save_dir = argv[++i];
     else if (arg == "--report" && i + 1 < argc) report_path = argv[++i];
     else if (arg == "--stats") want_stats = true;
+    else if (arg == "--merged") merged = true;
     else if (arg == "--help") {
       print_usage();
       return 0;
@@ -70,13 +83,13 @@ int main(int argc, char** argv) {
       return 2;
     }
   }
-  if (socket_path.empty()) {
+  if (connect_uri.empty()) {
     print_usage();
     return 2;
   }
 
   serve::Status st;
-  auto transport = serve::uds_connect(socket_path, st);
+  auto transport = serve::connect_with_retry(connect_uri, st);
   if (!transport) {
     std::printf("dsprof_send: %s\n", st.to_string().c_str());
     return 1;
@@ -84,6 +97,38 @@ int main(int argc, char** argv) {
   serve::ClientOptions copt;
   copt.client_name = "dsprof_send";
   serve::Client client(std::move(transport), copt);
+
+  if (merged) {
+    // Monitoring mode: no Hello, no events — just the fleet view.
+    serve::Accounting acct;
+    std::string json;
+    if (st = client.merged_snapshot(acct, json); !st.ok()) {
+      std::printf("dsprof_send: merged snapshot failed: %s\n", st.to_string().c_str());
+      return 1;
+    }
+    std::printf("dsprof_send: merged: in=%llu reduced=%llu dropped=%llu\n",
+                static_cast<unsigned long long>(acct.events_in),
+                static_cast<unsigned long long>(acct.events_reduced),
+                static_cast<unsigned long long>(acct.events_dropped));
+    if (!report_path.empty()) {
+      std::ofstream out(report_path);
+      out << json << "\n";
+      std::printf("dsprof_send: merged snapshot written to %s\n", report_path.c_str());
+    } else {
+      std::printf("%s\n", json.c_str());
+    }
+    if (want_stats) {
+      std::string stats_json;
+      if (st = client.server_stats(stats_json); st.ok())
+        std::printf("dsprof_send: server stats %s\n", stats_json.c_str());
+    }
+    serve::Accounting close_acct;
+    if (st = client.close(close_acct); !st.ok()) {
+      std::printf("dsprof_send: close failed: %s\n", st.to_string().c_str());
+      return 1;
+    }
+    return acct.events_in == acct.events_reduced + acct.events_dropped ? 0 : 1;
+  }
 
   experiment::Experiment ex;
   serve::Accounting acct;

@@ -4,19 +4,28 @@
 #   - clang-tidy over src/sa/, src/opt/, src/collect/, src/machine/,
 #     src/obs/, src/serve/, src/experiment/ and src/analyze/ (skipped with a
 #     notice when clang-tidy is not installed — the reference container does
-#     not ship it); src/sa/, src/opt/, src/collect/ and src/machine/
-#     additionally run with WarningsAsErrors on;
+#     not ship it); src/sa/, src/opt/, src/collect/, src/machine/ and
+#     src/serve/ additionally run with WarningsAsErrors on;
 #   - `s3verify all`, which lints every built-in compiled image and exits
 #     nonzero on any error-severity diagnostic, plus the attribution-coverage
 #     floor: every hwcprof built-in image must have >= 90% of its reachable
 #     memory ops statically attributable;
 #   - the cli-docs gate: docs/CLI.md flag tables must match each binary's
 #     live --help output in both directions;
+#   - the wire-docs gate: docs/WIRE.md must document every frame type
+#     src/serve/wire.hpp declares (and nothing it does not), carry the same
+#     protocol version as kWireVersion, and list a history row for every
+#     version up to it — in both directions, so neither file drifts;
 #   - the dsprofd smoke gate: spawn the daemon on a temp Unix socket, stream a
 #     live MCF collect run into it with dsprof_send, and require the streamed
 #     snapshot to be byte-identical to `er_print <saved-dir> -J` over the same
 #     events (the serve subsystem's central invariant, end to end over real
 #     processes and a real socket);
+#   - the fleet smoke gate: spawn the daemon on a TCP loopback port, stream
+#     three concurrent collect sessions into it, and require the merged
+#     fleet view to be byte-identical to offline multi-dir
+#     `er_print dir1 dir2 dir3 -J` over the three saved directories (the
+#     cross-session extension of the same invariant);
 #   - the er_opt smoke gate: run the closed feedback loop on the builtin
 #     mcf-small workload and require a positive end-to-end speedup plus a
 #     positive, sampling-significant User-CPU delta (the optimizer must
@@ -53,24 +62,24 @@ run_pass() {
 # obs, serve, experiment and analyze subsystems (the code on the zero-copy
 # fast path and the profiling hot paths, held to the strictest bar). Graceful
 # skip when the tool is absent; any emitted "error:" diagnostic fails the
-# script. src/sa/, src/opt/, src/collect/ and src/machine/ — the static
-# analyses, the feedback optimizer, and the multiplexing collector/CPU pair —
-# run with WarningsAsErrors on; the broader tree keeps warnings advisory so
-# it can adopt the profile incrementally (ROADMAP).
+# script. src/sa/, src/opt/, src/collect/, src/machine/ and src/serve/ — the
+# static analyses, the feedback optimizer, the multiplexing collector/CPU
+# pair, and the fleet daemon — run with WarningsAsErrors on; the broader tree
+# keeps warnings advisory so it can adopt the profile incrementally (ROADMAP).
 run_tidy() {
   local dir="$1"
   if ! command -v clang-tidy >/dev/null 2>&1; then
     echo "== tidy: clang-tidy not installed; skipping (install it or use -DDSPROF_TIDY=ON) =="
     return 0
   fi
-  echo "== tidy: clang-tidy over src/sa/, src/opt/, src/collect/, src/machine/" \
-       "(warnings-as-errors), src/obs/, src/serve/, src/experiment/, src/analyze/ =="
+  echo "== tidy: clang-tidy over src/sa/, src/opt/, src/collect/, src/machine/," \
+       "src/serve/ (warnings-as-errors), src/obs/, src/experiment/, src/analyze/ =="
   cmake -B "${dir}" -S "${repo}" -DCMAKE_EXPORT_COMPILE_COMMANDS=ON >/dev/null
   clang-tidy -p "${dir}" --quiet --warnings-as-errors='*' \
     "${repo}"/src/sa/*.cpp "${repo}"/src/opt/*.cpp \
-    "${repo}"/src/collect/*.cpp "${repo}"/src/machine/*.cpp
+    "${repo}"/src/collect/*.cpp "${repo}"/src/machine/*.cpp "${repo}"/src/serve/*.cpp
   clang-tidy -p "${dir}" --quiet "${repo}"/src/obs/*.cpp \
-    "${repo}"/src/serve/*.cpp "${repo}"/src/experiment/*.cpp "${repo}"/src/analyze/*.cpp
+    "${repo}"/src/experiment/*.cpp "${repo}"/src/analyze/*.cpp
 }
 
 # Static verification of every built-in compiled image (CFG + hwcprof lint +
@@ -115,7 +124,7 @@ run_bench() {
     fig4_annotated_disasm fig5_hot_pcs fig6_data_objects fig7_node_expansion
     opt_speedups overhead_hwcprof effectiveness ablation_padding ablation_skid
     prefetch_feedback address_views instance_view pipeline_throughput
-    backtrack_table ingest_throughput dataflow multiplex)
+    backtrack_table ingest_throughput fleet_load dataflow multiplex)
   echo "== bench: run every bench target, collect BENCH_*.json =="
   cmake --build "${dir}" -j "${jobs}" --target "${plain[@]}" bench_er_opt obs_overhead micro_sim
   local b log
@@ -170,6 +179,115 @@ run_cli_docs() {
   done
   [[ ${ok} -eq 1 ]] || return 1
   echo "cli-docs: flag lists match --help for all six binaries"
+}
+
+# docs/WIRE.md drift gate: the wire-protocol reference must agree with
+# src/serve/wire.hpp in both directions. Frame tags: every FrameType the
+# enum declares must have a row in WIRE.md's frame table, and every frame
+# the table documents must exist in the enum. Versions: the "current
+# protocol version is **N**" sentence must match kWireVersion, the history
+# table must carry a row for every version v1..vN, and no row beyond vN.
+run_wire_docs() {
+  echo "== wire-docs: docs/WIRE.md vs src/serve/wire.hpp =="
+  local hpp="${repo}/src/serve/wire.hpp" doc="${repo}/docs/WIRE.md" ok=1
+  local enum_names doc_names name
+  enum_names="$(awk '/^enum class FrameType/{f=1;next} f && /^};/{exit} f' "${hpp}" \
+                  | grep -oE '^  [A-Za-z]+' | tr -d ' ' | sort -u)"
+  doc_names="$(grep -oE '^\| `[A-Za-z]+` \|' "${doc}" | grep -oE '[A-Za-z]+' | sort -u)"
+  [[ -n "${enum_names}" ]] || { echo "wire-docs: no FrameType enum found in wire.hpp"; return 1; }
+  [[ -n "${doc_names}" ]] || { echo "wire-docs: no frame table rows found in WIRE.md"; return 1; }
+  while read -r name; do
+    grep -qx "${name}" <<<"${doc_names}" \
+      || { echo "wire-docs: frame '${name}' in wire.hpp but not in WIRE.md's frame table"; ok=0; }
+  done <<<"${enum_names}"
+  while read -r name; do
+    grep -qx "${name}" <<<"${enum_names}" \
+      || { echo "wire-docs: frame '${name}' documented in WIRE.md but absent from wire.hpp"; ok=0; }
+  done <<<"${doc_names}"
+
+  local ver doc_ver hist_max i
+  ver="$(grep -oE 'kWireVersion = [0-9]+' "${hpp}" | grep -oE '[0-9]+')"
+  doc_ver="$(grep -oE 'current protocol version is \*\*[0-9]+\*\*' "${doc}" | grep -oE '[0-9]+')"
+  if [[ -z "${ver}" || -z "${doc_ver}" || "${ver}" != "${doc_ver}" ]]; then
+    echo "wire-docs: version mismatch (wire.hpp kWireVersion=${ver:-?}, WIRE.md says ${doc_ver:-?})"
+    ok=0
+  fi
+  for ((i = 1; i <= ${ver:-0}; i++)); do
+    grep -q "^| v${i} |" "${doc}" \
+      || { echo "wire-docs: WIRE.md history table lacks a row for v${i}"; ok=0; }
+  done
+  hist_max="$(grep -oE '^\| v[0-9]+ \|' "${doc}" | grep -oE '[0-9]+' | sort -n | tail -1)"
+  if [[ -n "${hist_max}" && -n "${ver}" && "${hist_max}" -gt "${ver}" ]]; then
+    echo "wire-docs: WIRE.md history documents v${hist_max} beyond kWireVersion=${ver}"
+    ok=0
+  fi
+  grep -q 'kSnapshotMergedFlag' "${doc}" \
+    || { echo "wire-docs: WIRE.md does not document kSnapshotMergedFlag"; ok=0; }
+  [[ ${ok} -eq 1 ]] || return 1
+  echo "wire-docs: WIRE.md matches wire.hpp ($(wc -l <<<"${enum_names}") frames, version ${ver})"
+}
+
+# Fleet smoke gate: the cross-session extension of the central invariant,
+# end to end over real processes and a real TCP socket. A daemon on an
+# ephemeral loopback port (discovered from its readiness line) takes three
+# concurrent collect sessions under the Block policy (nothing may drop);
+# afterwards a monitoring client's merged fleet view must be byte-identical
+# to offline multi-dir `er_print exp1 exp2 exp3 -J` over the directories
+# the same three sessions saved.
+run_fleet_smoke() {
+  local dir="$1"
+  echo "== fleet smoke: merged TCP fleet view vs offline multi-dir er_print -J =="
+  cmake --build "${dir}" -j "${jobs}" --target dsprofd dsprof_send er_print
+  local tmp
+  tmp="$(mktemp -d)"
+  trap 'rm -rf "${tmp}"' RETURN
+
+  "${dir}/examples/dsprofd" --listen tcp://127.0.0.1:0 --policy block \
+    >"${tmp}/daemon.log" 2>&1 &
+  local daemon_pid=$!
+  local uri=""
+  for _ in $(seq 1 100); do
+    uri="$(grep -oE 'tcp://[0-9.]+:[0-9]+' "${tmp}/daemon.log" | head -1 || true)"
+    [[ -n "${uri}" ]] && break
+    sleep 0.05
+  done
+  [[ -n "${uri}" ]] || { echo "fleet smoke FAILED: no readiness line from dsprofd"
+                         cat "${tmp}/daemon.log"; kill "${daemon_pid}" 2>/dev/null; return 1; }
+
+  local i send_pids=()
+  for i in 1 2 3; do
+    "${dir}/examples/dsprof_send" --connect "${uri}" --workload mcf-small \
+      --save "${tmp}/exp${i}" >"${tmp}/send${i}.log" 2>&1 &
+    send_pids+=($!)
+  done
+  local failed=0
+  for i in 1 2 3; do
+    wait "${send_pids[$((i - 1))]}" \
+      || { echo "fleet smoke FAILED: dsprof_send session ${i} exited nonzero"
+           cat "${tmp}/send${i}.log"; failed=1; }
+  done
+  [[ ${failed} -eq 0 ]] || { kill "${daemon_pid}" 2>/dev/null; return 1; }
+
+  "${dir}/examples/dsprof_send" --connect "${uri}" --merged \
+    --report "${tmp}/merged.json" >"${tmp}/merged.log" 2>&1 \
+    || { echo "fleet smoke FAILED: merged fetch exited nonzero"
+         cat "${tmp}/merged.log"; kill "${daemon_pid}" 2>/dev/null; return 1; }
+
+  # Graceful stop: the daemon checks its own accounting invariant on the way
+  # out and exits nonzero if it broke.
+  kill "${daemon_pid}"
+  wait "${daemon_pid}" \
+    || { echo "fleet smoke FAILED: dsprofd exited nonzero (accounting broke)"
+         cat "${tmp}/daemon.log"; return 1; }
+
+  "${dir}/examples/er_print" "${tmp}/exp1" "${tmp}/exp2" "${tmp}/exp3" -J \
+    >"${tmp}/offline.json"
+  if ! diff -q "${tmp}/merged.json" "${tmp}/offline.json" >/dev/null; then
+    echo "fleet smoke FAILED: merged fleet view differs from offline multi-dir report"
+    diff "${tmp}/merged.json" "${tmp}/offline.json" | head -20
+    return 1
+  fi
+  echo "fleet smoke: merged view of 3 TCP sessions is byte-identical to er_print exp1 exp2 exp3 -J"
 }
 
 # Multiplexing smoke gate: more than two counters must time-slice end to end.
@@ -313,8 +431,10 @@ case "${mode}" in
     run_tidy "${repo}/build"
     run_s3verify "${repo}/build"
     run_cli_docs "${repo}/build"
+    run_wire_docs
     run_dsprofd_smoke "${repo}/build" direct
     run_dsprofd_smoke "${repo}/build" queued
+    run_fleet_smoke "${repo}/build"
     run_er_opt_smoke "${repo}/build"
     run_mpx_smoke "${repo}/build"
     ;;
@@ -330,8 +450,10 @@ case "${mode}" in
     run_tidy "${repo}/build"
     run_s3verify "${repo}/build"
     run_cli_docs "${repo}/build"
+    run_wire_docs
     run_dsprofd_smoke "${repo}/build" direct
     run_dsprofd_smoke "${repo}/build" queued
+    run_fleet_smoke "${repo}/build"
     run_er_opt_smoke "${repo}/build"
     run_mpx_smoke "${repo}/build"
     run_bench "${repo}/build"

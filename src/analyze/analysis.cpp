@@ -118,12 +118,22 @@ double Analysis::metric_stderr(size_t metric) const {
 
 Analysis::Analysis(const experiment::Experiment& ex, ReductionResult precomputed,
                    AnalysisOptions options)
-    : Analysis(std::vector<const experiment::Experiment*>{&ex}, options) {
+    : Analysis(std::vector<const experiment::Experiment*>{&ex}, std::move(precomputed),
+               options) {}
+
+Analysis::Analysis(std::vector<const experiment::Experiment*> exps,
+                   ReductionResult precomputed, AnalysisOptions options)
+    : Analysis(std::move(exps), options) {
   // The dsprofd snapshot path: adopt the live aggregates of an
-  // IncrementalReducer instead of re-reducing on first view access.
+  // IncrementalReducer (or a merge_results over several) instead of
+  // re-reducing on first view access. The rendering experiments hold no
+  // events here, so the sampling-error n comes from the reduction itself —
+  // fold() tallied the same per-metric counts an offline scan of the
+  // events would.
   r_ = std::make_unique<ReductionResult>(std::move(precomputed));
   total_ = scaled(r_->total);
   data_total_ = scaled(r_->data_total);
+  sample_counts_cache_ = r_->sample_counts;
 }
 
 const ReductionResult& Analysis::reduce_locked() const {

@@ -84,6 +84,16 @@ class Analysis {
   Analysis(const experiment::Experiment& ex, ReductionResult precomputed,
            AnalysisOptions options = {});
 
+  /// Multi-experiment precomputed form: the fleet merged view. `exps`
+  /// supply the combined rendering context exactly as the plain
+  /// multi-experiment constructor would derive it — in particular the
+  /// merged multiplexing scales — and `precomputed` is the merged
+  /// reduction (merge_results over per-session reducer snapshots), so the
+  /// rendered report is byte-identical to an offline multi-dir
+  /// `er_print -J` over the same events.
+  Analysis(std::vector<const experiment::Experiment*> exps, ReductionResult precomputed,
+           AnalysisOptions options = {});
+
   const sym::SymbolTable& symtab() const { return image_->symtab; }
   const sym::Image& image() const { return *image_; }
   u64 clock_hz() const { return clock_hz_; }

@@ -1007,6 +1007,24 @@ ReductionResult reduce_radix(const std::vector<FoldContext>& ctxs, u32 unknown_i
   return r;
 }
 
+/// Tally per-metric sample counts for events [begin, end) — clock samples
+/// under kUserCpuMetric, hardware samples under their event id. Engine-
+/// independent by construction (a straight column scan), so every engine
+/// and the incremental fold agree on ReductionResult::sample_counts.
+void count_samples_range(MetricCounts& counts, const experiment::EventStore& ev,
+                         size_t begin, size_t end) {
+  const auto pic = ev.pic_col();
+  const auto event = ev.event_col();
+  for (size_t i = begin; i < end; ++i) {
+    counts[pic[i] == machine::kClockPic ? kUserCpuMetric
+                                        : static_cast<size_t>(event[i])] += 1;
+  }
+}
+
+void count_samples(MetricCounts& counts, const std::vector<FoldContext>& ctxs) {
+  for (const auto& c : ctxs) count_samples_range(counts, *c.events, 0, c.events->size());
+}
+
 }  // namespace
 
 unsigned Reduction::resolve_threads(unsigned requested) {
@@ -1061,6 +1079,37 @@ ReductionResult Reduction::run(const std::vector<const Experiment*>& exps,
   r.func_names.reserve(st.functions().size() + 1);
   for (const auto& f : st.functions()) r.func_names.push_back(f.name);
   r.func_names.push_back("<unknown code>");
+  count_samples(r.sample_counts, ctxs);
+  return r;
+}
+
+ReductionResult merge_results(const std::vector<const ReductionResult*>& parts) {
+  DSP_CHECK(!parts.empty(), "no reductions to merge");
+  ReductionResult r;
+  // func_names are derived from the symbol table alone, so agreement is the
+  // same-binary check Analysis makes on experiments, applied to results.
+  for (const auto* p : parts) {
+    if (r.func_names.empty()) r.func_names = p->func_names;
+    DSP_CHECK(p->func_names.empty() || p->func_names == r.func_names,
+              "merged reductions must come from the same binary");
+  }
+  for (const auto* p : parts) {
+    for (size_t m = 0; m < kNumMetrics; ++m) {
+      r.present[m] = r.present[m] || p->present[m];
+      r.total[m] += p->total[m];
+      r.data_total[m] += p->data_total[m];
+      r.sample_counts[m] += p->sample_counts[m];
+    }
+    merge_map(r.pc, p->pc);
+    merge_map(r.func, p->func);
+    merge_map(r.incl, p->incl);
+    merge_map(r.edge, p->edge);
+    merge_map(r.line, p->line);
+    merge_map(r.data, p->data);
+    merge_map(r.member, p->member);
+    r.ea_samples.insert(r.ea_samples.end(), p->ea_samples.begin(), p->ea_samples.end());
+    r.events_reduced += p->events_reduced;
+  }
   return r;
 }
 
@@ -1097,6 +1146,7 @@ void IncrementalReducer::fold(const experiment::EventStore& events, size_t begin
   folder_->fold(r_, events, begin, end, oc);
   oc.flush(end - begin);
   r_.events_reduced += end - begin;
+  count_samples_range(r_.sample_counts, events, begin, end);
 }
 
 }  // namespace dsprof::analyze

@@ -98,7 +98,26 @@ struct ReductionResult {
   std::vector<std::string> func_names;
 
   size_t events_reduced = 0;
+
+  /// Per-metric event (sample) counts over the reduced events — clock
+  /// samples under kUserCpuMetric, hardware samples under their event id.
+  /// This is the n behind the sampling-error estimate (Analysis::
+  /// metric_stderr); carrying it in the result lets the dsprofd snapshot
+  /// path — where the rendering Experiment holds no events — report the
+  /// same standard errors an offline analysis over the events would.
+  MetricCounts sample_counts{};
 };
+
+/// Merge completed reductions into one, as if their event sequences had
+/// been concatenated in part order and reduced offline. Exact: every
+/// aggregate is an integer (u64) sum, so the merge is associative and
+/// commutative per key, and EA samples concatenate in part order just like
+/// the offline shard merge. This is the fleet MergedView primitive — the
+/// cross-session extension of the online-vs-offline bit-identity invariant
+/// (merging N sessions' live aggregates == one offline multi-dir
+/// reduction). All parts must come from the same binary (func_names must
+/// agree); throws dsprof::Error otherwise.
+ReductionResult merge_results(const std::vector<const ReductionResult*>& parts);
 
 class Reduction {
  public:

@@ -100,6 +100,15 @@ Status Client::snapshot(Accounting& acct, std::string& json_report) {
   return decode_snapshot(f.payload, acct, json_report);
 }
 
+Status Client::merged_snapshot(Accounting& acct, std::string& json_report) {
+  const std::vector<u8> bytes =
+      encode_frame(FrameType::SnapshotReq, {}, kSnapshotMergedFlag);
+  if (Status st = transport_->send(bytes.data(), bytes.size()); !st.ok()) return st;
+  Frame f;
+  if (Status st = recv_expect(FrameType::Snapshot, f); !st.ok()) return st;
+  return decode_snapshot(f.payload, acct, json_report);
+}
+
 Status Client::server_stats(std::string& json) {
   const std::vector<u8> bytes = encode_frame(FrameType::StatsReq, {});
   if (Status st = transport_->send(bytes.data(), bytes.size()); !st.ok()) return st;

@@ -63,6 +63,14 @@ class Client {
   /// same events when nothing was dropped).
   Status snapshot(Accounting& acct, std::string& json_report);
 
+  /// Fetch the merged *fleet* view (SnapshotReq with kSnapshotMergedFlag):
+  /// every retained session on the daemon — completed and in-flight —
+  /// reduced into one multi-experiment report, byte-identical to an offline
+  /// multi-dir `er_print -J` over the same events. Needs no preceding
+  /// hello(): a monitoring client can connect, query and close. `acct` sums
+  /// the merged sessions' accounting triples.
+  Status merged_snapshot(Accounting& acct, std::string& json_report);
+
   /// Server-wide introspection counters as JSON.
   Status server_stats(std::string& json);
 

@@ -1,5 +1,7 @@
 #include "serve/server.hpp"
 
+#include <cstdio>
+
 #include "analyze/analysis.hpp"
 #include "analyze/reports.hpp"
 #include "obs/obs.hpp"
@@ -47,6 +49,18 @@ const obs::Counter& c_direct_folds() {
   static const obs::Counter c = obs::counter("serve.direct_folds");
   return c;
 }
+const obs::Counter& c_merged_snapshots() {
+  static const obs::Counter c = obs::counter("serve.snapshots.merged");
+  return c;
+}
+const obs::Counter& c_sessions_evicted() {
+  static const obs::Counter c = obs::counter("serve.sessions.evicted");
+  return c;
+}
+const obs::Gauge& g_sessions_retained() {
+  static const obs::Gauge g = obs::gauge("serve.sessions.retained");
+  return g;
+}
 const obs::SpanName& fold_span() {
   // Shared by the reducer thread and the reader's queue-free path: either
   // way a fold is a "serve.fold" span, so span-based gates see one fold per
@@ -79,6 +93,24 @@ std::string ServerStats::to_json() const {
   field("reduce_calls", reduce_calls);
   field("reduce_ns", reduce_ns);
   field("direct_folds", direct_folds);
+  field("sessions_retained", sessions_retained);
+  field("sessions_evicted", sessions_evicted);
+  // Rolling-window self-profile: what the daemon did over the trailing
+  // stats_window_ms, so an always-on monitor reads current load without
+  // differencing cumulative counters itself.
+  char wbuf[256];
+  std::snprintf(wbuf, sizeof wbuf,
+                "\"window\":{\"ms\":%llu,\"sessions\":%llu,\"events_in\":%llu,"
+                "\"events_reduced\":%llu,\"events_dropped\":%llu,\"snapshots\":%llu,"
+                "\"events_per_sec\":%.1f},",
+                static_cast<unsigned long long>(window_ms),
+                static_cast<unsigned long long>(window_sessions),
+                static_cast<unsigned long long>(window_events_in),
+                static_cast<unsigned long long>(window_events_reduced),
+                static_cast<unsigned long long>(window_events_dropped),
+                static_cast<unsigned long long>(window_snapshots),
+                window_events_per_sec);
+  s += wbuf;
   // Extended Stats frame: the daemon's own obs snapshot rides along, so a
   // remote `dsprof_send --stats` sees queue/latency distributions, not just
   // the aggregate triple.
@@ -93,8 +125,14 @@ struct Server::Session {
   FrameReader frames;
 
   // Handshake result: the rendering context a snapshot Analysis needs.
+  // hello_done is written once by the reader under qmu (after ex and the
+  // reducer are fully built) and read under qmu by merged_report, which
+  // makes the context fields immutable-after-publish for cross-thread
+  // readers; ex.allocations — the one context field that grows mid-session
+  // — is appended under qmu too.
   bool hello_done = false;
   bool closing = false;
+  bool evicted = false;  // guarded by Server::mu_ (retention)
   experiment::Experiment ex;  // events stay empty; batches live in the queue
   std::unique_ptr<analyze::IncrementalReducer> reducer;
 
@@ -170,7 +208,7 @@ u64 Server::add_session(std::unique_ptr<Transport> transport) {
   return ref.id;
 }
 
-void Server::serve(UdsListener& listener) {
+void Server::serve(Listener& listener) {
   while (!stopping_.load()) {
     Status st;
     auto t = listener.accept(st, /*timeout_ms=*/200);
@@ -205,7 +243,12 @@ void Server::reader_main(Session& s) {
         s.ex.slices = h.slices;
         s.reducer = std::make_unique<analyze::IncrementalReducer>(s.ex.image.symtab,
                                                                   s.ex.counters);
-        s.hello_done = true;
+        {
+          // Publish: merged_report reads hello_done under qmu and may then
+          // touch ex and the reducer from another thread.
+          std::lock_guard<std::mutex> lock(s.qmu);
+          s.hello_done = true;
+        }
         return send_frame(*s.transport, FrameType::HelloAck, encode_hello_ack(s.id));
       }
       case FrameType::EventBatch: {
@@ -291,7 +334,11 @@ void Server::reader_main(Session& s) {
           return Status::make(StatusCode::Refused, "Alloc before Hello");
         std::vector<machine::AllocRecord> allocs;
         if (Status st = decode_allocs(f.payload, allocs); !st.ok()) return st;
-        s.ex.allocations.insert(s.ex.allocations.end(), allocs.begin(), allocs.end());
+        {
+          // merged_report reads the allocation log from other threads.
+          std::lock_guard<std::mutex> lock(s.qmu);
+          s.ex.allocations.insert(s.ex.allocations.end(), allocs.begin(), allocs.end());
+        }
         return {};
       }
       case FrameType::Flush: {
@@ -301,6 +348,20 @@ void Server::reader_main(Session& s) {
                           encode_flush_ack(s.accounting()));
       }
       case FrameType::SnapshotReq: {
+        if ((f.flags & kSnapshotMergedFlag) != 0) {
+          // Fleet view: merge every retained session (no Hello required —
+          // a monitoring client can connect just to ask).
+          std::string json;
+          Accounting macct;
+          if (Status st = merged_report(json, macct); !st.ok()) return st;
+          {
+            std::lock_guard<std::mutex> lock(s.qmu);
+            s.snapshots += 1;
+          }
+          c_snapshots().add();
+          c_merged_snapshots().add();
+          return send_frame(*s.transport, FrameType::Snapshot, encode_snapshot(macct, json));
+        }
         if (!s.hello_done)
           return Status::make(StatusCode::Refused, "SnapshotReq before Hello");
         s.drain();
@@ -432,11 +493,85 @@ void Server::finalize(Session& s) {
   {
     std::lock_guard<std::mutex> lock(mu_);
     s.finalized = true;
+    evict_locked();
     i64 active = 0;
     for (const auto& sp : sessions_) active += sp->finalized ? 0 : 1;
     g_sessions_active().set(active);
+    // A completed session is a load event worth a window sample even when
+    // nobody is polling Stats just now.
+    (void)stats_locked();
   }
   session_done_cv_.notify_all();
+}
+
+void Server::evict_locked() {
+  size_t retained = 0;
+  for (const auto& sp : sessions_)
+    if (sp->finalized && !sp->evicted) ++retained;
+  for (auto& sp : sessions_) {
+    if (retained <= opt_.retain_sessions) break;
+    if (!sp->finalized || sp->evicted) continue;
+    // Oldest first (sessions_ is in id order). Free the aggregates and the
+    // rendering context — the bulk of a completed session's footprint; the
+    // accounting counters stay, so cumulative stats never move backwards.
+    // The session's threads are done (finalized) and merged_report skips
+    // evicted sessions under mu_, so nobody can be reading these.
+    sp->evicted = true;
+    sp->reducer.reset();
+    sp->ex = experiment::Experiment();
+    ++sessions_evicted_;
+    c_sessions_evicted().add();
+    --retained;
+  }
+  g_sessions_retained().set(static_cast<i64>(retained));
+}
+
+Status Server::merged_report(std::string& json, Accounting& acct) {
+  // One consistent cut across the fleet: hold mu_ (freezing admission and
+  // retention) plus every included session's queue lock, each session
+  // drained to a fold boundary, for the whole copy-merge-render. Lock
+  // order is mu_ then qmu in session-id order; no thread acquires a second
+  // lock while holding a qmu, so the ordering is acyclic. Draining a
+  // session waits on its reducer thread, which needs only its own qmu —
+  // released by the wait — so progress is independent of the locks already
+  // held here.
+  std::unique_lock<std::mutex> lock(mu_);
+  std::vector<Session*> included;
+  std::vector<std::unique_lock<std::mutex>> qlocks;
+  for (auto& sp : sessions_) {
+    if (sp->evicted) continue;
+    std::unique_lock<std::mutex> ql(sp->qmu);
+    if (!sp->hello_done) continue;
+    sp->drain_cv.wait(ql, [&] { return sp->queue.empty() && !sp->reducing; });
+    included.push_back(sp.get());
+    qlocks.push_back(std::move(ql));
+  }
+  if (included.empty())
+    return Status::make(StatusCode::Refused, "no sessions to merge");
+
+  static const obs::SpanName kMergedSpan = obs::span_name("serve.snapshot.merged");
+  const obs::ScopedSpan span(kMergedSpan);
+  std::vector<analyze::ReductionResult> parts;
+  std::vector<const experiment::Experiment*> exps;
+  parts.reserve(included.size());
+  exps.reserve(included.size());
+  acct = {};
+  for (Session* s : included) {
+    parts.push_back(s->reducer->snapshot());
+    exps.push_back(&s->ex);
+    acct.events_in += s->events_in;
+    acct.events_reduced += s->events_reduced;
+    acct.events_dropped += s->events_dropped;
+  }
+  std::vector<const analyze::ReductionResult*> part_ptrs;
+  part_ptrs.reserve(parts.size());
+  for (const auto& p : parts) part_ptrs.push_back(&p);
+  // merge_results + the multi-experiment precomputed Analysis render the
+  // exact bytes an offline multi-dir `er_print -J` over the same events
+  // would (the cross-session extension of the bit-identity invariant).
+  analyze::Analysis a(exps, analyze::merge_results(part_ptrs));
+  json = analyze::render_json_report(a, acct.events_dropped);
+  return {};
 }
 
 void Server::wait_session(u64 id) {
@@ -501,6 +636,29 @@ ServerStats Server::stats_locked() const {
     st.reduce_ns += s->reduce_ns;
     st.direct_folds += s->direct_folds;
   }
+  st.sessions_evicted = sessions_evicted_;
+  for (const auto& s : sessions_)
+    if (s->finalized && !s->evicted) ++st.sessions_retained;
+
+  // Advance the rolling window: sample the cumulative counters now, prune
+  // points that fell out of the trailing window (keeping the newest such
+  // point as the baseline so the delta spans the whole window), and report
+  // deltas against the baseline.
+  st.window_ms = opt_.stats_window_ms;
+  const u64 now = now_ns();
+  window_.push_back(WindowPoint{now, st.sessions_total, st.events_in, st.events_reduced,
+                                st.events_dropped, st.snapshots});
+  const u64 span_ns = opt_.stats_window_ms * 1'000'000ull;
+  while (window_.size() >= 2 && now - window_[1].t_ns >= span_ns) window_.pop_front();
+  const WindowPoint& base = window_.front();
+  st.window_sessions = st.sessions_total - base.sessions_total;
+  st.window_events_in = st.events_in - base.events_in;
+  st.window_events_reduced = st.events_reduced - base.events_reduced;
+  st.window_events_dropped = st.events_dropped - base.events_dropped;
+  st.window_snapshots = st.snapshots - base.snapshots;
+  const double secs = static_cast<double>(now - base.t_ns) / 1e9;
+  st.window_events_per_sec =
+      secs > 0 ? static_cast<double>(st.window_events_in) / secs : 0.0;
   return st;
 }
 

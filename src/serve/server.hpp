@@ -45,6 +45,17 @@
 // Disconnect mid-batch: the partial frame buffered in the FrameReader is
 // discarded, complete frames already queued are still folded, and the
 // session finalizes with the accounting invariant intact.
+//
+// Fleet view (merged_report / SnapshotReq with kSnapshotMergedFlag): the
+// aggregates of every retained session — completed and in-flight — merge
+// into one report via analyze::merge_results, byte-identical to an offline
+// multi-dir `er_print -J` over the same events. Completed sessions are
+// retained up to ServerOptions::retain_sessions; beyond the cap the oldest
+// is evicted (aggregates and rendering context freed, accounting counters
+// kept, obs serve.sessions.retained / serve.sessions.evicted updated).
+// The Stats frame carries, next to the cumulative totals, a rolling
+// time-windowed self-profile (stats_window_ms) — deltas and event rate
+// over the trailing window, for always-on monitoring.
 #pragma once
 
 #include <atomic>
@@ -80,6 +91,19 @@ struct ServerOptions {
   /// Test seam: called by the reducer thread before each fold. Stalling
   /// here makes the queue overflow deterministically (overload tests).
   std::function<void(u64 session_id)> before_reduce;
+
+  /// Completed sessions retained for the merged fleet view. Beyond the cap
+  /// the oldest completed session is *evicted*: its aggregates and
+  /// rendering context are freed (the bulk of a session's memory) and it
+  /// drops out of merged snapshots; its accounting counters stay, so the
+  /// cumulative Stats totals never move backwards. 0 retains nothing.
+  size_t retain_sessions = 64;
+
+  /// Rolling window of the self-profile endpoint: the Stats frame reports,
+  /// next to the cumulative totals, the deltas and event rate over the
+  /// trailing window (sampled at each Stats request and session
+  /// finalization). 0 disables the window fields' motion (they stay 0).
+  u64 stats_window_ms = 60'000;
 };
 
 /// Aggregated introspection counters (the Stats frame payload).
@@ -96,6 +120,18 @@ struct ServerStats {
   u64 reduce_calls = 0;
   u64 reduce_ns = 0;  // cumulative wall time inside fold()
   u64 direct_folds = 0;  // batches folded inline by the reader (queue-free)
+  u64 sessions_retained = 0;  // completed sessions still mergeable
+  u64 sessions_evicted = 0;   // completed sessions freed past the cap
+
+  // Rolling-window self-profile (ServerOptions::stats_window_ms): deltas of
+  // the cumulative counters over the trailing window, plus the event rate.
+  u64 window_ms = 0;
+  u64 window_sessions = 0;
+  u64 window_events_in = 0;
+  u64 window_events_reduced = 0;
+  u64 window_events_dropped = 0;
+  u64 window_snapshots = 0;
+  double window_events_per_sec = 0.0;
 
   std::string to_json() const;
 };
@@ -111,9 +147,20 @@ class Server {
   /// immediately). Returns the session id the HelloAck will carry.
   u64 add_session(std::unique_ptr<Transport> transport);
 
-  /// Accept loop over a Unix-domain listener; returns when the listener is
-  /// closed or stop() is called. Each accepted connection becomes a session.
-  void serve(UdsListener& listener);
+  /// Accept loop over any listener (Unix-domain or TCP); returns when the
+  /// listener is closed or stop() is called. Each accepted connection
+  /// becomes a session.
+  void serve(Listener& listener);
+
+  /// The fleet view: merge every retained session's live aggregates —
+  /// completed and in-flight — and render one multi-experiment JSON report,
+  /// byte-identical to an offline multi-dir `er_print a b … -J` over the
+  /// same events (reduction.hpp::merge_results documents why). Takes a
+  /// consistent cut: each included session is held quiescent (queue
+  /// drained, reducer idle) while its aggregates are copied, so no fold is
+  /// ever torn across the merge. `acct` sums the included sessions'
+  /// accounting triples. Refused when no session has completed a Hello.
+  Status merged_report(std::string& json, Accounting& acct);
 
   /// Block until session `id` has finalized (client closed/disconnected).
   void wait_session(u64 id);
@@ -134,13 +181,28 @@ class Server {
   void reducer_main(Session& s);
   void finalize(Session& s);
   ServerStats stats_locked() const;
+  /// Evict completed sessions beyond retain_sessions; callers hold mu_.
+  void evict_locked();
 
   ServerOptions opt_;
   mutable std::mutex mu_;
   std::condition_variable session_done_cv_;
   std::vector<std::unique_ptr<Session>> sessions_;
   u64 next_session_id_ = 1;
+  u64 sessions_evicted_ = 0;  // guarded by mu_
   std::atomic<bool> stopping_{false};
+
+  /// Rolling-window samples of the cumulative counters (guarded by mu_;
+  /// mutable so the const stats() endpoint can advance the window).
+  struct WindowPoint {
+    u64 t_ns = 0;
+    u64 sessions_total = 0;
+    u64 events_in = 0;
+    u64 events_reduced = 0;
+    u64 events_dropped = 0;
+    u64 snapshots = 0;
+  };
+  mutable std::deque<WindowPoint> window_;
 };
 
 }  // namespace dsprof::serve

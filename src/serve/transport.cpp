@@ -1,5 +1,10 @@
 #include "serve/transport.hpp"
 
+#include <arpa/inet.h>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
 #include <sys/socket.h>
 #include <sys/un.h>
 #include <unistd.h>
@@ -7,10 +12,11 @@
 #include <cerrno>
 #include <chrono>
 #include <condition_variable>
+#include <cstdlib>
 #include <cstring>
 #include <deque>
 #include <mutex>
-#include <poll.h>
+#include <thread>
 #include <vector>
 
 namespace dsprof::serve {
@@ -108,14 +114,18 @@ std::pair<std::unique_ptr<Transport>, std::unique_ptr<Transport>> make_pipe_pair
   return {std::move(a), std::move(b)};
 }
 
-// --- unix-domain sockets ----------------------------------------------------
+// --- stream sockets (Unix-domain and TCP) -----------------------------------
 
 namespace {
 
-class UdsTransport final : public Transport {
+/// One connected SOCK_STREAM fd; both socket flavors get identical send
+/// (all-or-fail, blocks on a full buffer), poll-based recv timeout, and
+/// shutdown semantics — the wire protocol sees no difference between a
+/// local and a remote peer.
+class FdTransport final : public Transport {
  public:
-  explicit UdsTransport(int fd) : fd_(fd) {}
-  ~UdsTransport() override {
+  explicit FdTransport(int fd) : fd_(fd) {}
+  ~FdTransport() override {
     shutdown();
     if (fd_ >= 0) ::close(fd_);
   }
@@ -169,6 +179,36 @@ class UdsTransport final : public Transport {
   int fd_;
 };
 
+/// Small control frames must not queue behind event batches; Nagle off.
+void set_nodelay(int fd) {
+  const int one = 1;
+  (void)::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+}
+
+/// Shared poll-then-accept loop for both listener flavors.
+int poll_accept(int listen_fd, Status& status, int timeout_ms) {
+  struct pollfd pfd {listen_fd, POLLIN, 0};
+  for (;;) {
+    const int pr = ::poll(&pfd, 1, timeout_ms);
+    if (pr < 0) {
+      if (errno == EINTR) continue;
+      status = Status::make(StatusCode::IoError, std::string("poll: ") + std::strerror(errno));
+      return -1;
+    }
+    if (pr == 0) {
+      status = Status::make(StatusCode::Timeout, "accept timed out");
+      return -1;
+    }
+    break;
+  }
+  const int cfd = ::accept(listen_fd, nullptr, nullptr);
+  if (cfd < 0) {
+    status = Status::make(listen_fd < 0 ? StatusCode::Disconnected : StatusCode::IoError,
+                          std::string("accept: ") + std::strerror(errno));
+  }
+  return cfd;
+}
+
 }  // namespace
 
 UdsListener::UdsListener(const std::string& path) : path_(path) {
@@ -201,27 +241,9 @@ std::unique_ptr<Transport> UdsListener::accept(Status& status, int timeout_ms) {
     status = Status::make(StatusCode::Disconnected, "listener closed");
     return nullptr;
   }
-  struct pollfd pfd {fd_, POLLIN, 0};
-  for (;;) {
-    const int pr = ::poll(&pfd, 1, timeout_ms);
-    if (pr < 0) {
-      if (errno == EINTR) continue;
-      status = Status::make(StatusCode::IoError, std::string("poll: ") + std::strerror(errno));
-      return nullptr;
-    }
-    if (pr == 0) {
-      status = Status::make(StatusCode::Timeout, "accept timed out");
-      return nullptr;
-    }
-    break;
-  }
-  const int cfd = ::accept(fd_, nullptr, nullptr);
-  if (cfd < 0) {
-    status = Status::make(fd_ < 0 ? StatusCode::Disconnected : StatusCode::IoError,
-                          std::string("accept: ") + std::strerror(errno));
-    return nullptr;
-  }
-  return std::make_unique<UdsTransport>(cfd);
+  const int cfd = poll_accept(fd_, status, timeout_ms);
+  if (cfd < 0) return nullptr;
+  return std::make_unique<FdTransport>(cfd);
 }
 
 void UdsListener::close() {
@@ -253,7 +275,197 @@ std::unique_ptr<Transport> uds_connect(const std::string& path, Status& status) 
     ::close(fd);
     return nullptr;
   }
-  return std::make_unique<UdsTransport>(fd);
+  return std::make_unique<FdTransport>(fd);
+}
+
+// --- TCP --------------------------------------------------------------------
+
+TcpListener::TcpListener(const std::string& host, u16 port) : host_(host), port_(port) {
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  DSP_CHECK(::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) == 1,
+            "bad TCP host '" + host + "' (numeric IPv4 expected)");
+  fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+  DSP_CHECK(fd_ >= 0, std::string("socket: ") + std::strerror(errno));
+  const int one = 1;
+  (void)::setsockopt(fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  if (::bind(fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    const std::string err = std::strerror(errno);
+    ::close(fd_);
+    fd_ = -1;
+    fail("bind tcp://" + host + ":" + std::to_string(port) + ": " + err);
+  }
+  if (::listen(fd_, 128) != 0) {
+    const std::string err = std::strerror(errno);
+    ::close(fd_);
+    fd_ = -1;
+    fail("listen tcp://" + host + ":" + std::to_string(port) + ": " + err);
+  }
+  // Ephemeral-port request (port 0): report what the kernel picked.
+  sockaddr_in bound{};
+  socklen_t len = sizeof(bound);
+  if (::getsockname(fd_, reinterpret_cast<sockaddr*>(&bound), &len) == 0) {
+    port_ = ntohs(bound.sin_port);
+  }
+}
+
+TcpListener::~TcpListener() { close(); }
+
+std::unique_ptr<Transport> TcpListener::accept(Status& status, int timeout_ms) {
+  status = {};
+  if (fd_ < 0) {
+    status = Status::make(StatusCode::Disconnected, "listener closed");
+    return nullptr;
+  }
+  const int cfd = poll_accept(fd_, status, timeout_ms);
+  if (cfd < 0) return nullptr;
+  set_nodelay(cfd);
+  return std::make_unique<FdTransport>(cfd);
+}
+
+void TcpListener::close() {
+  if (fd_ >= 0) {
+    ::shutdown(fd_, SHUT_RDWR);
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+std::string TcpListener::endpoint() const {
+  return "tcp://" + host_ + ":" + std::to_string(port_);
+}
+
+std::unique_ptr<Transport> tcp_connect(const std::string& host, u16 port, Status& status,
+                                       int timeout_ms) {
+  status = {};
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
+    status = Status::make(StatusCode::IoError,
+                          "bad TCP host '" + host + "' (numeric IPv4 expected)");
+    return nullptr;
+  }
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) {
+    status = Status::make(StatusCode::IoError, std::string("socket: ") + std::strerror(errno));
+    return nullptr;
+  }
+  const std::string where = "tcp://" + host + ":" + std::to_string(port);
+  if (timeout_ms >= 0) {
+    // Bounded connect: non-blocking connect, poll for writability, then
+    // read SO_ERROR for the real outcome and restore blocking mode.
+    const int flags = ::fcntl(fd, F_GETFL, 0);
+    (void)::fcntl(fd, F_SETFL, flags | O_NONBLOCK);
+    int rc = ::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr));
+    if (rc != 0 && errno == EINPROGRESS) {
+      struct pollfd pfd {fd, POLLOUT, 0};
+      int pr;
+      do {
+        pr = ::poll(&pfd, 1, timeout_ms);
+      } while (pr < 0 && errno == EINTR);
+      if (pr == 0) {
+        status = Status::make(StatusCode::Timeout, "connect " + where + ": timed out");
+        ::close(fd);
+        return nullptr;
+      }
+      int soerr = 0;
+      socklen_t len = sizeof(soerr);
+      if (pr < 0 || ::getsockopt(fd, SOL_SOCKET, SO_ERROR, &soerr, &len) != 0 || soerr != 0) {
+        status = Status::make(StatusCode::IoError,
+                              "connect " + where + ": " +
+                                  std::strerror(soerr != 0 ? soerr : errno));
+        ::close(fd);
+        return nullptr;
+      }
+      rc = 0;
+    }
+    if (rc != 0) {
+      status = Status::make(StatusCode::IoError,
+                            "connect " + where + ": " + std::strerror(errno));
+      ::close(fd);
+      return nullptr;
+    }
+    (void)::fcntl(fd, F_SETFL, flags);
+  } else if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    status = Status::make(StatusCode::IoError,
+                          "connect " + where + ": " + std::strerror(errno));
+    ::close(fd);
+    return nullptr;
+  }
+  set_nodelay(fd);
+  return std::make_unique<FdTransport>(fd);
+}
+
+// --- endpoint URIs ----------------------------------------------------------
+
+Status parse_endpoint(const std::string& uri, Endpoint& out) {
+  out = {};
+  if (uri.empty()) return Status::make(StatusCode::Refused, "empty endpoint");
+  if (uri.rfind("unix://", 0) == 0) {
+    out.kind = Endpoint::Kind::Unix;
+    out.path = uri.substr(7);
+    if (out.path.empty())
+      return Status::make(StatusCode::Refused, "empty unix:// socket path");
+    return {};
+  }
+  if (uri.rfind("tcp://", 0) == 0) {
+    const std::string rest = uri.substr(6);
+    const size_t colon = rest.rfind(':');
+    if (colon == std::string::npos || colon == 0)
+      return Status::make(StatusCode::Refused,
+                          "tcp endpoint '" + uri + "' wants tcp://host:port");
+    out.kind = Endpoint::Kind::Tcp;
+    out.host = rest.substr(0, colon);
+    const std::string port_s = rest.substr(colon + 1);
+    char* end = nullptr;
+    const unsigned long p = std::strtoul(port_s.c_str(), &end, 10);
+    if (port_s.empty() || end == nullptr || *end != '\0' || p > 65535)
+      return Status::make(StatusCode::Refused, "bad tcp port '" + port_s + "'");
+    out.port = static_cast<u16>(p);
+    return {};
+  }
+  if (uri.find("://") != std::string::npos)
+    return Status::make(StatusCode::Refused,
+                        "unknown endpoint scheme in '" + uri + "' (tcp:// or unix://)");
+  // Bare path: the historic --socket form.
+  out.kind = Endpoint::Kind::Unix;
+  out.path = uri;
+  return {};
+}
+
+std::unique_ptr<Listener> make_listener(const std::string& uri) {
+  Endpoint ep;
+  const Status st = parse_endpoint(uri, ep);
+  DSP_CHECK(st.ok(), st.message);
+  if (ep.kind == Endpoint::Kind::Tcp)
+    return std::make_unique<TcpListener>(ep.host, ep.port);
+  return std::make_unique<UdsListener>(ep.path);
+}
+
+std::unique_ptr<Transport> connect_endpoint(const std::string& uri, Status& status,
+                                            int timeout_ms) {
+  Endpoint ep;
+  status = parse_endpoint(uri, ep);
+  if (!status.ok()) return nullptr;
+  if (ep.kind == Endpoint::Kind::Tcp)
+    return tcp_connect(ep.host, ep.port, status, timeout_ms);
+  return uds_connect(ep.path, status);
+}
+
+std::unique_ptr<Transport> connect_with_retry(const std::string& uri, Status& status,
+                                              ConnectRetry retry) {
+  unsigned backoff = retry.backoff_ms;
+  for (unsigned attempt = 0;; ++attempt) {
+    auto t = connect_endpoint(uri, status, retry.timeout_ms);
+    if (t) return t;
+    // A malformed URI never becomes connectable; only I/O failures retry.
+    if (status.code == StatusCode::Refused) return nullptr;
+    if (attempt + 1 >= retry.attempts) return nullptr;
+    std::this_thread::sleep_for(std::chrono::milliseconds(backoff));
+    backoff *= 2;
+  }
 }
 
 }  // namespace dsprof::serve

@@ -1,6 +1,6 @@
 // Byte transports for the dsprofd wire protocol.
 //
-// Two implementations behind one interface:
+// Three implementations behind one interface:
 //
 //   * PipeTransport — an in-process, bidirectional byte pipe built on two
 //     bounded chunk queues. Hermetic (no OS sockets), so the whole
@@ -9,10 +9,19 @@
 //     draining (e.g. the test stalls the reducer), the client's send()
 //     blocks exactly like a full socket buffer would.
 //
-//   * Unix-domain sockets — UdsListener::accept() / uds_connect() for the
-//     dsprofd + dsprof_send CLI pair. SIGPIPE is avoided via MSG_NOSIGNAL.
+//   * Unix-domain sockets — UdsListener::accept() / uds_connect() for a
+//     single-host dsprofd + dsprof_send pair. SIGPIPE is avoided via
+//     MSG_NOSIGNAL.
 //
-// Semantics shared by both:
+//   * TCP sockets — TcpListener::accept() / tcp_connect() for fleet-scale
+//     deployment: one dsprofd aggregating collectors across hosts. Both
+//     socket flavors share one fd-based Transport (identical backpressure,
+//     poisoning and drop-accounting semantics — a full socket buffer blocks
+//     send() either way); TCP additionally sets TCP_NODELAY so small
+//     control frames (Flush/SnapshotReq) are not Nagle-delayed behind
+//     event batches.
+//
+// Semantics shared by all:
 //   send()      writes all n bytes or fails; blocks on backpressure.
 //   recv_some() returns at least 1 byte, or Timeout after timeout_ms
 //               (timeout_ms < 0 = block forever), or Disconnected once the
@@ -20,6 +29,13 @@
 //   shutdown()  unblocks both directions; subsequent I/O on either end
 //               completes with Disconnected. Safe to call from any thread
 //               (that is how the server interrupts a blocked reader).
+//
+// Endpoint URIs pick a transport at run time (dsprofd --listen,
+// dsprof_send --connect):
+//   tcp://host:port   TCP (numeric IPv4 host; port 0 = ephemeral when
+//                     listening — TcpListener::port() reports the choice)
+//   unix://path       Unix-domain socket
+//   path              bare paths mean unix:// (backward compatible)
 #pragma once
 
 #include <memory>
@@ -43,22 +59,37 @@ class Transport {
 std::pair<std::unique_ptr<Transport>, std::unique_ptr<Transport>> make_pipe_pair(
     size_t capacity = 1u << 20);
 
+/// A listening socket of either flavor; Server::serve() accepts over this
+/// interface, so the daemon is transport-agnostic.
+class Listener {
+ public:
+  virtual ~Listener() = default;
+
+  /// Accept one connection; nullptr with non-Ok status on timeout/close.
+  /// timeout_ms < 0 blocks until a client arrives or close() is called.
+  virtual std::unique_ptr<Transport> accept(Status& status, int timeout_ms = -1) = 0;
+
+  /// Unblock accept() and stop listening.
+  virtual void close() = 0;
+
+  /// Canonical endpoint URI ("unix://path" / "tcp://host:port", with the
+  /// real port when an ephemeral one was requested).
+  virtual std::string endpoint() const = 0;
+};
+
 /// Listening Unix-domain socket. The path is unlinked on bind and on close.
-class UdsListener {
+class UdsListener final : public Listener {
  public:
   /// Bind and listen; throws dsprof::Error on failure (daemon startup is
   /// fail-fast — there is no session to degrade yet).
   explicit UdsListener(const std::string& path);
-  ~UdsListener();
+  ~UdsListener() override;
   UdsListener(const UdsListener&) = delete;
   UdsListener& operator=(const UdsListener&) = delete;
 
-  /// Accept one connection; nullptr with non-Ok status on timeout/close.
-  /// timeout_ms < 0 blocks until a client arrives or close() is called.
-  std::unique_ptr<Transport> accept(Status& status, int timeout_ms = -1);
-
-  /// Unblock accept() and stop listening.
-  void close();
+  std::unique_ptr<Transport> accept(Status& status, int timeout_ms = -1) override;
+  void close() override;
+  std::string endpoint() const override { return "unix://" + path_; }
 
   const std::string& path() const { return path_; }
 
@@ -67,7 +98,70 @@ class UdsListener {
   int fd_ = -1;
 };
 
+/// Listening TCP socket (numeric IPv4 host, e.g. "127.0.0.1" or "0.0.0.0").
+/// Port 0 requests an ephemeral port; port() reports the bound one.
+class TcpListener final : public Listener {
+ public:
+  /// Bind and listen; throws dsprof::Error on failure (fail-fast, like
+  /// UdsListener).
+  TcpListener(const std::string& host, u16 port);
+  ~TcpListener() override;
+  TcpListener(const TcpListener&) = delete;
+  TcpListener& operator=(const TcpListener&) = delete;
+
+  std::unique_ptr<Transport> accept(Status& status, int timeout_ms = -1) override;
+  void close() override;
+  std::string endpoint() const override;
+
+  u16 port() const { return port_; }
+  const std::string& host() const { return host_; }
+
+ private:
+  std::string host_;
+  u16 port_ = 0;
+  int fd_ = -1;
+};
+
 /// Connect to a listening dsprofd socket.
 std::unique_ptr<Transport> uds_connect(const std::string& path, Status& status);
+
+/// Connect to a listening TCP dsprofd. `timeout_ms` bounds the connect
+/// itself (< 0 = the OS default); TCP_NODELAY is set on success.
+std::unique_ptr<Transport> tcp_connect(const std::string& host, u16 port, Status& status,
+                                       int timeout_ms = -1);
+
+// --- endpoint URIs ----------------------------------------------------------
+
+struct Endpoint {
+  enum class Kind { Unix, Tcp };
+  Kind kind = Kind::Unix;
+  std::string path;  // unix socket path
+  std::string host;  // numeric IPv4 host
+  u16 port = 0;
+};
+
+/// Parse "tcp://host:port", "unix://path" or a bare path (= unix).
+Status parse_endpoint(const std::string& uri, Endpoint& out);
+
+/// Listener for a URI; throws dsprof::Error on a malformed URI or a bind
+/// failure (daemon startup is fail-fast).
+std::unique_ptr<Listener> make_listener(const std::string& uri);
+
+/// One connect attempt to a URI endpoint.
+std::unique_ptr<Transport> connect_endpoint(const std::string& uri, Status& status,
+                                            int timeout_ms = -1);
+
+/// Connection retry policy for collectors racing daemon startup: retry the
+/// connect with exponential backoff (mirrors ClientOptions' recv retry).
+struct ConnectRetry {
+  unsigned attempts = 5;    // total connect attempts
+  unsigned backoff_ms = 20; // first sleep; doubles each retry
+  int timeout_ms = 2000;    // per-attempt connect timeout (TCP)
+};
+
+/// Connect to a URI endpoint, retrying per `retry`. On failure returns
+/// nullptr with the last attempt's status.
+std::unique_ptr<Transport> connect_with_retry(const std::string& uri, Status& status,
+                                              ConnectRetry retry = {});
 
 }  // namespace dsprof::serve

@@ -20,7 +20,8 @@
 //                           unconditionally, zero-filled when the client did
 //                           not multiplex)
 //        5     1  type      FrameType
-//        6     2  flags     frame-type specific (0 for now)
+//        6     2  flags     frame-type specific (SnapshotReq bit 0 =
+//                           merged fleet view; 0 everywhere else)
 //        8     4  len       payload length; <= kMaxPayload (64 MB)
 //       12   len  payload   type-specific encoding (below)
 //
@@ -39,6 +40,12 @@
 //   SnapshotReq -> Snapshot (rendered JSON report, see reports.hpp),
 //   StatsReq -> Stats, Close -> CloseAck. The server answers a protocol
 //   violation with an Error frame and closes the session.
+//
+// A SnapshotReq with kSnapshotMergedFlag set asks for the *fleet* view:
+// the server merges every retained session's live aggregates (server.hpp)
+// and renders one multi-experiment report. Merged requests (and StatsReq /
+// Close) need no preceding Hello — a monitoring client can connect, query
+// and leave without streaming anything.
 #pragma once
 
 #include <deque>
@@ -72,6 +79,10 @@ enum class FrameType : u8 {
 };
 
 const char* frame_type_name(FrameType t);
+
+/// SnapshotReq flags bit 0: render the merged cross-session (fleet) view
+/// instead of the requesting session's own aggregates.
+inline constexpr u16 kSnapshotMergedFlag = 1;
 
 struct Frame {
   FrameType type = FrameType::Error;

@@ -10,6 +10,8 @@
 
 #include "analyze/reports.hpp"
 #include "dsl_fixtures.hpp"
+#include "serve/client.hpp"
+#include "serve/server.hpp"
 #include "serve/wire.hpp"
 
 namespace dsprof {
@@ -413,6 +415,66 @@ TEST_F(MultiplexCollect, WireEventBatchCarriesTheSetColumn) {
     any_nonzero |= back[i].set != 0;
   }
   EXPECT_TRUE(any_nonzero) << "a multiplexed run must have events beyond set 0";
+}
+
+// --- multiplexing through the daemon and the fleet merge --------------------
+
+TEST_F(MultiplexCollect, StreamedSnapshotsRenormalizeLikeOffline) {
+  // The daemon path: stream a multiplexed run into a server session and
+  // snapshot — must render byte-for-byte the offline analysis, standard
+  // errors included. The snapshot path has no events.bin to recount, so
+  // the per-metric sample counts must travel with the reduction itself.
+  const auto run = collect_mpx();
+  serve::Server server;
+  auto [client_end, server_end] = serve::make_pipe_pair();
+  server.add_session(std::move(server_end));
+  serve::Client client(std::move(client_end));
+  serve::Accounting acct;
+  ASSERT_TRUE(serve::stream_experiment(client, run.ex, 777, acct).ok());
+  std::string json;
+  ASSERT_TRUE(client.snapshot(acct, json).ok());
+  EXPECT_EQ(json, analyze::render_json_report(analyze::Analysis(run.ex)));
+  ASSERT_TRUE(client.close(acct).ok());
+  server.stop();
+}
+
+TEST_F(MultiplexCollect, MixedMultiplexedAndPlainDirsMergeExactly) {
+  // merge_results over one multiplexed and one dedicated-counter dir must
+  // render the bytes of the offline multi-dir reduction of the same pair:
+  // each dir's own slice table drives its renormalization (the plain dir
+  // scales by exactly 1.0), and merging happens on the raw integer counts
+  // *before* any scaling.
+  const auto run = collect_mpx();
+  const auto plain = testfix::quick_collect(*image_, "+ecrm,61", "on");
+  const std::vector<const experiment::Experiment*> both = {&run.ex, &plain};
+  const std::string offline = analyze::render_json_report(analyze::Analysis(both));
+
+  const analyze::ReductionResult a = analyze::Reduction::run({&run.ex}, 1);
+  const analyze::ReductionResult b = analyze::Reduction::run({&plain}, 1);
+  analyze::ReductionResult merged = analyze::merge_results({&a, &b});
+  analyze::Analysis m(both, std::move(merged));
+  EXPECT_EQ(analyze::render_json_report(m), offline);
+
+  // Same identity through the server: two sessions (one mpx, one plain),
+  // one merged fleet snapshot.
+  serve::Server server;
+  for (const auto* ex : both) {
+    auto [client_end, server_end] = serve::make_pipe_pair();
+    server.add_session(std::move(server_end));
+    serve::Client client(std::move(client_end));
+    serve::Accounting acct;
+    ASSERT_TRUE(serve::stream_experiment(client, *ex, 1024, acct).ok());
+    ASSERT_TRUE(client.close(acct).ok());
+  }
+  server.wait_all();
+  auto [m_end, s_end] = serve::make_pipe_pair();
+  server.add_session(std::move(s_end));
+  serve::Client monitor(std::move(m_end));
+  serve::Accounting macct;
+  std::string merged_json;
+  ASSERT_TRUE(monitor.merged_snapshot(macct, merged_json).ok());
+  EXPECT_EQ(merged_json, offline);
+  server.stop();
 }
 
 }  // namespace

@@ -1,7 +1,11 @@
 // Cross-module property tests: invariants that tie the substrate together.
 #include <gtest/gtest.h>
 
+#include <random>
+
 #include "analyze/analysis.hpp"
+#include "analyze/reduction.hpp"
+#include "analyze/reports.hpp"
 #include "dsl_fixtures.hpp"
 #include "mcfsim/mcfsim.hpp"
 #include "support/bytestream.hpp"
@@ -98,6 +102,54 @@ TEST(AnalysisAdditivity, MergingExperimentsSumsMetrics) {
     EXPECT_DOUBLE_EQ(merged.total()[m], a1.total()[m] + a2.total()[m]);
     EXPECT_DOUBLE_EQ(merged.data_total()[m], a1.data_total()[m] + a2.data_total()[m]);
   }
+}
+
+TEST(MergeResults, MultiDirReductionEqualsMergedSingleDirsUnderRandomSplits) {
+  // The fleet-merge identity: reducing each dir on its own (through the
+  // daemon's incremental fold path, under a random batch split) and merging
+  // the per-dir results must render byte-for-byte what one offline
+  // multi-dir reduction over the same dirs renders — integer aggregates
+  // make the fold associative across batches AND across dirs.
+  auto mod = testfix::make_chase_module(800, 4, 2048);
+  const sym::Image img = scc::compile(*mod);
+  const auto ex_a = testfix::quick_collect(img, "+ecstall,1009,+ecrm,97", "hi");
+  const auto ex_b = testfix::quick_collect(img, "+dcrm,101", "on");
+  const auto ex_c = testfix::quick_collect(img, "+dtlbm,31", "hi");
+  const std::vector<const experiment::Experiment*> dirs = {&ex_a, &ex_b, &ex_c};
+  const std::string offline = analyze::render_json_report(analyze::Analysis(dirs));
+
+  std::mt19937_64 rng(20030815);
+  for (int round = 0; round < 3; ++round) {
+    std::vector<analyze::ReductionResult> parts;
+    for (const auto* ex : dirs) {
+      analyze::IncrementalReducer red(ex->image.symtab, ex->counters);
+      size_t begin = 0;
+      while (begin < ex->events.size()) {
+        std::uniform_int_distribution<size_t> d(1, ex->events.size() - begin);
+        const size_t end = begin + d(rng);
+        red.fold(ex->events, begin, end);
+        begin = end;
+      }
+      parts.push_back(red.snapshot());
+    }
+    std::vector<const analyze::ReductionResult*> ptrs;
+    for (const auto& p : parts) ptrs.push_back(&p);
+    analyze::Analysis merged(dirs, analyze::merge_results(ptrs));
+    EXPECT_EQ(analyze::render_json_report(merged), offline) << "round " << round;
+  }
+}
+
+TEST(MergeResults, DifferentBinariesRefuseToMerge) {
+  // Cross-binary merges would attribute one program's PCs to another's
+  // symbols; the function-name tables are the same-binary witness.
+  auto mod1 = testfix::make_chase_module(500, 3, 1024);
+  const sym::Image img1 = scc::compile(*mod1);
+  const sym::Image img2 = mcfsim::build_mcf_image();
+  const auto ex1 = testfix::quick_collect(img1, "+dcrm,97");
+  const auto ex2 = testfix::quick_collect(img2, "+dcrm,97");
+  const analyze::ReductionResult r1 = analyze::Reduction::run({&ex1}, 1);
+  const analyze::ReductionResult r2 = analyze::Reduction::run({&ex2}, 1);
+  EXPECT_THROW(analyze::merge_results({&r1, &r2}), Error);
 }
 
 TEST(ClockRates, HigherRateMeansMoreSamples) {

@@ -8,6 +8,8 @@
 // workloads).
 #include <gtest/gtest.h>
 
+#include <unistd.h>
+
 #include <atomic>
 #include <cstring>
 #include <random>
@@ -778,6 +780,220 @@ TEST_F(ServeTest, BeforeReduceSeamForcesQueuedPath) {
   const ServerStats st = server.stats();
   EXPECT_EQ(st.direct_folds, 0u);
   EXPECT_EQ(seam_hits.load(), st.reduce_calls);
+  server.stop();
+}
+
+// --- TCP transport + endpoint URIs ------------------------------------------
+
+TEST(Endpoints, ParseGrammar) {
+  Endpoint e;
+  ASSERT_TRUE(parse_endpoint("unix:///tmp/x.sock", e).ok());
+  EXPECT_EQ(e.kind, Endpoint::Kind::Unix);
+  EXPECT_EQ(e.path, "/tmp/x.sock");
+  ASSERT_TRUE(parse_endpoint("/tmp/bare.sock", e).ok());  // the historic --socket form
+  EXPECT_EQ(e.kind, Endpoint::Kind::Unix);
+  EXPECT_EQ(e.path, "/tmp/bare.sock");
+  ASSERT_TRUE(parse_endpoint("tcp://127.0.0.1:8080", e).ok());
+  EXPECT_EQ(e.kind, Endpoint::Kind::Tcp);
+  EXPECT_EQ(e.host, "127.0.0.1");
+  EXPECT_EQ(e.port, 8080);
+  ASSERT_TRUE(parse_endpoint("tcp://0.0.0.0:0", e).ok());  // ephemeral-port request
+  EXPECT_EQ(e.port, 0);
+
+  EXPECT_EQ(parse_endpoint("", e).code, StatusCode::Refused);
+  EXPECT_EQ(parse_endpoint("unix://", e).code, StatusCode::Refused);
+  EXPECT_EQ(parse_endpoint("tcp://127.0.0.1", e).code, StatusCode::Refused);  // no port
+  EXPECT_EQ(parse_endpoint("tcp://127.0.0.1:99999", e).code, StatusCode::Refused);
+  EXPECT_EQ(parse_endpoint("tcp://127.0.0.1:12x", e).code, StatusCode::Refused);
+  EXPECT_EQ(parse_endpoint("http://host:1", e).code, StatusCode::Refused);
+}
+
+TEST(Endpoints, MalformedUriFailsFastInRetry) {
+  // A URI that cannot parse never becomes connectable — connect_with_retry
+  // must give up immediately instead of burning the whole backoff budget.
+  Status st;
+  ConnectRetry retry;
+  retry.attempts = 1000;
+  retry.backoff_ms = 10'000;  // would hang for hours if (wrongly) retried
+  EXPECT_EQ(connect_with_retry("http://nope:1", st, retry), nullptr);
+  EXPECT_EQ(st.code, StatusCode::Refused);
+}
+
+TEST(Endpoints, RetryReachesAListenerThatStartsLate) {
+  // The deployment race connect_with_retry exists for: the collector comes
+  // up before the daemon. The first attempts fail (no socket yet), then the
+  // listener appears and a later attempt lands.
+  const std::string path = ::testing::TempDir() + "serve_test_late.sock";
+  ::unlink(path.c_str());
+  std::thread late([&] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(50));
+    UdsListener listener(path);
+    Status st;
+    auto t = listener.accept(st, 5000);
+    ASSERT_TRUE(t != nullptr) << st.to_string();
+  });
+  Status st;
+  ConnectRetry retry;
+  retry.attempts = 50;
+  retry.backoff_ms = 10;
+  auto t = connect_with_retry("unix://" + path, st, retry);
+  EXPECT_TRUE(t != nullptr) << st.to_string();
+  late.join();
+}
+
+TEST_F(ServeTest, TcpTransportEndToEnd) {
+  // Mirror of UdsTransportEndToEnd over TCP loopback with an ephemeral
+  // port: the wire protocol must not see any difference between socket
+  // flavors, down to the snapshot bytes.
+  TcpListener listener("127.0.0.1", 0);
+  EXPECT_GT(listener.port(), 0u);  // kernel-assigned, reported back
+  EXPECT_EQ(listener.endpoint(), "tcp://127.0.0.1:" + std::to_string(listener.port()));
+  Server server;
+  std::thread accepter([&] {
+    Status st;
+    auto t = listener.accept(st, 5000);
+    ASSERT_TRUE(t != nullptr) << st.to_string();
+    server.add_session(std::move(t));
+  });
+  Status st;
+  auto ct = connect_endpoint(listener.endpoint(), st, /*timeout_ms=*/5000);
+  ASSERT_TRUE(ct != nullptr) << st.to_string();
+  accepter.join();
+
+  Client client(std::move(ct));
+  Accounting acct;
+  st = stream_experiment(client, *ex_, 512, acct);
+  ASSERT_TRUE(st.ok()) << st.to_string();
+  EXPECT_EQ(acct.events_in, ex_->events.size());
+  std::string json;
+  ASSERT_TRUE(client.snapshot(acct, json).ok());
+  EXPECT_EQ(json, offline_report(*ex_));
+  ASSERT_TRUE(client.close(acct).ok());
+  server.stop();
+}
+
+// --- the merged fleet view --------------------------------------------------
+
+/// Open a pipe session on `server` and stream `ex` in `batch`-event frames;
+/// the returned client is left open (a live session) unless closed.
+std::unique_ptr<Client> open_and_stream(Server& server, const Experiment& ex, size_t batch) {
+  auto [client_end, server_end] = make_pipe_pair();
+  server.add_session(std::move(server_end));
+  auto client = std::make_unique<Client>(std::move(client_end));
+  Accounting acct;
+  const Status st = stream_experiment(*client, ex, batch, acct);
+  EXPECT_TRUE(st.ok()) << st.to_string();
+  EXPECT_EQ(acct.events_in, ex.events.size());
+  return client;
+}
+
+std::string offline_multi(const std::vector<const Experiment*>& exps) {
+  analyze::Analysis a(exps);
+  return analyze::render_json_report(a);
+}
+
+TEST_F(ServeTest, MergedSnapshotMatchesOfflineMultiDirForAnySplit) {
+  // Sessions play the role of experiment dirs: the merged fleet view must
+  // render the bytes `er_print dir1 dir2 dir3 -J` would, whatever the
+  // per-session batch split, with completed and live sessions mixed.
+  const Experiment ex2 = testfix::quick_collect(*image_, "+dcrm,101", "hi", small_machine());
+  const Experiment ex3 = testfix::quick_collect(*image_, "+ecrm,211", "on", small_machine());
+  const std::string offline = offline_multi({ex_, &ex2, &ex3});
+  std::mt19937_64 rng(4096);
+  for (int round = 0; round < 3; ++round) {
+    Server server;
+    std::uniform_int_distribution<size_t> d(1, ex_->events.size());
+    auto c1 = open_and_stream(server, *ex_, d(rng));
+    auto c2 = open_and_stream(server, ex2, d(rng));
+    auto c3 = open_and_stream(server, ex3, d(rng));
+    // Close the middle session: the merge must span finalized and live
+    // sessions alike, in session-id (arrival) order.
+    Accounting acct;
+    ASSERT_TRUE(c2->close(acct).ok());
+    server.wait_session(2);
+    std::string json;
+    ASSERT_TRUE(c1->merged_snapshot(acct, json).ok());
+    EXPECT_EQ(json, offline) << "round " << round;
+    EXPECT_EQ(acct.events_in, ex_->events.size() + ex2.events.size() + ex3.events.size());
+    server.stop();
+  }
+}
+
+TEST_F(ServeTest, MergedSnapshotNeedsNoHelloAndRefusesAnEmptyFleet) {
+  Server server;
+  {
+    // A monitoring client on an empty fleet: Refused, carried on an Error
+    // frame (which closes the monitoring session, by protocol).
+    auto [m_end, s_end] = make_pipe_pair();
+    server.add_session(std::move(s_end));
+    Client monitor(std::move(m_end));
+    Accounting acct;
+    std::string json;
+    EXPECT_EQ(monitor.merged_snapshot(acct, json).code, StatusCode::Refused);
+  }
+  // With one streamed session, a fresh monitoring client gets the fleet
+  // view without ever sending a Hello of its own.
+  auto c1 = open_and_stream(server, *ex_, 512);
+  auto [m_end, s_end] = make_pipe_pair();
+  server.add_session(std::move(s_end));
+  Client monitor(std::move(m_end));
+  Accounting acct;
+  std::string json;
+  ASSERT_TRUE(monitor.merged_snapshot(acct, json).ok());
+  EXPECT_EQ(json, offline_report(*ex_));
+  EXPECT_EQ(acct.events_in, ex_->events.size());
+  server.stop();
+}
+
+// --- retention + the rolling stats window -----------------------------------
+
+TEST_F(ServeTest, RetentionEvictsTheOldestCompletedSessions) {
+  ServerOptions sopt;
+  sopt.retain_sessions = 1;
+  Server server(sopt);
+  const Experiment ex2 = testfix::quick_collect(*image_, "+dcrm,101", "hi", small_machine());
+  for (const Experiment* ex : {const_cast<const Experiment*>(ex_), &ex2}) {
+    auto c = open_and_stream(server, *ex, 512);
+    Accounting acct;
+    ASSERT_TRUE(c->close(acct).ok());
+  }
+  server.wait_all();
+  const ServerStats st = server.stats();
+  EXPECT_EQ(st.sessions_total, 2u);
+  EXPECT_EQ(st.sessions_retained, 1u);
+  EXPECT_EQ(st.sessions_evicted, 1u);
+  // Eviction frees aggregates, never accounting: cumulative totals intact.
+  EXPECT_EQ(st.events_in, ex_->events.size() + ex2.events.size());
+  EXPECT_EQ(st.events_in, st.events_reduced + st.events_dropped);
+  // The merged view now covers only the retained (newest) session.
+  auto [m_end, s_end] = make_pipe_pair();
+  server.add_session(std::move(s_end));
+  Client monitor(std::move(m_end));
+  Accounting acct;
+  std::string json;
+  ASSERT_TRUE(monitor.merged_snapshot(acct, json).ok());
+  EXPECT_EQ(json, offline_report(ex2));
+  EXPECT_EQ(acct.events_in, ex2.events.size());
+  server.stop();
+}
+
+TEST_F(ServeTest, StatsWindowTracksTheTrailingDeltas) {
+  Server server;  // default 60 s window: this whole test fits inside it
+  // First sample establishes the pre-traffic baseline point.
+  const ServerStats before = server.stats();
+  EXPECT_EQ(before.window_events_in, 0u);
+  EXPECT_EQ(before.window_ms, 60'000u);
+  auto c = open_and_stream(server, *ex_, 512);
+  Accounting acct;
+  ASSERT_TRUE(c->close(acct).ok());
+  server.wait_all();
+  const ServerStats st = server.stats();
+  EXPECT_EQ(st.window_events_in, ex_->events.size());
+  EXPECT_EQ(st.window_sessions, 1u);
+  EXPECT_GT(st.window_events_per_sec, 0.0);
+  // The Stats JSON carries the nested window object for wire clients.
+  EXPECT_NE(st.to_json().find("\"window\":{\"ms\":60000,"), std::string::npos)
+      << st.to_json();
   server.stop();
 }
 
